@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper (see DESIGN.md's
+experiment index) and prints the series the paper reports, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the evaluation.  Timings measure each experiment's core
+computational kernel.
+"""
+
+import pytest
+
+
+def print_table(title, header, rows):
+    """Print one experiment's result table."""
+    print()
+    print(f"== {title} ==")
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(header)]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def report():
+    return print_table

@@ -1,0 +1,102 @@
+"""Sec. III-C1 ref [28] — fault criticality in memristor crossbars.
+
+Paper: a small neural network predicts whether a crossbar fault is
+critical to DNN accuracy with ~99 % accuracy; protecting only critical
+faults cuts the redundancy required for fault tolerance by ~93 %.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import CrossbarFaultStudy
+from repro.ml import MLPClassifier, recall_score, train_test_split
+
+
+def _dataset(n=700, side=8, n_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.zeros((n, side * side))
+    y = np.zeros(n, dtype=int)
+    half = side // 2
+    for i in range(n):
+        img = rng.normal(0.0, 0.35, (side, side))
+        cls = int(rng.integers(n_classes))
+        r0 = 0 if cls in (0, 1) else half
+        c0 = 0 if cls in (0, 2) else half
+        rr = r0 + rng.integers(half - 1)
+        cc = c0 + rng.integers(half - 1)
+        img[rr : rr + 2, cc : cc + 2] += 0.9
+        X[i] = img.ravel()
+        y[i] = cls
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def study():
+    X, y = _dataset()
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.4, seed=0)
+    model = MLPClassifier(hidden=(12,), n_epochs=120, lr=3e-3, seed=0).fit(Xtr, ytr)
+    return CrossbarFaultStudy(model, Xte[:180], yte[:180], criticality_threshold=0.008)
+
+
+def test_bench_crossbar_criticality(benchmark, study, report):
+    descs, labels = study.sample_faults(n_faults=500, seed=1)
+    predictor, clf = study.train_criticality_predictor(descs, labels, seed=0)
+    d2, l2 = study.sample_faults(n_faults=150, seed=2)
+
+    benchmark.pedantic(predictor, args=(d2,), rounds=3, iterations=1)
+
+    pred = predictor(d2)
+    acc = float(np.mean(pred == l2))
+    rec = recall_score(l2, pred)
+    savings = study.redundancy_savings(pred)
+    report(
+        "[28]: crossbar fault-criticality prediction and redundancy savings",
+        ("metric", "value"),
+        [
+            ("measured critical fraction (train)", f"{labels.mean():.2f}"),
+            ("prediction accuracy", f"{acc:.3f}"),
+            ("critical-fault recall", f"{rec:.3f}"),
+            ("redundancy reduction", f"{savings:.0%}"),
+        ],
+    )
+    assert acc > 0.85, "paper reports ~99%; shape target is high accuracy"
+    assert savings > 0.6, "paper reports ~93% redundancy reduction"
+
+
+def test_bench_crossbar_protection_effectiveness(benchmark, study, report):
+    """End-to-end: protecting predicted-critical faults preserves accuracy."""
+    descs, labels = study.sample_faults(n_faults=400, seed=3)
+    predictor, _ = study.train_criticality_predictor(descs, labels, seed=0)
+    d_eval, _ = study.sample_faults(n_faults=120, seed=4)
+    pred = predictor(d_eval)
+
+    def accuracy_with_unprotected_faults(protect_mask):
+        # Inject every fault that is NOT protected, measure accuracy.
+        for desc, protected in zip(d_eval, protect_mask):
+            if not protected:
+                study.crossbars[desc.layer].inject_stuck_at(
+                    desc.row, desc.col, desc.stuck_on
+                )
+        try:
+            acc, _ = study._metrics_with_faults()
+        finally:
+            for xbar in study.crossbars:
+                xbar.clear_faults()
+        return acc
+
+    unprotected = benchmark.pedantic(
+        accuracy_with_unprotected_faults, args=(np.zeros(len(d_eval), bool),),
+        rounds=1, iterations=1,
+    )
+    selective = accuracy_with_unprotected_faults(pred.astype(bool))
+    report(
+        "[28]: DNN accuracy under simultaneous faults",
+        ("scenario", "accuracy"),
+        [
+            ("baseline (no faults)", f"{study.baseline_accuracy:.3f}"),
+            ("all faults unprotected", f"{unprotected:.3f}"),
+            ("selective protection (predicted critical)", f"{selective:.3f}"),
+        ],
+    )
+    assert selective >= unprotected
+    assert selective > study.baseline_accuracy - 0.1

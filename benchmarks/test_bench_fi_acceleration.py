@@ -1,0 +1,61 @@
+"""Sec. III-B1 ref [20] — ML-accelerated fault injection.
+
+Paper: simple models (kNN, support vectors) trained on structural
+features predict flip-flop vulnerability "with similar accuracy while
+using about only 20 % of the data for the training", accelerating the
+injection campaign by a considerable factor.
+"""
+
+import pytest
+
+from repro.arch import FIAccelerationStudy
+from repro.arch import programs as P
+
+FRACTIONS = (0.1, 0.2, 0.4, 0.8)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return FIAccelerationStudy(
+        [P.checksum(12), P.fibonacci(10), P.vector_add(8), P.dot_product(8)],
+        n_trials_per_element=60,
+        seed=0,
+    )
+
+
+def test_bench_fi_acceleration(benchmark, study, report):
+    benchmark.pedantic(
+        study.evaluate, kwargs={"train_fraction": 0.2, "model": "knn"},
+        rounds=3, iterations=1,
+    )
+
+    rows = []
+    for model in ("knn", "svm"):
+        curve = study.accuracy_vs_fraction(FRACTIONS, model=model, n_repeats=3)
+        for frac, acc in curve:
+            result = study.evaluate(frac, model=model)
+            rows.append(
+                (model, f"{frac:.0%}", f"{acc:.3f}", f"{result.injection_savings:.0%}")
+            )
+    report(
+        "[20]: vulnerability-prediction accuracy vs training fraction",
+        ("model", "train fraction", "accuracy", "injections saved"),
+        rows,
+    )
+
+    knn_curve = dict(study.accuracy_vs_fraction(FRACTIONS, model="knn", n_repeats=3))
+    # The 20% point must be close to the 80% point (the paper's claim).
+    assert knn_curve[0.2] > 0.8
+    assert knn_curve[0.8] - knn_curve[0.2] < 0.15
+
+
+def test_bench_fi_campaign_throughput(benchmark):
+    """Raw injection-campaign cost that [20] is amortizing."""
+    from repro.arch import FaultInjector
+
+    injector = FaultInjector(P.checksum(12))
+    result = benchmark.pedantic(
+        injector.run_campaign, kwargs={"n_trials": 100, "seed": 0},
+        rounds=3, iterations=1,
+    )
+    assert len(result.records) == 100

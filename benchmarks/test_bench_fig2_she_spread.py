@@ -1,0 +1,75 @@
+"""Fig. 2 — per-instance self-heating temperatures across a processor core.
+
+Paper: although only 59 distinct standard cells are used in the design, a
+wide variety of SHE temperatures is observed, because each instance's SHE
+depends on its input slew and output load, not just its cell type.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    SheFlow,
+    SpiceLikeCharacterizer,
+    build_default_library,
+    synthesize_core,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    library = build_default_library(temperature_c=45.0)
+    characterizer = SpiceLikeCharacterizer()
+    characterizer.characterize_library(library)
+    netlist = synthesize_core(library, n_instances=800, seed=0)
+    return library, characterizer, netlist
+
+
+@pytest.fixture(scope="module")
+def she_report(setup):
+    library, characterizer, netlist = setup
+    return SheFlow(characterizer).run(netlist, library)
+
+
+def test_bench_fig2_she_spread(benchmark, setup, she_report, report):
+    library, characterizer, netlist = setup
+    flow = SheFlow(characterizer)
+    benchmark.pedantic(flow.run, args=(netlist, library), rounds=1, iterations=1)
+
+    lo, mean, hi = she_report.spread()
+    counts, edges = she_report.histogram(bins=8)
+    rows = [
+        (f"{edges[i]:.1f}-{edges[i+1]:.1f}", int(c)) for i, c in enumerate(counts)
+    ]
+    report(
+        f"Fig. 2: SHE dT histogram over {len(netlist)} instances "
+        f"(min {lo:.1f} K, mean {mean:.1f} K, max {hi:.1f} K)",
+        ("dT bin (K)", "#instances"),
+        rows,
+    )
+
+    # 59 distinct cells, wide per-instance variety.
+    assert len(library) == 59
+    assert hi > 3.0 * lo, "expected a wide spread of SHE temperatures"
+
+
+def test_bench_fig2_same_cell_type_variety(benchmark, she_report, report):
+    benchmark.pedantic(she_report.per_cell_type, rounds=5, iterations=1)
+    by_type = she_report.per_cell_type()
+    # Report the five cell types with the widest per-instance spread.
+    spreads = sorted(
+        (
+            (name, min(ts), max(ts), len(ts))
+            for name, ts in by_type.items()
+            if len(ts) >= 5
+        ),
+        key=lambda row: -(row[2] - row[1]),
+    )[:5]
+    report(
+        "Fig. 2 companion: per-instance SHE range within one cell type",
+        ("cell", "min dT (K)", "max dT (K)", "#instances"),
+        [(n, f"{a:.2f}", f"{b:.2f}", k) for n, a, b, k in spreads],
+    )
+    assert spreads
+    name, lo, hi, _ = spreads[0]
+    assert hi - lo > 1.0, "one cell type must see many different SHE temps"

@@ -1,0 +1,109 @@
+"""Fig. 3 flow payoff — SHE-aware ML sign-off vs worst-case guardbands.
+
+Paper: replacing the global worst-case corner with per-instance
+SHE-aware, ML-characterized corners yields less pessimistic guardbands
+("better circuit performance ... while still ensuring full reliability"),
+and the ML characterization generates thousands of per-instance cells in
+one shot instead of per-cell SPICE runs.
+"""
+
+import pytest
+
+from repro.circuit import (
+    MLCharacterizer,
+    SpiceLikeCharacterizer,
+    build_default_library,
+    guardband_comparison,
+    synthesize_core,
+)
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    library = build_default_library()
+    SpiceLikeCharacterizer().characterize_library(library)
+    return synthesize_core(library, n_instances=300, seed=1)
+
+
+@pytest.fixture(scope="module")
+def result(netlist):
+    return guardband_comparison(
+        netlist, build_default_library, ml_training_samples=3000, seed=0
+    )
+
+
+def test_bench_fig3_guardband_comparison(benchmark, netlist, result, report):
+    # Time the dominant kernel: generating the per-instance corner library.
+    library = build_default_library()
+    oracle = SpiceLikeCharacterizer()
+    oracle.characterize_library(library)
+    ml = MLCharacterizer(oracle=oracle, seed=0).fit(library, n_samples=1500)
+    temps = {name: 70.0 for name in netlist.instance_names()}
+    benchmark.pedantic(
+        ml.generate_instance_library, args=(netlist, library, temps),
+        rounds=1, iterations=1,
+    )
+
+    report(
+        "Fig. 3: sign-off clock period per flow",
+        ("flow", "min period (ps)", "guardband vs nominal (ps)"),
+        [
+            ("nominal (no SHE)", f"{result.nominal_period:.1f}", "0.0"),
+            (
+                "worst-case corner",
+                f"{result.worst_case_period:.1f}",
+                f"{result.guardband_worst_case:.1f}",
+            ),
+            (
+                "SHE-aware ML per-instance",
+                f"{result.she_aware_period:.1f}",
+                f"{result.guardband_she_aware:.1f}",
+            ),
+        ],
+    )
+    print(
+        f"guardband reduction: {result.guardband_reduction:.1%}, "
+        f"performance gain: {result.performance_gain:.2%}, "
+        f"ML validation MAPE: {result.ml_validation_mape:.2%}, "
+        f"max SHE dT: {result.max_she_dt:.1f} K"
+    )
+
+    assert result.worst_case_period > result.nominal_period
+    assert result.she_aware_period < result.worst_case_period
+    assert result.guardband_reduction > 0.15
+    assert result.ml_validation_mape < 0.03
+
+
+def test_bench_fig3_ml_vs_spice_cost(benchmark, netlist, report):
+    """The scalability claim: ML characterization amortizes SPICE cost."""
+    library = build_default_library()
+    oracle = SpiceLikeCharacterizer()
+    oracle.characterize_library(library)
+    spice_points_per_cell = len(oracle.slews) * len(oracle.loads)
+
+    ml = MLCharacterizer(oracle=oracle, seed=0)
+    ml.fit(library, n_samples=1500)
+    training_cost = ml.training_points_
+
+    # Per-instance SPICE characterization would cost this many points:
+    n_arcs = sum(len(library.get(i.cell_name).inputs) for i in netlist)
+    spice_cost = n_arcs * spice_points_per_cell
+    temps = {name: 70.0 for name in netlist.instance_names()}
+
+    def generate():
+        before = oracle.simulated_points
+        ml.generate_instance_library(netlist, library, temps)
+        return oracle.simulated_points - before
+
+    extra_oracle_calls = benchmark.pedantic(generate, rounds=1, iterations=1)
+    report(
+        "Fig. 3: characterization cost (SPICE-equivalent sample points)",
+        ("approach", "oracle points"),
+        [
+            ("per-instance SPICE (would-be)", spice_cost),
+            ("ML: one-off training", training_cost),
+            ("ML: per-instance generation", extra_oracle_calls),
+        ],
+    )
+    assert extra_oracle_calls == 0, "ML generation must not call the oracle"
+    assert training_cost < spice_cost / 5, "training amortizes below SPICE cost"

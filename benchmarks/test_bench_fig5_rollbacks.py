@@ -1,0 +1,48 @@
+"""Fig. 5 — average rollbacks per segment vs error probability.
+
+Paper: rollbacks stay near zero below p ~ 1e-6, rise rapidly beyond, and
+exceed 10 per segment once p > 1e-5 (the error-rate wall's onset).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MonteCarloStudy, adpcm_like_workload
+
+ERROR_PROBS = [1e-8, 1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 1e-3]
+
+
+@pytest.fixture(scope="module")
+def study():
+    workload = adpcm_like_workload(n_segments=12, seed=0)
+    return MonteCarloStudy(workload, n_runs=100, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sweep(study):
+    return study.sweep(ERROR_PROBS)
+
+
+def test_bench_fig5_rollbacks(benchmark, study, sweep, report):
+    # Time one Monte Carlo level (100 runs) at the wall.
+    benchmark.pedantic(study.run_level, args=(1e-5,), rounds=3, iterations=1)
+
+    analytic = study.analytic_rollbacks(ERROR_PROBS)
+    rows = [
+        (f"{pt.error_probability:.0e}",
+         f"{pt.mean_rollbacks_per_segment:.4f}",
+         f"{a:.4f}" if np.isfinite(a) and a < 1e6 else ">1e6")
+        for pt, a in zip(sweep, analytic)
+    ]
+    report(
+        "Fig. 5: avg rollbacks per segment vs error probability (100 MC runs)",
+        ("p", "simulated", "analytic Eq.(2)"),
+        rows,
+    )
+
+    rollbacks = [pt.mean_rollbacks_per_segment for pt in sweep]
+    # Shape claims from the paper.
+    assert rollbacks[ERROR_PROBS.index(1e-7)] < 0.1, "flat region below 1e-6"
+    assert rollbacks[ERROR_PROBS.index(3e-5)] > 10.0, ">10 rollbacks past 1e-5"
+    # Monotone growth (within MC noise).
+    assert all(a <= b + 0.25 for a, b in zip(rollbacks[:-1], rollbacks[1:]))

@@ -1,0 +1,72 @@
+"""Fig. 6 — deadline hit rate vs error probability per mitigation policy.
+
+Paper: hit rates fall from ~1 to ~0 inside the 1e-6..1e-5 window; within
+the window conservative policies (WCET > DS 2x > DS 1.5x > DS) win; past
+the wall every policy converges to zero.
+"""
+
+import pytest
+
+from repro.core import ALL_POLICIES, MonteCarloStudy, adpcm_like_workload
+
+ERROR_PROBS = [1e-8, 1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4]
+
+
+@pytest.fixture(scope="module")
+def study():
+    workload = adpcm_like_workload(n_segments=12, seed=0)
+    return MonteCarloStudy(workload, n_runs=100, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sweep(study):
+    return study.sweep(ERROR_PROBS)
+
+
+def test_bench_fig6_deadline_hit_rate(benchmark, study, sweep, report):
+    benchmark.pedantic(study.run_level, args=(3e-6,), rounds=3, iterations=1)
+
+    names = [p.name for p in ALL_POLICIES]
+    rows = [
+        (f"{pt.error_probability:.0e}", *(f"{pt.hit_rate[n]:.2f}" for n in names))
+        for pt in sweep
+    ]
+    report(
+        "Fig. 6: deadline hit rate vs error probability (100 MC runs/policy)",
+        ("p", *names),
+        rows,
+    )
+
+    for name in names:
+        rates = [pt.hit_rate[name] for pt in sweep]
+        assert rates[0] > 0.95, f"{name} safe well below the wall"
+        assert rates[-1] < 0.05, f"{name} fails past the wall"
+
+    # Conservative ordering inside the 1e-6..1e-5 window.
+    window = [pt for pt in sweep if 1e-6 <= pt.error_probability <= 1e-5]
+    assert window
+    for pt in window:
+        hr = pt.hit_rate
+        assert hr["WCET"] >= hr["DS 2x"] - 0.05
+        assert hr["DS 2x"] >= hr["DS 1.5x"] - 0.05
+        assert hr["DS 1.5x"] >= hr["DS"] - 0.05
+
+    # The wall for every policy sits in the paper's window.
+    for name in names:
+        wall = study.find_wall(sweep, name)
+        assert wall.first_failed_p <= 1e-4
+        assert wall.last_safe_p >= 1e-8
+
+
+def test_bench_fig6_energy_tradeoff(benchmark, study, sweep, report):
+    """Sec. V-C's cost note: conservative policies buy hit rate with energy."""
+    benchmark.pedantic(study.run_level, args=(1e-8,), rounds=2, iterations=1)
+    safe = sweep[0]
+    names = [p.name for p in ALL_POLICIES]
+    report(
+        "Fig. 6 companion: mean energy per run (error-free regime)",
+        ("policy", "energy (cycle*speed^2)"),
+        [(n, f"{safe.mean_energy[n]:.3e}") for n in names],
+    )
+    assert safe.mean_energy["WCET"] > safe.mean_energy["DS 2x"]
+    assert safe.mean_energy["DS 2x"] > safe.mean_energy["DS"]

@@ -1,0 +1,111 @@
+"""Sec. V extension — learning-based cycle-noise mitigation.
+
+The paper: "cycle-noise mitigation system can be optimized by
+learning-based approaches to improve its prediction accuracy of execution
+time."  This bench compares the on-line learned budget policy against the
+four static policies of Fig. 6: inside the wall window it should match
+the conservative policies' deadline hit rate at an energy cost close to
+the aggressive ones — a Pareto improvement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALL_POLICIES,
+    AdaptiveBudgetPolicy,
+    CheckpointSystem,
+    adpcm_like_workload,
+    simulate_run,
+)
+
+ERROR_PROBS = (1e-7, 1e-6, 3e-6, 1e-5)
+N_RUNS = 80
+
+
+def _evaluate(policy_factory, p, workload, stateful=False):
+    cp = CheckpointSystem(p)
+    rng = np.random.default_rng(0)
+    policy = policy_factory()
+    hits = 0
+    energy = []
+    for _ in range(N_RUNS):
+        run = simulate_run(workload, cp, policy, rng)
+        hits += int(run.deadline_met)
+        energy.append(run.energy)
+    return hits / N_RUNS, float(np.mean(energy))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return adpcm_like_workload(n_segments=12, seed=0)
+
+
+@pytest.fixture(scope="module")
+def table(workload):
+    rows = {}
+    for p in ERROR_PROBS:
+        row = {}
+        for policy in ALL_POLICIES:
+            row[policy.name] = _evaluate(lambda pol=policy: pol, p, workload)
+        row["Learned"] = _evaluate(
+            lambda: AdaptiveBudgetPolicy(quantile=0.98), p, workload, stateful=True
+        )
+        rows[p] = row
+    return rows
+
+
+def test_bench_learned_policy_pareto(benchmark, workload, table, report):
+    benchmark.pedantic(
+        _evaluate,
+        args=(lambda: AdaptiveBudgetPolicy(quantile=0.98), 1e-6, workload),
+        rounds=1,
+        iterations=1,
+    )
+
+    names = [p.name for p in ALL_POLICIES] + ["Learned"]
+    hit_rows = []
+    energy_rows = []
+    for p, row in table.items():
+        hit_rows.append((f"{p:.0e}", *(f"{row[n][0]:.2f}" for n in names)))
+        energy_rows.append((f"{p:.0e}", *(f"{row[n][1]:.2e}" for n in names)))
+    report("Learned mitigation: deadline hit rate", ("p", *names), hit_rows)
+    report("Learned mitigation: mean energy", ("p", *names), energy_rows)
+
+    # Inside the window: learned matches WCET's hit rate, cheaper energy.
+    for p in (1e-7, 1e-6, 3e-6):
+        row = table[p]
+        assert row["Learned"][0] >= row["WCET"][0] - 0.05, p
+        assert row["Learned"][0] > row["DS"][0] - 0.02, p
+    assert table[1e-7]["Learned"][1] < 0.5 * table[1e-7]["WCET"][1]
+    # Past the wall nothing saves deadlines — including the learner.
+    assert table[1e-5]["Learned"][0] < 0.3
+
+
+def test_bench_learned_policy_estimator_accuracy(benchmark, workload, report):
+    """How fast the on-line p-estimate converges at each error level."""
+    rows = []
+    for p in ERROR_PROBS:
+        cp = CheckpointSystem(p)
+        policy = AdaptiveBudgetPolicy()
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            simulate_run(workload, cp, policy, rng)
+        rows.append((f"{p:.0e}", f"{policy.p_hat:.2e}",
+                     f"{policy.p_hat / p:.2f}x"))
+    benchmark.pedantic(
+        simulate_run,
+        args=(workload, CheckpointSystem(1e-6), AdaptiveBudgetPolicy(),
+              np.random.default_rng(0)),
+        rounds=3,
+        iterations=1,
+    )
+    report(
+        "On-line error-probability estimation after 30 runs",
+        ("true p", "estimated p", "ratio"),
+        rows,
+    )
+    # Within the wall window the estimate lands within ~3x of truth.
+    estimates = {float(r[0]): float(r[1]) for r in rows}
+    for p in (1e-6, 3e-6, 1e-5):
+        assert 0.3 < estimates[p] / p < 3.5

@@ -1,0 +1,114 @@
+"""Sec. IV-B1 ref [46] — device-level lifetime models and their sensitivities.
+
+Regenerates the MTTF-vs-temperature/voltage trends the management layers
+rely on: EM, TDDB, TC, NBTI, HCI and their sum-of-failure-rates
+combination.
+"""
+
+import numpy as np
+import pytest
+
+from repro.system import (
+    combined_mttf,
+    em_mttf,
+    hci_mttf,
+    nbti_mttf,
+    tc_mttf,
+    tddb_mttf,
+)
+
+TEMPERATURES = (40.0, 60.0, 80.0, 100.0, 120.0)
+VOLTAGES = (0.8, 0.9, 1.0, 1.1)
+
+
+def test_bench_lifetime_vs_temperature(benchmark, report):
+    benchmark.pedantic(
+        combined_mttf, args=(80.0,), kwargs={"voltage": 1.0}, rounds=5, iterations=10
+    )
+    rows = []
+    for t in TEMPERATURES:
+        rows.append(
+            (
+                f"{t:.0f}",
+                f"{float(em_mttf(t)):.2f}",
+                f"{float(tddb_mttf(t)):.2f}",
+                f"{float(nbti_mttf(t)):.2f}",
+                f"{float(hci_mttf(t)):.2f}",
+                f"{float(combined_mttf(t)):.2f}",
+            )
+        )
+    report(
+        "[46]: MTTF (years) vs temperature at nominal voltage",
+        ("T (C)", "EM", "TDDB", "NBTI", "HCI", "combined"),
+        rows,
+    )
+    combined = [float(combined_mttf(t)) for t in TEMPERATURES]
+    assert all(a > b for a, b in zip(combined[:-1], combined[1:])), "monotone in T"
+    # Order-of-magnitude acceleration across the 80 K span.
+    assert combined[0] / combined[-1] > 5.0
+
+
+def test_bench_lifetime_vs_voltage(benchmark, report):
+    benchmark.pedantic(tddb_mttf, args=(60.0,), kwargs={"voltage": 1.0}, rounds=5, iterations=10)
+    rows = []
+    for v in VOLTAGES:
+        rows.append(
+            (
+                f"{v:.1f}",
+                f"{float(tddb_mttf(60.0, voltage=v)):.2f}",
+                f"{float(em_mttf(60.0, current_density=v * 2.2 / 2.2)):.2f}",
+                f"{float(combined_mttf(60.0, voltage=v)):.2f}",
+            )
+        )
+    report(
+        "[46]: MTTF (years) vs supply voltage at 60 C",
+        ("V", "TDDB", "EM", "combined"),
+        rows,
+    )
+    tddb = [float(tddb_mttf(60.0, voltage=v)) for v in VOLTAGES]
+    assert all(a > b for a, b in zip(tddb[:-1], tddb[1:])), "monotone in V"
+
+
+def test_bench_thermal_cycling_sensitivity(benchmark, report):
+    benchmark.pedantic(tc_mttf, args=(10.0,), rounds=5, iterations=10)
+    amplitudes = (2.0, 5.0, 10.0, 20.0, 40.0)
+    rows = [(f"{a:.0f}", f"{float(tc_mttf(a)):.2f}") for a in amplitudes]
+    report(
+        "[46]: Coffin-Manson thermal-cycling MTTF (years) vs swing amplitude",
+        ("dT per cycle (K)", "MTTF (y)"),
+        rows,
+    )
+    mttfs = [float(tc_mttf(a)) for a in amplitudes]
+    assert all(a > b for a, b in zip(mttfs[:-1], mttfs[1:]))
+    # Coffin-Manson exponent: doubling the swing costs ~2^q in cycles.
+    ratio = mttfs[2] / mttfs[3]
+    assert 3.0 < ratio < 8.0
+
+
+def test_bench_dvfs_reliability_tension(benchmark, report):
+    """The Sec. IV trade-off in one table: lowering V-f helps lifetime but
+    raises SER and stretches execution — functional reliability falls."""
+    from repro.system.core import DEFAULT_VF_LEVELS
+    from repro.system.ser import soft_error_rate
+
+    benchmark.pedantic(soft_error_rate, args=(0.7,), rounds=5, iterations=10)
+    rows = []
+    for level in DEFAULT_VF_LEVELS:
+        ser = float(soft_error_rate(level.voltage))
+        lifetime = float(combined_mttf(45.0 + 25.0 * level.voltage, voltage=level.voltage))
+        exec_stretch = DEFAULT_VF_LEVELS[-1].frequency / level.frequency
+        rows.append(
+            (
+                f"{level.voltage:.2f}/{level.frequency:.1f}",
+                f"{ser:.2e}",
+                f"{exec_stretch:.2f}x",
+                f"{lifetime:.2f}",
+            )
+        )
+    report(
+        "Sec. IV: the DVFS tension (SER up, exec time up, lifetime up as V falls)",
+        ("V/f", "SER (faults/s)", "exec time", "lifetime MTTF (y)"),
+        rows,
+    )
+    sers = [float(soft_error_rate(l.voltage)) for l in DEFAULT_VF_LEVELS]
+    assert all(a > b for a, b in zip(sers[:-1], sers[1:])), "SER falls as V rises"

@@ -1,0 +1,112 @@
+"""Sec. VI-B / ref [38] — learning-oriented mixed-criticality scheduling.
+
+Paper: mixed-criticality systems must guarantee HI-criticality deadlines
+across operational modes while preserving LO-task QoS; ML techniques with
+low run-time overhead should identify the workload trend.  The bench
+compares the learned admission controller with the pessimistic
+(conservative-budget) and optimistic (mode-switch-happy) baselines.
+"""
+
+import pytest
+
+from repro.system.mixed_criticality import (
+    LearnedController,
+    MCWorkload,
+    OptimisticController,
+    PessimisticController,
+    generate_lo_tasks,
+    run_mc_simulation,
+)
+
+N_EPOCHS = 800
+
+
+@pytest.fixture(scope="module")
+def lo_tasks():
+    return generate_lo_tasks(6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def learned():
+    return LearnedController(quantile=0.95, seed=0).train(
+        lambda: MCWorkload(seed=42), n_epochs=1500
+    )
+
+
+@pytest.fixture(scope="module")
+def results(lo_tasks, learned):
+    out = {}
+    for controller in (
+        PessimisticController(MCWorkload()),
+        OptimisticController(MCWorkload()),
+        learned,
+    ):
+        out[controller.name] = run_mc_simulation(
+            controller, MCWorkload(seed=7), lo_tasks, n_epochs=N_EPOCHS
+        )
+    return out
+
+
+def test_bench_mixed_criticality(benchmark, lo_tasks, learned, results, report):
+    benchmark.pedantic(
+        run_mc_simulation,
+        args=(learned, MCWorkload(seed=11), lo_tasks),
+        kwargs={"n_epochs": 200},
+        rounds=3,
+        iterations=1,
+    )
+    rows = [
+        (
+            name,
+            f"{m.qos:.3f}",
+            f"{m.hi_miss_rate:.4f}",
+            m.mode_switches,
+        )
+        for name, m in results.items()
+    ]
+    report(
+        "[38]: mixed-criticality admission control over one mission",
+        ("controller", "LO QoS", "HI miss rate", "mode switches"),
+        rows,
+    )
+
+    learned_m = results["learned"]
+    pess = results["pessimistic"]
+    opt = results["optimistic"]
+    # HI guarantees hold for all safe policies.
+    assert learned_m.hi_miss_rate < 0.01
+    assert pess.hi_miss_rate < 0.01
+    # Learned dominates: more QoS than both baselines, far fewer switches
+    # than the optimistic one.
+    assert learned_m.qos > pess.qos * 1.3
+    assert learned_m.qos > opt.qos
+    assert learned_m.mode_switches < 0.5 * opt.mode_switches
+
+
+def test_bench_mixed_criticality_quantile_ablation(benchmark, lo_tasks, report):
+    """DESIGN ablation: the safety quantile trades QoS vs mode switches."""
+    rows = []
+    qos = {}
+    switches = {}
+    for quantile in (0.6, 0.9, 0.99):
+        ctrl = LearnedController(quantile=quantile, seed=0).train(
+            lambda: MCWorkload(seed=42), n_epochs=1000
+        )
+        m = run_mc_simulation(ctrl, MCWorkload(seed=7), lo_tasks, n_epochs=600)
+        qos[quantile] = m.qos
+        switches[quantile] = m.mode_switches
+        rows.append((f"{quantile:.2f}", f"{m.qos:.3f}", m.mode_switches,
+                     f"{m.hi_miss_rate:.4f}"))
+    benchmark.pedantic(
+        LearnedController(seed=1).train,
+        args=(lambda: MCWorkload(seed=8),),
+        kwargs={"n_epochs": 300},
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "[38] ablation: safety quantile vs QoS and mode switches",
+        ("quantile", "LO QoS", "mode switches", "HI miss rate"),
+        rows,
+    )
+    assert switches[0.99] <= switches[0.6]

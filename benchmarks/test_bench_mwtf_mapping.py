@@ -1,0 +1,89 @@
+"""Sec. IV-A3 ref [2] — NN-based MWTF-maximizing task mapping.
+
+Paper: a neural network estimates vulnerability factors of heterogeneous
+cores per task; mapping tasks with the predicted AVF inside the MWTF
+objective executes more work between failures than performance-only
+mapping, while balancing performance and vulnerability.
+"""
+
+import pytest
+
+from repro.system import MWTFMappingStudy, generate_task_set
+from repro.system.mwtf_mapping import make_heterogeneous_cores
+
+
+@pytest.fixture(scope="module")
+def study():
+    cores = make_heterogeneous_cores(n_big=2, n_little=2, seed=0)
+    s = MWTFMappingStudy(cores, seed=0)
+    s.train(generate_task_set(12, total_utilization=2.0, seed=5))
+    return s
+
+
+@pytest.fixture(scope="module")
+def mappings(study):
+    task_set = generate_task_set(8, total_utilization=1.8, seed=9)
+    return (
+        task_set,
+        study.map_performance_only(task_set),
+        study.map_mwtf_nn(task_set),
+        study.map_mwtf_oracle(task_set),
+    )
+
+
+def test_bench_mwtf_mapping(benchmark, study, mappings, report):
+    task_set, perf, nn, oracle = mappings
+    benchmark.pedantic(study.map_mwtf_nn, args=(task_set,), rounds=3, iterations=1)
+
+    report(
+        "[2]: task mapping strategies on a heterogeneous (big.LITTLE) platform",
+        ("strategy", "true MWTF (jobs/failure)", "max core utilization"),
+        [
+            (r.strategy, f"{r.mwtf:.3e}", f"{r.makespan_utilization:.2f}")
+            for r in (perf, nn, oracle)
+        ],
+    )
+    gain = nn.mwtf / perf.mwtf - 1.0
+    capture = (nn.mwtf - perf.mwtf) / max(oracle.mwtf - perf.mwtf, 1e-30)
+    print(f"NN-mapping MWTF gain over performance-only: {gain:.1%}; "
+          f"fraction of oracle gain captured: {capture:.0%}")
+
+    assert oracle.mwtf > perf.mwtf, "vulnerability-aware mapping must win"
+    assert nn.mwtf > perf.mwtf
+    assert capture > 0.4
+
+
+def test_bench_mwtf_avf_estimation(benchmark, study, report):
+    """Quality of the NN vulnerability estimator across (task, core) pairs."""
+    tasks = generate_task_set(6, total_utilization=1.0, seed=11)
+    err = benchmark.pedantic(study.estimation_error, args=(tasks,), rounds=2, iterations=1)
+    report(
+        "[2]: NN AVF estimation error",
+        ("metric", "value"),
+        [("mean |predicted - true| AVF", f"{err:.3f}")],
+    )
+    assert err < 0.25
+
+
+def test_bench_mwtf_generalizes_across_task_sets(benchmark, study, report):
+    """The trained estimator transfers to unseen task sets (different seeds)."""
+    rows = []
+    gains = []
+    for seed in (21, 22, 23):
+        ts = generate_task_set(8, total_utilization=1.6, seed=seed)
+        perf = study.map_performance_only(ts)
+        nn = study.map_mwtf_nn(ts)
+        gain = nn.mwtf / perf.mwtf - 1.0
+        gains.append(gain)
+        rows.append((seed, f"{perf.mwtf:.2e}", f"{nn.mwtf:.2e}", f"{gain:.0%}"))
+    benchmark.pedantic(
+        study.map_performance_only,
+        args=(generate_task_set(8, total_utilization=1.6, seed=24),),
+        rounds=2, iterations=1,
+    )
+    report(
+        "[2]: MWTF gain on unseen task sets",
+        ("task-set seed", "perf-only MWTF", "NN MWTF", "gain"),
+        rows,
+    )
+    assert sum(g > 0 for g in gains) >= 2, "NN mapping must win on most sets"

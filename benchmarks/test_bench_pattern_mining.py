@@ -1,0 +1,78 @@
+"""Sec. III-B2 refs [22],[23] — mining fault-injection / error logs.
+
+Paper: gradient-boosted decision trees find error patterns in large HPC
+logs and predict future error occurrences; supervised and unsupervised
+techniques together structure >1M-injection datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import FaultInjector, PatternMiner
+from repro.arch import programs as P
+from repro.arch.fault_injection import OUTCOME_INDEX
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    return [
+        FaultInjector(p).run_campaign(n_trials=400, seed=i)
+        for i, p in enumerate([P.checksum(12), P.fibonacci(10), P.vector_add(8)])
+    ]
+
+
+@pytest.fixture(scope="module")
+def miner(campaigns):
+    return PatternMiner(campaigns, seed=0).fit_outcome_predictor(n_estimators=25)
+
+
+def test_bench_pattern_mining_prediction(benchmark, campaigns, miner, report):
+    unseen = FaultInjector(P.dot_product(8)).run_campaign(n_trials=200, seed=99)
+    benchmark.pedantic(miner.predict_outcomes, args=(unseen,), rounds=3, iterations=1)
+
+    pred = miner.predict_outcomes(unseen)
+    truth = np.array([OUTCOME_INDEX[r.outcome] for r in unseen.records])
+    acc = float(np.mean(pred == truth))
+    majority = float(np.max(np.bincount(truth)) / len(truth))
+    report(
+        "[22]: GBDT outcome prediction on an unseen workload's log",
+        ("metric", "value"),
+        [
+            ("records mined", miner.n_records),
+            ("training accuracy", f"{miner.training_accuracy():.3f}"),
+            ("unseen-campaign accuracy", f"{acc:.3f}"),
+            ("majority-class baseline", f"{majority:.3f}"),
+        ],
+    )
+    assert miner.training_accuracy() > majority
+    assert acc > majority - 0.02
+
+
+def test_bench_pattern_mining_importance(benchmark, miner, report):
+    importance = benchmark.pedantic(
+        miner.feature_importance, kwargs={"n_permutations": 3}, rounds=1, iterations=1
+    )
+    ranked = sorted(importance.items(), key=lambda kv: -kv[1])
+    report(
+        "[22]: permutation importance of log features",
+        ("feature", "accuracy drop when shuffled"),
+        [(k, f"{v:.4f}") for k, v in ranked],
+    )
+    # Element identity (register vs pc vs ir) must matter for outcomes.
+    element_features = {"is_register", "is_pc", "is_ir", "register_index"}
+    assert any(k in element_features for k, _ in ranked[:3])
+
+
+def test_bench_pattern_mining_clusters(benchmark, miner, report):
+    summary = benchmark.pedantic(
+        miner.cluster_summary, kwargs={"n_clusters": 3}, rounds=1, iterations=1
+    )
+    report(
+        "[23]: unsupervised failure clusters (PCA + k-means)",
+        ("cluster", "size", "dominant element", "mean cycle fraction"),
+        [
+            (s["cluster"], s["size"], s["dominant_element"], f"{s['mean_cycle_fraction']:.2f}")
+            for s in summary
+        ],
+    )
+    assert len(summary) >= 2

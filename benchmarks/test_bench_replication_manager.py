@@ -1,0 +1,85 @@
+"""Sec. IV-A4 ref [45] — adaptive replica management under drifting faults.
+
+Paper: ML determines the architecture's fault status and adapts the
+number of task replicas to environmental changes, instead of statically
+over- or under-provisioning.
+"""
+
+import pytest
+
+from repro.system import AdaptiveReplicationManager, ReplicationEnvironment
+
+
+@pytest.fixture(scope="module")
+def manager():
+    return AdaptiveReplicationManager(seed=0).train(
+        lambda: ReplicationEnvironment(seed=42), n_epochs=800
+    )
+
+
+@pytest.fixture(scope="module")
+def episodes(manager):
+    policies = {
+        "static 1 replica": lambda obs: 1,
+        "static 3 replicas": lambda obs: 3,
+        "static 5 replicas": lambda obs: 5,
+        "adaptive (learned)": manager.choose_replicas,
+    }
+    out = {}
+    for name, policy in policies.items():
+        env = ReplicationEnvironment(seed=7)
+        out[name] = manager.run_episode(env, policy, n_epochs=600)
+    return out
+
+
+def test_bench_replication_manager(benchmark, manager, episodes, report):
+    benchmark.pedantic(
+        manager.run_episode,
+        args=(ReplicationEnvironment(seed=11), manager.choose_replicas),
+        kwargs={"n_epochs": 100},
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        (name, f"{m.failure_rate:.4f}", f"{m.overhead:.2f}")
+        for name, m in episodes.items()
+    ]
+    report(
+        "[45]: replica policies under a drifting fault environment",
+        ("policy", "job failure rate", "replicas per job"),
+        rows,
+    )
+
+    adaptive = episodes["adaptive (learned)"]
+    s1 = episodes["static 1 replica"]
+    s5 = episodes["static 5 replicas"]
+    # Pareto: far fewer failures than no-replication, far cheaper than
+    # permanent maximum replication.
+    assert adaptive.failure_rate < 0.5 * s1.failure_rate
+    assert adaptive.overhead < 0.85 * s5.overhead
+
+
+def test_bench_replication_regime_tracking(benchmark, manager, report):
+    """The learned regime classifier drives replica counts correctly."""
+    import numpy as np
+
+    env = ReplicationEnvironment(seed=3)
+    correct = 0
+    total = 300
+    confusion = np.zeros((3, 3), dtype=int)
+    rng = np.random.default_rng(0)
+    for _ in range(total):
+        env.regime = int(rng.integers(3))
+        obs = env.observe()
+        n = manager.choose_replicas(obs)
+        predicted_regime = AdaptiveReplicationManager.REPLICAS_PER_REGIME.index(n)
+        confusion[env.regime, predicted_regime] += 1
+        correct += int(predicted_regime == env.regime)
+    benchmark.pedantic(manager.choose_replicas, args=(env.observe(),), rounds=5, iterations=5)
+    report(
+        "[45]: regime classification (rows = true regime, cols = predicted)",
+        ("regime", "benign", "elevated", "harsh"),
+        [(i, *confusion[i]) for i in range(3)],
+    )
+    assert correct / total > 0.75

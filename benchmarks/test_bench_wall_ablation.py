@@ -1,0 +1,149 @@
+"""Sec. V-D ablation — "moving the wall" with system parameters.
+
+The paper notes the wall's position depends on system parameters such as
+processor speed and checkpointing granularity, and that optimizing them
+can push the wall outward.  This bench sweeps both knobs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CheckpointSystem,
+    MonteCarloStudy,
+    SegmentedWorkload,
+    WCET,
+    adpcm_like_workload,
+    simulate_run,
+)
+
+ERROR_PROBS = [1e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4]
+
+
+def _hit_rate(workload, p, max_speed, n_runs=60, seed=0):
+    cp = CheckpointSystem(p)
+    rng = np.random.default_rng(seed)
+    hits = 0
+    for _ in range(n_runs):
+        run = simulate_run(workload, cp, WCET, rng, max_speed=max_speed)
+        hits += int(run.deadline_met)
+    return hits / n_runs
+
+
+def _wall_position(hit_rates):
+    """Largest p whose hit rate is still >= 0.5."""
+    last = ERROR_PROBS[0]
+    for p, rate in zip(ERROR_PROBS, hit_rates):
+        if rate >= 0.5:
+            last = p
+    return last
+
+
+@pytest.fixture(scope="module")
+def base_workload():
+    return adpcm_like_workload(n_segments=12, seed=0)
+
+
+def test_bench_wall_vs_processor_speed(benchmark, base_workload, report):
+    speeds = (2.0, 4.0, 8.0)
+    benchmark.pedantic(
+        _hit_rate, args=(base_workload, 1e-5, 4.0), rounds=3, iterations=1
+    )
+    rows = []
+    walls = {}
+    for s in speeds:
+        rates = [_hit_rate(base_workload, p, s) for p in ERROR_PROBS]
+        walls[s] = _wall_position(rates)
+        rows.append((f"{s:.0f}x", *(f"{r:.2f}" for r in rates)))
+    report(
+        "Wall ablation: WCET hit rate vs p for different max processor speeds",
+        ("max speed", *(f"{p:.0e}" for p in ERROR_PROBS)),
+        rows,
+    )
+    # Faster processors move the wall outward (or keep it, never inward).
+    assert walls[8.0] >= walls[2.0]
+
+
+def test_bench_wall_vs_checkpoint_granularity(benchmark, report):
+    """Finer segmentation shrinks per-segment n_c, pushing the wall out.
+
+    Splitting the same total work into more segments costs more
+    checkpoints but makes each rollback far cheaper.
+    """
+    benchmark.pedantic(
+        _hit_rate,
+        args=(adpcm_like_workload(n_segments=12, seed=0), 3e-6, 4.0),
+        rounds=2,
+        iterations=1,
+    )
+    total = 1_800_000
+    rows = []
+    walls = {}
+    for n_segments in (6, 12, 48):
+        seg = total // n_segments
+        workload = SegmentedWorkload(
+            f"uniform_{n_segments}", [seg] * n_segments, deadline_slack=0.15
+        )
+        rates = [_hit_rate(workload, p, 4.0) for p in ERROR_PROBS]
+        walls[n_segments] = _wall_position(rates)
+        rows.append((n_segments, *(f"{r:.2f}" for r in rates)))
+    report(
+        "Wall ablation: WCET hit rate vs p for checkpoint granularities",
+        ("#segments", *(f"{p:.0e}" for p in ERROR_PROBS)),
+        rows,
+    )
+    assert walls[48] >= walls[6], "finer checkpointing must not pull the wall in"
+
+
+def test_bench_expected_overhead_vs_granularity(benchmark, report):
+    """Analytic view: expected cycle-overhead factor per granularity."""
+    benchmark.pedantic(
+        CheckpointSystem(1e-5).expected_overhead_factor,
+        args=(150_000,),
+        rounds=5,
+        iterations=10,
+    )
+    total = 1_800_000
+    p = 1e-5
+    rows = []
+    overheads = {}
+    for n_segments in (6, 12, 48, 120):
+        seg = total // n_segments
+        cp = CheckpointSystem(p)
+        factor = cp.expected_overhead_factor(seg)
+        overheads[n_segments] = factor
+        rows.append((n_segments, f"{factor:.3f}"))
+    report(
+        f"Expected execution overhead factor at p={p:.0e}",
+        ("#segments", "overhead factor"),
+        rows,
+    )
+    assert overheads[120] < overheads[6]
+
+
+def test_bench_optimal_checkpoint_count(benchmark, report):
+    """[51]: execution overhead minimized by optimizing checkpoint count."""
+    total = 1_800_000
+    cp_mid = CheckpointSystem(1e-5)
+    n_opt_mid = benchmark.pedantic(
+        cp_mid.optimal_segment_count, args=(total,), rounds=3, iterations=1
+    )
+    rows = []
+    for p in (1e-7, 1e-6, 1e-5, 1e-4):
+        cp = CheckpointSystem(p)
+        n_opt = cp.optimal_segment_count(total)
+        at_opt = cp.expected_total_cycles(total, n_opt) / total
+        at_paper = cp.expected_total_cycles(total, 12) / total  # the Fig. 5 setup
+        rows.append(
+            (f"{p:.0e}", n_opt, f"{at_opt:.4f}", f"{at_paper:.4f}")
+        )
+    report(
+        "[51]: optimal checkpoint count vs the paper's 12-segment setup",
+        ("p", "optimal #segments", "overhead@opt", "overhead@12"),
+        rows,
+    )
+    assert n_opt_mid > 12  # at 1e-5 the paper's granularity is far from optimal
+    cp = CheckpointSystem(1e-5)
+    assert cp.expected_total_cycles(total, n_opt_mid) < cp.expected_total_cycles(
+        total, 12
+    )

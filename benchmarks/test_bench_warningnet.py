@@ -1,0 +1,66 @@
+"""Sec. III-C2 ref [32] — WarningNet: early warning under input perturbation.
+
+Paper: a small network running in parallel with a mission-critical task
+detects input noise/environmental conditions that would cause task
+failures, consuming only ~1/20 of the mission task's time, enabling
+on-demand input pre-processing.
+"""
+
+import pytest
+
+from repro.arch import WarningNet
+from repro.arch.warning_net import PERTURBATION_KINDS, make_image_dataset, perturb
+from repro.ml import MLPClassifier, train_test_split
+import numpy as np
+
+
+@pytest.fixture(scope="module")
+def setup():
+    X, y = make_image_dataset(n_samples=700, seed=3)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.35, seed=0)
+    mission = MLPClassifier(hidden=(64, 32), n_epochs=120, lr=3e-3, seed=0).fit(Xtr, ytr)
+    warning = WarningNet(mission, seed=0).fit(Xtr[:250], ytr[:250])
+    return mission, warning, Xte, yte
+
+
+def test_bench_warningnet(benchmark, setup, report):
+    mission, warning, Xte, yte = setup
+    result = benchmark.pedantic(
+        warning.evaluate, args=(Xte[:180], yte[:180]), rounds=2, iterations=1
+    )
+    report(
+        "[32] WarningNet: failure warnings under input perturbation",
+        ("metric", "measured", "paper"),
+        [
+            ("warning accuracy", f"{result.accuracy:.3f}", "-"),
+            ("failure recall (lead warnings)", f"{result.recall:.3f}", "high"),
+            ("precision", f"{result.precision:.3f}", "-"),
+            ("cost vs mission task", f"{result.cost_ratio:.3f}", "~0.05 (1/20)"),
+        ],
+    )
+    assert result.recall > 0.7
+    assert result.cost_ratio < 0.08, "WarningNet must cost a small fraction"
+
+
+def test_bench_warningnet_severity_response(benchmark, setup, report):
+    """Warnings must track perturbation severity per perturbation kind."""
+    mission, warning, Xte, yte = setup
+    rng = np.random.default_rng(0)
+    rows = []
+    rates = {}
+    benchmark.pedantic(warning.warn, args=(Xte[:50],), rounds=3, iterations=1)
+    for kind in PERTURBATION_KINDS:
+        per_severity = []
+        for severity in (0.1, 0.5, 0.9):
+            Xp = perturb(Xte[:120], kind, severity, rng=rng)
+            per_severity.append(float(np.mean(warning.warn(Xp))))
+        rates[kind] = per_severity
+        rows.append((kind, *(f"{r:.2f}" for r in per_severity)))
+    report(
+        "[32]: warning rate vs perturbation severity",
+        ("kind", "sev 0.1", "sev 0.5", "sev 0.9"),
+        rows,
+    )
+    # Severe perturbations must trigger more warnings than mild ones.
+    for kind, series in rates.items():
+        assert series[2] >= series[0], kind

@@ -1,0 +1,105 @@
+"""Scenario: a mission computer managing its own reliability at run time.
+
+An embedded multicore runs a periodic avionics-like task set.  The Fig. 1
+learning loop manages it live:
+
+* an RL-DVFS manager balances deadlines, soft-error exposure, thermals,
+  and energy ([1],[43]);
+* an RL thermal manager adds task migration to flatten hot spots
+  ([39],[40]);
+* an adaptive replication manager reacts to a drifting radiation
+  environment ([45]);
+* an NN-based mapper places tasks on a big.LITTLE platform to maximize
+  mean workload to failure ([2]).
+
+Usage:
+    python examples/adaptive_reliability_manager.py
+"""
+
+from repro.system import (
+    AdaptiveReplicationManager,
+    MWTFMappingStudy,
+    ReplicationEnvironment,
+    RLDVFSManager,
+    RLThermalManager,
+    StaticManager,
+    generate_task_set,
+    run_managed_simulation,
+)
+from repro.system.mwtf_mapping import make_heterogeneous_cores
+
+
+def show(name, metrics):
+    print(f"  {name:<22} hit {metrics.deadline_hit_rate:.3f}  "
+          f"energy {metrics.energy_j:6.1f} J  "
+          f"peak {metrics.peak_temperature_c:5.1f} C  "
+          f"MTTF {metrics.mttf_years:5.2f} y")
+
+
+def dvfs_management(tasks):
+    print("\nRL-DVFS vs static (20 s mission window, 4 cores):")
+    static = run_managed_simulation(StaticManager(), tasks, n_cores=4, duration=20.0, seed=0)
+    show("static max V-f", static)
+    rl = RLDVFSManager(seed=0)
+    managed = run_managed_simulation(
+        rl, tasks, n_cores=4, duration=20.0, seed=0, training_episodes=8
+    )
+    show("RL-DVFS", managed)
+    print(f"  (agent explored {rl.agent.n_visited_states} states)")
+
+
+def thermal_management():
+    print("\nRL thermal manager on a heat-concentrated workload:")
+    tasks = generate_task_set(n_tasks=10, total_utilization=2.4, seed=2)
+    static = run_managed_simulation(StaticManager(), tasks, n_cores=4, duration=20.0, seed=0)
+    show("static max V-f", static)
+    rl = RLThermalManager(t_limit_c=58.0, seed=0)
+    managed = run_managed_simulation(
+        rl, tasks, n_cores=4, duration=20.0, seed=0, training_episodes=6
+    )
+    show("RL thermal", managed)
+
+
+def replication_management():
+    print("\nAdaptive replication in a drifting fault environment:")
+    manager = AdaptiveReplicationManager(seed=0).train(
+        lambda: ReplicationEnvironment(seed=42)
+    )
+    for name, policy in (
+        ("static 1 replica", lambda obs: 1),
+        ("static 5 replicas", lambda obs: 5),
+        ("adaptive", manager.choose_replicas),
+    ):
+        env = ReplicationEnvironment(seed=7)
+        m = manager.run_episode(env, policy, n_epochs=500)
+        print(f"  {name:<18} failure rate {m.failure_rate:.4f}  "
+              f"overhead {m.overhead:.2f} replicas/job")
+
+
+def mwtf_mapping():
+    print("\nMWTF-maximizing mapping on big.LITTLE ([2]):")
+    cores = make_heterogeneous_cores(seed=0)
+    study = MWTFMappingStudy(cores, seed=0)
+    study.train(generate_task_set(12, total_utilization=2.0, seed=5))
+    tasks = generate_task_set(8, total_utilization=1.8, seed=9)
+    for result in (
+        study.map_performance_only(tasks),
+        study.map_mwtf_nn(tasks),
+        study.map_mwtf_oracle(tasks),
+    ):
+        print(f"  {result.strategy:<12} MWTF {result.mwtf:.3e} jobs/failure, "
+              f"max core load {result.makespan_utilization:.2f}")
+
+
+def main():
+    tasks = generate_task_set(n_tasks=8, total_utilization=2.0, seed=0)
+    print(f"task set: {len(tasks)} periodic tasks, total utilization "
+          f"{tasks.utilization:.2f}")
+    dvfs_management(tasks)
+    thermal_management()
+    replication_management()
+    mwtf_mapping()
+
+
+if __name__ == "__main__":
+    main()

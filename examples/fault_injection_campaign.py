@@ -1,0 +1,101 @@
+"""Scenario: architectural vulnerability analysis with ML acceleration.
+
+Runs a full fault-injection campaign on the CPU simulator (the expensive
+ground truth), then shows the three surveyed ML shortcuts of Sec. III:
+
+* predict per-element vulnerability from 20 % of the injections ([20]);
+* mine the injection log with GBDT + clustering ([22],[23]);
+* shortlist SDC-prone instructions with the inductive GAT ([24]) and
+  protect them IPAS-style ([27]).
+
+Usage:
+    python examples/fault_injection_campaign.py
+"""
+
+import numpy as np
+
+from repro.arch import (
+    FaultInjector,
+    FIAccelerationStudy,
+    PatternMiner,
+    ReplicationStudy,
+    SDCPredictor,
+)
+from repro.arch import programs as P
+from repro.arch.sdc_prediction import label_instructions
+
+
+def ground_truth_campaign():
+    program = P.matmul(4)
+    injector = FaultInjector(program)
+    campaign = injector.run_campaign(n_trials=400, seed=0)
+    print(f"campaign: {len(campaign.records)} injections into {program.name} "
+          f"({campaign.golden_cycles} golden cycles)")
+    for outcome, rate in campaign.rates().items():
+        print(f"  {outcome.value:>8}: {rate:6.1%}")
+    print(f"  overall AVF (failure fraction): {campaign.failure_rate():.3f}")
+    return campaign
+
+
+def accelerate_with_ml():
+    study = FIAccelerationStudy(
+        [P.checksum(12), P.fibonacci(10), P.vector_add(8)],
+        n_trials_per_element=50,
+        seed=0,
+    )
+    print("\n[20] vulnerability prediction from partial campaigns (kNN):")
+    for frac, acc in study.accuracy_vs_fraction((0.1, 0.2, 0.5), n_repeats=3):
+        saved = 1.0 - frac
+        print(f"  train on {frac:4.0%} of elements -> accuracy {acc:.3f} "
+              f"({saved:.0%} of injections saved)")
+
+
+def mine_the_logs(campaign):
+    extra = FaultInjector(P.fibonacci(10)).run_campaign(n_trials=300, seed=1)
+    miner = PatternMiner([campaign, extra], seed=0).fit_outcome_predictor()
+    print(f"\n[22] GBDT on the pooled log ({miner.n_records} records): "
+          f"training accuracy {miner.training_accuracy():.3f}")
+    importance = miner.feature_importance(n_permutations=2)
+    top = sorted(importance.items(), key=lambda kv: -kv[1])[:3]
+    print("  most failure-predictive log features: "
+          + ", ".join(f"{k} ({v:+.3f})" for k, v in top))
+    print("[23] unsupervised failure clusters:")
+    for cluster in miner.cluster_summary(n_clusters=3):
+        print(f"  cluster {cluster['cluster']}: {cluster['size']} records, "
+              f"dominant element {cluster['dominant_element']}")
+
+
+def protect_the_vulnerable():
+    train = [P.vector_add(8), P.dot_product(8), P.fibonacci(10)]
+    target = P.checksum(12)
+    predictor = SDCPredictor(n_trials_per_instruction=20, n_epochs=150, seed=0)
+    predictor.fit(train)
+    prone = predictor.sdc_prone_instructions(target, threshold=0.25)
+    truth = label_instructions(target, n_trials_per_instruction=20, seed=9)
+    acc = float(np.mean(predictor.predict(target) == truth))
+    print(f"\n[24] GAT on unseen {target.name}: outcome accuracy {acc:.2f}, "
+          f"SDC-prone instructions {prone}")
+
+    study = ReplicationStudy(
+        [P.dot_product(8), P.checksum(12), P.vector_add(8)],
+        n_trials_per_instruction=25,
+        seed=0,
+    )
+    program = study.programs[1]
+    heuristic = study.evaluate_heuristic(program)
+    ipas = study.evaluate_ipas(program)
+    print(f"[27] IPAS on {program.name}: "
+          f"coverage {ipas.coverage:.2f} at slowdown {ipas.slowdown:.2f} "
+          f"vs heuristic {heuristic.coverage:.2f}/{heuristic.slowdown:.2f} "
+          f"({ipas.slowdown_reduction_vs(heuristic):.0%} less slowdown)")
+
+
+def main():
+    campaign = ground_truth_campaign()
+    accelerate_with_ml()
+    mine_the_logs(campaign)
+    protect_the_vulnerable()
+
+
+if __name__ == "__main__":
+    main()

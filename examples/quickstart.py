@@ -1,0 +1,129 @@
+"""Quickstart: a tour of the repro library across all abstraction layers.
+
+Runs one small experiment per layer of the paper — transistor, circuit,
+architecture, OS/system, and the Sec. V fault-tolerant timing analysis —
+in under a minute.
+
+Usage:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+
+def transistor_level():
+    """Aging and self-heating of a single device."""
+    from repro.transistor import (
+        SelfHeatingModel,
+        Transistor,
+        aged_transistor,
+        alpha_power_delay,
+    )
+
+    device = Transistor(width_nm=100, n_fins=2, is_pmos=True)
+    fresh_delay = alpha_power_delay(device, load_cap_ff=4.0)
+    ten_years = 3.15e8
+    aged = aged_transistor(device, ten_years, duty_cycle=0.5, temperature_c=100.0)
+    aged_delay = alpha_power_delay(aged, load_cap_ff=4.0)
+    she = SelfHeatingModel().delta_t(device, input_slew_ps=40.0, load_cap_ff=8.0)
+    print("[transistor] fresh delay      : %.2f ps" % fresh_delay)
+    print("[transistor] 10y-aged delay   : %.2f ps (+%.1f%%)"
+          % (aged_delay, 100 * (aged_delay / fresh_delay - 1)))
+    print("[transistor] self-heating dT  : %.1f K above chip temperature" % she)
+
+
+def circuit_level():
+    """STA on a synthetic core and the Fig. 3 SHE flow."""
+    from repro.circuit import (
+        SheFlow,
+        SpiceLikeCharacterizer,
+        StaticTimingAnalysis,
+        build_default_library,
+        synthesize_core,
+    )
+
+    library = build_default_library(temperature_c=45.0)
+    characterizer = SpiceLikeCharacterizer()
+    characterizer.characterize_library(library)
+    netlist = synthesize_core(library, n_instances=200, seed=0)
+    sta = StaticTimingAnalysis(netlist, library, clock_period_ps=1000.0).run()
+    print("[circuit]    %d instances, min clock period %.1f ps, critical path %d cells"
+          % (len(netlist), sta.min_feasible_period(), len(sta.critical_path())))
+    report = SheFlow(characterizer).run(netlist, library)
+    lo, mean, hi = report.spread()
+    print("[circuit]    per-instance SHE dT: min %.1f / mean %.1f / max %.1f K"
+          % (lo, mean, hi))
+
+
+def architecture_level():
+    """Fault injection on the CPU simulator, accelerated by ML."""
+    from repro.arch import FaultInjector, Outcome
+    from repro.arch import programs as P
+
+    program = P.checksum(12)
+    injector = FaultInjector(program)
+    campaign = injector.run_campaign(n_trials=300, seed=0)
+    rates = campaign.rates()
+    print("[arch]       300 injections into %s: %.0f%% masked, %.0f%% SDC, "
+          "%.0f%% crash, %.0f%% hang"
+          % (
+              program.name,
+              100 * rates[Outcome.MASKED],
+              100 * rates[Outcome.SDC],
+              100 * rates[Outcome.CRASH],
+              100 * rates[Outcome.HANG],
+          ))
+
+
+def system_level():
+    """An RL-DVFS reliability manager vs running flat-out."""
+    from repro.system import (
+        RLDVFSManager,
+        StaticManager,
+        generate_task_set,
+        run_managed_simulation,
+    )
+
+    tasks = generate_task_set(n_tasks=8, total_utilization=2.0, seed=0)
+    static = run_managed_simulation(StaticManager(), tasks, n_cores=4, duration=10.0, seed=0)
+    rl = run_managed_simulation(
+        RLDVFSManager(seed=0), tasks, n_cores=4, duration=10.0, seed=0,
+        training_episodes=5,
+    )
+    print("[system]     static max V-f : hit %.3f, energy %5.1f J, MTTF %.2f y"
+          % (static.deadline_hit_rate, static.energy_j, static.mttf_years))
+    print("[system]     RL-DVFS        : hit %.3f, energy %5.1f J, MTTF %.2f y"
+          % (rl.deadline_hit_rate, rl.energy_j, rl.mttf_years))
+
+
+def application_level():
+    """The Sec. V error-rate wall in three Monte Carlo points."""
+    from repro.core import MonteCarloStudy, adpcm_like_workload
+
+    workload = adpcm_like_workload(n_segments=12, seed=0)
+    study = MonteCarloStudy(workload, n_runs=40, seed=0)
+    for p in (1e-7, 3e-6, 3e-5):
+        point = study.run_level(p)
+        print("[core]       p=%.0e: %6.2f rollbacks/segment, "
+              "hit rates DS %.2f / WCET %.2f"
+              % (
+                  p,
+                  point.mean_rollbacks_per_segment,
+                  point.hit_rate["DS"],
+                  point.hit_rate["WCET"],
+              ))
+
+
+def main():
+    np.set_printoptions(precision=3)
+    print("repro quickstart — one experiment per abstraction layer\n")
+    transistor_level()
+    circuit_level()
+    architecture_level()
+    system_level()
+    application_level()
+    print("\nDone. See benchmarks/ for the full paper reproduction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works on
+environments whose setuptools lacks the PEP-660 editable-wheel path
+(older toolchains fall back to ``setup.py develop`` through this file).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,185 @@
+"""A two-pass assembler for the repro ISA.
+
+Turns label-based assembly text into a :class:`repro.arch.isa.Program`,
+so workloads for the fault-injection studies can be written as readable
+source instead of hand-counted branch offsets.
+
+Syntax
+------
+* one instruction per line: ``add r5, r3, r4`` / ``addi r1, r0, 4`` /
+  ``ld r3, r1, 100`` / ``st r5, r1, 200`` / ``beq r1, r2, done`` /
+  ``jmp loop`` / ``halt`` / ``nop``;
+* labels end with a colon (``loop:``), alone or before an instruction;
+* branch/jump targets may be labels (resolved relative to next PC) or
+  literal signed offsets;
+* ``;`` and ``#`` start comments;
+* directives: ``.output START LENGTH`` declares the output range,
+  ``.word ADDR VALUE`` preloads data memory.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.arch.isa import Instruction, Opcode, Program
+
+_REGISTER = re.compile(r"^r(\d+)$")
+
+# opcode -> operand layout
+_THREE_REG = {"add", "sub", "mul", "and", "or", "xor", "shl", "shr"}
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed assembly source."""
+
+
+def _reg(token, line_no):
+    m = _REGISTER.match(token.strip().lower())
+    if not m:
+        raise AssemblyError(f"line {line_no}: expected register, got {token!r}")
+    idx = int(m.group(1))
+    if not 0 <= idx < 16:
+        raise AssemblyError(f"line {line_no}: register {token!r} out of range")
+    return idx
+
+
+def _imm_or_label(token, line_no):
+    token = token.strip()
+    try:
+        return int(token, 0), None
+    except ValueError:
+        if re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", token):
+            return None, token
+        raise AssemblyError(f"line {line_no}: bad immediate/label {token!r}")
+
+
+def assemble(source, name="assembled", output_range=None):
+    """Assemble source text into a :class:`Program`.
+
+    ``output_range`` overrides any ``.output`` directive in the source.
+    """
+    labels = {}
+    pending = []  # (index, opcode, operands, line_no)
+    memory = {}
+    declared_output = None
+
+    # First pass: strip comments, collect labels and instruction tuples.
+    index = 0
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[;#]", raw)[0].strip()
+        if not line:
+            continue
+        while True:
+            m = re.match(r"^([A-Za-z_][A-Za-z0-9_]*)\s*:\s*(.*)$", line)
+            if not m:
+                break
+            label = m.group(1)
+            if label in labels:
+                raise AssemblyError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = index
+            line = m.group(2).strip()
+        if not line:
+            continue
+        if line.startswith(".output"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise AssemblyError(f"line {line_no}: .output START LENGTH")
+            declared_output = (int(parts[1], 0), int(parts[2], 0))
+            continue
+        if line.startswith(".word"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise AssemblyError(f"line {line_no}: .word ADDR VALUE")
+            memory[int(parts[1], 0)] = int(parts[2], 0)
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        operands = [op for op in re.split(r"\s*,\s*", rest.strip()) if op] if rest else []
+        pending.append((index, mnemonic.lower(), operands, line_no))
+        index += 1
+
+    # Second pass: encode with resolved label offsets.
+    instructions = [None] * index
+    for pc, mnemonic, operands, line_no in pending:
+        try:
+            opcode = Opcode(mnemonic)
+        except ValueError:
+            raise AssemblyError(f"line {line_no}: unknown opcode {mnemonic!r}") from None
+
+        def branch_target(token):
+            value, label = _imm_or_label(token, line_no)
+            if label is not None:
+                if label not in labels:
+                    raise AssemblyError(f"line {line_no}: undefined label {label!r}")
+                return labels[label] - (pc + 1)
+            return value
+
+        def expect(n):
+            if len(operands) != n:
+                raise AssemblyError(
+                    f"line {line_no}: {mnemonic} expects {n} operands, "
+                    f"got {len(operands)}"
+                )
+
+        if mnemonic in _THREE_REG:
+            expect(3)
+            instr = Instruction(
+                opcode,
+                rd=_reg(operands[0], line_no),
+                rs1=_reg(operands[1], line_no),
+                rs2=_reg(operands[2], line_no),
+            )
+        elif mnemonic == "addi":
+            expect(3)
+            imm, label = _imm_or_label(operands[2], line_no)
+            if label is not None:
+                raise AssemblyError(f"line {line_no}: addi needs a literal")
+            instr = Instruction(
+                opcode, rd=_reg(operands[0], line_no),
+                rs1=_reg(operands[1], line_no), imm=imm,
+            )
+        elif mnemonic == "lui":
+            expect(2)
+            imm, label = _imm_or_label(operands[1], line_no)
+            if label is not None:
+                raise AssemblyError(f"line {line_no}: lui needs a literal")
+            instr = Instruction(opcode, rd=_reg(operands[0], line_no), imm=imm)
+        elif mnemonic == "ld":
+            expect(3)
+            imm, label = _imm_or_label(operands[2], line_no)
+            if label is not None:
+                raise AssemblyError(f"line {line_no}: ld offset must be literal")
+            instr = Instruction(
+                opcode, rd=_reg(operands[0], line_no),
+                rs1=_reg(operands[1], line_no), imm=imm,
+            )
+        elif mnemonic == "st":
+            expect(3)
+            imm, label = _imm_or_label(operands[2], line_no)
+            if label is not None:
+                raise AssemblyError(f"line {line_no}: st offset must be literal")
+            instr = Instruction(
+                opcode, rs2=_reg(operands[0], line_no),
+                rs1=_reg(operands[1], line_no), imm=imm,
+            )
+        elif mnemonic in ("beq", "bne", "blt"):
+            expect(3)
+            instr = Instruction(
+                opcode,
+                rs1=_reg(operands[0], line_no),
+                rs2=_reg(operands[1], line_no),
+                imm=branch_target(operands[2]),
+            )
+        elif mnemonic == "jmp":
+            expect(1)
+            instr = Instruction(opcode, imm=branch_target(operands[0]))
+        elif mnemonic in ("halt", "nop"):
+            expect(0)
+            instr = Instruction(opcode)
+        else:  # pragma: no cover - Opcode() above is exhaustive
+            raise AssemblyError(f"line {line_no}: unhandled opcode {mnemonic!r}")
+        instructions[pc] = instr
+
+    output = output_range or declared_output
+    if output is None:
+        raise AssemblyError("no output range: add a .output directive or pass one")
+    return Program(name, instructions, output_range=output, initial_memory=memory)

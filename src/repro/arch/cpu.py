@@ -1,0 +1,249 @@
+"""CPU simulator with injectable state elements.
+
+The machine executes one instruction per cycle.  Its *state elements* —
+the fault-injection targets, standing in for the flip-flops of a real
+pipeline — are:
+
+* the 16 x 32-bit register file (``"reg<i>"``),
+* the program counter (``"pc"``),
+* the fetched-instruction latch (``"ir"``), whose bits encode opcode and
+  operand fields as a packed word, so a flip there corrupts the
+  instruction in flight (mimicking pipeline-latch faults).
+
+Faults are injected by flipping a chosen bit of a chosen element at a
+chosen cycle, mid-execution.  Outcomes are classified by the caller
+(:mod:`repro.arch.fault_injection`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.isa import (
+    ARITH_OPS,
+    N_REGISTERS,
+    WORD_MASK,
+    Instruction,
+    Opcode,
+)
+
+MEMORY_LIMIT = 1 << 20  # addresses above this are architectural crashes
+
+_OPCODES = list(Opcode)
+
+
+class CrashError(Exception):
+    """Architectural crash: invalid opcode, bad PC, or bad memory access."""
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    halted: bool
+    cycles: int
+    memory: dict
+    registers: list
+    trace_reads: dict = field(default_factory=dict)  # reg -> read count
+    trace_writes: dict = field(default_factory=dict)  # reg -> write count
+
+    def output(self, output_range):
+        start, length = output_range
+        return tuple(self.memory.get(start + i, 0) for i in range(length))
+
+
+def _signed(value):
+    value &= WORD_MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def pack_instruction(instr):
+    """Pack an instruction into a 32-bit word (opcode|rd|rs1|rs2|imm16)."""
+    op_idx = _OPCODES.index(instr.opcode)
+    imm16 = instr.imm & 0xFFFF
+    return (
+        (op_idx & 0x1F) << 27
+        | (instr.rd & 0xF) << 23
+        | (instr.rs1 & 0xF) << 19
+        | (instr.rs2 & 0xF) << 15
+        | imm16
+    )
+
+
+def unpack_instruction(word):
+    """Inverse of :func:`pack_instruction`; raises CrashError on bad opcode."""
+    op_idx = (word >> 27) & 0x1F
+    if op_idx >= len(_OPCODES):
+        raise CrashError(f"invalid opcode index {op_idx}")
+    imm = word & 0xFFFF
+    if imm & 0x8000:
+        imm -= 1 << 16
+    return Instruction(
+        opcode=_OPCODES[op_idx],
+        rd=(word >> 23) & 0xF,
+        rs1=(word >> 19) & 0xF,
+        rs2=(word >> 15) & 0xF,
+        imm=imm,
+    )
+
+
+class CPU:
+    """Functional simulator with named, bit-addressable state elements."""
+
+    def __init__(self, program, max_cycles=100_000):
+        self.program = program
+        self.max_cycles = max_cycles
+        self.reset()
+
+    def reset(self):
+        self.registers = [0] * N_REGISTERS
+        self.pc = 0
+        self.memory = dict(self.program.initial_memory)
+        self.cycles = 0
+        self.halted = False
+        self._reads = {}
+        self._writes = {}
+
+    # -- state-element access (the fault-injection surface) -------------------
+    def state_elements(self):
+        """Names of all injectable state elements."""
+        return [f"reg{i}" for i in range(N_REGISTERS)] + ["pc", "ir"]
+
+    def flip_bit(self, element, bit):
+        """Flip one bit of a state element *now* (between cycles).
+
+        Flipping ``"ir"`` corrupts the next fetched instruction word.
+        """
+        if not 0 <= bit < 32:
+            raise ValueError("bit index out of range")
+        if element.startswith("reg"):
+            idx = int(element[3:])
+            if idx == 0:
+                return  # r0 is hardwired to zero: fault is masked by design
+            self.registers[idx] ^= 1 << bit
+            self.registers[idx] &= WORD_MASK
+        elif element == "pc":
+            self.pc ^= 1 << bit
+        elif element == "ir":
+            self._ir_fault = getattr(self, "_ir_fault", 0) ^ (1 << bit)
+        else:
+            raise ValueError(f"unknown state element {element!r}")
+
+    # -- execution -------------------------------------------------------------
+    def step(self):
+        """Execute one cycle; raises CrashError on architectural violations."""
+        if self.halted:
+            return
+        if not 0 <= self.pc < len(self.program.instructions):
+            raise CrashError(f"pc {self.pc} outside program")
+        instr = self.program.instructions[self.pc]
+        ir_fault = getattr(self, "_ir_fault", 0)
+        if ir_fault:
+            instr = unpack_instruction(pack_instruction(instr) ^ ir_fault)
+            self._ir_fault = 0
+        self._execute(instr)
+        self.cycles += 1
+        if self.cycles >= self.max_cycles and not self.halted:
+            raise TimeoutError(f"exceeded {self.max_cycles} cycles")
+
+    def _read(self, reg):
+        self._reads[reg] = self._reads.get(reg, 0) + 1
+        return 0 if reg == 0 else self.registers[reg]
+
+    def _write(self, reg, value):
+        self._writes[reg] = self._writes.get(reg, 0) + 1
+        if reg != 0:
+            self.registers[reg] = value & WORD_MASK
+
+    def _execute(self, instr):
+        op = instr.opcode
+        next_pc = self.pc + 1
+        if op == Opcode.NOP:
+            pass
+        elif op in ARITH_OPS:
+            a = self._read(instr.rs1)
+            b = self._read(instr.rs2)
+            if op == Opcode.ADD:
+                value = a + b
+            elif op == Opcode.SUB:
+                value = a - b
+            elif op == Opcode.MUL:
+                value = a * b
+            elif op == Opcode.AND:
+                value = a & b
+            elif op == Opcode.OR:
+                value = a | b
+            elif op == Opcode.XOR:
+                value = a ^ b
+            elif op == Opcode.SHL:
+                value = a << (b & 31)
+            else:  # SHR
+                value = a >> (b & 31)
+            self._write(instr.rd, value)
+        elif op == Opcode.ADDI:
+            self._write(instr.rd, self._read(instr.rs1) + instr.imm)
+        elif op == Opcode.LUI:
+            self._write(instr.rd, instr.imm)
+        elif op == Opcode.LD:
+            addr = (self._read(instr.rs1) + instr.imm) & WORD_MASK
+            if addr >= MEMORY_LIMIT:
+                raise CrashError(f"load from invalid address {addr}")
+            self._write(instr.rd, self.memory.get(addr, 0))
+        elif op == Opcode.ST:
+            addr = (self._read(instr.rs1) + instr.imm) & WORD_MASK
+            if addr >= MEMORY_LIMIT:
+                raise CrashError(f"store to invalid address {addr}")
+            self.memory[addr] = self._read(instr.rs2) & WORD_MASK
+        elif op == Opcode.BEQ:
+            if self._read(instr.rs1) == self._read(instr.rs2):
+                next_pc = self.pc + 1 + instr.imm
+        elif op == Opcode.BNE:
+            if self._read(instr.rs1) != self._read(instr.rs2):
+                next_pc = self.pc + 1 + instr.imm
+        elif op == Opcode.BLT:
+            if _signed(self._read(instr.rs1)) < _signed(self._read(instr.rs2)):
+                next_pc = self.pc + 1 + instr.imm
+        elif op == Opcode.JMP:
+            next_pc = self.pc + 1 + instr.imm
+        elif op == Opcode.HALT:
+            self.halted = True
+            return
+        else:  # pragma: no cover - enum is exhaustive
+            raise CrashError(f"unimplemented opcode {op}")
+        self.pc = next_pc
+
+    def run(self, fault=None):
+        """Run to completion.
+
+        Parameters
+        ----------
+        fault:
+            Optional ``(cycle, element, bit)`` triple; the bit is flipped
+            just *before* the given cycle executes.
+
+        Returns
+        -------
+        :class:`ExecutionResult`
+
+        Raises
+        ------
+        CrashError, TimeoutError
+            Propagated to the caller for outcome classification.
+        """
+        self.reset()
+        fault_cycle = -1
+        if fault is not None:
+            fault_cycle, element, bit = fault
+        while not self.halted:
+            if fault is not None and self.cycles == fault_cycle:
+                self.flip_bit(element, bit)
+                fault = None  # single-event upset
+            self.step()
+        return ExecutionResult(
+            halted=True,
+            cycles=self.cycles,
+            memory=dict(self.memory),
+            registers=list(self.registers),
+            trace_reads=dict(self._reads),
+            trace_writes=dict(self._writes),
+        )

@@ -1,0 +1,194 @@
+"""Microarchitectural fault injection with outcome classification.
+
+One injection flips one bit of one state element at one cycle of a
+program's execution (single-event upset).  Outcomes follow the taxonomy
+the paper's Sec. III (and ref [24]) uses:
+
+* ``MASKED`` — run completes with the golden output;
+* ``SDC`` — run completes but the output differs silently;
+* ``CRASH`` — architectural violation (bad opcode/PC/address);
+* ``HANG`` — cycle budget exceeded;
+* ``SYMPTOM`` — run completes with the golden output but showed a
+  detectable anomaly (cycle-count deviation), the hook symptom-based
+  detectors key on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.cpu import CPU, CrashError
+
+
+class Outcome(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    CRASH = "crash"
+    HANG = "hang"
+    SYMPTOM = "symptom"
+
+
+OUTCOME_INDEX = {o: i for i, o in enumerate(Outcome)}
+
+
+@dataclass
+class InjectionRecord:
+    """One fault-injection trial."""
+
+    program: str
+    cycle: int
+    element: str
+    bit: int
+    outcome: Outcome
+    pc_at_injection: int = -1
+    opcode_at_injection: str = ""
+
+
+@dataclass
+class CampaignResult:
+    """All trials of one campaign plus the golden reference."""
+
+    program: str
+    golden_output: tuple
+    golden_cycles: int
+    records: list = field(default_factory=list)
+
+    def counts(self):
+        """Mapping outcome -> number of trials."""
+        out = {o: 0 for o in Outcome}
+        for r in self.records:
+            out[r.outcome] += 1
+        return out
+
+    def rates(self):
+        """Mapping outcome -> fraction of trials."""
+        n = len(self.records)
+        if n == 0:
+            raise ValueError("campaign has no records")
+        return {o: c / n for o, c in self.counts().items()}
+
+    def failure_rate(self):
+        """Fraction of trials that are SDC, crash, or hang."""
+        rates = self.rates()
+        return rates[Outcome.SDC] + rates[Outcome.CRASH] + rates[Outcome.HANG]
+
+    def per_element(self):
+        """Mapping state element -> list of its records."""
+        by_el = {}
+        for r in self.records:
+            by_el.setdefault(r.element, []).append(r)
+        return by_el
+
+    def element_failure_rates(self):
+        """Mapping element -> failure fraction among its injections."""
+        out = {}
+        for element, records in self.per_element().items():
+            bad = sum(
+                r.outcome in (Outcome.SDC, Outcome.CRASH, Outcome.HANG)
+                for r in records
+            )
+            out[element] = bad / len(records)
+        return out
+
+
+class FaultInjector:
+    """Runs fault-injection campaigns on a program.
+
+    Parameters
+    ----------
+    program:
+        The workload (:class:`repro.arch.isa.Program`).
+    max_cycles_factor:
+        Hang threshold as a multiple of the golden cycle count.
+    symptom_tolerance:
+        Relative cycle-count deviation below which a correct-output run is
+        MASKED; above it, SYMPTOM.
+    """
+
+    def __init__(self, program, max_cycles_factor=4.0, symptom_tolerance=0.02):
+        self.program = program
+        golden = CPU(program, max_cycles=1_000_000).run()
+        self.golden_output = golden.output(program.output_range)
+        self.golden_cycles = golden.cycles
+        self.max_cycles = max(int(golden.cycles * max_cycles_factor), golden.cycles + 64)
+        self.symptom_tolerance = symptom_tolerance
+        # Golden PC trace: which instruction was executing at each cycle.
+        tracer = CPU(program, max_cycles=1_000_000)
+        self.golden_pc_trace = []
+        while not tracer.halted:
+            self.golden_pc_trace.append(tracer.pc)
+            tracer.step()
+
+    def inject_one(self, cycle, element, bit):
+        """Run with one fault and classify the outcome."""
+        cpu = CPU(self.program, max_cycles=self.max_cycles)
+        # Log-feature context: the instruction the golden run executed at the
+        # injection cycle (pattern mining keys on it).
+        if 0 <= cycle < len(self.golden_pc_trace):
+            pc_at = self.golden_pc_trace[cycle]
+            opcode_at = self.program.instructions[pc_at].opcode.value
+        else:
+            pc_at = -1
+            opcode_at = ""
+        try:
+            result = cpu.run(fault=(cycle, element, bit))
+        except CrashError:
+            return self._record(cycle, element, bit, Outcome.CRASH, pc_at, opcode_at)
+        except TimeoutError:
+            return self._record(cycle, element, bit, Outcome.HANG, pc_at, opcode_at)
+        output = result.output(self.program.output_range)
+        if output != self.golden_output:
+            outcome = Outcome.SDC
+        elif (
+            abs(result.cycles - self.golden_cycles)
+            > self.symptom_tolerance * self.golden_cycles
+        ):
+            outcome = Outcome.SYMPTOM
+        else:
+            outcome = Outcome.MASKED
+        return self._record(cycle, element, bit, outcome, pc_at, opcode_at)
+
+    def _record(self, cycle, element, bit, outcome, pc_at, opcode_at):
+        return InjectionRecord(
+            program=self.program.name,
+            cycle=cycle,
+            element=element,
+            bit=bit,
+            outcome=outcome,
+            pc_at_injection=pc_at,
+            opcode_at_injection=opcode_at,
+        )
+
+    def run_campaign(self, n_trials=500, seed=0, elements=None):
+        """Uniformly random (cycle, element, bit) injection campaign."""
+        rng = np.random.default_rng(seed)
+        cpu = CPU(self.program)
+        elements = list(elements or cpu.state_elements())
+        result = CampaignResult(
+            program=self.program.name,
+            golden_output=self.golden_output,
+            golden_cycles=self.golden_cycles,
+        )
+        for _ in range(n_trials):
+            cycle = int(rng.integers(0, self.golden_cycles))
+            element = elements[rng.integers(len(elements))]
+            bit = int(rng.integers(0, 32))
+            result.records.append(self.inject_one(cycle, element, bit))
+        return result
+
+    def exhaustive_element_campaign(self, element, n_trials=200, seed=0):
+        """Many injections into a single element (per-element AVF estimation)."""
+        rng = np.random.default_rng(seed)
+        result = CampaignResult(
+            program=self.program.name,
+            golden_output=self.golden_output,
+            golden_cycles=self.golden_cycles,
+        )
+        for _ in range(n_trials):
+            cycle = int(rng.integers(0, self.golden_cycles))
+            bit = int(rng.integers(0, 32))
+            result.records.append(self.inject_one(cycle, element, bit))
+        return result

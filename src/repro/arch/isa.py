@@ -1,0 +1,208 @@
+"""A small RISC ISA for the fault-injection CPU simulator.
+
+16 general-purpose 32-bit registers (``r0`` hardwired to zero), a flat
+word-addressed data memory, and a compact instruction set sufficient for
+the kernels in :mod:`repro.arch.programs`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+N_REGISTERS = 16
+WORD_MASK = 0xFFFFFFFF
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes."""
+
+    NOP = "nop"
+    ADD = "add"  # rd = rs1 + rs2
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    ADDI = "addi"  # rd = rs1 + imm
+    LUI = "lui"  # rd = imm
+    LD = "ld"  # rd = mem[rs1 + imm]
+    ST = "st"  # mem[rs1 + imm] = rs2
+    BEQ = "beq"  # if rs1 == rs2: pc += imm
+    BNE = "bne"
+    BLT = "blt"  # signed compare
+    JMP = "jmp"  # pc += imm
+    HALT = "halt"
+
+
+# Opcodes indexed for feature vectors.
+OPCODE_INDEX = {op: i for i, op in enumerate(Opcode)}
+
+ARITH_OPS = {
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND,
+    Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+}
+BRANCH_OPS = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.JMP}
+MEMORY_OPS = {Opcode.LD, Opcode.ST}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields not used by an opcode are zero.  ``imm`` is a signed integer
+    (branch offsets are relative to the *next* PC).
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self):
+        for reg in (self.rd, self.rs1, self.rs2):
+            if not 0 <= reg < N_REGISTERS:
+                raise ValueError(f"register index {reg} out of range")
+
+    @property
+    def reads(self):
+        """Register indices this instruction reads."""
+        op = self.opcode
+        if op in ARITH_OPS:
+            return (self.rs1, self.rs2)
+        if op in (Opcode.ADDI, Opcode.LD):
+            return (self.rs1,)
+        if op == Opcode.ST:
+            return (self.rs1, self.rs2)
+        if op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT):
+            return (self.rs1, self.rs2)
+        return ()
+
+    @property
+    def writes(self):
+        """Register index written, or None."""
+        op = self.opcode
+        if op in ARITH_OPS or op in (Opcode.ADDI, Opcode.LUI, Opcode.LD):
+            return self.rd
+        return None
+
+    def __str__(self):
+        return (
+            f"{self.opcode.value} rd=r{self.rd} rs1=r{self.rs1} "
+            f"rs2=r{self.rs2} imm={self.imm}"
+        )
+
+
+class Program:
+    """An instruction sequence plus metadata about its outputs.
+
+    Parameters
+    ----------
+    name:
+        Human-readable workload name.
+    instructions:
+        Ordered instruction list; execution starts at index 0.
+    output_range:
+        ``(start, length)`` region of data memory holding the result that
+        SDC detection compares against the golden run.
+    initial_memory:
+        Mapping address -> initial word value.
+    """
+
+    def __init__(self, name, instructions, output_range, initial_memory=None):
+        self.name = name
+        self.instructions = list(instructions)
+        if not self.instructions:
+            raise ValueError("program must contain at least one instruction")
+        if self.instructions[-1].opcode != Opcode.HALT:
+            raise ValueError("program must end with HALT")
+        start, length = output_range
+        if length <= 0:
+            raise ValueError("output range must be non-empty")
+        self.output_range = (int(start), int(length))
+        self.initial_memory = dict(initial_memory or {})
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __getitem__(self, i):
+        return self.instructions[i]
+
+
+# -- tiny builder helpers -----------------------------------------------------
+def add(rd, rs1, rs2):
+    return Instruction(Opcode.ADD, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def sub(rd, rs1, rs2):
+    return Instruction(Opcode.SUB, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def mul(rd, rs1, rs2):
+    return Instruction(Opcode.MUL, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def and_(rd, rs1, rs2):
+    return Instruction(Opcode.AND, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def or_(rd, rs1, rs2):
+    return Instruction(Opcode.OR, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def xor(rd, rs1, rs2):
+    return Instruction(Opcode.XOR, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def shl(rd, rs1, rs2):
+    return Instruction(Opcode.SHL, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def shr(rd, rs1, rs2):
+    return Instruction(Opcode.SHR, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def addi(rd, rs1, imm):
+    return Instruction(Opcode.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+
+def lui(rd, imm):
+    return Instruction(Opcode.LUI, rd=rd, imm=imm)
+
+
+def ld(rd, rs1, imm=0):
+    return Instruction(Opcode.LD, rd=rd, rs1=rs1, imm=imm)
+
+
+def st(rs2, rs1, imm=0):
+    return Instruction(Opcode.ST, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def beq(rs1, rs2, imm):
+    return Instruction(Opcode.BEQ, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def bne(rs1, rs2, imm):
+    return Instruction(Opcode.BNE, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def blt(rs1, rs2, imm):
+    return Instruction(Opcode.BLT, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def jmp(imm):
+    return Instruction(Opcode.JMP, imm=imm)
+
+
+def halt():
+    return Instruction(Opcode.HALT)
+
+
+def nop():
+    return Instruction(Opcode.NOP)

@@ -1,0 +1,164 @@
+"""Mining fault-injection logs (refs [22], [23], Sec. III-B2).
+
+[22] used gradient-boosted decision trees to find error patterns in six
+months of HPC logs and predict future GPU errors; [23] combined
+supervised and unsupervised learning over 1.2 M injection trials.  Here
+the log is a pooled :class:`repro.arch.fault_injection.CampaignResult`
+set, and the miner offers:
+
+* a supervised outcome predictor (gradient boosting) with per-feature
+  importance (which log features correlate with failures), and
+* unsupervised structure discovery (PCA + k-means) over failure records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.fault_injection import OUTCOME_INDEX, Outcome
+from repro.arch.isa import Opcode
+from repro.ml.cluster import KMeans
+from repro.ml.decomposition import PCA
+from repro.ml.ensemble import GradientBoostingClassifier
+from repro.ml.preprocessing import StandardScaler
+
+_OPCODE_NAMES = [op.value for op in Opcode]
+
+FEATURE_NAMES = (
+    "cycle_fraction",
+    "bit_position",
+    "is_register",
+    "is_pc",
+    "is_ir",
+    "register_index",
+    "opcode_index",
+)
+
+
+def record_features(record, golden_cycles):
+    """Numeric features of one injection record (what a log row carries)."""
+    is_reg = record.element.startswith("reg")
+    reg_idx = int(record.element[3:]) if is_reg else -1
+    opcode_idx = (
+        _OPCODE_NAMES.index(record.opcode_at_injection)
+        if record.opcode_at_injection in _OPCODE_NAMES
+        else -1
+    )
+    return [
+        record.cycle / max(golden_cycles, 1),
+        float(record.bit),
+        float(is_reg),
+        float(record.element == "pc"),
+        float(record.element == "ir"),
+        float(reg_idx),
+        float(opcode_idx),
+    ]
+
+
+class PatternMiner:
+    """Supervised + unsupervised analysis of pooled injection campaigns."""
+
+    def __init__(self, campaigns, seed=0):
+        campaigns = list(campaigns)
+        if not campaigns:
+            raise ValueError("need at least one campaign")
+        self.seed = seed
+        X = []
+        y = []
+        for campaign in campaigns:
+            for record in campaign.records:
+                X.append(record_features(record, campaign.golden_cycles))
+                y.append(OUTCOME_INDEX[record.outcome])
+        self.X = np.asarray(X)
+        self.y = np.asarray(y)
+        self._scaler = StandardScaler().fit(self.X)
+        self._clf = None
+
+    @property
+    def n_records(self):
+        return len(self.y)
+
+    # -- supervised ------------------------------------------------------------
+    def fit_outcome_predictor(self, n_estimators=25, max_depth=4):
+        """Train the GBDT outcome predictor on the pooled log."""
+        self._clf = GradientBoostingClassifier(
+            n_estimators=n_estimators, max_depth=max_depth, subsample=0.8, seed=self.seed
+        )
+        self._clf.fit(self._scaler.transform(self.X), self.y)
+        return self
+
+    def predict_outcomes(self, campaign):
+        """Predicted outcome index for each record of a new campaign."""
+        if self._clf is None:
+            raise RuntimeError("call fit_outcome_predictor first")
+        X = np.asarray(
+            [record_features(r, campaign.golden_cycles) for r in campaign.records]
+        )
+        return self._clf.predict(self._scaler.transform(X))
+
+    def training_accuracy(self):
+        if self._clf is None:
+            raise RuntimeError("call fit_outcome_predictor first")
+        pred = self._clf.predict(self._scaler.transform(self.X))
+        return float(np.mean(pred == self.y))
+
+    def feature_importance(self, n_permutations=3):
+        """Permutation importance of each log feature for outcome prediction."""
+        if self._clf is None:
+            raise RuntimeError("call fit_outcome_predictor first")
+        rng = np.random.default_rng(self.seed)
+        base = self.training_accuracy()
+        Xs = self._scaler.transform(self.X)
+        importance = {}
+        for j, name in enumerate(FEATURE_NAMES):
+            drops = []
+            for _ in range(n_permutations):
+                Xp = Xs.copy()
+                rng.shuffle(Xp[:, j])
+                acc = float(np.mean(self._clf.predict(Xp) == self.y))
+                drops.append(base - acc)
+            importance[name] = float(np.mean(drops))
+        return importance
+
+    # -- unsupervised ------------------------------------------------------------
+    def failure_clusters(self, n_clusters=3, n_components=3):
+        """Cluster *failing* records in PCA space; returns (labels, records_mask).
+
+        Surfacing recurring failure modes without labels is the [23]
+        unsupervised use-case.
+        """
+        failing = np.isin(
+            self.y,
+            [OUTCOME_INDEX[Outcome.SDC], OUTCOME_INDEX[Outcome.CRASH], OUTCOME_INDEX[Outcome.HANG]],
+        )
+        Xf = self._scaler.transform(self.X[failing])
+        if len(Xf) < n_clusters:
+            raise ValueError("too few failing records to cluster")
+        n_components = min(n_components, Xf.shape[1])
+        Z = PCA(n_components=n_components).fit_transform(Xf)
+        km = KMeans(n_clusters=n_clusters, seed=self.seed).fit(Z)
+        return km.labels_, failing
+
+    def cluster_summary(self, n_clusters=3):
+        """Per-cluster dominant element kind and mean cycle fraction."""
+        labels, failing = self.failure_clusters(n_clusters=n_clusters)
+        Xf = self.X[failing]
+        summary = []
+        for k in range(n_clusters):
+            members = Xf[labels == k]
+            if len(members) == 0:
+                continue
+            kinds = np.array(["reg", "pc", "ir"])
+            kind_counts = np.array(
+                [members[:, 2].sum(), members[:, 3].sum(), members[:, 4].sum()]
+            )
+            summary.append(
+                {
+                    "cluster": k,
+                    "size": int(len(members)),
+                    "dominant_element": str(kinds[int(np.argmax(kind_counts))]),
+                    "mean_cycle_fraction": float(members[:, 0].mean()),
+                    "mean_bit": float(members[:, 1].mean()),
+                }
+            )
+        return summary

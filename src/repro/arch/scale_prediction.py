@@ -1,0 +1,176 @@
+"""Scale-dependent soft-error behaviour prediction (ref [21], Sec. III-B1).
+
+[21] showed that the fault behaviour of large-scale applications (DOE
+codes on 4096 cores) can be modelled with ~90 % accuracy *using data from
+small-scale execution on a single core*, and that boosting models
+(AdaBoost, stochastic gradient boosting) are more consistently accurate
+than MLPs, naive Bayes, or SVMs because they keep learning from
+mispredicted samples.
+
+Synthetic substrate: each "application run" is described by observables a
+single-core fault-injection study produces (masking rate, error latency,
+corruption spread rate, detection coverage, recomputation slack, ...).
+A hidden, threshold-heavy nonlinear process — the error-propagation
+physics of scaling out — maps these observables to the dominant fault
+behaviour at 4096 cores (vanished / output corruption / crash).  Models
+are trained on applications whose large-scale behaviour is known and
+evaluated on unseen applications, reproducing the [21] comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.ensemble import AdaBoostClassifier, GradientBoostingClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.svm import LinearSVC
+
+OUTCOME_NAMES = ("vanished", "corruption", "crash")
+
+FEATURE_NAMES = (
+    "single_core_masking_rate",
+    "error_latency",
+    "spread_rate",
+    "detection_coverage",
+    "recomputation_slack",
+    "communication_fraction",
+    "memory_intensity",
+)
+
+
+def _large_scale_outcome(latent, rng, large_scale=4096):
+    """Hidden propagation physics: small-scale traits -> large-scale class.
+
+    Deliberately built from interacting thresholds (regimes), the
+    structure boosting handles well and low-capacity/linear models do not.
+    """
+    masking, latency, spread, coverage, slack, comm, mem = latent
+    log_s = np.log2(large_scale)
+    # An error that spreads through communication gets amplified by scale;
+    # high masking and detection coverage damp it.
+    amplification = (0.6 * spread + 0.8 * spread * comm) * log_s / 6.0
+    containment = 0.45 * masking + 0.5 * coverage + 0.2 * slack
+    # Regime flips: codes that are communication- XOR memory-bound propagate
+    # differently, and strong masking+coverage changes the containment
+    # regime — sharp nonlinearities linear/NB models cannot represent.
+    regime = 0.45 if (comm > 0.5) != (mem > 0.5) else 0.0
+    regime2 = -0.3 if (masking > 0.6 and coverage > 0.6) else 0.0
+    pressure = amplification - containment + regime + regime2 + rng.normal(0, 0.07)
+    crash_axis = (
+        mem * (1.0 - latency) * log_s / 6.0
+        - 0.45 * slack
+        + (0.3 if latency < 0.25 else 0.0)
+        + rng.normal(0, 0.07)
+    )
+    if pressure < 0.3:
+        return 0  # vanished
+    if crash_axis > 0.3 and latency < 0.55:
+        return 2  # crash
+    return 1  # corruption
+
+
+def generate_applications(n_apps, seed=0, large_scale=4096, n_noise_features=13):
+    """Synthetic (single-core observables, large-scale class) dataset.
+
+    Besides the seven informative observables, each log row carries
+    ``n_noise_features`` irrelevant columns (timestamps, node ids, ...),
+    as real injection logs do — the clutter boosting models prune
+    naturally and low-capacity models stumble over.
+    """
+    rng = np.random.default_rng(seed)
+    X = []
+    y = []
+    for _ in range(n_apps):
+        latent = np.array(
+            [
+                rng.uniform(0.0, 1.0),  # masking rate
+                rng.uniform(0.0, 1.0),  # error latency (normalized)
+                rng.uniform(0.0, 1.0),  # spread rate
+                rng.uniform(0.0, 1.0),  # detection coverage
+                rng.uniform(0.0, 1.0),  # recomputation slack
+                rng.uniform(0.0, 1.0),  # communication fraction
+                rng.uniform(0.0, 1.0),  # memory intensity
+            ]
+        )
+        outcome = _large_scale_outcome(latent, rng, large_scale)
+        # Observables are the latent traits plus single-core measurement
+        # noise, followed by the irrelevant log columns.
+        observed = np.concatenate(
+            [
+                latent + rng.normal(0, 0.04, size=latent.shape),
+                rng.uniform(0.0, 1.0, size=n_noise_features),
+            ]
+        )
+        X.append(observed)
+        y.append(outcome)
+    return np.asarray(X), np.asarray(y)
+
+
+@dataclass
+class ScaleResult:
+    model_name: str
+    accuracy: float
+
+
+class ScalePredictionStudy:
+    """Compare model families on large-scale behaviour prediction."""
+
+    def __init__(self, n_train=600, n_test=400, large_scale=4096, seed=0):
+        self.seed = seed
+        self.large_scale = large_scale
+        self.X_train, self.y_train = generate_applications(
+            n_train, seed=seed, large_scale=large_scale
+        )
+        self.X_test, self.y_test = generate_applications(
+            n_test, seed=seed + 1, large_scale=large_scale
+        )
+        self._scaler = StandardScaler().fit(self.X_train)
+
+    def model_zoo(self):
+        """The [21] comparison set: boosting vs the simpler families."""
+        return {
+            "adaboost": lambda: AdaBoostClassifier(n_estimators=50, max_depth=3, seed=self.seed),
+            "gradient_boosting": lambda: GradientBoostingClassifier(
+                n_estimators=30, max_depth=3, subsample=0.7, seed=self.seed
+            ),
+            "mlp": lambda: MLPClassifier(hidden=(16,), n_epochs=60, lr=2e-3, seed=self.seed),
+            "naive_bayes": GaussianNB,
+            "svm": lambda: LinearSVC(C=1.0, n_epochs=40, seed=self.seed),
+        }
+
+    def evaluate(self, model_name):
+        """Held-out accuracy of one model."""
+        zoo = self.model_zoo()
+        if model_name not in zoo:
+            raise KeyError(f"unknown model {model_name!r}")
+        model = zoo[model_name]()
+        Xtr = self._scaler.transform(self.X_train)
+        Xte = self._scaler.transform(self.X_test)
+        if model_name == "svm":
+            # Binary surrogate as in [21]'s per-class analysis: failure vs not.
+            ytr = (self.y_train > 0).astype(int)
+            yte = (self.y_test > 0).astype(int)
+            model.fit(Xtr, ytr)
+            acc = float(np.mean(model.predict(Xte) == yte))
+        else:
+            model.fit(Xtr, self.y_train)
+            acc = float(np.mean(model.predict(Xte) == self.y_test))
+        return ScaleResult(model_name=model_name, accuracy=acc)
+
+    def compare_all(self):
+        """Accuracy per model, sorted best-first."""
+        results = [self.evaluate(name) for name in self.model_zoo()]
+        return sorted(results, key=lambda r: -r.accuracy)
+
+    def boosting_wins(self):
+        """True when a boosting model is the most accurate multiclass model.
+
+        (The SVM row is a binary surrogate, so it is excluded from the
+        multiclass ranking, mirroring the paper's discussion.)
+        """
+        multiclass = [r for r in self.compare_all() if r.model_name != "svm"]
+        return multiclass[0].model_name in ("adaboost", "gradient_boosting")

@@ -1,0 +1,141 @@
+"""Symptom-based error detection on DNN intermediate outputs (ref [30]).
+
+[30] runs a small two-hidden-layer MLP alongside a DNN, watching the
+intermediate activations for anomalies that precede misclassification;
+it reports ~99 % recall / ~97 % precision at ~2.7 % compute overhead.
+
+Substrate: the "mission DNN" is a :class:`repro.ml.mlp.MLPClassifier`;
+hardware errors are simulated by injecting large-magnitude perturbations
+into a hidden layer's activations during inference (the effect of a bit
+flip in an accumulator).  The detector is a small MLP over summary
+statistics of every hidden layer's activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.metrics import precision_score, recall_score
+from repro.ml.mlp import MLPClassifier, _relu
+from repro.ml.preprocessing import StandardScaler
+
+
+def _forward_with_injection(model, x, inject_layer=None, inject_fn=None):
+    """Run the mission DNN on one sample, optionally corrupting one layer.
+
+    Returns (predicted class index, list of hidden activation vectors).
+    """
+    h = x.reshape(1, -1)
+    hidden_acts = []
+    for layer, (W, b) in enumerate(zip(model.weights_[:-1], model.biases_[:-1])):
+        h = _relu(h @ W + b)
+        if inject_layer == layer and inject_fn is not None:
+            h = inject_fn(h)
+        hidden_acts.append(h.ravel().copy())
+    z = h @ model.weights_[-1] + model.biases_[-1]
+    return int(np.argmax(z)), hidden_acts
+
+
+def activation_statistics(hidden_acts):
+    """Per-layer summary features: mean, std, max, min, L2, zero fraction."""
+    feats = []
+    for a in hidden_acts:
+        feats.extend(
+            [
+                float(a.mean()),
+                float(a.std()),
+                float(a.max()),
+                float(a.min()),
+                float(np.linalg.norm(a)),
+                float(np.mean(a == 0.0)),
+            ]
+        )
+    return feats
+
+
+def bitflip_like_injection(rng, magnitude=20.0):
+    """An injection function multiplying/overwriting one activation.
+
+    Mimics a high-order bit flip in an accumulator: one neuron's value is
+    replaced by a large outlier.
+    """
+
+    def inject(h):
+        h = h.copy()
+        j = rng.integers(h.shape[1])
+        h[0, j] = magnitude * (1.0 + rng.random())
+        return h
+
+    return inject
+
+
+@dataclass
+class DetectionReport:
+    recall: float
+    precision: float
+    overhead: float  # detector params / mission params
+
+
+class SymptomDetector:
+    """Train and evaluate the anomaly detector for a mission DNN."""
+
+    def __init__(self, mission_model, seed=0):
+        if mission_model.weights_ is None:
+            raise ValueError("mission model must be fitted")
+        self.mission = mission_model
+        self.seed = seed
+        self._detector = None
+        self._scaler = None
+
+    def _build_dataset(self, X, error_rate=0.5, magnitude=20.0, seed=None):
+        """(features, error_label, misclassification_label) triples."""
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        feats = []
+        labels = []
+        caused_error = []
+        n_hidden_layers = len(self.mission.weights_) - 1
+        for x in np.asarray(X, dtype=float):
+            clean_pred, _ = _forward_with_injection(self.mission, x)
+            if rng.random() < error_rate:
+                inject = bitflip_like_injection(rng, magnitude)
+                layer = int(rng.integers(n_hidden_layers))
+                pred, acts = _forward_with_injection(
+                    self.mission, x, inject_layer=layer, inject_fn=inject
+                )
+                labels.append(1)
+                caused_error.append(int(pred != clean_pred))
+            else:
+                pred, acts = _forward_with_injection(self.mission, x)
+                labels.append(0)
+                caused_error.append(0)
+            feats.append(activation_statistics(acts))
+        return np.asarray(feats), np.asarray(labels), np.asarray(caused_error)
+
+    def fit(self, X_train, error_rate=0.5, magnitude=20.0):
+        """Train the detector on injected vs clean activation statistics."""
+        feats, labels, _ = self._build_dataset(X_train, error_rate, magnitude)
+        self._scaler = StandardScaler().fit(feats)
+        # Two small hidden layers as in [30]; kept tiny so the on-line
+        # overhead stays in the low-percent range.
+        self._detector = MLPClassifier(
+            hidden=(10, 6), n_epochs=200, lr=3e-3, seed=self.seed
+        )
+        self._detector.fit(self._scaler.transform(feats), labels)
+        return self
+
+    def evaluate(self, X_test, error_rate=0.5, magnitude=20.0, seed=1):
+        """Recall/precision of error detection plus compute overhead."""
+        if self._detector is None:
+            raise RuntimeError("detector is not fitted")
+        feats, labels, _ = self._build_dataset(
+            X_test, error_rate, magnitude, seed=self.seed + seed
+        )
+        pred = self._detector.predict(self._scaler.transform(feats))
+        overhead = self._detector.n_parameters() / self.mission.n_parameters()
+        return DetectionReport(
+            recall=recall_score(labels, pred),
+            precision=precision_score(labels, pred),
+            overhead=overhead,
+        )

@@ -1,0 +1,176 @@
+"""WarningNet-style early warning of task failure under input perturbation
+(ref [32], Sec. III-C2).
+
+A mission-critical task (here an image classifier) degrades under input
+perturbations — sensor noise, blur, occlusion.  WarningNet is a much
+smaller network running in parallel on the *input* that predicts whether
+the current perturbation level will make the mission task fail, at a
+fraction (~1/20) of the mission task's cost, enabling on-demand input
+pre-processing before failures happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.metrics import accuracy_score, precision_score, recall_score
+from repro.ml.mlp import MLPClassifier
+from repro.ml.preprocessing import StandardScaler
+
+PERTURBATION_KINDS = ("noise", "blur", "occlusion")
+
+
+def make_image_dataset(n_samples=400, side=8, n_classes=4, seed=0):
+    """Synthetic "sensor image" dataset: class = quadrant of a bright blob."""
+    rng = np.random.default_rng(seed)
+    X = np.zeros((n_samples, side * side))
+    y = np.zeros(n_samples, dtype=int)
+    half = side // 2
+    for i in range(n_samples):
+        img = rng.normal(0.0, 0.08, (side, side))
+        cls = int(rng.integers(n_classes))
+        r0 = 0 if cls in (0, 1) else half
+        c0 = 0 if cls in (0, 2) else half
+        rr = r0 + rng.integers(half - 2)
+        cc = c0 + rng.integers(half - 2)
+        img[rr : rr + 3, cc : cc + 3] += 1.0
+        X[i] = img.ravel()
+        y[i] = cls
+    return X, y
+
+
+def perturb(X, kind, severity, side=8, rng=None):
+    """Apply a perturbation of the given kind and severity in [0, 1]."""
+    if kind not in PERTURBATION_KINDS:
+        raise ValueError(f"unknown perturbation {kind!r}")
+    if not 0.0 <= severity <= 1.0:
+        raise ValueError("severity must be in [0, 1]")
+    rng = rng or np.random.default_rng(0)
+    X = np.asarray(X, dtype=float).copy()
+    if kind == "noise":
+        X += rng.normal(0.0, 1.5 * severity, X.shape)
+    elif kind == "blur":
+        imgs = X.reshape(-1, side, side)
+        blurred = imgs.copy()
+        passes = int(round(severity * 4))
+        for _ in range(passes):
+            padded = np.pad(blurred, ((0, 0), (1, 1), (1, 1)), mode="edge")
+            blurred = (
+                padded[:, :-2, 1:-1] + padded[:, 2:, 1:-1]
+                + padded[:, 1:-1, :-2] + padded[:, 1:-1, 2:]
+                + padded[:, 1:-1, 1:-1]
+            ) / 5.0
+        X = blurred.reshape(X.shape)
+    else:  # occlusion
+        imgs = X.reshape(-1, side, side)
+        size = int(round(severity * side))
+        if size > 0:
+            for img in imgs:
+                r = rng.integers(max(side - size, 1))
+                c = rng.integers(max(side - size, 1))
+                img[r : r + size, c : c + size] = 0.0
+        X = imgs.reshape(X.shape)
+    return X
+
+
+def warning_features(X, side=8):
+    """Cheap per-image statistics WarningNet consumes (no deep features)."""
+    imgs = np.asarray(X, dtype=float).reshape(len(X), side, side)
+    gx = np.abs(np.diff(imgs, axis=2)).mean(axis=(1, 2))
+    gy = np.abs(np.diff(imgs, axis=1)).mean(axis=(1, 2))
+    return np.column_stack(
+        [
+            imgs.mean(axis=(1, 2)),
+            imgs.std(axis=(1, 2)),
+            imgs.max(axis=(1, 2)),
+            imgs.min(axis=(1, 2)),
+            gx,
+            gy,
+            (np.abs(imgs) < 0.05).mean(axis=(1, 2)),
+        ]
+    )
+
+
+@dataclass
+class WarningReport:
+    accuracy: float
+    recall: float
+    precision: float
+    cost_ratio: float  # warning-net params / mission-task params
+    lead_detection_rate: float  # warnings raised among failing inputs
+
+
+class WarningNet:
+    """Small failure-warning network running beside a mission classifier."""
+
+    def __init__(self, mission_model, side=8, seed=0):
+        if mission_model.weights_ is None:
+            raise ValueError("mission model must be fitted")
+        self.mission = mission_model
+        self.side = side
+        self.seed = seed
+        self._net = None
+        self._scaler = None
+
+    def _labelled_stream(self, X, y, seed=None, n_augment=1):
+        """Perturbed input stream labelled by whether the mission task fails.
+
+        ``n_augment`` passes draw several independent perturbations per
+        image, enlarging the training stream.
+        """
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        Xp = []
+        fail = []
+        for _ in range(n_augment):
+            for x, target in zip(np.asarray(X, dtype=float), np.asarray(y)):
+                kind = PERTURBATION_KINDS[rng.integers(len(PERTURBATION_KINDS))]
+                severity = float(rng.uniform(0.0, 1.0))
+                xp = perturb(x.reshape(1, -1), kind, severity, side=self.side, rng=rng)[0]
+                pred = self.mission.predict(xp.reshape(1, -1))[0]
+                Xp.append(xp)
+                fail.append(int(pred != target))
+        return np.asarray(Xp), np.asarray(fail)
+
+    def fit(self, X, y, n_augment=6):
+        """Train on a perturbed stream labelled by mission failures."""
+        Xp, fail = self._labelled_stream(X, y, n_augment=n_augment)
+        feats = warning_features(Xp, side=self.side)
+        # Failures are the minority class in a mostly-benign stream;
+        # oversample them so recall (missed warnings are the costly error)
+        # is not sacrificed for accuracy.
+        failing = np.where(fail == 1)[0]
+        if 0 < len(failing) < len(fail) / 2:
+            reps = int(np.ceil(len(fail) / (2 * len(failing)))) - 1
+            if reps > 0:
+                feats = np.vstack([feats] + [feats[failing]] * reps)
+                fail = np.concatenate([fail] + [fail[failing]] * reps)
+        self._scaler = StandardScaler().fit(feats)
+        self._net = MLPClassifier(hidden=(12,), n_epochs=300, lr=3e-3, seed=self.seed)
+        self._net.fit(self._scaler.transform(feats), fail)
+        return self
+
+    def warn(self, X):
+        """1 = warning (mission failure likely) per input image."""
+        if self._net is None:
+            raise RuntimeError("WarningNet is not fitted")
+        feats = warning_features(X, side=self.side)
+        return self._net.predict(self._scaler.transform(feats))
+
+    def evaluate(self, X, y, seed=7):
+        """Warning quality and cost on a fresh perturbed stream."""
+        if self._net is None:
+            raise RuntimeError("WarningNet is not fitted")
+        Xp, fail = self._labelled_stream(X, y, seed=self.seed + seed)
+        pred = self.warn(Xp)
+        cost_ratio = self._net.n_parameters() / self.mission.n_parameters()
+        failing = fail == 1
+        lead = float(np.mean(pred[failing])) if failing.any() else 1.0
+        return WarningReport(
+            accuracy=accuracy_score(fail, pred),
+            recall=recall_score(fail, pred),
+            precision=precision_score(fail, pred),
+            cost_ratio=cost_ratio,
+            lead_detection_rate=lead,
+        )

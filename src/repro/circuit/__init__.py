@@ -1,0 +1,61 @@
+"""Standard-cell and circuit level (Sec. II, Figs. 2-3).
+
+Implements the EDA substrate the paper's self-heating flow runs on:
+
+* NLDM-style standard cells and libraries (:mod:`repro.circuit.cell`,
+  :mod:`repro.circuit.library`),
+* a "SPICE-like" characterizer standing in for proprietary foundry decks
+  (:mod:`repro.circuit.characterization`),
+* gate-level netlists plus a synthetic processor-core generator
+  (:mod:`repro.circuit.netlist`),
+* a static timing analysis engine with an SDF writer
+  (:mod:`repro.circuit.sta`),
+* the Fig. 3 SHE flow — characterize self-heating *temperatures* into a
+  library and extract per-instance SHE through ordinary STA
+  (:mod:`repro.circuit.she_flow`),
+* ML-based on-the-fly library characterization generating thousands of
+  per-instance corner cells in one shot (:mod:`repro.circuit.ml_characterization`),
+* guardband estimation comparing worst-case vs SHE-aware ML corners
+  (:mod:`repro.circuit.guardband`).
+"""
+
+from repro.circuit.cell import LookupTable, TimingArc, StandardCell
+from repro.circuit.library import Library, build_default_library
+from repro.circuit.characterization import SpiceLikeCharacterizer
+from repro.circuit.netlist import Netlist, Instance, synthesize_core
+from repro.circuit.sta import StaticTimingAnalysis, write_sdf
+from repro.circuit.she_flow import SheFlow
+from repro.circuit.ml_characterization import MLCharacterizer
+from repro.circuit.guardband import guardband_comparison
+from repro.circuit.liberty import write_liberty, parse_liberty, read_liberty
+from repro.circuit.signal_probability import (
+    propagate_probabilities,
+    instance_stress,
+    switching_activity,
+)
+from repro.circuit.aging_flow import AgingFlow, AgingSignoffResult
+
+__all__ = [
+    "LookupTable",
+    "TimingArc",
+    "StandardCell",
+    "Library",
+    "build_default_library",
+    "SpiceLikeCharacterizer",
+    "Netlist",
+    "Instance",
+    "synthesize_core",
+    "StaticTimingAnalysis",
+    "write_sdf",
+    "SheFlow",
+    "MLCharacterizer",
+    "guardband_comparison",
+    "write_liberty",
+    "parse_liberty",
+    "read_liberty",
+    "propagate_probabilities",
+    "instance_stress",
+    "switching_activity",
+    "AgingFlow",
+    "AgingSignoffResult",
+]

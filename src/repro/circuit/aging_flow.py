@@ -1,0 +1,150 @@
+"""Workload-dependent circuit aging estimation (refs [11], [12]).
+
+Conventional sign-off assumes every transistor ages at the worst-case
+stress (duty cycle 1.0, maximum activity) for the full lifetime.  The
+surveyed ML flow instead estimates each instance's *actual* stress from
+the workload's signal statistics, predicts its per-instance threshold
+shift with the device aging models, and generates an aged per-instance
+corner library with the ML characterizer — the aging twin of the SHE
+flow, reusing the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.ml_characterization import MLCharacterizer
+from repro.circuit.signal_probability import instance_stress
+from repro.circuit.sta import StaticTimingAnalysis
+from repro.transistor.aging import combined_delta_vth
+
+
+@dataclass
+class AgingSignoffResult:
+    """Clock periods under fresh, worst-case-aged, and workload-aware flows."""
+
+    fresh_period: float
+    worst_case_period: float
+    workload_aware_period: float
+    max_delta_vth: float
+    mean_delta_vth: float
+
+    @property
+    def guardband_worst_case(self):
+        return self.worst_case_period - self.fresh_period
+
+    @property
+    def guardband_workload_aware(self):
+        return self.workload_aware_period - self.fresh_period
+
+    @property
+    def guardband_reduction(self):
+        wc = self.guardband_worst_case
+        if wc <= 0:
+            return 0.0
+        return (wc - self.guardband_workload_aware) / wc
+
+
+class AgingFlow:
+    """Per-instance workload-dependent aging sign-off.
+
+    Parameters
+    ----------
+    characterizer:
+        The SPICE-like oracle used for reference corners and ML training.
+    lifetime_s:
+        Projected lifetime (default 10 years).
+    temperature_c:
+        Mission temperature driving the aging physics.
+    """
+
+    def __init__(self, characterizer, lifetime_s=3.15e8, temperature_c=85.0):
+        self.characterizer = characterizer
+        self.lifetime_s = lifetime_s
+        self.temperature_c = temperature_c
+
+    def instance_delta_vth(self, netlist, library, pi_probabilities=None):
+        """Per-instance end-of-life threshold shift from workload stress."""
+        stress = instance_stress(netlist, pi_probabilities)
+        shifts = {}
+        for name, s in stress.items():
+            inst = netlist.get(name)
+            cell = library.get(inst.cell_name)
+            ref = cell.transistors[0]
+            shifts[name] = float(
+                combined_delta_vth(
+                    ref,
+                    self.lifetime_s,
+                    duty_cycle=s["duty_cycle"],
+                    switching_activity=s["activity"],
+                    temperature_c=self.temperature_c,
+                    vdd=library.vdd,
+                )
+            )
+        return shifts
+
+    def worst_case_delta_vth(self, library):
+        """The blanket shift conventional sign-off assumes for every cell."""
+        ref = next(iter(library)).transistors[0]
+        return float(
+            combined_delta_vth(
+                ref,
+                self.lifetime_s,
+                duty_cycle=1.0,
+                switching_activity=0.5,
+                temperature_c=self.temperature_c,
+                vdd=library.vdd,
+            )
+        )
+
+    def signoff(
+        self,
+        netlist,
+        base_library_factory,
+        pi_probabilities=None,
+        ml_training_samples=3000,
+        seed=0,
+    ):
+        """Compare fresh / worst-case-aged / workload-aware sign-off."""
+        # Fresh reference corner.
+        fresh_lib = base_library_factory()
+        fresh_lib.temperature_c = self.temperature_c
+        self.characterizer.characterize_library(fresh_lib)
+        fresh_period = (
+            StaticTimingAnalysis(netlist, fresh_lib).run().min_feasible_period()
+        )
+
+        # Conventional worst-case aging corner.
+        wc_shift = self.worst_case_delta_vth(fresh_lib)
+        worst_lib = base_library_factory()
+        worst_lib.temperature_c = self.temperature_c
+        worst_lib.delta_vth = wc_shift
+        self.characterizer.characterize_library(worst_lib)
+        worst_period = (
+            StaticTimingAnalysis(netlist, worst_lib).run().min_feasible_period()
+        )
+
+        # Workload-aware per-instance shifts via the ML characterizer.
+        shifts = self.instance_delta_vth(netlist, fresh_lib, pi_probabilities)
+        ml = MLCharacterizer(oracle=self.characterizer, seed=seed)
+        ml.fit(fresh_lib, n_samples=ml_training_samples)
+        temps = {name: self.temperature_c for name in shifts}
+        _, resolver = ml.generate_instance_library(
+            netlist, fresh_lib, temps, instance_delta_vth=shifts
+        )
+        aware_period = (
+            StaticTimingAnalysis(netlist, fresh_lib, cell_resolver=resolver)
+            .run()
+            .min_feasible_period()
+        )
+
+        values = np.asarray(list(shifts.values()))
+        return AgingSignoffResult(
+            fresh_period=fresh_period,
+            worst_case_period=worst_period,
+            workload_aware_period=aware_period,
+            max_delta_vth=float(values.max()),
+            mean_delta_vth=float(values.mean()),
+        )

@@ -1,0 +1,174 @@
+"""Standard cells, timing arcs, and NLDM-style lookup tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.transistor.device import Transistor
+
+
+class LookupTable:
+    """2-D nonlinear-delay-model table over (input slew, output load).
+
+    Values are bilinearly interpolated inside the characterized grid and
+    clamped at its edges, matching how STA tools treat NLDM tables.
+    The same structure stores delays (ps), output slews (ps), or — in the
+    Fig. 3 SHE flow — self-heating temperatures (K), since the flow's core
+    trick is that "the delays have been replaced with temperatures".
+    """
+
+    def __init__(self, slews, loads, values):
+        self.slews = np.asarray(slews, dtype=float)
+        self.loads = np.asarray(loads, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.slews.ndim != 1 or self.loads.ndim != 1:
+            raise ValueError("slew/load axes must be 1-D")
+        if self.values.shape != (len(self.slews), len(self.loads)):
+            raise ValueError(
+                f"values shape {self.values.shape} does not match axes "
+                f"({len(self.slews)}, {len(self.loads)})"
+            )
+        if np.any(np.diff(self.slews) <= 0) or np.any(np.diff(self.loads) <= 0):
+            raise ValueError("axes must be strictly increasing")
+
+    def __call__(self, slew, load):
+        """Bilinear interpolation with edge clamping."""
+        s = float(np.clip(slew, self.slews[0], self.slews[-1]))
+        c = float(np.clip(load, self.loads[0], self.loads[-1]))
+        i = int(np.clip(np.searchsorted(self.slews, s) - 1, 0, len(self.slews) - 2))
+        j = int(np.clip(np.searchsorted(self.loads, c) - 1, 0, len(self.loads) - 2))
+        s0, s1 = self.slews[i], self.slews[i + 1]
+        c0, c1 = self.loads[j], self.loads[j + 1]
+        fs = (s - s0) / (s1 - s0)
+        fc = (c - c0) / (c1 - c0)
+        v = self.values
+        return float(
+            v[i, j] * (1 - fs) * (1 - fc)
+            + v[i + 1, j] * fs * (1 - fc)
+            + v[i, j + 1] * (1 - fs) * fc
+            + v[i + 1, j + 1] * fs * fc
+        )
+
+    def max_value(self):
+        return float(self.values.max())
+
+
+@dataclass
+class TimingArc:
+    """One input-pin-to-output timing arc of a cell.
+
+    ``delay`` and ``output_slew`` are :class:`LookupTable` objects indexed
+    by (input slew, output load).
+    """
+
+    input_pin: str
+    output_pin: str
+    delay: LookupTable
+    output_slew: LookupTable
+
+
+@dataclass
+class StandardCell:
+    """A standard cell: logic footprint, transistors, pins, and arcs.
+
+    Attributes
+    ----------
+    name:
+        Library cell name, e.g. ``"NAND2_X2"``.
+    inputs / output:
+        Pin names.  All cells here are single-output.
+    transistors:
+        Device list used by characterization (pull-up PMOS + pull-down NMOS).
+    input_cap_ff:
+        Capacitance each input pin presents to its driver.
+    is_sequential:
+        Flip-flops start/end timing paths.
+    arcs:
+        Timing arcs; empty until the cell is characterized.
+    stack_depth:
+        Longest series-transistor stack (NAND2 -> 2); slows the cell.
+    """
+
+    name: str
+    inputs: tuple
+    output: str
+    transistors: list
+    input_cap_ff: float
+    is_sequential: bool = False
+    arcs: list = field(default_factory=list)
+    stack_depth: int = 1
+
+    def __post_init__(self):
+        if not self.inputs and not self.is_sequential:
+            raise ValueError("combinational cell needs at least one input")
+        if not self.transistors:
+            raise ValueError("cell needs at least one transistor")
+
+    @property
+    def n_transistors(self):
+        return len(self.transistors)
+
+    def arc_for_input(self, pin):
+        """The timing arc triggered by ``pin``; raises if not characterized."""
+        for arc in self.arcs:
+            if arc.input_pin == pin:
+                return arc
+        raise KeyError(f"cell {self.name} has no characterized arc for pin {pin}")
+
+    def clone_uncharacterized(self, name=None):
+        """A copy of this cell without timing arcs (for per-instance corners)."""
+        return StandardCell(
+            name=name or self.name,
+            inputs=self.inputs,
+            output=self.output,
+            transistors=list(self.transistors),
+            input_cap_ff=self.input_cap_ff,
+            is_sequential=self.is_sequential,
+            arcs=[],
+            stack_depth=self.stack_depth,
+        )
+
+
+def make_cell(kind, strength=1):
+    """Construct an uncharacterized cell of a given kind and drive strength.
+
+    Supported kinds: INV, BUF, NAND2, NAND3, NOR2, NOR3, AND2, OR2,
+    AOI21, OAI21, XOR2, XNOR2, DFF.  Drive ``strength`` scales transistor
+    widths (X1, X2, ...) as in commercial libraries.
+    """
+    kind = kind.upper()
+    width = 100.0 * strength
+    templates = {
+        "INV": (("A",), 1, 1, 1),
+        "BUF": (("A",), 2, 2, 1),
+        "NAND2": (("A", "B"), 2, 2, 2),
+        "NAND3": (("A", "B", "C"), 3, 3, 3),
+        "NOR2": (("A", "B"), 2, 2, 2),
+        "NOR3": (("A", "B", "C"), 3, 3, 3),
+        "AND2": (("A", "B"), 3, 3, 2),
+        "OR2": (("A", "B"), 3, 3, 2),
+        "AOI21": (("A", "B", "C"), 3, 3, 2),
+        "OAI21": (("A", "B", "C"), 3, 3, 2),
+        "XOR2": (("A", "B"), 4, 4, 2),
+        "XNOR2": (("A", "B"), 4, 4, 2),
+        "DFF": (("D",), 6, 6, 2),
+    }
+    if kind not in templates:
+        raise ValueError(f"unknown cell kind {kind!r}")
+    inputs, n_pmos, n_nmos, stack = templates[kind]
+    transistors = [
+        Transistor(width_nm=width, n_fins=2, is_pmos=True) for _ in range(n_pmos)
+    ] + [Transistor(width_nm=width, n_fins=2, is_pmos=False) for _ in range(n_nmos)]
+    # Input cap grows with gate count and strength; ~0.8 fF per unit gate.
+    input_cap = 0.8 * strength * (1.0 + 0.15 * (len(inputs) - 1))
+    return StandardCell(
+        name=f"{kind}_X{strength}",
+        inputs=inputs,
+        output="Q" if kind == "DFF" else "Y",
+        transistors=transistors,
+        input_cap_ff=input_cap,
+        is_sequential=(kind == "DFF"),
+        stack_depth=stack,
+    )

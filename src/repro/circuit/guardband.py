@@ -1,0 +1,119 @@
+"""Guardband estimation: worst-case corner vs SHE-aware per-instance ML corner.
+
+The payoff of the Fig. 3 flow (Sec. II): conventional sign-off assumes
+every cell sits at the global worst-case temperature (chip temperature
+plus the maximum possible SHE anywhere), while the SHE-aware flow gives
+each instance its *actual* channel temperature.  Less pessimism means a
+smaller timing guardband at full reliability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.characterization import SpiceLikeCharacterizer
+from repro.circuit.ml_characterization import MLCharacterizer
+from repro.circuit.she_flow import SheFlow
+from repro.circuit.sta import StaticTimingAnalysis
+
+
+@dataclass
+class GuardbandResult:
+    """Clock periods (ps) under the two sign-off strategies."""
+
+    nominal_period: float  # no SHE consideration at all (optimistic floor)
+    worst_case_period: float  # global worst-case SHE corner (conventional)
+    she_aware_period: float  # per-instance SHE corner via ML characterization
+    max_she_dt: float
+    ml_validation_mape: float
+
+    @property
+    def guardband_worst_case(self):
+        """Sign-off margin added by the conventional flow (ps)."""
+        return self.worst_case_period - self.nominal_period
+
+    @property
+    def guardband_she_aware(self):
+        return self.she_aware_period - self.nominal_period
+
+    @property
+    def guardband_reduction(self):
+        """Fraction of the conventional guardband removed by the SHE flow."""
+        wc = self.guardband_worst_case
+        if wc <= 0:
+            return 0.0
+        return (wc - self.guardband_she_aware) / wc
+
+    @property
+    def performance_gain(self):
+        """Clock-frequency gain of SHE-aware sign-off over worst-case."""
+        return self.worst_case_period / self.she_aware_period - 1.0
+
+
+def guardband_comparison(
+    netlist,
+    base_library_factory,
+    chip_temperature_c=45.0,
+    aging_delta_vth=0.03,
+    ml_training_samples=1500,
+    seed=0,
+):
+    """Run nominal, worst-case, and SHE-aware sign-off on one netlist.
+
+    Parameters
+    ----------
+    base_library_factory:
+        Zero-argument callable returning a fresh, *uncharacterized*
+        library (cells are characterized at different corners per flow).
+    chip_temperature_c:
+        Ambient/chip temperature on top of which SHE adds.
+    aging_delta_vth:
+        End-of-life threshold shift applied in every corner (the study
+        isolates the SHE pessimism, so aging is equal across flows).
+    """
+    characterizer = SpiceLikeCharacterizer()
+
+    # 1. Nominal sign-off: chip temperature, no SHE (the optimistic floor).
+    nominal_lib = base_library_factory()
+    nominal_lib.temperature_c = chip_temperature_c
+    nominal_lib.delta_vth = aging_delta_vth
+    characterizer.characterize_library(nominal_lib)
+    nominal_sta = StaticTimingAnalysis(netlist, nominal_lib).run()
+    nominal_period = nominal_sta.min_feasible_period()
+
+    # 2. Per-instance SHE temperatures via the Fig. 3 upper flow.
+    she_report = SheFlow(characterizer).run(netlist, nominal_lib)
+    max_dt = she_report.spread()[2]
+
+    # 3. Conventional worst-case corner: everyone at chip temp + max SHE.
+    worst_lib = base_library_factory()
+    worst_lib.temperature_c = chip_temperature_c + max_dt
+    worst_lib.delta_vth = aging_delta_vth
+    characterizer.characterize_library(worst_lib)
+    worst_sta = StaticTimingAnalysis(netlist, worst_lib).run()
+    worst_period = worst_sta.min_feasible_period()
+
+    # 4. SHE-aware flow: ML-generated per-instance corner library.
+    ml = MLCharacterizer(oracle=characterizer, seed=seed)
+    ml.fit(nominal_lib, n_samples=ml_training_samples)
+    mape = ml.validate(nominal_lib)
+    instance_temps = {
+        name: chip_temperature_c + dt
+        for name, dt in she_report.instance_delta_t.items()
+    }
+    instance_dvth = {name: aging_delta_vth for name in instance_temps}
+    _, resolver = ml.generate_instance_library(
+        netlist, nominal_lib, instance_temps, instance_dvth
+    )
+    aware_sta = StaticTimingAnalysis(
+        netlist, nominal_lib, cell_resolver=resolver
+    ).run()
+    aware_period = aware_sta.min_feasible_period()
+
+    return GuardbandResult(
+        nominal_period=nominal_period,
+        worst_case_period=worst_period,
+        she_aware_period=aware_period,
+        max_she_dt=max_dt,
+        ml_validation_mape=mape,
+    )

@@ -1,0 +1,96 @@
+"""Cell libraries (Liberty-like) and the default 59-cell library of Fig. 2."""
+
+from __future__ import annotations
+
+from repro.circuit.cell import make_cell
+
+
+class Library:
+    """A named collection of standard cells with shared corner metadata.
+
+    Attributes
+    ----------
+    name:
+        Library/corner name, e.g. ``"nominal_25C"``.
+    temperature_c / vdd / delta_vth:
+        The PVT+aging corner the cells' tables were characterized at.
+    """
+
+    def __init__(self, name, temperature_c=25.0, vdd=0.8, delta_vth=0.0):
+        self.name = name
+        self.temperature_c = temperature_c
+        self.vdd = vdd
+        self.delta_vth = delta_vth
+        self._cells = {}
+
+    def add(self, cell):
+        if cell.name in self._cells:
+            raise ValueError(f"duplicate cell {cell.name!r} in library {self.name!r}")
+        self._cells[cell.name] = cell
+        return cell
+
+    def get(self, name):
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(f"cell {name!r} not in library {self.name!r}") from None
+
+    def __contains__(self, name):
+        return name in self._cells
+
+    def __len__(self):
+        return len(self._cells)
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def cell_names(self):
+        return list(self._cells)
+
+    def combinational_cells(self):
+        return [c for c in self if not c.is_sequential]
+
+    def clone_empty(self, name=None, **corner):
+        """A library with the same corner metadata but no cells."""
+        lib = Library(
+            name or self.name,
+            temperature_c=corner.get("temperature_c", self.temperature_c),
+            vdd=corner.get("vdd", self.vdd),
+            delta_vth=corner.get("delta_vth", self.delta_vth),
+        )
+        return lib
+
+
+# Kind/strength menu totalling 59 distinct cells, matching the count the
+# paper reports for the RISC-V core of Fig. 2 ("only 59 different standard
+# cells are used in the design").
+_DEFAULT_MENU = [
+    ("INV", (1, 2, 4, 8)),
+    ("BUF", (1, 2, 4)),
+    ("NAND2", (1, 2, 3, 4, 8)),
+    ("NAND3", (1, 2, 3, 4, 8)),
+    ("NOR2", (1, 2, 3, 4, 8)),
+    ("NOR3", (1, 2, 3, 4, 8)),
+    ("AND2", (1, 2, 3, 4, 8)),
+    ("OR2", (1, 2, 3, 4, 8)),
+    ("AOI21", (1, 2, 3, 4, 8)),
+    ("OAI21", (1, 2, 3, 4, 8)),
+    ("XOR2", (1, 2, 3, 4, 8)),
+    ("XNOR2", (1, 2, 3, 4, 8)),
+    ("DFF", (1, 2)),
+]
+
+
+def build_default_library(name="nominal", temperature_c=25.0, vdd=0.8, delta_vth=0.0):
+    """Build the default 59-cell library (uncharacterized).
+
+    Characterize it with :class:`repro.circuit.characterization.SpiceLikeCharacterizer`
+    before running STA.
+    """
+    lib = Library(name, temperature_c=temperature_c, vdd=vdd, delta_vth=delta_vth)
+    for kind, strengths in _DEFAULT_MENU:
+        for s in strengths:
+            lib.add(make_cell(kind, s))
+    # Expected cell count per the paper's Fig. 2 design (59 distinct cells).
+    assert len(lib) == 59, f"unexpected library size {len(lib)}"
+    return lib

@@ -1,0 +1,205 @@
+"""Gate-level netlists and a synthetic processor-core generator.
+
+The netlist is a DAG of cell instances between primary inputs and timing
+endpoints.  :func:`synthesize_core` generates a layered, processor-like
+post-layout design with realistic fan-out and wire-load distributions —
+the substitution for the paper's RISC-V core layout of Fig. 2 (what
+matters there is the per-instance *diversity* of slews and loads, which
+layering + random fan-out reproduces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Instance:
+    """One placed cell instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name, e.g. ``"u123"``.
+    cell_name:
+        Library cell this instance maps to.
+    fanin:
+        Mapping input pin -> driver (instance name or primary-input name).
+    wire_cap_ff:
+        Extra interconnect capacitance on the output net.
+    """
+
+    name: str
+    cell_name: str
+    fanin: dict = field(default_factory=dict)
+    wire_cap_ff: float = 0.0
+
+
+class Netlist:
+    """A combinational netlist between primary inputs and outputs.
+
+    Instances must form a DAG; :meth:`topological_order` raises on cycles.
+    """
+
+    def __init__(self, name="design"):
+        self.name = name
+        self.primary_inputs = []
+        self.primary_outputs = []  # instance names whose outputs are POs
+        self._instances = {}
+        self._fanout_cache = None
+
+    def add_primary_input(self, name):
+        if name in self._instances or name in self.primary_inputs:
+            raise ValueError(f"name {name!r} already used")
+        self.primary_inputs.append(name)
+        self._fanout_cache = None
+        return name
+
+    def add_instance(self, instance):
+        if instance.name in self._instances or instance.name in self.primary_inputs:
+            raise ValueError(f"name {instance.name!r} already used")
+        for pin, driver in instance.fanin.items():
+            if driver not in self._instances and driver not in self.primary_inputs:
+                raise ValueError(
+                    f"instance {instance.name!r} pin {pin!r} driven by unknown {driver!r}"
+                )
+        self._instances[instance.name] = instance
+        self._fanout_cache = None
+        return instance
+
+    def mark_primary_output(self, instance_name):
+        if instance_name not in self._instances:
+            raise ValueError(f"unknown instance {instance_name!r}")
+        self.primary_outputs.append(instance_name)
+
+    def get(self, name):
+        return self._instances[name]
+
+    def __len__(self):
+        return len(self._instances)
+
+    def __iter__(self):
+        return iter(self._instances.values())
+
+    def instance_names(self):
+        return list(self._instances)
+
+    def fanout_map(self):
+        """Mapping driver name -> list of (instance name, input pin) sinks."""
+        if self._fanout_cache is None:
+            fanout = {name: [] for name in self.primary_inputs}
+            fanout.update({name: [] for name in self._instances})
+            for inst in self._instances.values():
+                for pin, driver in inst.fanin.items():
+                    fanout[driver].append((inst.name, pin))
+            self._fanout_cache = fanout
+        return self._fanout_cache
+
+    def topological_order(self):
+        """Instance names in topological order (inputs first); raises on cycles."""
+        indegree = {name: len(inst.fanin) for name, inst in self._instances.items()}
+        # Edges from primary inputs are satisfied immediately.
+        for inst in self._instances.values():
+            for driver in inst.fanin.values():
+                if driver in self.primary_inputs:
+                    indegree[inst.name] -= 1
+        ready = [n for n, d in indegree.items() if d == 0]
+        fanout = self.fanout_map()
+        order = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for sink, _pin in fanout[name]:
+                indegree[sink] -= 1
+                if indegree[sink] == 0:
+                    ready.append(sink)
+        if len(order) != len(self._instances):
+            raise ValueError("netlist contains a combinational cycle")
+        return order
+
+    def load_of(self, name, library):
+        """Total load (fF) on an instance/PI output: sink pin caps + wire cap."""
+        load = 0.0
+        for sink_name, _pin in self.fanout_map()[name]:
+            sink = self._instances[sink_name]
+            load += library.get(sink.cell_name).input_cap_ff
+        if name in self._instances:
+            load += self._instances[name].wire_cap_ff
+        return load
+
+
+def synthesize_core(
+    library,
+    n_instances=800,
+    n_inputs=32,
+    n_levels=12,
+    seed=0,
+    output_fraction=0.08,
+):
+    """Generate a processor-core-like layered netlist over ``library`` cells.
+
+    Instances are placed into ``n_levels`` logic levels; each instance's
+    input pins connect to random drivers from the previous few levels (a
+    locality model of placed logic), and wire caps follow a lognormal
+    distribution as in routed designs.  Sequential cells (DFFs) are placed
+    at the final level so the design has register endpoints.
+    """
+    if n_instances < n_levels:
+        raise ValueError("need at least one instance per level")
+    rng = np.random.default_rng(seed)
+    netlist = Netlist(name=f"core_{n_instances}")
+    for i in range(n_inputs):
+        netlist.add_primary_input(f"pi{i}")
+
+    comb_cells = [c.name for c in library.combinational_cells()]
+    seq_cells = [c.name for c in library if c.is_sequential]
+    level_of = {}
+    levels = [[] for _ in range(n_levels)]
+    # Distribute instances over levels with a mid-heavy profile like real cones.
+    weights = np.array([1.0 + np.sin(np.pi * (l + 1) / (n_levels + 1)) for l in range(n_levels)])
+    weights /= weights.sum()
+    counts = np.maximum(1, (weights * n_instances).astype(int))
+    while counts.sum() < n_instances:
+        counts[rng.integers(n_levels)] += 1
+    while counts.sum() > n_instances:
+        counts[int(np.argmax(counts))] -= 1
+
+    uid = 0
+    for level in range(n_levels):
+        for _ in range(counts[level]):
+            name = f"u{uid}"
+            uid += 1
+            is_last = level == n_levels - 1
+            if is_last and seq_cells and rng.random() < 0.5:
+                cell_name = seq_cells[rng.integers(len(seq_cells))]
+            else:
+                cell_name = comb_cells[rng.integers(len(comb_cells))]
+            cell = library.get(cell_name)
+            fanin = {}
+            for pin in cell.inputs:
+                if level == 0:
+                    driver = f"pi{rng.integers(n_inputs)}"
+                else:
+                    # Prefer nearby levels (placement locality).
+                    back = min(int(rng.exponential(1.2)) + 1, level)
+                    candidates = levels[level - back]
+                    if not candidates:
+                        candidates = levels[level - 1]
+                    driver = candidates[rng.integers(len(candidates))]
+                fanin[pin] = driver
+            wire_cap = float(rng.lognormal(mean=0.2, sigma=0.6))
+            inst = Instance(name=name, cell_name=cell_name, fanin=fanin, wire_cap_ff=wire_cap)
+            netlist.add_instance(inst)
+            levels[level].append(name)
+            level_of[name] = level
+
+    # Primary outputs: the sequential endpoints plus a sample of last levels.
+    for name in levels[-1]:
+        netlist.mark_primary_output(name)
+    n_extra = max(1, int(output_fraction * n_instances))
+    pool = [n for lvl in levels[:-1] for n in lvl]
+    for name in rng.choice(pool, size=min(n_extra, len(pool)), replace=False):
+        netlist.mark_primary_output(str(name))
+    return netlist

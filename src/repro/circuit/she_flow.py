@@ -1,0 +1,112 @@
+"""The Fig. 3 self-heating flow: per-instance SHE through conventional STA.
+
+Upper flow of Fig. 3:
+
+1. characterize the standard-cell library normally (delays), and again
+   with SPICE instructions that *measure SHE temperatures* per timing arc;
+2. copy the SHE temperatures into the cell library, replacing delay
+   information;
+3. run conventional STA with the SHE library — the resulting SDF holds,
+   for every cell instance, its maximum SHE temperature under its actual
+   slew/load conditions (Fig. 2's per-instance temperature map).
+
+Slew tables are retained from the delay characterization so transition
+propagation during STA stays physical while the "delay" slot carries
+temperatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.cell import StandardCell
+from repro.circuit.characterization import SpiceLikeCharacterizer
+from repro.circuit.sta import StaticTimingAnalysis, write_sdf
+
+
+@dataclass
+class SheReport:
+    """Per-instance SHE results of one flow run."""
+
+    instance_delta_t: dict  # instance name -> max SHE dT (K)
+    instance_cell: dict  # instance name -> cell name
+    sdf_text: str
+
+    def temperatures(self):
+        return np.array(list(self.instance_delta_t.values()))
+
+    def spread(self):
+        """(min, mean, max) SHE dT across instances — the Fig. 2 spread."""
+        t = self.temperatures()
+        return float(t.min()), float(t.mean()), float(t.max())
+
+    def per_cell_type(self):
+        """Mapping cell name -> list of instance SHE dTs.
+
+        The paper's point: one cell *type* experiences a wide variety of
+        SHE temperatures depending on instance position and connectivity.
+        """
+        by_cell = {}
+        for name, dt in self.instance_delta_t.items():
+            by_cell.setdefault(self.instance_cell[name], []).append(dt)
+        return by_cell
+
+    def histogram(self, bins=10):
+        counts, edges = np.histogram(self.temperatures(), bins=bins)
+        return counts, edges
+
+
+class SheFlow:
+    """Run the Fig. 3 upper flow on a netlist.
+
+    Parameters
+    ----------
+    characterizer:
+        The SPICE-like characterizer (shared cost counter).
+    activity:
+        Assumed switching activity for SHE power.
+    """
+
+    def __init__(self, characterizer=None, activity=1.0):
+        self.characterizer = characterizer or SpiceLikeCharacterizer()
+        self.activity = activity
+
+    def build_she_library(self, delay_library):
+        """SHE-characterized copy of a delay-characterized library.
+
+        Delay tables are replaced by SHE temperature tables; output-slew
+        tables are copied from the delay characterization so STA
+        propagates realistic transitions.
+        """
+        she_lib = delay_library.clone_empty(name=f"{delay_library.name}_she")
+        for cell in delay_library:
+            if not cell.arcs:
+                raise ValueError(
+                    f"cell {cell.name} is uncharacterized; run delay characterization first"
+                )
+            clone = cell.clone_uncharacterized()
+            self.characterizer.characterize_cell_she(
+                clone, vdd=delay_library.vdd, activity=self.activity
+            )
+            # Keep physical slew propagation from the delay characterization.
+            for she_arc, delay_arc in zip(clone.arcs, cell.arcs):
+                she_arc.output_slew = delay_arc.output_slew
+            she_lib.add(clone)
+        return she_lib
+
+    def run(self, netlist, delay_library, input_slew_ps=20.0):
+        """Execute the flow and return a :class:`SheReport`."""
+        she_library = self.build_she_library(delay_library)
+        sta = StaticTimingAnalysis(
+            netlist, she_library, input_slew_ps=input_slew_ps
+        ).run()
+        annotation = sta.annotation()
+        sdf = write_sdf(sta, design_name=f"{netlist.name}_she")
+        instance_cell = {name: netlist.get(name).cell_name for name in annotation}
+        return SheReport(
+            instance_delta_t=annotation,
+            instance_cell=instance_cell,
+            sdf_text=sdf,
+        )

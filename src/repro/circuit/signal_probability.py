@@ -1,0 +1,112 @@
+"""Signal-probability propagation through a netlist.
+
+Workload-dependent aging (refs [11], [12]) needs each instance's stress
+statistics: the probability its output (and inputs) sit at logic high,
+and its switching activity.  This module propagates primary-input signal
+probabilities through the gate network using per-kind probability
+functions (inputs treated as independent — the standard first-order
+approximation), plus a lag-one activity estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _kind_of(cell_name):
+    return cell_name.split("_")[0]
+
+
+def output_probability(kind, input_probs):
+    """P(output = 1) of a gate given independent input-high probabilities."""
+    p = list(input_probs)
+    if kind in ("INV",):
+        return 1.0 - p[0]
+    if kind in ("BUF", "DFF"):
+        return p[0]
+    if kind == "NAND2":
+        return 1.0 - p[0] * p[1]
+    if kind == "NAND3":
+        return 1.0 - p[0] * p[1] * p[2]
+    if kind == "NOR2":
+        return (1.0 - p[0]) * (1.0 - p[1])
+    if kind == "NOR3":
+        return (1.0 - p[0]) * (1.0 - p[1]) * (1.0 - p[2])
+    if kind == "AND2":
+        return p[0] * p[1]
+    if kind == "OR2":
+        return 1.0 - (1.0 - p[0]) * (1.0 - p[1])
+    if kind == "XOR2":
+        return p[0] * (1.0 - p[1]) + p[1] * (1.0 - p[0])
+    if kind == "XNOR2":
+        return 1.0 - (p[0] * (1.0 - p[1]) + p[1] * (1.0 - p[0]))
+    if kind == "AOI21":  # Y = !((A & B) | C)
+        return (1.0 - p[0] * p[1]) * (1.0 - p[2])
+    if kind == "OAI21":  # Y = !((A | B) & C)
+        return 1.0 - (1.0 - (1.0 - p[0]) * (1.0 - p[1])) * p[2]
+    raise ValueError(f"no probability model for cell kind {kind!r}")
+
+
+def propagate_probabilities(netlist, pi_probabilities=None, default_pi=0.5):
+    """Per-net signal probabilities over a netlist.
+
+    Parameters
+    ----------
+    pi_probabilities:
+        Mapping primary-input name -> P(high); missing PIs default to
+        ``default_pi``.
+
+    Returns
+    -------
+    dict
+        net name (PI or instance name) -> P(high).
+    """
+    probs = {}
+    pi_probabilities = pi_probabilities or {}
+    for pi in netlist.primary_inputs:
+        p = pi_probabilities.get(pi, default_pi)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability for {pi!r} out of range")
+        probs[pi] = float(p)
+    for name in netlist.topological_order():
+        inst = netlist.get(name)
+        kind = _kind_of(inst.cell_name)
+        # Pin order matters for AOI/OAI; follow the cell's declared inputs.
+        input_probs = [probs[inst.fanin[pin]] for pin in sorted(inst.fanin)]
+        probs[name] = float(np.clip(output_probability(kind, input_probs), 0.0, 1.0))
+    return probs
+
+
+def switching_activity(probability):
+    """Lag-one activity estimate: P(toggle) = 2 p (1 - p) for i.i.d. cycles."""
+    p = np.asarray(probability, dtype=float)
+    return 2.0 * p * (1.0 - p)
+
+
+def instance_stress(netlist, pi_probabilities=None, default_pi=0.5):
+    """Per-instance aging stress statistics.
+
+    Returns a mapping instance name -> dict with
+
+    * ``duty_cycle`` — fraction of time the PMOS pull-up network is under
+      NBTI stress.  A PMOS stresses while its gate input is low; the
+      first-order per-cell figure is the mean input-low probability.
+    * ``activity`` — mean input switching activity (drives HCI).
+    * ``output_probability`` — P(output high).
+    """
+    probs = propagate_probabilities(netlist, pi_probabilities, default_pi)
+    stress = {}
+    for name in netlist.instance_names():
+        inst = netlist.get(name)
+        input_ps = [probs[d] for d in inst.fanin.values()]
+        if input_ps:
+            duty = float(np.mean([1.0 - p for p in input_ps]))
+            activity = float(np.mean(switching_activity(input_ps)))
+        else:
+            duty, activity = 0.5, 0.1
+        stress[name] = {
+            "duty_cycle": duty,
+            "activity": activity,
+            "output_probability": probs[name],
+        }
+    return stress

@@ -1,0 +1,240 @@
+"""Command-line interface: run paper experiments by name.
+
+Usage::
+
+    python -m repro list                # available experiments
+    python -m repro fig5               # Fig. 5 rollbacks sweep
+    python -m repro fig6 --runs 50     # Fig. 6 with 50 MC runs/point
+    python -m repro fig2 fig3 hdc      # several in sequence
+
+The CLI prints the same series the benchmark harness checks; the full
+statistical versions live under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _print_table(title, header, rows):
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(header)
+    ]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+def run_fig5(args):
+    """Fig. 5: rollbacks per segment vs error probability."""
+    from repro.core import MonteCarloStudy, adpcm_like_workload
+
+    study = MonteCarloStudy(
+        adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0
+    )
+    probs = [1e-8, 1e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4]
+    rows = []
+    analytic = study.analytic_rollbacks(probs)
+    for p, a in zip(probs, analytic):
+        point = study.run_level(p)
+        rows.append(
+            (f"{p:.0e}", f"{point.mean_rollbacks_per_segment:.3f}",
+             f"{a:.3f}" if a < 1e6 else ">1e6")
+        )
+    _print_table("Fig. 5: rollbacks per segment", ("p", "simulated", "analytic"), rows)
+
+
+def run_fig6(args):
+    """Fig. 6: deadline hit rate per policy vs error probability."""
+    from repro.core import ALL_POLICIES, MonteCarloStudy, adpcm_like_workload
+
+    study = MonteCarloStudy(
+        adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0
+    )
+    probs = [1e-8, 1e-7, 1e-6, 3e-6, 1e-5, 3e-5]
+    names = [p.name for p in ALL_POLICIES]
+    rows = []
+    for p in probs:
+        point = study.run_level(p)
+        rows.append((f"{p:.0e}", *(f"{point.hit_rate[n]:.2f}" for n in names)))
+    _print_table("Fig. 6: deadline hit rate", ("p", *names), rows)
+
+
+def run_fig2(args):
+    """Fig. 2: per-instance SHE spread over a synthesized core."""
+    from repro.circuit import (
+        SheFlow,
+        SpiceLikeCharacterizer,
+        build_default_library,
+        synthesize_core,
+    )
+
+    library = build_default_library(temperature_c=45.0)
+    characterizer = SpiceLikeCharacterizer()
+    characterizer.characterize_library(library)
+    netlist = synthesize_core(library, n_instances=args.instances, seed=0)
+    report = SheFlow(characterizer).run(netlist, library)
+    lo, mean, hi = report.spread()
+    counts, edges = report.histogram(bins=8)
+    rows = [(f"{edges[i]:.1f}-{edges[i+1]:.1f}", int(c)) for i, c in enumerate(counts)]
+    _print_table(
+        f"Fig. 2: SHE dT over {len(netlist)} instances "
+        f"(min {lo:.1f} / mean {mean:.1f} / max {hi:.1f} K)",
+        ("dT bin (K)", "#instances"),
+        rows,
+    )
+
+
+def run_fig3(args):
+    """Fig. 3: guardband comparison (worst-case vs SHE-aware ML)."""
+    from repro.circuit import (
+        SpiceLikeCharacterizer,
+        build_default_library,
+        guardband_comparison,
+        synthesize_core,
+    )
+
+    library = build_default_library()
+    SpiceLikeCharacterizer().characterize_library(library)
+    netlist = synthesize_core(library, n_instances=args.instances, seed=1)
+    result = guardband_comparison(
+        netlist, build_default_library, ml_training_samples=3000, seed=0
+    )
+    _print_table(
+        "Fig. 3: sign-off clock period per flow",
+        ("flow", "period (ps)"),
+        [
+            ("nominal", f"{result.nominal_period:.1f}"),
+            ("worst-case", f"{result.worst_case_period:.1f}"),
+            ("SHE-aware ML", f"{result.she_aware_period:.1f}"),
+        ],
+    )
+    print(
+        f"guardband reduction {result.guardband_reduction:.0%}, "
+        f"ML MAPE {result.ml_validation_mape:.2%}"
+    )
+
+
+def run_hdc(args):
+    """HDC robustness: accuracy vs component error rate."""
+    import numpy as np
+
+    from repro.hdc import HDCClassifier
+    from repro.ml import train_test_split
+
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(c, 0.7, size=(80, 6)) for c in (0.0, 2.0, 4.0, 6.0)])
+    y = np.repeat([0, 1, 2, 3], 80)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.3, seed=1)
+    clf = HDCClassifier(dim=4096, retrain_epochs=3, seed=0).fit(Xtr, ytr)
+    rates = (0.0, 0.2, 0.4)
+    accs = clf.accuracy_under_errors(Xte, yte, rates, n_repeats=3)
+    _print_table(
+        "Sec. II: HDC accuracy under hardware errors",
+        ("error rate", "accuracy"),
+        [(f"{r:.1f}", f"{a:.3f}") for r, a in zip(rates, accs)],
+    )
+
+
+def run_managers(args):
+    """Sec. IV: RL-DVFS manager vs baselines."""
+    from repro.system import (
+        RLDVFSManager,
+        StaticManager,
+        RandomManager,
+        generate_task_set,
+        run_managed_simulation,
+    )
+
+    tasks = generate_task_set(n_tasks=8, total_utilization=2.0, seed=0)
+    rows = []
+    for name, manager, train in (
+        ("static", StaticManager(), 0),
+        ("random", RandomManager(seed=1), 0),
+        ("RL-DVFS", RLDVFSManager(seed=0), 6),
+    ):
+        metrics = run_managed_simulation(
+            manager, tasks, n_cores=4, duration=15.0, seed=0,
+            training_episodes=train,
+        )
+        rows.append(
+            (name, f"{metrics.deadline_hit_rate:.3f}", f"{metrics.energy_j:.1f}",
+             f"{metrics.mttf_years:.2f}")
+        )
+    _print_table(
+        "Sec. IV: dynamic reliability managers",
+        ("manager", "deadline hit", "energy (J)", "MTTF (y)"),
+        rows,
+    )
+
+
+def run_wall(args):
+    """Sec. V-D: locate the error-rate wall per policy."""
+    from repro.core import ALL_POLICIES, MonteCarloStudy, adpcm_like_workload
+
+    study = MonteCarloStudy(
+        adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0
+    )
+    points = study.sweep([1e-8, 1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4])
+    rows = []
+    for policy in ALL_POLICIES:
+        wall = study.find_wall(points, policy.name)
+        rows.append(
+            (policy.name, f"{wall.last_safe_p:.0e}", f"{wall.first_failed_p:.0e}")
+        )
+    _print_table(
+        "Sec. V-D: error-rate wall per policy",
+        ("policy", "safe up to", "collapsed by"),
+        rows,
+    )
+
+
+EXPERIMENTS = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "hdc": run_hdc,
+    "managers": run_managers,
+    "wall": run_wall,
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run reproduced experiments from the DATE 2023 paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (or 'list' to enumerate them)",
+    )
+    parser.add_argument("--runs", type=int, default=100, help="Monte Carlo runs/point")
+    parser.add_argument(
+        "--instances", type=int, default=300, help="netlist size for circuit flows"
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if "list" in args.experiments:
+        print("available experiments:")
+        for name, fn in EXPERIMENTS.items():
+            print(f"  {name:<10} {fn.__doc__.strip().splitlines()[0]}")
+        return 0
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print("run 'python -m repro list' to see the menu", file=sys.stderr)
+        return 2
+    for name in args.experiments:
+        EXPERIMENTS[name](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

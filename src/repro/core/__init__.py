@@ -1,0 +1,82 @@
+"""The paper's own contribution (Sec. V and Fig. 1).
+
+Sec. V analyzes a fault-tolerant, timing-guaranteed system where
+
+* register-level errors strike with a static per-cycle probability
+  (:mod:`repro.core.error_model`, Eqs. (1)-(2)),
+* a checkpointing and rollback-recovery mechanism corrects them at a
+  cycle cost (:mod:`repro.core.checkpoint`),
+* a cycle-noise mitigation mechanism (budget policies DS / DS 1.5x /
+  DS 2x / WCET over per-segment processor speeds) keeps deadlines
+  (:mod:`repro.core.cycle_noise`),
+* an ADPCM-like segmented workload exercises it
+  (:mod:`repro.core.workload`), and
+* Monte Carlo sweeps over error probability regenerate Fig. 5 (rollbacks
+  per segment) and Fig. 6 (deadline hit rate)
+  (:mod:`repro.core.montecarlo`).
+
+:mod:`repro.core.framework` provides the Fig. 1 learning-based
+reliability-management loop shared with :mod:`repro.system`.
+"""
+
+from repro.core.error_model import (
+    prob_no_error,
+    rollback_pmf,
+    expected_rollbacks,
+    sample_rollbacks,
+)
+from repro.core.checkpoint import CheckpointSystem, CHECKPOINT_CYCLES, ROLLBACK_CYCLES
+from repro.core.workload import SegmentedWorkload, adpcm_like_workload
+from repro.core.cycle_noise import (
+    BudgetPolicy,
+    DS,
+    DS_1_5X,
+    DS_2X,
+    WCET,
+    ALL_POLICIES,
+    MitigatedRun,
+    simulate_run,
+)
+from repro.core.montecarlo import MonteCarloStudy, ErrorRateWall
+from repro.core.framework import ReliabilityManagementLoop
+from repro.core.learned_policy import (
+    AdaptiveBudgetPolicy,
+    MLExecutionTimePredictor,
+    quantile_rollbacks,
+)
+from repro.core.cross_layer import (
+    AgingAwareSystem,
+    MissionLog,
+    compare_strategies,
+    run_mission,
+)
+
+__all__ = [
+    "prob_no_error",
+    "rollback_pmf",
+    "expected_rollbacks",
+    "sample_rollbacks",
+    "CheckpointSystem",
+    "CHECKPOINT_CYCLES",
+    "ROLLBACK_CYCLES",
+    "SegmentedWorkload",
+    "adpcm_like_workload",
+    "BudgetPolicy",
+    "DS",
+    "DS_1_5X",
+    "DS_2X",
+    "WCET",
+    "ALL_POLICIES",
+    "MitigatedRun",
+    "simulate_run",
+    "MonteCarloStudy",
+    "ErrorRateWall",
+    "ReliabilityManagementLoop",
+    "AdaptiveBudgetPolicy",
+    "MLExecutionTimePredictor",
+    "quantile_rollbacks",
+    "AgingAwareSystem",
+    "MissionLog",
+    "compare_strategies",
+    "run_mission",
+]

@@ -1,0 +1,131 @@
+"""Checkpointing and rollback-recovery timing model (Sec. V-B).
+
+Each application is segmented into atomic units.  A checkpoint routine of
+100 cycles ends every segment; when an error occurred during the segment,
+a rollback routine of 48 cycles is inserted and the segment is recomputed
+— followed by another checkpoint, and possibly further rollbacks, with no
+bound on the re-computation count (costs follow [51]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.error_model import expected_rollbacks, sample_rollbacks
+
+CHECKPOINT_CYCLES = 100
+ROLLBACK_CYCLES = 48
+
+
+class CheckpointSystem:
+    """Timing of segments under checkpointing and rollback-recovery.
+
+    Parameters
+    ----------
+    error_probability:
+        Per-cycle error probability ``p`` of the Sec. V-A model.
+    checkpoint_cycles / rollback_cycles:
+        Routine costs; defaults follow the paper ([51]).
+    """
+
+    def __init__(
+        self,
+        error_probability,
+        checkpoint_cycles=CHECKPOINT_CYCLES,
+        rollback_cycles=ROLLBACK_CYCLES,
+        include_routine_errors=False,
+    ):
+        if not 0.0 <= error_probability < 1.0:
+            raise ValueError("error probability must be in [0, 1)")
+        if checkpoint_cycles < 0 or rollback_cycles < 0:
+            raise ValueError("routine costs must be non-negative")
+        self.p = error_probability
+        self.checkpoint_cycles = checkpoint_cycles
+        self.rollback_cycles = rollback_cycles
+        # The paper's Eq. (2) exposes only the segment's n_c cycles to
+        # errors; with this flag the checkpoint (and, on retries, the
+        # rollback) routines are also exposed — an ablation quantifying
+        # how much the exclusion matters.
+        self.include_routine_errors = include_routine_errors
+
+    def _exposed_cycles(self, segment_cycles, is_retry=False):
+        if not self.include_routine_errors:
+            return segment_cycles
+        extra = self.checkpoint_cycles + (self.rollback_cycles if is_retry else 0)
+        return segment_cycles + extra
+
+    def clean_segment_cycles(self, segment_cycles):
+        """Cycles of a segment plus its mandatory checkpoint (no errors)."""
+        return segment_cycles + self.checkpoint_cycles
+
+    def segment_cycles_with_rollbacks(self, segment_cycles, n_rollbacks):
+        """Total cycles when the segment needed ``n_rollbacks`` re-computations.
+
+        Every re-computation pays the rollback routine, repeats the
+        segment, and ends with another checkpoint.
+        """
+        if n_rollbacks < 0:
+            raise ValueError("rollback count must be non-negative")
+        clean = self.clean_segment_cycles(segment_cycles)
+        per_retry = self.rollback_cycles + segment_cycles + self.checkpoint_cycles
+        return clean + n_rollbacks * per_retry
+
+    def sample_segment(self, segment_cycles, rng):
+        """Sample ``(n_rollbacks, total_cycles)`` for one segment execution."""
+        n_rb = sample_rollbacks(
+            self.p, self._exposed_cycles(segment_cycles), rng
+        )
+        return n_rb, self.segment_cycles_with_rollbacks(segment_cycles, n_rb)
+
+    def expected_segment_rollbacks(self, segment_cycles):
+        """Analytic mean rollback count for a segment (Fig. 5's quantity)."""
+        return expected_rollbacks(self.p, self._exposed_cycles(segment_cycles))
+
+    def expected_overhead_factor(self, segment_cycles):
+        """Expected total cycles divided by clean cycles for one segment."""
+        mean_rb = self.expected_segment_rollbacks(segment_cycles)
+        if np.isinf(mean_rb):
+            return np.inf
+        clean = self.clean_segment_cycles(segment_cycles)
+        per_retry = self.rollback_cycles + segment_cycles + self.checkpoint_cycles
+        return (clean + mean_rb * per_retry) / clean
+
+    def expected_total_cycles(self, total_work_cycles, n_segments):
+        """Expected cycles to run ``total_work_cycles`` split into
+        ``n_segments`` equal segments, including checkpoints and expected
+        re-computations."""
+        if n_segments < 1:
+            raise ValueError("need at least one segment")
+        segment = total_work_cycles / n_segments
+        mean_rb = self.expected_segment_rollbacks(segment)
+        if np.isinf(mean_rb):
+            return np.inf
+        clean = segment + self.checkpoint_cycles
+        per_retry = self.rollback_cycles + segment + self.checkpoint_cycles
+        return n_segments * (clean + mean_rb * per_retry)
+
+    def optimal_segment_count(self, total_work_cycles, n_max=10_000):
+        """Checkpoint-count optimization ([51]): the segment count that
+        minimizes expected total cycles.
+
+        More segments cost more checkpoint routines but make every
+        re-computation cheaper; the optimum balances the two (the cycle
+        analogue of the Young/Daly checkpoint-interval formula).  Found
+        by ternary search over the (unimodal) expected-cycles curve.
+        """
+        if total_work_cycles <= 0:
+            raise ValueError("total work must be positive")
+        lo, hi = 1, max(2, min(n_max, int(total_work_cycles)))
+        while hi - lo > 2:
+            m1 = lo + (hi - lo) // 3
+            m2 = hi - (hi - lo) // 3
+            if self.expected_total_cycles(total_work_cycles, m1) <= (
+                self.expected_total_cycles(total_work_cycles, m2)
+            ):
+                hi = m2
+            else:
+                lo = m1
+        candidates = range(lo, hi + 1)
+        return min(
+            candidates, key=lambda n: self.expected_total_cycles(total_work_cycles, n)
+        )

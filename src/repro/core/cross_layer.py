@@ -1,0 +1,194 @@
+"""Run-time cross-layer reliability management (Sec. VI-A).
+
+The paper's first open challenge: faults and degradation propagate across
+layers, and static per-layer margins compound into heavy pessimism.  This
+module implements the canonical cross-layer loop for *aging*:
+
+* **device layer** — NBTI shifts the threshold voltage over the mission
+  (:mod:`repro.transistor.aging`), which
+* **circuit layer** — stretches the critical-path delay (alpha-power law),
+  which
+* **system layer** — erodes the timing margin of the clock the system
+  chose at design time.
+
+Three management strategies are compared over a mission:
+
+* ``static worst-case`` — clock at the end-of-life safe frequency from
+  day one (the conventional guardband; always safe, always slow);
+* ``static nominal`` — clock at the fresh-silicon frequency forever
+  (fast until aging silently breaks timing);
+* ``adaptive cross-layer`` — track the predicted threshold shift (from
+  the physics model, or its HDC mimic for confidentiality) and re-clock
+  each epoch just under the current safe frequency.
+
+The adaptive loop may also scale voltage: raising VDD restores speed but
+accelerates further aging — the cross-layer feedback that makes the
+problem non-trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.transistor.aging import nbti_delta_vth
+from repro.transistor.device import ALPHA
+
+YEAR_S = 3.154e7
+
+
+@dataclass
+class MissionLog:
+    """Per-epoch trace of one managed mission."""
+
+    strategy: str
+    times_y: list = field(default_factory=list)
+    frequencies: list = field(default_factory=list)
+    delays: list = field(default_factory=list)
+    violations: int = 0
+    work: float = 0.0  # accumulated cycles (GHz * seconds)
+
+    @property
+    def mean_frequency(self):
+        return float(np.mean(self.frequencies)) if self.frequencies else 0.0
+
+
+class AgingAwareSystem:
+    """A clocked core whose critical path ages under NBTI.
+
+    Parameters
+    ----------
+    nominal_delay_ps:
+        Fresh-silicon critical-path delay at the nominal corner.
+    vdd / vth0:
+        Supply and fresh threshold voltage.
+    duty_cycle / temperature_c:
+        Stress conditions driving NBTI over the mission.
+    """
+
+    def __init__(
+        self,
+        nominal_delay_ps=500.0,
+        vdd=0.8,
+        vth0=0.30,
+        duty_cycle=0.5,
+        temperature_c=85.0,
+    ):
+        if nominal_delay_ps <= 0:
+            raise ValueError("nominal delay must be positive")
+        self.nominal_delay_ps = nominal_delay_ps
+        self.vdd = vdd
+        self.vth0 = vth0
+        self.duty_cycle = duty_cycle
+        self.temperature_c = temperature_c
+
+    def delta_vth_at(self, t_seconds):
+        """Threshold shift after ``t_seconds`` of mission stress."""
+        if t_seconds <= 0:
+            return 0.0
+        return float(
+            nbti_delta_vth(
+                t_seconds, self.duty_cycle, self.temperature_c, vdd=self.vdd
+            )
+        )
+
+    def delay_at(self, t_seconds, vdd=None):
+        """Critical-path delay (ps) after aging, alpha-power scaled."""
+        vdd = vdd if vdd is not None else self.vdd
+        dvth = self.delta_vth_at(t_seconds)
+        fresh_overdrive = self.vdd - self.vth0
+        overdrive = vdd - (self.vth0 + dvth)
+        if overdrive <= 0.02:
+            return float("inf")
+        return self.nominal_delay_ps * (fresh_overdrive / overdrive) ** ALPHA * (
+            self.vdd / vdd
+        )
+
+    def safe_frequency_at(self, t_seconds, margin=0.02, vdd=None):
+        """Maximum safe clock (GHz) with a small margin, given true aging."""
+        delay = self.delay_at(t_seconds, vdd=vdd)
+        if not np.isfinite(delay):
+            return 0.0
+        return 1000.0 / delay * (1.0 - margin)
+
+    def nominal_frequency(self, margin=0.02):
+        return 1000.0 / self.nominal_delay_ps * (1.0 - margin)
+
+
+def run_mission(
+    system,
+    strategy,
+    mission_years=10.0,
+    epochs_per_year=12,
+    aging_predictor=None,
+    margin=0.02,
+):
+    """Simulate a mission under one clocking strategy.
+
+    Parameters
+    ----------
+    strategy:
+        ``"static_worst_case"``, ``"static_nominal"``, or ``"adaptive"``.
+    aging_predictor:
+        For the adaptive strategy: callable ``t_seconds -> delta_vth``
+        used by the manager (the true physics model by default, or an
+        HDC mimic for the confidentiality scenario).  Prediction error
+        translates directly into violations or lost work.
+    """
+    if strategy not in ("static_worst_case", "static_nominal", "adaptive"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    n_epochs = int(mission_years * epochs_per_year)
+    dt_s = mission_years * YEAR_S / n_epochs
+    log = MissionLog(strategy=strategy)
+
+    eol_s = mission_years * YEAR_S
+    if strategy == "static_worst_case":
+        fixed_freq = system.safe_frequency_at(eol_s, margin=margin)
+    elif strategy == "static_nominal":
+        fixed_freq = system.nominal_frequency(margin=margin)
+    else:
+        fixed_freq = None
+        predictor = aging_predictor or system.delta_vth_at
+
+    for epoch in range(n_epochs):
+        t = epoch * dt_s
+        if strategy == "adaptive":
+            dvth = predictor(t) if t > 0 else 0.0
+            overdrive = system.vdd - (system.vth0 + dvth)
+            if overdrive <= 0.02:
+                freq = 0.0
+            else:
+                predicted_delay = system.nominal_delay_ps * (
+                    (system.vdd - system.vth0) / overdrive
+                ) ** ALPHA
+                freq = 1000.0 / predicted_delay * (1.0 - margin)
+        else:
+            freq = fixed_freq
+        true_delay = system.delay_at(t)
+        period_ps = 1000.0 / freq if freq > 0 else float("inf")
+        violated = period_ps < true_delay
+        if violated:
+            log.violations += 1
+        else:
+            log.work += freq * dt_s  # only violation-free cycles count
+        log.times_y.append(t / YEAR_S)
+        log.frequencies.append(freq)
+        log.delays.append(true_delay)
+    return log
+
+
+def compare_strategies(
+    system, mission_years=10.0, aging_predictor=None, epochs_per_year=12
+):
+    """Run all three strategies; returns {strategy: MissionLog}."""
+    return {
+        s: run_mission(
+            system,
+            s,
+            mission_years=mission_years,
+            epochs_per_year=epochs_per_year,
+            aging_predictor=aging_predictor,
+        )
+        for s in ("static_worst_case", "static_nominal", "adaptive")
+    }

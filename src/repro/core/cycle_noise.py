@@ -1,0 +1,129 @@
+"""Cycle-noise mitigation via per-segment budgets and speeds (Sec. V-C).
+
+The multi-timescale mitigation approach ([53]) allots every segment a
+*cycle budget* and a share of the application deadline; the processor
+speed for the segment is set so the budget fits its time slot.  Budgets
+larger than the clean cycle count absorb rollback-induced cycle noise at
+the price of a higher speed (more energy).  The four policies analyzed:
+
+* ``DS``      — dynamic-scenario based, tight budget (clean cycles);
+* ``DS 1.5x`` — DS budgets scaled by 1.5;
+* ``DS 2x``   — DS budgets scaled by 2;
+* ``WCET``    — worst-case budget (clean cycles for the segment plus a
+  conservative static rollback allowance), the most conservative.
+
+Speeds are capped at the processor's maximum; beyond the error-rate wall
+even the maximum speed cannot absorb the rollback storm and deadlines
+fall (Sec. V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+MAX_SPEED = 4.0
+NOMINAL_SPEED = 1.0
+WCET_ROLLBACK_ALLOWANCE = 3  # statically budgeted re-computations per segment
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """A budget policy: clean-cycle scale factor or static WCET allowance."""
+
+    name: str
+    scale: float = 1.0
+    rollback_allowance: int = 0
+
+    def budget_cycles(self, segment_cycles, checkpoint_cycles, rollback_cycles):
+        """Cycle budget allotted to one segment."""
+        clean = segment_cycles + checkpoint_cycles
+        per_retry = rollback_cycles + segment_cycles + checkpoint_cycles
+        return self.scale * clean + self.rollback_allowance * per_retry
+
+
+DS = BudgetPolicy(name="DS", scale=1.0)
+DS_1_5X = BudgetPolicy(name="DS 1.5x", scale=1.5)
+DS_2X = BudgetPolicy(name="DS 2x", scale=2.0)
+WCET = BudgetPolicy(name="WCET", scale=1.0, rollback_allowance=WCET_ROLLBACK_ALLOWANCE)
+
+ALL_POLICIES = (DS, DS_1_5X, DS_2X, WCET)
+
+
+@dataclass
+class MitigatedRun:
+    """Result of one application run under a policy."""
+
+    policy: str
+    deadline: float
+    finish_time: float
+    rollbacks_per_segment: float
+    mean_speed: float
+    energy: float  # sum cycles * speed^2 (dynamic-energy proxy)
+
+    @property
+    def deadline_met(self):
+        return self.finish_time <= self.deadline + 1e-9
+
+
+def simulate_run(
+    workload,
+    checkpoint_system,
+    policy,
+    rng,
+    max_speed=MAX_SPEED,
+    min_speed=NOMINAL_SPEED,
+):
+    """Execute one run of ``workload`` under ``policy``.
+
+    Each segment gets a time slot proportional to its clean cycles; the
+    planned speed executes the policy's cycle budget within the slot
+    (capped at ``max_speed``).  Rollback cycles beyond the budget overrun
+    the slot and consume downstream slack; the run misses when the final
+    finish time exceeds the application deadline.
+
+    Early exit: once the accumulated time cannot be recovered even by
+    running every remaining cycle at maximum speed, the run is a miss
+    (keeps deep-past-the-wall simulations cheap).
+    """
+    cp = checkpoint_system
+    clean_total = workload.clean_cycles(cp.checkpoint_cycles)
+    deadline = workload.deadline(NOMINAL_SPEED, cp.checkpoint_cycles)
+
+    time_used = 0.0
+    total_rollbacks = 0
+    total_cycles = 0
+    energy = 0.0
+    speeds = []
+    for segment_cycles in workload:
+        clean = cp.clean_segment_cycles(segment_cycles)
+        slot = deadline * clean / clean_total
+        budget = policy.budget_cycles(
+            segment_cycles, cp.checkpoint_cycles, cp.rollback_cycles
+        )
+        speed = float(np.clip(budget / slot, min_speed, max_speed))
+        n_rb, actual_cycles = cp.sample_segment(segment_cycles, rng)
+        if hasattr(policy, "observe"):
+            # Learning policies feed executed-segment outcomes back into
+            # their execution-time estimator (Sec. V's suggested extension).
+            policy.observe(segment_cycles, n_rb)
+        total_rollbacks += n_rb
+        total_cycles += actual_cycles
+        time_used += actual_cycles / speed
+        energy += actual_cycles * speed**2
+        speeds.append(speed)
+        if (time_used - deadline) > 0 and (
+            time_used - deadline
+        ) * max_speed > clean_total:
+            # Hopelessly late: no remaining-speed headroom can recover.
+            break
+
+    return MitigatedRun(
+        policy=policy.name,
+        deadline=deadline,
+        finish_time=time_used,
+        rollbacks_per_segment=total_rollbacks / len(workload),
+        mean_speed=float(np.mean(speeds)),
+        energy=energy,
+    )

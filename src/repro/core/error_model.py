@@ -1,0 +1,81 @@
+"""Register-level error model (Sec. V-A, Eqs. (1) and (2)).
+
+A cycle is erroneous when any pipeline-stage register holds a wrong
+value; the per-cycle error probability ``p`` is static over time.  For an
+interval of ``n_c`` cycles,
+
+    Pr(N_e = 0) = (1 - p)^n_c                                  (1)
+
+and the number of rollbacks a segment needs follows the geometric
+distribution
+
+    Pr(N_rb = n) = (1 - (1-p)^n_c)^n * (1-p)^n_c               (2)
+
+with *no bound* on the number of re-computations — the property prior
+work lacked (Sec. V-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(p, n_cycles):
+    if not 0.0 <= p < 1.0:
+        raise ValueError("error probability must be in [0, 1)")
+    if np.any(np.asarray(n_cycles) < 0):
+        raise ValueError("cycle count must be non-negative")
+
+
+def prob_no_error(p, n_cycles):
+    """Eq. (1): probability an interval of ``n_cycles`` is error-free.
+
+    Computed in log space so huge cycle counts do not underflow to a
+    hard zero prematurely.
+    """
+    _validate(p, n_cycles)
+    n_cycles = np.asarray(n_cycles, dtype=float)
+    if p == 0.0:
+        return np.ones_like(n_cycles) if n_cycles.ndim else 1.0
+    out = np.exp(n_cycles * np.log1p(-p))
+    return float(out) if out.ndim == 0 else out
+
+
+def rollback_pmf(p, n_cycles, n_rollbacks):
+    """Eq. (2): probability of exactly ``n_rollbacks`` for one segment."""
+    _validate(p, n_cycles)
+    if np.any(np.asarray(n_rollbacks) < 0):
+        raise ValueError("rollback count must be non-negative")
+    q = prob_no_error(p, n_cycles)
+    n_rollbacks = np.asarray(n_rollbacks, dtype=float)
+    out = (1.0 - q) ** n_rollbacks * q
+    return float(out) if out.ndim == 0 else out
+
+
+def expected_rollbacks(p, n_cycles):
+    """Mean of the geometric distribution of Eq. (2): ``(1-q)/q``."""
+    _validate(p, n_cycles)
+    q = prob_no_error(p, n_cycles)
+    if np.any(np.asarray(q) <= 0.0):
+        return np.inf
+    out = (1.0 - q) / q
+    return float(out) if np.ndim(out) == 0 else out
+
+
+def sample_rollbacks(p, n_cycles, rng, cap=1_000_000):
+    """Draw one rollback count from Eq. (2).
+
+    ``cap`` guards the simulation against astronomically long runs deep
+    past the error-rate wall (a capped sample only ever *understates*
+    rollbacks, which is conservative for deadline-miss detection).
+    """
+    _validate(p, n_cycles)
+    q = prob_no_error(p, n_cycles)
+    if q <= 0.0:
+        return cap
+    if q >= 1.0:
+        return 0
+    # Geometric with success probability q; numpy counts trials, we count
+    # failures before the first success.
+    sample = int(rng.geometric(q)) - 1
+    return min(sample, cap)

@@ -1,0 +1,77 @@
+"""The Fig. 1 learning-based reliability-management loop.
+
+Fig. 1 abstracts every manager in this library into one workflow: an
+*agent* observes the system's **state**, applies an **action** through
+optimization knobs, and receives a **reward** computed from resiliency
+models (MTTF, SER, deadline statistics).  This module provides that
+abstraction as a reusable loop so new managers only supply three
+callables; :class:`repro.system.managers.RLDVFSManager` is the
+hand-specialized equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LoopHistory:
+    """Trace of one management episode."""
+
+    states: list = field(default_factory=list)
+    actions: list = field(default_factory=list)
+    rewards: list = field(default_factory=list)
+
+    @property
+    def total_reward(self):
+        return float(sum(self.rewards))
+
+
+class ReliabilityManagementLoop:
+    """Generic observe-act-reward loop around a Q-learning agent.
+
+    Parameters
+    ----------
+    agent:
+        A :class:`repro.system.rl.QLearningAgent` (or any object with
+        ``act``/``update``).
+    observe:
+        ``observe(system) -> state tuple`` — the Fig. 1 "states" arrow,
+        built from monitors (temperature, utilization, error counters).
+    apply_action:
+        ``apply_action(system, action) -> None`` — the "actions" arrow,
+        turning the agent's choice into knob settings (V-f, mapping, DPM).
+    reward:
+        ``reward(system) -> float`` — the "reward" arrow, evaluated from
+        resiliency models after the system ran under the chosen action.
+    step_system:
+        ``step_system(system) -> None`` — advances the managed system one
+        control epoch.
+    """
+
+    def __init__(self, agent, observe, apply_action, reward, step_system):
+        self.agent = agent
+        self.observe = observe
+        self.apply_action = apply_action
+        self.reward = reward
+        self.step_system = step_system
+
+    def run_episode(self, system, n_epochs, learn=True):
+        """Run one management episode; returns its :class:`LoopHistory`."""
+        if n_epochs < 1:
+            raise ValueError("need at least one epoch")
+        history = LoopHistory()
+        state = self.observe(system)
+        for _ in range(n_epochs):
+            action = self.agent.act(state, explore=learn)
+            self.apply_action(system, action)
+            self.step_system(system)
+            next_state = self.observe(system)
+            r = self.reward(system)
+            if learn:
+                self.agent.update(state, action, r, next_state)
+            history.states.append(state)
+            history.actions.append(action)
+            history.rewards.append(r)
+            state = next_state
+        return history

@@ -1,0 +1,156 @@
+"""Learning-based cycle-noise budgeting (Sec. V's suggested optimization).
+
+The paper notes the "cycle-noise mitigation system can be optimized by
+learning-based approaches to improve its prediction accuracy of execution
+time".  Two learners are provided:
+
+* :class:`AdaptiveBudgetPolicy` — an on-line estimator: it tracks the
+  observed rollback statistics, maintains a per-cycle error-probability
+  estimate ``p_hat``, and budgets each segment at a chosen quantile of
+  its predicted rollback distribution (Eq. (2) with ``p_hat``).  Below
+  the wall it converges to DS-like tight budgets; as errors appear it
+  automatically grows budgets toward (and past) WCET's.
+* :class:`MLExecutionTimePredictor` — an off-line supervised model
+  mapping (segment length, error-probability estimate) to a cycle-budget
+  quantile, trained on simulated history; it generalizes across segment
+  lengths without storing per-segment state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.error_model import prob_no_error
+
+
+def quantile_rollbacks(p, n_cycles, quantile=0.95):
+    """Smallest r with ``P(N_rb <= r) >= quantile`` under Eq. (2).
+
+    Returns a large cap when the segment is hopeless (q ~ 0).
+    """
+    if not 0.0 <= quantile < 1.0:
+        raise ValueError("quantile must be in [0, 1)")
+    q = prob_no_error(p, n_cycles)
+    if q <= 1e-12:
+        return 10_000
+    if q >= 1.0:
+        return 0
+    # Geometric CDF: P(N <= r) = 1 - (1-q)^(r+1)
+    r = int(np.ceil(np.log(1.0 - quantile) / np.log(1.0 - q)) - 1)
+    return max(r, 0)
+
+
+class AdaptiveBudgetPolicy:
+    """On-line learned budget policy for the cycle-noise mitigation system.
+
+    Parameters
+    ----------
+    quantile:
+        Coverage target for the per-segment budget; higher is more
+        conservative.
+    prior_errors / prior_cycles:
+        Beta-like smoothing of the error-probability estimate, so the
+        cold-start budget is mildly conservative instead of zero-margin.
+    """
+
+    name = "Learned"
+
+    def __init__(self, quantile=0.98, prior_errors=0.5, prior_cycles=5e6):
+        if prior_cycles <= 0:
+            raise ValueError("prior_cycles must be positive")
+        self.quantile = quantile
+        self.prior_errors = prior_errors
+        self.prior_cycles = prior_cycles
+        self.observed_rollbacks = 0.0
+        self.observed_cycles = 0.0
+
+    @property
+    def p_hat(self):
+        """Current per-cycle error-probability estimate.
+
+        For small p, E[rollbacks] ~ p * n_c per segment attempt, so the
+        ratio of total rollbacks to total clean cycles executed is a
+        consistent estimator; the prior keeps it finite and non-zero.
+        """
+        return (self.observed_rollbacks + self.prior_errors) / (
+            self.observed_cycles + self.prior_cycles
+        )
+
+    def observe(self, segment_cycles, n_rollbacks):
+        """Feed one executed segment's outcome back into the estimator."""
+        if segment_cycles <= 0 or n_rollbacks < 0:
+            raise ValueError("invalid observation")
+        # Every attempt (first run + each re-computation) exposes n_c cycles.
+        self.observed_cycles += segment_cycles * (n_rollbacks + 1)
+        self.observed_rollbacks += n_rollbacks
+
+    def budget_cycles(self, segment_cycles, checkpoint_cycles, rollback_cycles):
+        """Quantile budget under the current error-probability estimate."""
+        clean = segment_cycles + checkpoint_cycles
+        per_retry = rollback_cycles + segment_cycles + checkpoint_cycles
+        r = quantile_rollbacks(self.p_hat, segment_cycles, self.quantile)
+        r = min(r, 50)  # budgets beyond ~50 retries exceed any speed anyway
+        return clean + r * per_retry
+
+
+class MLExecutionTimePredictor:
+    """Supervised execution-time (cycle-budget) predictor.
+
+    Trains a gradient-boosted regressor on simulated segment executions:
+    features are (segment cycles, log10 of the error-probability estimate)
+    and the target is the empirical ``quantile`` of total executed cycles.
+    Deployment wraps it in the same ``budget_cycles`` interface the
+    mitigation runtime consumes.
+    """
+
+    name = "ML-predictor"
+
+    def __init__(self, quantile=0.98, seed=0):
+        from repro.ml.ensemble import GradientBoostingRegressor
+
+        self.quantile = quantile
+        self.seed = seed
+        self._model = GradientBoostingRegressor(
+            n_estimators=40, learning_rate=0.15, max_depth=3, seed=seed
+        )
+        self._fitted = False
+        self._p_assumed = None
+
+    def fit(self, error_probs, segment_range=(40_000, 270_000), n_samples=400,
+            samples_per_point=60):
+        """Sample (segment, p) -> quantile-cycles pairs and fit the model."""
+        from repro.core.checkpoint import CheckpointSystem
+
+        rng = np.random.default_rng(self.seed)
+        X = []
+        y = []
+        for _ in range(n_samples):
+            p = float(rng.choice(error_probs))
+            n_c = int(rng.integers(segment_range[0], segment_range[1] + 1))
+            cp = CheckpointSystem(p)
+            totals = [
+                cp.sample_segment(n_c, rng)[1] for _ in range(samples_per_point)
+            ]
+            X.append([n_c, np.log10(p)])
+            y.append(float(np.quantile(totals, self.quantile)))
+        X = np.asarray(X)
+        y = np.asarray(y)
+        self._model.fit(X, np.log(y))
+        self._fitted = True
+        return self
+
+    def assume_error_probability(self, p):
+        """Set the error-probability estimate used at budgeting time."""
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        self._p_assumed = p
+
+    def budget_cycles(self, segment_cycles, checkpoint_cycles, rollback_cycles):
+        if not self._fitted:
+            raise RuntimeError("predictor is not fitted")
+        if self._p_assumed is None:
+            raise RuntimeError("call assume_error_probability first")
+        x = np.asarray([[segment_cycles, np.log10(self._p_assumed)]])
+        predicted = float(np.exp(self._model.predict(x)[0]))
+        # Never budget below the clean execution.
+        return max(predicted, segment_cycles + checkpoint_cycles)

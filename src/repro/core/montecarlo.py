@@ -1,0 +1,134 @@
+"""Monte Carlo study regenerating Fig. 5 and Fig. 6 (Sec. V-D).
+
+For each error-probability level the study performs ``n_runs`` Monte
+Carlo simulations (the paper uses 100) of the segmented workload under
+the checkpoint/rollback system and each budget policy, and averages
+
+* the number of rollbacks per segment (Fig. 5), and
+* the deadline hit rate per policy (Fig. 6).
+
+The *error-rate wall* — the narrow band of error probability where hit
+rates collapse from ~1 to ~0 — is located by
+:meth:`MonteCarloStudy.find_wall`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.checkpoint import CheckpointSystem
+from repro.core.cycle_noise import ALL_POLICIES, simulate_run
+
+DEFAULT_ERROR_PROBS = tuple(float(p) for p in np.logspace(-8, -3, 11))
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated results at one error-probability level."""
+
+    error_probability: float
+    mean_rollbacks_per_segment: float
+    hit_rate: dict = field(default_factory=dict)  # policy name -> rate
+    mean_energy: dict = field(default_factory=dict)  # policy name -> energy
+
+
+@dataclass
+class ErrorRateWall:
+    """The located error-rate wall for one policy."""
+
+    policy: str
+    last_safe_p: float  # highest p with hit rate >= hi_threshold
+    first_failed_p: float  # lowest p with hit rate <= lo_threshold
+
+
+class MonteCarloStudy:
+    """Sweep error probability with Monte Carlo runs (Figs. 5-6)."""
+
+    def __init__(
+        self,
+        workload,
+        policies=ALL_POLICIES,
+        n_runs=100,
+        seed=0,
+        checkpoint_cycles=100,
+        rollback_cycles=48,
+    ):
+        if n_runs < 1:
+            raise ValueError("need at least one run")
+        self.workload = workload
+        self.policies = tuple(policies)
+        self.n_runs = n_runs
+        self.seed = seed
+        self.checkpoint_cycles = checkpoint_cycles
+        self.rollback_cycles = rollback_cycles
+
+    def run_level(self, error_probability):
+        """Monte Carlo at one error-probability level."""
+        cp = CheckpointSystem(
+            error_probability,
+            checkpoint_cycles=self.checkpoint_cycles,
+            rollback_cycles=self.rollback_cycles,
+        )
+        # Fig. 5 statistic: sampled directly (runs may early-exit past the
+        # wall, which would truncate their rollback counts).
+        rb_rng = np.random.default_rng(self.seed + 1)
+        rollbacks = []
+        for _ in range(self.n_runs):
+            total = sum(
+                cp.sample_segment(c, rb_rng)[0] for c in self.workload
+            )
+            rollbacks.append(total / len(self.workload))
+        hits = {policy.name: 0 for policy in self.policies}
+        energies = {policy.name: [] for policy in self.policies}
+        for policy in self.policies:
+            # zlib.crc32, not hash(): str hashing is salted per process and
+            # would break cross-run reproducibility.
+            import zlib
+
+            policy_tag = zlib.crc32(policy.name.encode()) % 10_000
+            rng = np.random.default_rng(self.seed + policy_tag)
+            for _ in range(self.n_runs):
+                run = simulate_run(self.workload, cp, policy, rng)
+                hits[policy.name] += int(run.deadline_met)
+                energies[policy.name].append(run.energy)
+        return SweepPoint(
+            error_probability=error_probability,
+            mean_rollbacks_per_segment=float(np.mean(rollbacks)),
+            hit_rate={k: v / self.n_runs for k, v in hits.items()},
+            mean_energy={k: float(np.mean(v)) for k, v in energies.items()},
+        )
+
+    def sweep(self, error_probabilities=DEFAULT_ERROR_PROBS):
+        """Fig. 5 + Fig. 6 data: one :class:`SweepPoint` per level."""
+        return [self.run_level(float(p)) for p in error_probabilities]
+
+    def analytic_rollbacks(self, error_probabilities=DEFAULT_ERROR_PROBS):
+        """Closed-form Fig. 5 curve from Eq. (2)'s mean (no sampling)."""
+        out = []
+        for p in error_probabilities:
+            cp = CheckpointSystem(float(p))
+            means = [
+                cp.expected_segment_rollbacks(c) for c in self.workload
+            ]
+            out.append(float(np.mean(means)))
+        return np.asarray(out)
+
+    def find_wall(self, points, policy_name, hi=0.95, lo=0.05):
+        """Locate the error-rate wall for one policy from sweep points."""
+        last_safe = None
+        first_failed = None
+        for point in points:
+            rate = point.hit_rate[policy_name]
+            if rate >= hi:
+                last_safe = point.error_probability
+            if rate <= lo and first_failed is None:
+                first_failed = point.error_probability
+        if last_safe is None:
+            last_safe = points[0].error_probability
+        if first_failed is None:
+            first_failed = points[-1].error_probability
+        return ErrorRateWall(
+            policy=policy_name, last_safe_p=last_safe, first_failed_p=first_failed
+        )

@@ -1,0 +1,71 @@
+"""Hyperdimensional computing (Sec. II of the paper).
+
+HDC computes with large (thousands of components) random vectors instead
+of floating-point weights.  Because hypervector components are i.i.d. by
+design, classification by similarity is inherently robust to hardware
+errors: the paper's headline claim is that ~40 % component error rate
+costs only ~0.5 % inference accuracy.
+
+Modules
+-------
+``hypervector``
+    Bipolar hypervector operations: bind, bundle, permute, similarity.
+``encoder``
+    Item memories, level (thermometer) encoders, record-based and n-gram
+    encoders for feature vectors and sequences.
+``classifier``
+    Associative prototype classifier with optional perceptron-style
+    retraining and hardware-error injection.
+``aging_model``
+    HDC regression model that mimics a confidential physics-based
+    transistor-aging model (ref [18]): waveform in, delta-Vth out.
+"""
+
+from repro.hdc.hypervector import (
+    random_hypervector,
+    bind,
+    bundle,
+    permute,
+    cosine_similarity,
+    hamming_similarity,
+    flip_components,
+)
+from repro.hdc.encoder import ItemMemory, LevelEncoder, RecordEncoder, NGramEncoder
+from repro.hdc.classifier import HDCClassifier
+from repro.hdc.aging_model import HDCAgingModel
+from repro.hdc.wafer import (
+    PATTERN_CLASSES,
+    WaferMapGenerator,
+    WaferHDCEncoder,
+    WaferHDCClassifier,
+)
+from repro.hdc.language import (
+    LanguageHDCClassifier,
+    language_identification_study,
+    sample_text,
+    synthetic_language,
+)
+
+__all__ = [
+    "random_hypervector",
+    "bind",
+    "bundle",
+    "permute",
+    "cosine_similarity",
+    "hamming_similarity",
+    "flip_components",
+    "ItemMemory",
+    "LevelEncoder",
+    "RecordEncoder",
+    "NGramEncoder",
+    "HDCClassifier",
+    "HDCAgingModel",
+    "PATTERN_CLASSES",
+    "WaferMapGenerator",
+    "WaferHDCEncoder",
+    "WaferHDCClassifier",
+    "LanguageHDCClassifier",
+    "language_identification_study",
+    "sample_text",
+    "synthetic_language",
+]

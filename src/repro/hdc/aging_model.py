@@ -1,0 +1,127 @@
+"""HDC mimicry of a confidential physics-based transistor aging model.
+
+Reproduces the approach of ref [18] (Sec. II): the foundry trains an HDC
+model on (gate-voltage waveform -> delta-Vth) pairs produced by its
+confidential physics model.  Because the learned model consists only of
+high-dimensional prototypes, it abstracts away the proprietary physics
+parameters while giving designers a non-pessimistic aging estimate.
+
+The regression is realized as similarity-weighted interpolation over
+quantized delta-Vth "bucket" prototypes: waveforms are encoded as n-gram
+hypervectors of their quantized voltage levels, each target bucket bundles
+its training waveforms, and prediction blends bucket centers by softmax of
+prototype similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.encoder import LevelEncoder
+from repro.hdc.hypervector import (
+    bind,
+    bundle,
+    cosine_similarity,
+    permute,
+    random_hypervector,
+)
+
+
+class HDCAgingModel:
+    """Waveform-to-aging regression with hypervector prototypes.
+
+    Parameters
+    ----------
+    dim:
+        Hypervector dimensionality.
+    n_voltage_levels:
+        Quantization levels for waveform samples.
+    n_buckets:
+        Number of delta-Vth quantization buckets (regression resolution).
+    ngram:
+        Temporal n-gram length used when encoding waveforms.
+    temperature:
+        Softmax temperature of the similarity blend; smaller is sharper.
+    """
+
+    def __init__(
+        self,
+        dim=4096,
+        n_voltage_levels=16,
+        n_buckets=24,
+        ngram=3,
+        temperature=0.05,
+        seed=0,
+    ):
+        self.dim = dim
+        self.n_voltage_levels = n_voltage_levels
+        self.n_buckets = n_buckets
+        self.ngram = ngram
+        self.temperature = temperature
+        self.seed = seed
+        self._level_encoder = None
+        self._bucket_centers = None
+        self._prototypes = None
+        self._tie_break = random_hypervector(dim, np.random.default_rng(seed + 7))
+
+    def _encode_waveform(self, waveform):
+        """n-gram hypervector of a quantized voltage waveform."""
+        levels = [self._level_encoder.encode(v) for v in waveform]
+        if len(levels) < self.ngram:
+            raise ValueError("waveform shorter than the n-gram length")
+        total = np.zeros(self.dim, dtype=np.int32)
+        for start in range(len(levels) - self.ngram + 1):
+            hv = permute(levels[start], self.ngram - 1)
+            for off in range(1, self.ngram):
+                hv = bind(hv, permute(levels[start + off], self.ngram - 1 - off))
+            total += hv
+        # Integer superposition (no majority binarization): the *frequency*
+        # of each n-gram carries the duty-cycle information the aging label
+        # depends on, and cosine similarity preserves it.
+        return total
+
+    def fit(self, waveforms, delta_vth):
+        """Train on waveforms (list of 1-D arrays) and aging labels."""
+        delta_vth = np.asarray(delta_vth, dtype=float)
+        if len(waveforms) != len(delta_vth):
+            raise ValueError("waveforms and labels length mismatch")
+        if len(waveforms) == 0:
+            raise ValueError("need at least one training waveform")
+        v_all = np.concatenate([np.asarray(w, dtype=float) for w in waveforms])
+        v_low, v_high = float(v_all.min()), float(v_all.max())
+        if v_high == v_low:
+            v_high = v_low + 1.0
+        self._level_encoder = LevelEncoder(
+            v_low, v_high, n_levels=self.n_voltage_levels, dim=self.dim, seed=self.seed
+        )
+        lo, hi = float(delta_vth.min()), float(delta_vth.max())
+        if hi == lo:
+            hi = lo + 1e-9
+        edges = np.linspace(lo, hi, self.n_buckets + 1)
+        self._bucket_centers = 0.5 * (edges[:-1] + edges[1:])
+        accumulators = np.zeros((self.n_buckets, self.dim), dtype=np.int64)
+        counts = np.zeros(self.n_buckets, dtype=int)
+        for w, target in zip(waveforms, delta_vth):
+            hv = self._encode_waveform(np.asarray(w, dtype=float))
+            bucket = min(int(np.searchsorted(edges, target, side="right")) - 1, self.n_buckets - 1)
+            bucket = max(bucket, 0)
+            accumulators[bucket] += hv
+            counts[bucket] += 1
+        # Drop empty buckets so similarity scores are meaningful.
+        used = counts > 0
+        self._prototypes = accumulators[used]
+        self._bucket_centers = self._bucket_centers[used]
+        return self
+
+    def predict(self, waveforms):
+        """Predicted delta-Vth for each waveform."""
+        if self._prototypes is None:
+            raise RuntimeError("model is not fitted")
+        out = []
+        for w in waveforms:
+            hv = self._encode_waveform(np.asarray(w, dtype=float))
+            sims = np.array([cosine_similarity(hv, p) for p in self._prototypes])
+            weights = np.exp((sims - sims.max()) / self.temperature)
+            weights /= weights.sum()
+            out.append(float(weights @ self._bucket_centers))
+        return np.array(out)

@@ -1,0 +1,150 @@
+"""Encoders mapping symbols, scalars, feature vectors, and sequences to HVs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.hypervector import bind, bundle, permute, random_hypervector
+
+
+class ItemMemory:
+    """Maps discrete symbols to fixed random hypervectors (an "item memory")."""
+
+    def __init__(self, dim=4096, seed=0):
+        self.dim = dim
+        self._rng = np.random.default_rng(seed)
+        self._memory = {}
+
+    def get(self, symbol):
+        """Return the hypervector for ``symbol``, creating it on first use."""
+        if symbol not in self._memory:
+            self._memory[symbol] = random_hypervector(self.dim, self._rng)
+        return self._memory[symbol]
+
+    def __len__(self):
+        return len(self._memory)
+
+    def __contains__(self, symbol):
+        return symbol in self._memory
+
+
+class LevelEncoder:
+    """Thermometer-style encoder for scalars.
+
+    Quantizes ``[low, high]`` into ``n_levels`` hypervectors where adjacent
+    levels are highly similar and the extremes are (nearly) orthogonal:
+    the standard "level hypervector" construction obtained by flipping a
+    progressive slice of components.
+    """
+
+    def __init__(self, low, high, n_levels=32, dim=4096, seed=0):
+        if high <= low:
+            raise ValueError("high must exceed low")
+        if n_levels < 2:
+            raise ValueError("need at least 2 levels")
+        self.low = low
+        self.high = high
+        self.n_levels = n_levels
+        self.dim = dim
+        rng = np.random.default_rng(seed)
+        base = random_hypervector(dim, rng)
+        flip_order = rng.permutation(dim)
+        self._levels = np.empty((n_levels, dim), dtype=np.int8)
+        self._levels[0] = base
+        # Flip half the dimensions in total from the lowest to the highest
+        # level, so the extremes end up (near-)orthogonal — flipping all
+        # dimensions would make them antipodal and collapse level encodings
+        # of two-valued signals onto a single axis.
+        flip_total = dim // 2
+        per_level = flip_total // (n_levels - 1)
+        current = base.copy()
+        for lvl in range(1, n_levels):
+            start = (lvl - 1) * per_level
+            stop = lvl * per_level if lvl < n_levels - 1 else flip_total
+            idx = flip_order[start:stop]
+            current = current.copy()
+            current[idx] = -current[idx]
+            self._levels[lvl] = current
+
+    def level_of(self, value):
+        """Quantized level index of a scalar, clipped to the encoder range."""
+        frac = (value - self.low) / (self.high - self.low)
+        frac = min(max(frac, 0.0), 1.0)
+        return int(round(frac * (self.n_levels - 1)))
+
+    def encode(self, value):
+        """Hypervector for a scalar value."""
+        return self._levels[self.level_of(value)]
+
+    def level_vector(self, level):
+        if not 0 <= level < self.n_levels:
+            raise ValueError("level out of range")
+        return self._levels[level]
+
+
+class RecordEncoder:
+    """Record-based encoding of fixed-length feature vectors.
+
+    Each feature position gets an ID hypervector; each feature value is
+    level-encoded; the record is the bundle of ``bind(id_i, level(x_i))``.
+    This is the encoding used for tabular reliability features throughout
+    the HDC literature the paper cites.
+    """
+
+    def __init__(self, n_features, low, high, n_levels=32, dim=4096, seed=0):
+        self.n_features = n_features
+        self.dim = dim
+        rng = np.random.default_rng(seed)
+        self._ids = [random_hypervector(dim, rng) for _ in range(n_features)]
+        lows = np.broadcast_to(np.asarray(low, dtype=float), (n_features,))
+        highs = np.broadcast_to(np.asarray(high, dtype=float), (n_features,))
+        self._levels = [
+            LevelEncoder(lo, hi, n_levels=n_levels, dim=dim, seed=seed + 1 + i)
+            for i, (lo, hi) in enumerate(zip(lows, highs))
+        ]
+        self._tie_break = random_hypervector(dim, np.random.default_rng(seed + 10_000))
+
+    def encode(self, x):
+        """Hypervector for one feature vector of length ``n_features``."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_features,):
+            raise ValueError(f"expected {self.n_features} features, got {x.shape}")
+        bound = [
+            bind(self._ids[i], self._levels[i].encode(x[i]))
+            for i in range(self.n_features)
+        ]
+        return bundle(bound, tie_break=self._tie_break)
+
+    def encode_batch(self, X):
+        X = np.asarray(X, dtype=float)
+        return np.stack([self.encode(row) for row in X])
+
+
+class NGramEncoder:
+    """n-gram sequence encoder (permute-and-bind), as in language HDC.
+
+    A sequence ``s_0 s_1 ... s_k`` is encoded by bundling all n-grams,
+    each n-gram being ``bind(permute^{n-1}(HV(s_0)), ..., HV(s_{n-1}))``.
+    """
+
+    def __init__(self, n=3, dim=4096, seed=0):
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = n
+        self.dim = dim
+        self.items = ItemMemory(dim=dim, seed=seed)
+        self._tie_break = random_hypervector(dim, np.random.default_rng(seed + 20_000))
+
+    def encode(self, sequence):
+        sequence = list(sequence)
+        if len(sequence) < self.n:
+            raise ValueError(f"sequence shorter than n={self.n}")
+        grams = []
+        for start in range(len(sequence) - self.n + 1):
+            hv = self.items.get(sequence[start])
+            hv = permute(hv, self.n - 1)
+            for offset in range(1, self.n):
+                nxt = permute(self.items.get(sequence[start + offset]), self.n - 1 - offset)
+                hv = bind(hv, nxt)
+            grams.append(hv)
+        return bundle(grams, tie_break=self._tie_break)

@@ -1,0 +1,100 @@
+"""Bipolar hypervector primitives.
+
+Hypervectors are dense vectors in ``{-1, +1}^D`` with D in the thousands.
+Their components are independent and identically distributed, which is the
+property that makes similarity-based computation robust to component
+errors (Sec. II of the paper, refs [13], [14]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_hypervector(dim, rng=None):
+    """Draw a random bipolar hypervector of dimensionality ``dim``."""
+    if dim < 1:
+        raise ValueError("dim must be positive")
+    if rng is None:
+        rng = np.random.default_rng()
+    return rng.choice(np.array([-1, 1], dtype=np.int8), size=dim)
+
+
+def bind(a, b):
+    """Bind two hypervectors (component-wise multiplication).
+
+    Binding is its own inverse: ``bind(bind(a, b), b) == a``.  The result
+    is dissimilar to both operands.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("hypervector shapes must match")
+    return (a * b).astype(np.int8)
+
+
+def bundle(vectors, rng=None, tie_break=None):
+    """Bundle (superpose) hypervectors by component-wise majority.
+
+    Ties (possible for an even number of inputs) are broken by
+    ``tie_break`` — a fixed bipolar vector — so bundling is deterministic
+    for a given encoder; a ``rng`` may be supplied instead for one-off
+    random tie-breaking.
+    """
+    vectors = [np.asarray(v) for v in vectors]
+    if not vectors:
+        raise ValueError("cannot bundle zero hypervectors")
+    total = np.sum(np.stack(vectors).astype(np.int32), axis=0)
+    out = np.sign(total).astype(np.int8)
+    zeros = out == 0
+    if zeros.any():
+        if tie_break is not None:
+            out[zeros] = np.asarray(tie_break, dtype=np.int8)[zeros]
+        else:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            out[zeros] = rng.choice(
+                np.array([-1, 1], dtype=np.int8), size=int(zeros.sum())
+            )
+    return out
+
+
+def permute(v, shift=1):
+    """Permute a hypervector by a cyclic shift (used for sequence encoding)."""
+    return np.roll(np.asarray(v), shift)
+
+
+def cosine_similarity(a, b):
+    """Cosine similarity between two hypervectors, in ``[-1, 1]``."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 0.0
+    return float(a @ b / denom)
+
+
+def hamming_similarity(a, b):
+    """Fraction of matching components, in ``[0, 1]``."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("hypervector shapes must match")
+    return float(np.mean(a == b))
+
+
+def flip_components(v, error_rate, rng=None):
+    """Simulate unreliable hardware by flipping a fraction of components.
+
+    Each component independently flips sign with probability
+    ``error_rate`` — the hardware-error model used for the robustness
+    experiments in Sec. II.
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError("error_rate must be in [0, 1]")
+    if rng is None:
+        rng = np.random.default_rng()
+    v = np.asarray(v).copy()
+    flips = rng.random(v.shape) < error_rate
+    v[flips] = -v[flips]
+    return v

@@ -1,0 +1,109 @@
+"""HDC language identification with n-gram hypervectors (Sec. II, ref [13]).
+
+The classic HDC demonstration: encode text as bundled character-trigram
+hypervectors and classify the language by prototype similarity.  Without
+bundled corpora, :func:`synthetic_language` builds Markov text sources
+with language-specific character statistics — what trigram profiles
+actually capture — so the study exercises the same pipeline as [13].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.encoder import NGramEncoder
+from repro.hdc.hypervector import cosine_similarity, flip_components
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz "
+
+
+def synthetic_language(seed, sharpness=6.0):
+    """A Markov character source with its own transition structure.
+
+    ``sharpness`` controls how peaked the per-language transition rows
+    are (real languages have strongly preferred digraphs).
+    """
+    rng = np.random.default_rng(seed)
+    n = len(ALPHABET)
+    logits = rng.normal(0.0, 1.0, (n, n)) * sharpness
+    rows = np.exp(logits - logits.max(axis=1, keepdims=True))
+    rows /= rows.sum(axis=1, keepdims=True)
+    initial = np.full(n, 1.0 / n)
+    return {"transitions": rows, "initial": initial}
+
+
+def sample_text(language, length, rng):
+    """Sample a text string from a synthetic language model."""
+    n = len(ALPHABET)
+    out = [int(rng.choice(n, p=language["initial"]))]
+    for _ in range(length - 1):
+        out.append(int(rng.choice(n, p=language["transitions"][out[-1]])))
+    return "".join(ALPHABET[i] for i in out)
+
+
+class LanguageHDCClassifier:
+    """Trigram-hypervector language identifier.
+
+    Prototypes are integer superpositions of training-text encodings;
+    inference compares a query text's encoding by cosine similarity.
+    """
+
+    def __init__(self, n=3, dim=4096, seed=0):
+        self.encoder = NGramEncoder(n=n, dim=dim, seed=seed)
+        self.dim = dim
+        self.classes_ = None
+        self.prototypes_ = None
+
+    def fit(self, texts, labels):
+        labels = np.asarray(labels)
+        if len(texts) != len(labels):
+            raise ValueError("texts and labels length mismatch")
+        self.classes_ = np.unique(labels)
+        self.prototypes_ = np.zeros((len(self.classes_), self.dim))
+        index = {c: i for i, c in enumerate(self.classes_)}
+        for text, label in zip(texts, labels):
+            self.prototypes_[index[label]] += self.encoder.encode(text)
+        return self
+
+    def predict(self, texts, error_rate=0.0, rng=None):
+        """Classify texts; optionally under component errors."""
+        if self.prototypes_ is None:
+            raise RuntimeError("classifier is not fitted")
+        rng = rng or np.random.default_rng(0)
+        out = []
+        for text in texts:
+            hv = self.encoder.encode(text)
+            if error_rate > 0.0:
+                hv = flip_components(hv, error_rate, rng)
+            sims = [cosine_similarity(hv, p) for p in self.prototypes_]
+            out.append(self.classes_[int(np.argmax(sims))])
+        return np.asarray(out)
+
+
+def language_identification_study(
+    n_languages=5,
+    n_train=20,
+    n_test=15,
+    text_length=200,
+    dim=4096,
+    seed=0,
+):
+    """Train/test the identifier on synthetic languages.
+
+    Returns (classifier, test_texts, test_labels, accuracy).
+    """
+    rng = np.random.default_rng(seed)
+    languages = [synthetic_language(seed + 100 + k) for k in range(n_languages)]
+    train_texts, train_labels = [], []
+    test_texts, test_labels = [], []
+    for k, lang in enumerate(languages):
+        for _ in range(n_train):
+            train_texts.append(sample_text(lang, text_length, rng))
+            train_labels.append(k)
+        for _ in range(n_test):
+            test_texts.append(sample_text(lang, text_length, rng))
+            test_labels.append(k)
+    clf = LanguageHDCClassifier(dim=dim, seed=seed).fit(train_texts, train_labels)
+    pred = clf.predict(test_texts)
+    accuracy = float(np.mean(pred == np.asarray(test_labels)))
+    return clf, test_texts, np.asarray(test_labels), accuracy

@@ -1,0 +1,78 @@
+"""Clustering: k-means with k-means++ seeding.
+
+Unsupervised mining of fault-injection outcome logs ([23]) uses clustering
+to surface recurring error patterns without labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(self, n_clusters=3, n_iter=100, tol=1e-6, seed=0):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = n_clusters
+        self.n_iter = n_iter
+        self.tol = tol
+        self.seed = seed
+        self.centers_ = None
+        self.labels_ = None
+        self.inertia_ = None
+
+    def _init_centers(self, X, rng):
+        n = len(X)
+        centers = [X[rng.integers(n)]]
+        for _ in range(1, self.n_clusters):
+            d2 = np.min(
+                ((X[:, None, :] - np.asarray(centers)[None, :, :]) ** 2).sum(axis=2),
+                axis=1,
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(X[rng.integers(n)])
+                continue
+            probs = d2 / total
+            centers.append(X[rng.choice(n, p=probs)])
+        return np.asarray(centers, dtype=float)
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if len(X) < self.n_clusters:
+            raise ValueError("fewer samples than clusters")
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(X, rng)
+        for _ in range(self.n_iter):
+            d2 = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            labels = np.argmin(d2, axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if len(members) > 0:
+                    new_centers[k] = members.mean(axis=0)
+            shift = float(np.abs(new_centers - centers).max())
+            centers = new_centers
+            if shift < self.tol:
+                break
+        self.centers_ = centers
+        d2 = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        self.labels_ = np.argmin(d2, axis=1)
+        self.inertia_ = float(d2[np.arange(len(X)), self.labels_].sum())
+        return self
+
+    def predict(self, X):
+        if self.centers_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        d2 = ((X[:, None, :] - self.centers_[None, :, :]) ** 2).sum(axis=2)
+        return np.argmin(d2, axis=1)
+
+    def fit_predict(self, X):
+        return self.fit(X).labels_

@@ -1,0 +1,86 @@
+"""Model compression: magnitude pruning and uniform quantization of MLPs.
+
+Sec. III-C2 (ref [31]) argues that resiliency models can be compressed by
+orders of magnitude while keeping prediction accuracy, so that on-line
+symptom detectors stay cheap.  These helpers implement the two standard
+mechanisms on :class:`repro.ml.mlp.MLPClassifier`/``MLPRegressor`` weights.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+
+def prune_mlp(model, sparsity=0.5):
+    """Return a copy of ``model`` with the smallest-magnitude weights zeroed.
+
+    Parameters
+    ----------
+    model:
+        A fitted MLP (classifier or regressor).
+    sparsity:
+        Fraction of weights (per layer) set to zero, in ``[0, 1)``.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError("sparsity must be in [0, 1)")
+    if model.weights_ is None:
+        raise RuntimeError("model is not fitted")
+    pruned = copy.deepcopy(model)
+    for layer, W in enumerate(pruned.weights_):
+        flat = np.abs(W).ravel()
+        k = int(sparsity * flat.size)
+        if k == 0:
+            continue
+        threshold = np.partition(flat, k - 1)[k - 1]
+        pruned.weights_[layer] = np.where(np.abs(W) <= threshold, 0.0, W)
+    return pruned
+
+
+def quantize_mlp(model, n_bits=8):
+    """Return a copy of ``model`` with weights uniformly quantized.
+
+    Each layer is quantized symmetrically to ``2**n_bits - 1`` levels over
+    its own dynamic range, then de-quantized back to float (simulated
+    quantization, as used when estimating accuracy loss before deployment).
+    """
+    if n_bits < 1:
+        raise ValueError("n_bits must be at least 1")
+    if model.weights_ is None:
+        raise RuntimeError("model is not fitted")
+    quantized = copy.deepcopy(model)
+    levels = 2**n_bits - 1
+    for layer, W in enumerate(quantized.weights_):
+        w_max = np.abs(W).max()
+        if w_max == 0:
+            continue
+        step = 2.0 * w_max / levels
+        quantized.weights_[layer] = np.round(W / step) * step
+    return quantized
+
+
+def sparsity_of(model):
+    """Fraction of exactly-zero weights across all layers of a fitted MLP."""
+    if model.weights_ is None:
+        raise RuntimeError("model is not fitted")
+    zeros = sum(int((W == 0.0).sum()) for W in model.weights_)
+    total = sum(W.size for W in model.weights_)
+    return zeros / total
+
+
+def compression_ratio(model, sparsity=None, n_bits=32):
+    """Approximate storage compression vs dense float32 weights.
+
+    ``sparsity`` defaults to the model's measured sparsity; sparse weights
+    are assumed stored in COO form (index + value).
+    """
+    if sparsity is None:
+        sparsity = sparsity_of(model)
+    dense_bits = 32.0
+    kept = 1.0 - sparsity
+    # value bits + ~16-bit index per kept weight when sparse
+    stored = kept * (n_bits + (16.0 if sparsity > 0 else 0.0))
+    if stored == 0:
+        return float("inf")
+    return dense_bits / stored

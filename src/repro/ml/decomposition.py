@@ -1,0 +1,55 @@
+"""Dimensionality reduction: principal component analysis.
+
+The paper's open-challenge section (VI-C) calls for dimensionality
+reduction as resiliency feature sets grow; PCA is the workhorse used by
+:mod:`repro.arch.pattern_mining`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """PCA via singular value decomposition of the centered data."""
+
+    def __init__(self, n_components=2):
+        if n_components < 1:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+        self.mean_ = None
+        self.components_ = None
+        self.explained_variance_ = None
+        self.explained_variance_ratio_ = None
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("PCA expects a 2-D array")
+        if self.n_components > min(X.shape):
+            raise ValueError("n_components exceeds data rank bound")
+        self.mean_ = X.mean(axis=0)
+        Xc = X - self.mean_
+        _, s, vt = np.linalg.svd(Xc, full_matrices=False)
+        var = (s**2) / max(len(X) - 1, 1)
+        self.components_ = vt[: self.n_components]
+        self.explained_variance_ = var[: self.n_components]
+        total = var.sum()
+        self.explained_variance_ratio_ = (
+            self.explained_variance_ / total if total > 0 else np.zeros_like(var[: self.n_components])
+        )
+        return self
+
+    def transform(self, X):
+        if self.components_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) @ self.components_.T
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Z):
+        if self.components_ is None:
+            raise RuntimeError("model is not fitted")
+        return np.asarray(Z, dtype=float) @ self.components_ + self.mean_

@@ -1,0 +1,248 @@
+"""Ensemble models: random forest, AdaBoost, gradient boosting.
+
+The survey singles out AdaBoost and stochastic gradient boosting as the
+models that "continuously learn from mispredicted samples" and stay
+accurate on scale-dependent soft-error prediction ([21]) and GPU error
+prediction in HPC logs ([22]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class RandomForestClassifier:
+    """Bagged CART trees with feature subsampling and majority vote."""
+
+    def __init__(self, n_estimators=20, max_depth=8, max_features="sqrt", seed=0):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be positive")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_ = []
+        self.classes_ = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        n, d = X.shape
+        if self.max_features == "sqrt":
+            max_features = max(1, int(np.sqrt(d)))
+        else:
+            max_features = self.max_features
+        rng = np.random.default_rng(self.seed)
+        self.trees_ = []
+        for i in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=max_features,
+                seed=self.seed + i + 1,
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X):
+        if not self.trees_:
+            raise RuntimeError("model is not fitted")
+        votes = np.stack([tree.predict(X) for tree in self.trees_])
+        out = np.empty(votes.shape[1], dtype=self.classes_.dtype)
+        for j in range(votes.shape[1]):
+            values, counts = np.unique(votes[:, j], return_counts=True)
+            out[j] = values[np.argmax(counts)]
+        return out
+
+    def predict_proba(self, X):
+        votes = np.stack([tree.predict(X) for tree in self.trees_])
+        probs = np.zeros((votes.shape[1], len(self.classes_)))
+        for j, c in enumerate(self.classes_):
+            probs[:, j] = np.mean(votes == c, axis=0)
+        return probs
+
+
+class AdaBoostClassifier:
+    """SAMME AdaBoost over depth-limited CART stumps (binary or multiclass)."""
+
+    def __init__(self, n_estimators=30, max_depth=2, seed=0):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.seed = seed
+        self.estimators_ = []
+        self.alphas_ = []
+        self.classes_ = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        k = len(self.classes_)
+        n = len(X)
+        w = np.full(n, 1.0 / n)
+        self.estimators_ = []
+        self.alphas_ = []
+        for i in range(self.n_estimators):
+            tree = DecisionTreeClassifier(max_depth=self.max_depth, seed=self.seed + i)
+            tree.fit(X, y, sample_weight=w)
+            pred = tree.predict(X)
+            miss = pred != y
+            err = float(np.sum(w[miss]) / np.sum(w))
+            err = min(max(err, 1e-10), 1.0 - 1e-10)
+            alpha = np.log((1.0 - err) / err) + np.log(k - 1.0)
+            if alpha <= 0:
+                # Weak learner no better than chance; stop early.
+                if not self.estimators_:
+                    self.estimators_.append(tree)
+                    self.alphas_.append(1.0)
+                break
+            self.estimators_.append(tree)
+            self.alphas_.append(alpha)
+            w = w * np.exp(alpha * miss)
+            w = w / w.sum()
+        return self
+
+    def predict(self, X):
+        if not self.estimators_:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        scores = np.zeros((len(X), len(self.classes_)))
+        for alpha, tree in zip(self.alphas_, self.estimators_):
+            pred = tree.predict(X)
+            for j, c in enumerate(self.classes_):
+                scores[:, j] += alpha * (pred == c)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting with CART regression trees."""
+
+    def __init__(self, n_estimators=50, learning_rate=0.1, max_depth=3, subsample=1.0, seed=0):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.seed = seed
+        self.init_ = None
+        self.trees_ = []
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=float)
+        rng = np.random.default_rng(self.seed)
+        self.init_ = float(y.mean())
+        pred = np.full(len(y), self.init_)
+        self.trees_ = []
+        n = len(X)
+        for i in range(self.n_estimators):
+            residual = y - pred
+            if self.subsample < 1.0:
+                idx = rng.choice(n, size=max(2, int(self.subsample * n)), replace=False)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeRegressor(max_depth=self.max_depth, seed=self.seed + i)
+            tree.fit(X[idx], residual[idx])
+            update = tree.predict(X)
+            pred = pred + self.learning_rate * update
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X):
+        if self.init_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        pred = np.full(len(X), self.init_)
+        for tree in self.trees_:
+            pred = pred + self.learning_rate * tree.predict(X)
+        return pred
+
+
+class GradientBoostingClassifier:
+    """Binary/multiclass gradient boosting via one-vs-rest logistic boosting.
+
+    Each class gets its own additive model of regression trees fitted to the
+    logistic gradient; predictions take the argmax of class scores.
+    """
+
+    def __init__(self, n_estimators=40, learning_rate=0.2, max_depth=3, subsample=1.0, seed=0):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.seed = seed
+        self.classes_ = None
+        self.trees_ = []  # list over rounds of list over classes
+        self.init_ = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        k = len(self.classes_)
+        n = len(X)
+        Y = np.zeros((n, k))
+        for j, c in enumerate(self.classes_):
+            Y[:, j] = (y == c).astype(float)
+        rng = np.random.default_rng(self.seed)
+        F = np.zeros((n, k))
+        self.init_ = np.log(np.clip(Y.mean(axis=0), 1e-9, None))
+        F += self.init_
+        self.trees_ = []
+        for i in range(self.n_estimators):
+            P = _softmax(F)
+            round_trees = []
+            if self.subsample < 1.0:
+                idx = rng.choice(n, size=max(2, int(self.subsample * n)), replace=False)
+            else:
+                idx = np.arange(n)
+            for j in range(k):
+                residual = Y[:, j] - P[:, j]
+                tree = DecisionTreeRegressor(
+                    max_depth=self.max_depth, seed=self.seed + i * k + j
+                )
+                tree.fit(X[idx], residual[idx])
+                F[:, j] += self.learning_rate * tree.predict(X)
+                round_trees.append(tree)
+            self.trees_.append(round_trees)
+        return self
+
+    def _scores(self, X):
+        if self.classes_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        F = np.zeros((len(X), len(self.classes_)))
+        F += self.init_
+        for round_trees in self.trees_:
+            for j, tree in enumerate(round_trees):
+                F[:, j] += self.learning_rate * tree.predict(X)
+        return F
+
+    def predict(self, X):
+        return self.classes_[np.argmax(self._scores(X), axis=1)]
+
+    def predict_proba(self, X):
+        return _softmax(self._scores(X))
+
+
+def _softmax(z):
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)

@@ -1,0 +1,128 @@
+"""Linear models: least-squares, ridge, and logistic regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _add_bias(X):
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    return np.hstack([X, np.ones((len(X), 1))])
+
+
+class LinearRegression:
+    """Ordinary least-squares regression solved via the pseudo-inverse."""
+
+    def __init__(self):
+        self.coef_ = None
+        self.intercept_ = None
+
+    def fit(self, X, y):
+        Xb = _add_bias(X)
+        y = np.asarray(y, dtype=float)
+        w, *_ = np.linalg.lstsq(Xb, y, rcond=None)
+        self.coef_ = w[:-1]
+        self.intercept_ = float(w[-1])
+        return self
+
+    def predict(self, X):
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression:
+    """L2-regularized least squares (closed form).
+
+    The bias term is not regularized.
+    """
+
+    def __init__(self, alpha=1.0):
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.coef_ = None
+        self.intercept_ = None
+
+    def fit(self, X, y):
+        Xb = _add_bias(X)
+        y = np.asarray(y, dtype=float)
+        n_features = Xb.shape[1]
+        reg = self.alpha * np.eye(n_features)
+        reg[-1, -1] = 0.0  # do not penalize the bias
+        w = np.linalg.solve(Xb.T @ Xb + reg, Xb.T @ y)
+        self.coef_ = w[:-1]
+        self.intercept_ = float(w[-1])
+        return self
+
+    def predict(self, X):
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return X @ self.coef_ + self.intercept_
+
+
+def _sigmoid(z):
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression trained by full-batch gradient descent."""
+
+    def __init__(self, lr=0.1, n_iter=500, l2=0.0, seed=0):
+        self.lr = lr
+        self.n_iter = n_iter
+        self.l2 = l2
+        self.seed = seed
+        self.coef_ = None
+        self.intercept_ = None
+        self.classes_ = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ValueError("LogisticRegression supports exactly 2 classes")
+        t = (y == self.classes_[1]).astype(float)
+        rng = np.random.default_rng(self.seed)
+        w = rng.normal(0, 0.01, X.shape[1])
+        b = 0.0
+        n = len(X)
+        for _ in range(self.n_iter):
+            p = _sigmoid(X @ w + b)
+            err = p - t
+            grad_w = X.T @ err / n + self.l2 * w
+            grad_b = err.mean()
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+        self.coef_ = w
+        self.intercept_ = float(b)
+        return self
+
+    def predict_proba(self, X):
+        """Probability of the second class (``classes_[1]``)."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return _sigmoid(X @ self.coef_ + self.intercept_)
+
+    def predict(self, X):
+        p = self.predict_proba(X)
+        return np.where(p >= 0.5, self.classes_[1], self.classes_[0])

@@ -1,0 +1,120 @@
+"""Classification and regression metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_1d(y):
+    y = np.asarray(y)
+    if y.ndim != 1:
+        y = y.ravel()
+    return y
+
+
+def accuracy_score(y_true, y_pred):
+    """Fraction of exactly-matching labels."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("length mismatch between y_true and y_pred")
+    if len(y_true) == 0:
+        raise ValueError("cannot score empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred, positive=1):
+    """Precision for the ``positive`` class; 0.0 when nothing is predicted positive."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    pred_pos = y_pred == positive
+    if not pred_pos.any():
+        return 0.0
+    return float(np.mean(y_true[pred_pos] == positive))
+
+
+def recall_score(y_true, y_pred, positive=1):
+    """Recall for the ``positive`` class; 0.0 when the class is absent."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    actual_pos = y_true == positive
+    if not actual_pos.any():
+        return 0.0
+    return float(np.mean(y_pred[actual_pos] == positive))
+
+
+def f1_score(y_true, y_pred, positive=1):
+    """Harmonic mean of precision and recall for the ``positive`` class."""
+    p = precision_score(y_true, y_pred, positive)
+    r = recall_score(y_true, y_pred, positive)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def confusion_matrix(y_true, y_pred, n_classes=None):
+    """Confusion matrix ``C`` with ``C[i, j]`` = count of true ``i`` predicted ``j``."""
+    y_true = _as_1d(y_true).astype(int)
+    y_pred = _as_1d(y_pred).astype(int)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    cm = np.zeros((n_classes, n_classes), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        cm[t, p] += 1
+    return cm
+
+
+def mean_squared_error(y_true, y_pred):
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true, y_pred):
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred):
+    """Coefficient of determination; 0.0 for a constant target."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mean_absolute_percentage_error(y_true, y_pred, eps=1e-12):
+    """MAPE with an epsilon floor on the denominator."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    denom = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs((y_true - y_pred) / denom)))
+
+
+def roc_auc_score(y_true, scores):
+    """Area under the ROC curve for binary labels and continuous scores.
+
+    Computed via the rank (Mann-Whitney U) formulation with midrank tie
+    handling.  Raises when only one class is present.
+    """
+    y_true = _as_1d(y_true).astype(int)
+    scores = _as_1d(scores).astype(float)
+    if len(y_true) != len(scores):
+        raise ValueError("length mismatch between labels and scores")
+    n_pos = int(np.sum(y_true == 1))
+    n_neg = int(np.sum(y_true == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score needs both classes present")
+    order = np.argsort(scores)
+    ranks = np.empty(len(scores))
+    sorted_scores = scores[order]
+    i = 0
+    rank = 1
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        midrank = (rank + rank + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = midrank
+        rank += j - i + 1
+        i = j + 1
+    rank_sum_pos = float(np.sum(ranks[y_true == 1]))
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)

@@ -1,0 +1,185 @@
+"""Multi-layer perceptrons (classifier and regressor).
+
+MLPs appear across the survey: SER estimation [43], DNN anomaly/symptom
+detection [30], WarningNet input-perturbation detection [32], crossbar
+fault-criticality prediction [28], and vulnerability-factor estimation [2].
+This implementation uses ReLU hidden layers, softmax/identity outputs, and
+mini-batch Adam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import one_hot
+
+
+def _relu(z):
+    return np.maximum(z, 0.0)
+
+
+def _softmax(z):
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class _MLPBase:
+    def __init__(
+        self,
+        hidden=(32,),
+        lr=1e-3,
+        n_epochs=200,
+        batch_size=32,
+        l2=0.0,
+        seed=0,
+    ):
+        self.hidden = tuple(hidden)
+        self.lr = lr
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self.weights_ = None
+        self.biases_ = None
+        self.loss_curve_ = []
+
+    # -- architecture -------------------------------------------------------
+    def _init_params(self, n_in, n_out):
+        rng = np.random.default_rng(self.seed)
+        sizes = [n_in, *self.hidden, n_out]
+        self.weights_ = []
+        self.biases_ = []
+        for a, b in zip(sizes[:-1], sizes[1:]):
+            # He initialization for ReLU layers.
+            self.weights_.append(rng.normal(0.0, np.sqrt(2.0 / a), (a, b)))
+            self.biases_.append(np.zeros(b))
+
+    def _forward(self, X):
+        """Return per-layer activations; last entry is the pre-output linear map."""
+        activations = [X]
+        h = X
+        for W, b in zip(self.weights_[:-1], self.biases_[:-1]):
+            h = _relu(h @ W + b)
+            activations.append(h)
+        z = h @ self.weights_[-1] + self.biases_[-1]
+        activations.append(z)
+        return activations
+
+    def _fit_loop(self, X, T):
+        n = len(X)
+        self._init_params(X.shape[1], T.shape[1])
+        rng = np.random.default_rng(self.seed + 1)
+        # Adam state
+        m_w = [np.zeros_like(W) for W in self.weights_]
+        v_w = [np.zeros_like(W) for W in self.weights_]
+        m_b = [np.zeros_like(b) for b in self.biases_]
+        v_b = [np.zeros_like(b) for b in self.biases_]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.loss_curve_ = []
+        batch = min(self.batch_size, n)
+        for epoch in range(self.n_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                acts = self._forward(X[idx])
+                delta, loss = self._output_grad(acts[-1], T[idx])
+                epoch_loss += loss * len(idx)
+                grads_w = []
+                grads_b = []
+                for layer in range(len(self.weights_) - 1, -1, -1):
+                    a_prev = acts[layer]
+                    grads_w.append(a_prev.T @ delta / len(idx) + self.l2 * self.weights_[layer])
+                    grads_b.append(delta.mean(axis=0))
+                    if layer > 0:
+                        delta = (delta @ self.weights_[layer].T) * (acts[layer] > 0)
+                grads_w.reverse()
+                grads_b.reverse()
+                step += 1
+                for layer in range(len(self.weights_)):
+                    m_w[layer] = beta1 * m_w[layer] + (1 - beta1) * grads_w[layer]
+                    v_w[layer] = beta2 * v_w[layer] + (1 - beta2) * grads_w[layer] ** 2
+                    m_b[layer] = beta1 * m_b[layer] + (1 - beta1) * grads_b[layer]
+                    v_b[layer] = beta2 * v_b[layer] + (1 - beta2) * grads_b[layer] ** 2
+                    mw_hat = m_w[layer] / (1 - beta1**step)
+                    vw_hat = v_w[layer] / (1 - beta2**step)
+                    mb_hat = m_b[layer] / (1 - beta1**step)
+                    vb_hat = v_b[layer] / (1 - beta2**step)
+                    self.weights_[layer] -= self.lr * mw_hat / (np.sqrt(vw_hat) + eps)
+                    self.biases_[layer] -= self.lr * mb_hat / (np.sqrt(vb_hat) + eps)
+            self.loss_curve_.append(epoch_loss / n)
+
+    @staticmethod
+    def _prep_X(X):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return X
+
+    def n_parameters(self):
+        """Total trainable parameter count (used for overhead accounting)."""
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted")
+        return int(
+            sum(W.size for W in self.weights_) + sum(b.size for b in self.biases_)
+        )
+
+    def _output_grad(self, z, T):
+        raise NotImplementedError
+
+
+class MLPClassifier(_MLPBase):
+    """Softmax-output MLP trained with cross-entropy."""
+
+    def fit(self, X, y):
+        X = self._prep_X(X)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        idx = {c: i for i, c in enumerate(self.classes_)}
+        labels = np.array([idx[v] for v in y])
+        T = one_hot(labels, n_classes=len(self.classes_))
+        self._fit_loop(X, T)
+        return self
+
+    def _output_grad(self, z, T):
+        P = _softmax(z)
+        loss = float(-np.mean(np.sum(T * np.log(np.clip(P, 1e-12, None)), axis=1)))
+        return P - T, loss
+
+    def predict_proba(self, X):
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted")
+        X = self._prep_X(X)
+        return _softmax(self._forward(X)[-1])
+
+    def predict(self, X):
+        probs = self.predict_proba(X)  # raises RuntimeError when unfitted
+        return self.classes_[np.argmax(probs, axis=1)]
+
+
+class MLPRegressor(_MLPBase):
+    """Identity-output MLP trained with mean squared error."""
+
+    def fit(self, X, y):
+        X = self._prep_X(X)
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y.reshape(-1, 1)
+        self._n_outputs = y.shape[1]
+        self._fit_loop(X, y)
+        return self
+
+    def _output_grad(self, z, T):
+        loss = float(np.mean((z - T) ** 2))
+        return 2.0 * (z - T) / T.shape[1], loss
+
+    def predict(self, X):
+        if self.weights_ is None:
+            raise RuntimeError("model is not fitted")
+        X = self._prep_X(X)
+        out = self._forward(X)[-1]
+        if self._n_outputs == 1:
+            return out.ravel()
+        return out

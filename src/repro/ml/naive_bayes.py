@@ -1,0 +1,61 @@
+"""Gaussian naive Bayes classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GaussianNB:
+    """Gaussian naive Bayes with per-class feature means and variances."""
+
+    def __init__(self, var_smoothing=1e-9):
+        self.var_smoothing = var_smoothing
+        self.classes_ = None
+        self.theta_ = None  # (n_classes, n_features) means
+        self.var_ = None  # (n_classes, n_features) variances
+        self.priors_ = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        n_classes = len(self.classes_)
+        n_features = X.shape[1]
+        self.theta_ = np.zeros((n_classes, n_features))
+        self.var_ = np.zeros((n_classes, n_features))
+        self.priors_ = np.zeros(n_classes)
+        max_var = X.var(axis=0).max() if len(X) > 1 else 1.0
+        eps = self.var_smoothing * max(max_var, 1e-12)
+        for i, c in enumerate(self.classes_):
+            Xc = X[y == c]
+            self.theta_[i] = Xc.mean(axis=0)
+            self.var_[i] = Xc.var(axis=0) + eps
+            self.priors_[i] = len(Xc) / len(X)
+        return self
+
+    def _joint_log_likelihood(self, X):
+        if self.classes_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        jll = np.zeros((len(X), len(self.classes_)))
+        for i in range(len(self.classes_)):
+            log_prob = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[i])
+                + (X - self.theta_[i]) ** 2 / self.var_[i],
+                axis=1,
+            )
+            jll[:, i] = log_prob + np.log(self.priors_[i])
+        return jll
+
+    def predict(self, X):
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]
+
+    def predict_proba(self, X):
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        p = np.exp(jll)
+        return p / p.sum(axis=1, keepdims=True)

@@ -1,0 +1,58 @@
+"""Saving and loading fitted MLP models (npz-based).
+
+Deployed reliability monitors (symptom detectors, WarningNets,
+characterization models) are trained at design time and shipped to the
+target; this module persists the numpy-MLP family without pickle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.mlp import MLPClassifier, MLPRegressor
+
+_KIND_CLASSIFIER = "classifier"
+_KIND_REGRESSOR = "regressor"
+
+
+def save_mlp(model, path):
+    """Serialize a fitted MLP (classifier or regressor) to an ``.npz`` file."""
+    if model.weights_ is None:
+        raise ValueError("model must be fitted before saving")
+    payload = {
+        "n_layers": np.array(len(model.weights_)),
+        "hidden": np.asarray(model.hidden, dtype=int),
+    }
+    for i, (W, b) in enumerate(zip(model.weights_, model.biases_)):
+        payload[f"W{i}"] = W
+        payload[f"b{i}"] = b
+    if isinstance(model, MLPClassifier):
+        payload["kind"] = np.array(_KIND_CLASSIFIER)
+        payload["classes"] = np.asarray(model.classes_)
+    elif isinstance(model, MLPRegressor):
+        payload["kind"] = np.array(_KIND_REGRESSOR)
+        payload["n_outputs"] = np.array(model._n_outputs)
+    else:
+        raise TypeError(f"unsupported model type {type(model).__name__}")
+    np.savez(path, **payload)
+
+
+def load_mlp(path):
+    """Load an MLP saved by :func:`save_mlp`; returns a ready-to-predict model."""
+    with np.load(path, allow_pickle=False) as data:
+        kind = str(data["kind"])
+        hidden = tuple(int(h) for h in data["hidden"])
+        n_layers = int(data["n_layers"])
+        weights = [data[f"W{i}"] for i in range(n_layers)]
+        biases = [data[f"b{i}"] for i in range(n_layers)]
+        if kind == _KIND_CLASSIFIER:
+            model = MLPClassifier(hidden=hidden)
+            model.classes_ = data["classes"]
+        elif kind == _KIND_REGRESSOR:
+            model = MLPRegressor(hidden=hidden)
+            model._n_outputs = int(data["n_outputs"])
+        else:
+            raise ValueError(f"unknown model kind {kind!r}")
+    model.weights_ = weights
+    model.biases_ = biases
+    return model

@@ -1,0 +1,152 @@
+"""Data preprocessing utilities: scaling, splitting, encoding, folding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) are left unscaled so the transform
+    never divides by zero.
+    """
+
+    def __init__(self):
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X):
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X):
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform")
+        return np.asarray(X, dtype=float) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features into ``[0, 1]`` based on the training range."""
+
+    def __init__(self):
+        self.min_ = None
+        self.range_ = None
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=float)
+        self.min_ = X.min(axis=0)
+        rng = X.max(axis=0) - self.min_
+        rng[rng == 0.0] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, X):
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler must be fitted before transform")
+        return (np.asarray(X, dtype=float) - self.min_) / self.range_
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+
+def train_test_split(X, y, test_size=0.25, seed=0, shuffle=True):
+    """Split arrays into random train and test subsets.
+
+    Parameters
+    ----------
+    X, y:
+        Arrays with matching first dimension.
+    test_size:
+        Fraction of samples placed in the test split.
+    seed:
+        Seed for the shuffling RNG.
+    shuffle:
+        If False, take the tail of the data as the test split.
+
+    Returns
+    -------
+    tuple of ``(X_train, X_test, y_train, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError(f"X and y have mismatched lengths: {len(X)} vs {len(y)}")
+    n = len(X)
+    n_test = max(1, int(round(n * test_size)))
+    if n_test >= n:
+        raise ValueError("test_size leaves no training samples")
+    idx = np.arange(n)
+    if shuffle:
+        rng = np.random.default_rng(seed)
+        rng.shuffle(idx)
+    test_idx = idx[:n_test]
+    train_idx = idx[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def one_hot(y, n_classes=None):
+    """Encode an integer label vector as a one-hot matrix."""
+    y = np.asarray(y, dtype=int)
+    if y.ndim != 1:
+        raise ValueError("one_hot expects a 1-D label vector")
+    if n_classes is None:
+        n_classes = int(y.max()) + 1
+    out = np.zeros((len(y), n_classes))
+    out[np.arange(len(y)), y] = 1.0
+    return out
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits=5, shuffle=True, seed=0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, X):
+        """Yield ``(train_idx, test_idx)`` pairs covering all samples."""
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        idx = np.arange(n)
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(idx)
+        folds = np.array_split(idx, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+def cross_val_score(model_factory, X, y, metric, n_splits=5, seed=0):
+    """Run k-fold cross validation and return the per-fold metric values.
+
+    ``model_factory`` is a zero-argument callable producing a fresh model
+    with ``fit``/``predict``; ``metric(y_true, y_pred)`` scores one fold.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in KFold(n_splits=n_splits, seed=seed).split(X):
+        model = model_factory()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(metric(y[test_idx], model.predict(X[test_idx])))
+    return np.array(scores)

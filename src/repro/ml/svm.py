@@ -1,0 +1,74 @@
+"""Linear support vector machine trained with SGD on the hinge loss.
+
+SVMs appear throughout the paper's survey: IPAS [27] uses one to classify
+vulnerable instructions, and [20] uses support vectors to predict flip-flop
+vulnerability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearSVC:
+    """Linear SVM via stochastic subgradient descent (Pegasos-style).
+
+    Parameters
+    ----------
+    C:
+        Inverse regularization strength; larger C fits the data harder.
+    n_epochs:
+        Passes over the shuffled training set.
+    lr:
+        Base learning rate, decayed as ``lr / (1 + epoch)``.
+    """
+
+    def __init__(self, C=1.0, n_epochs=50, lr=0.05, seed=0):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.C = C
+        self.n_epochs = n_epochs
+        self.lr = lr
+        self.seed = seed
+        self.coef_ = None
+        self.intercept_ = None
+        self.classes_ = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ValueError("LinearSVC supports exactly 2 classes")
+        t = np.where(y == self.classes_[1], 1.0, -1.0)
+        rng = np.random.default_rng(self.seed)
+        w = np.zeros(X.shape[1])
+        b = 0.0
+        lam = 1.0 / (self.C * len(X))
+        for epoch in range(self.n_epochs):
+            lr = self.lr / (1.0 + epoch)
+            order = rng.permutation(len(X))
+            for i in order:
+                margin = t[i] * (X[i] @ w + b)
+                if margin < 1.0:
+                    w -= lr * (lam * w - t[i] * X[i])
+                    b += lr * t[i]
+                else:
+                    w -= lr * lam * w
+        self.coef_ = w
+        self.intercept_ = float(b)
+        return self
+
+    def decision_function(self, X):
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return X @ self.coef_ + self.intercept_
+
+    def predict(self, X):
+        score = self.decision_function(X)
+        return np.where(score >= 0.0, self.classes_[1], self.classes_[0])

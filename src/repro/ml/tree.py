@@ -1,0 +1,204 @@
+"""CART decision trees (classification and regression).
+
+Decision trees are the base learners for the boosting/forest models in
+:mod:`repro.ml.ensemble`; gradient-boosted trees are the model family the
+survey reports as most consistently accurate for scale-dependent error
+prediction ([21]) and HPC error-pattern mining ([22]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value=None):
+        self.feature = None
+        self.threshold = None
+        self.left = None
+        self.right = None
+        self.value = value
+
+    @property
+    def is_leaf(self):
+        return self.left is None
+
+
+def _gini(counts):
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return 1.0 - float(np.sum(p * p))
+
+
+class _TreeBase:
+    def __init__(self, max_depth=8, min_samples_split=2, max_features=None, seed=0):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.max_features = max_features
+        self.seed = seed
+        self._root = None
+        self._rng = None
+
+    def _feature_candidates(self, n_features):
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self._rng.choice(n_features, size=self.max_features, replace=False)
+
+    def fit(self, X, y, sample_weight=None):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y)
+        if len(X) == 0:
+            raise ValueError("cannot fit on empty data")
+        if sample_weight is None:
+            sample_weight = np.ones(len(X))
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+        self._rng = np.random.default_rng(self.seed)
+        self._prepare(y)
+        self._root = self._build(X, y, sample_weight, depth=0)
+        return self
+
+    def _build(self, X, y, w, depth):
+        node = _Node(value=self._leaf_value(y, w))
+        if depth >= self.max_depth or len(X) < self.min_samples_split or self._pure(y):
+            return node
+        best = self._best_split(X, y, w)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], w[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X, y, w):
+        best_score = np.inf
+        best = None
+        for feature in self._feature_candidates(X.shape[1]):
+            col = X[:, feature]
+            values = np.unique(col)
+            if len(values) < 2:
+                continue
+            # Candidate thresholds between consecutive unique values; cap the
+            # number of candidates to keep large fits tractable.
+            mids = (values[:-1] + values[1:]) / 2.0
+            if len(mids) > 32:
+                mids = np.quantile(col, np.linspace(0.02, 0.98, 32))
+            for threshold in np.unique(mids):
+                mask = col <= threshold
+                if not mask.any() or mask.all():
+                    continue
+                score = self._split_score(y, w, mask)
+                if score < best_score:
+                    best_score = score
+                    best = (int(feature), float(threshold))
+        return best
+
+    def _predict_one(self, x):
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def predict(self, X):
+        if self._root is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return np.array([self._predict_one(x) for x in X])
+
+    # hooks -----------------------------------------------------------------
+    def _prepare(self, y):
+        raise NotImplementedError
+
+    def _leaf_value(self, y, w):
+        raise NotImplementedError
+
+    def _pure(self, y):
+        raise NotImplementedError
+
+    def _split_score(self, y, w, mask):
+        raise NotImplementedError
+
+
+class DecisionTreeClassifier(_TreeBase):
+    """Gini-impurity CART classifier with optional sample weights."""
+
+    def _prepare(self, y):
+        self.classes_ = np.unique(y)
+        self._class_index = {c: i for i, c in enumerate(self.classes_)}
+
+    def _weighted_counts(self, y, w):
+        counts = np.zeros(len(self.classes_))
+        for c, i in self._class_index.items():
+            counts[i] = w[y == c].sum()
+        return counts
+
+    def _leaf_value(self, y, w):
+        counts = self._weighted_counts(y, w)
+        return self.classes_[int(np.argmax(counts))]
+
+    def _pure(self, y):
+        return len(np.unique(y)) == 1
+
+    def _split_score(self, y, w, mask):
+        left = self._weighted_counts(y[mask], w[mask])
+        right = self._weighted_counts(y[~mask], w[~mask])
+        n_l, n_r = left.sum(), right.sum()
+        total = n_l + n_r
+        return (n_l * _gini(left) + n_r * _gini(right)) / total
+
+    def predict_proba(self, X):
+        """Empirical class distribution at the reached leaf.
+
+        Implemented by re-descending and reporting a one-hot distribution of
+        the leaf's majority class (leaves store only the argmax); adequate
+        for the ensemble use-cases in this library.
+        """
+        preds = self.predict(X)
+        probs = np.zeros((len(preds), len(self.classes_)))
+        for i, p in enumerate(preds):
+            probs[i, self._class_index[p]] = 1.0
+        return probs
+
+
+class DecisionTreeRegressor(_TreeBase):
+    """Variance-reduction CART regressor with optional sample weights."""
+
+    def _prepare(self, y):
+        if not np.issubdtype(np.asarray(y).dtype, np.number):
+            raise ValueError("regression targets must be numeric")
+
+    def _leaf_value(self, y, w):
+        total = w.sum()
+        if total == 0:
+            return float(np.mean(y))
+        return float(np.sum(np.asarray(y, dtype=float) * w) / total)
+
+    def _pure(self, y):
+        return float(np.ptp(np.asarray(y, dtype=float))) == 0.0
+
+    def _split_score(self, y, w, mask):
+        y = np.asarray(y, dtype=float)
+
+        def wvar(yy, ww):
+            total = ww.sum()
+            if total == 0:
+                return 0.0
+            mu = np.sum(yy * ww) / total
+            return float(np.sum(ww * (yy - mu) ** 2))
+
+        return wvar(y[mask], w[mask]) + wvar(y[~mask], w[~mask])

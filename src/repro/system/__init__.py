@@ -1,0 +1,107 @@
+"""OS/application-level reliability management (Sec. IV).
+
+Substrate: periodic tasks (:mod:`repro.system.task`), cores with discrete
+V-f levels (:mod:`repro.system.core`), power and RC thermal models
+(:mod:`repro.system.power`, :mod:`repro.system.thermal`), device-level
+lifetime models (:mod:`repro.system.reliability_models`), soft-error-rate
+vs voltage (:mod:`repro.system.ser`), and a discrete-time multicore
+platform simulator (:mod:`repro.system.platform`).
+
+Learning layer: tabular Q-learning (:mod:`repro.system.rl`) and the
+surveyed dynamic reliability managers (:mod:`repro.system.managers`):
+RL-DVFS availability/lifetime management ([1],[33],[43]), RL thermal
+management via task migration ([39],[40],[44],[49]), NN-based MWTF task
+mapping ([2], :mod:`repro.system.mwtf_mapping`), and adaptive replica
+management ([45], :mod:`repro.system.replication_manager`).
+"""
+
+from repro.system.task import Task, TaskSet, generate_task_set
+from repro.system.core import Core, VFLevel, DEFAULT_VF_LEVELS
+from repro.system.power import dynamic_power, leakage_power, total_power
+from repro.system.thermal import ThermalModel
+from repro.system.reliability_models import (
+    em_mttf,
+    tddb_mttf,
+    tc_mttf,
+    nbti_mttf,
+    hci_mttf,
+    combined_mttf,
+)
+from repro.system.ser import soft_error_rate, task_failure_probability
+from repro.system.mttf import system_mttf, availability
+from repro.system.mwtf import mwtf
+from repro.system.scheduler import edf_feasible, first_fit_partition, utilization
+from repro.system.platform import Platform, SimulationMetrics
+from repro.system.rl import QLearningAgent, Discretizer
+from repro.system.managers import (
+    RLDVFSManager,
+    PerCoreRLDVFSManager,
+    RLThermalManager,
+    MigrationThermalManager,
+    StaticManager,
+    RandomManager,
+    GreedyThermalManager,
+    run_managed_simulation,
+)
+from repro.system.mwtf_mapping import MWTFMappingStudy
+from repro.system.replication_manager import AdaptiveReplicationManager, ReplicationEnvironment
+from repro.system.dpm import ConsolidationDPMManager
+from repro.system.mixed_criticality import (
+    MCWorkload,
+    MCTask,
+    LearnedController,
+    OptimisticController,
+    PessimisticController,
+    generate_lo_tasks,
+    run_mc_simulation,
+)
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "generate_task_set",
+    "Core",
+    "VFLevel",
+    "DEFAULT_VF_LEVELS",
+    "dynamic_power",
+    "leakage_power",
+    "total_power",
+    "ThermalModel",
+    "em_mttf",
+    "tddb_mttf",
+    "tc_mttf",
+    "nbti_mttf",
+    "hci_mttf",
+    "combined_mttf",
+    "soft_error_rate",
+    "task_failure_probability",
+    "system_mttf",
+    "availability",
+    "mwtf",
+    "edf_feasible",
+    "first_fit_partition",
+    "utilization",
+    "Platform",
+    "SimulationMetrics",
+    "QLearningAgent",
+    "Discretizer",
+    "RLDVFSManager",
+    "PerCoreRLDVFSManager",
+    "RLThermalManager",
+    "MigrationThermalManager",
+    "StaticManager",
+    "RandomManager",
+    "GreedyThermalManager",
+    "run_managed_simulation",
+    "MWTFMappingStudy",
+    "AdaptiveReplicationManager",
+    "ReplicationEnvironment",
+    "ConsolidationDPMManager",
+    "MCWorkload",
+    "MCTask",
+    "LearnedController",
+    "OptimisticController",
+    "PessimisticController",
+    "generate_lo_tasks",
+    "run_mc_simulation",
+]

@@ -1,0 +1,91 @@
+"""Core model with discrete V-f levels and power states."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VFLevel:
+    """One DVFS operating point."""
+
+    voltage: float  # volts
+    frequency: float  # GHz
+
+    def __post_init__(self):
+        if self.voltage <= 0 or self.frequency <= 0:
+            raise ValueError("voltage and frequency must be positive")
+
+
+# A typical embedded DVFS ladder (V scales roughly with f).
+DEFAULT_VF_LEVELS = (
+    VFLevel(0.60, 0.6),
+    VFLevel(0.70, 1.0),
+    VFLevel(0.80, 1.4),
+    VFLevel(0.90, 1.8),
+    VFLevel(1.00, 2.2),
+)
+
+POWER_STATES = ("active", "idle", "sleep", "off")
+
+
+class Core:
+    """One processor core: V-f level, power state, and thermal node.
+
+    The core is *heterogeneous-ready*: ``speed_factor`` scales throughput
+    (big vs LITTLE) and ``vulnerability_factor`` scales its raw SER
+    susceptibility (different microarchitectures expose different AVF,
+    the effect [2] exploits).
+    """
+
+    def __init__(
+        self,
+        core_id,
+        vf_levels=DEFAULT_VF_LEVELS,
+        speed_factor=1.0,
+        vulnerability_factor=1.0,
+        ambient_c=40.0,
+    ):
+        if speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        self.core_id = core_id
+        self.vf_levels = tuple(vf_levels)
+        if not self.vf_levels:
+            raise ValueError("need at least one V-f level")
+        self.speed_factor = speed_factor
+        self.vulnerability_factor = vulnerability_factor
+        self.level_index = len(self.vf_levels) - 1  # boot at max
+        self.power_state = "active"
+        self.temperature_c = ambient_c
+        self.utilization = 0.0
+
+    @property
+    def vf(self):
+        return self.vf_levels[self.level_index]
+
+    @property
+    def nominal_frequency(self):
+        return self.vf_levels[-1].frequency
+
+    def set_level(self, index):
+        if not 0 <= index < len(self.vf_levels):
+            raise ValueError(f"V-f level {index} out of range")
+        self.level_index = index
+
+    def set_power_state(self, state):
+        if state not in POWER_STATES:
+            raise ValueError(f"unknown power state {state!r}")
+        self.power_state = state
+
+    def effective_speed(self):
+        """Throughput relative to a nominal core at maximum frequency."""
+        if self.power_state != "active":
+            return 0.0
+        return self.speed_factor * self.vf.frequency / self.nominal_frequency
+
+    def scaled_wcet(self, task):
+        """Execution time of ``task`` on this core at the current level."""
+        speed = self.effective_speed()
+        if speed <= 0:
+            return float("inf")
+        return task.wcet / speed

@@ -1,0 +1,66 @@
+"""Dynamic power management: sleep-state consolidation (Sec. IV knob 3).
+
+DPM "can change the power states of the system's cores into active,
+idle, sleep, or off modes ... it can also help manage the thermal and
+reliability issues, especially by tuning the state of cores" (Sec. IV).
+
+:class:`ConsolidationDPMManager` packs the task set onto the fewest cores
+whose EDF bound still holds, sleeps the rest, and wakes cores back up
+when utilization grows — trading idle leakage for (slightly) higher
+per-core utilization and temperature.
+"""
+
+from __future__ import annotations
+
+from repro.system.scheduler import edf_feasible
+
+
+class ConsolidationDPMManager:
+    """Sleep idle cores by consolidating tasks onto as few as possible.
+
+    Parameters
+    ----------
+    utilization_headroom:
+        Fraction of a core's capacity deliberately left free (guards
+        against DVFS slowdowns and migration cost).
+    """
+
+    def __init__(self, utilization_headroom=0.1):
+        if not 0.0 <= utilization_headroom < 1.0:
+            raise ValueError("headroom must be in [0, 1)")
+        self.headroom = utilization_headroom
+
+    def _pack(self, platform):
+        """First-fit-decreasing packing under the headroom-tightened bound."""
+        tasks = sorted(platform.task_set, key=lambda t: -t.utilization)
+        bins = [[] for _ in platform.cores]
+        assignment = {}
+        for task in tasks:
+            placed = False
+            for idx, core in enumerate(platform.cores):
+                candidate = bins[idx] + [task]
+                speed = core.speed_factor * (1.0 - self.headroom)
+                if speed > 0 and edf_feasible(candidate, speed=speed):
+                    bins[idx].append(task)
+                    assignment[task.name] = idx
+                    placed = True
+                    break
+            if not placed:
+                return None, None  # infeasible with headroom; keep all awake
+        return assignment, bins
+
+    def control(self, platform):
+        assignment, bins = self._pack(platform)
+        if assignment is None:
+            for core in platform.cores:
+                core.set_power_state("active")
+            return
+        platform.remap(assignment)
+        for idx, core in enumerate(platform.cores):
+            if bins[idx]:
+                core.set_power_state("active")
+            else:
+                core.set_power_state("sleep")
+
+    def active_core_count(self, platform):
+        return sum(1 for c in platform.cores if c.power_state == "active")

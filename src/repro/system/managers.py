@@ -1,0 +1,346 @@
+"""Dynamic reliability managers: RL-based and baselines (Sec. IV).
+
+The RL-DVFS manager follows the scheme of [1]/[33]/[43]: states combine
+temperature, utilization, and soft-error pressure; actions pick a global
+V-f level; the reward trades functional reliability (soft-error and
+deadline terms) against lifetime (temperature) and energy.  The thermal
+manager of [39]/[40]/[49] instead migrates the hottest core's load.
+
+Baselines: run at maximum V-f always (StaticManager — best functional
+reliability, worst thermals/energy), a random-knob manager, and a greedy
+temperature-threshold governor.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.system.platform import Platform
+from repro.system.rl import Discretizer, QLearningAgent
+from repro.system.ser import soft_error_rate
+
+
+class StaticManager:
+    """Pin every core at one V-f level (default: maximum)."""
+
+    def __init__(self, level_index=None):
+        self.level_index = level_index
+
+    def control(self, platform):
+        for core in platform.cores:
+            idx = self.level_index
+            if idx is None:
+                idx = len(core.vf_levels) - 1
+            core.set_level(idx)
+
+
+class RandomManager:
+    """Pick a random V-f level each control epoch (a sanity baseline)."""
+
+    def __init__(self, seed=0):
+        self.rng = np.random.default_rng(seed)
+
+    def control(self, platform):
+        for core in platform.cores:
+            core.set_level(int(self.rng.integers(len(core.vf_levels))))
+
+
+class GreedyThermalManager:
+    """Threshold governor: throttle when hot, boost when cool."""
+
+    def __init__(self, hot_c=75.0, cool_c=55.0):
+        self.hot_c = hot_c
+        self.cool_c = cool_c
+
+    def control(self, platform):
+        for core in platform.cores:
+            if core.temperature_c > self.hot_c and core.level_index > 0:
+                core.set_level(core.level_index - 1)
+            elif core.temperature_c < self.cool_c and core.level_index < len(core.vf_levels) - 1:
+                core.set_level(core.level_index + 1)
+
+
+class RLDVFSManager:
+    """Q-learning DVFS manager optimizing a reliability-weighted reward.
+
+    Reward per control epoch (following the [1]/[43] structure):
+
+        R = - w_miss * new_misses - w_soft * new_soft_failures
+            - w_temp * max(T_peak - T_limit, 0) - w_energy * energy
+
+    so the agent learns to run as slow as thermal/energy pressure allows
+    *without* letting the lower voltage's SER and stretched execution
+    times cause functional failures.
+    """
+
+    def __init__(
+        self,
+        n_levels=5,
+        t_limit_c=75.0,
+        w_miss=40.0,
+        w_soft=40.0,
+        w_temp=1.0,
+        w_energy=0.4,
+        seed=0,
+    ):
+        self.t_limit_c = t_limit_c
+        self.w_miss = w_miss
+        self.w_soft = w_soft
+        self.w_temp = w_temp
+        self.w_energy = w_energy
+        self.agent = QLearningAgent(n_actions=n_levels, seed=seed)
+        self.discretize = Discretizer(
+            [
+                np.array([50.0, 62.0, 72.0, 80.0]),  # peak core temperature
+                np.array([0.25, 0.5, 0.75]),  # mean utilization
+                np.array([1e-6, 1e-5, 1e-4]),  # current SER at the chosen V
+            ]
+        )
+        self._pending = None  # (state, action, metrics snapshot)
+        self.training = True
+
+    def _observe(self, platform):
+        temps = platform.thermal.temperatures
+        utils = [c.utilization for c in platform.cores]
+        volts = [c.vf.voltage for c in platform.cores]
+        return self.discretize(
+            [
+                float(np.max(temps)),
+                float(np.mean(utils)),
+                float(np.mean(soft_error_rate(np.asarray(volts)))),
+            ]
+        )
+
+    def _reward(self, platform, before):
+        m = platform.metrics
+        d_miss = m.deadline_misses - before["misses"]
+        d_soft = m.soft_failures - before["soft"]
+        d_energy = m.energy_j - before["energy"]
+        overheat = max(float(np.max(platform.thermal.temperatures)) - self.t_limit_c, 0.0)
+        return (
+            -self.w_miss * d_miss
+            - self.w_soft * d_soft
+            - self.w_temp * overheat
+            - self.w_energy * d_energy
+        )
+
+    def control(self, platform):
+        state = self._observe(platform)
+        if self._pending is not None and self.training:
+            prev_state, prev_action, before = self._pending
+            reward = self._reward(platform, before)
+            self.agent.update(prev_state, prev_action, reward, state)
+        action = self.agent.act(state, explore=self.training)
+        for core in platform.cores:
+            core.set_level(min(action, len(core.vf_levels) - 1))
+        self._pending = (
+            state,
+            action,
+            {
+                "misses": platform.metrics.deadline_misses,
+                "soft": platform.metrics.soft_failures,
+                "energy": platform.metrics.energy_j,
+            },
+        )
+
+    def freeze(self):
+        """Stop learning and exploring (deployment mode)."""
+        self.training = False
+
+
+class PerCoreRLDVFSManager:
+    """Per-core Q-learning DVFS (Sec. IV: DVFS "applied to cores individually").
+
+    One agent per core, each observing *local* state (its own temperature
+    and utilization) and setting its own V-f level; the reward charges a
+    core for global deadline/soft-failure increments (credit assignment is
+    shared) plus its local overheating and energy share.  Compared to the
+    global :class:`RLDVFSManager`, per-core control can slow lightly
+    loaded cores without throttling busy ones.
+    """
+
+    def __init__(self, n_levels=5, t_limit_c=75.0, w_miss=40.0, w_soft=40.0,
+                 w_temp=1.0, w_energy=0.4, seed=0):
+        self.n_levels = n_levels
+        self.t_limit_c = t_limit_c
+        self.w_miss = w_miss
+        self.w_soft = w_soft
+        self.w_temp = w_temp
+        self.w_energy = w_energy
+        self.seed = seed
+        self.agents = {}
+        self.discretize = Discretizer(
+            [
+                np.array([50.0, 62.0, 72.0, 80.0]),  # own temperature
+                np.array([0.25, 0.5, 0.75]),  # own utilization
+            ]
+        )
+        self._pending = None
+        self.training = True
+
+    def _agent_for(self, core):
+        if core.core_id not in self.agents:
+            self.agents[core.core_id] = QLearningAgent(
+                n_actions=self.n_levels, seed=self.seed + 17 * (core.core_id + 1)
+            )
+        return self.agents[core.core_id]
+
+    def _observe(self, platform):
+        states = {}
+        for idx, core in enumerate(platform.cores):
+            states[core.core_id] = self.discretize(
+                [float(platform.thermal.temperatures[idx]), core.utilization]
+            )
+        return states
+
+    def control(self, platform):
+        states = self._observe(platform)
+        n_cores = len(platform.cores)
+        if self._pending is not None and self.training:
+            prev_states, prev_actions, before = self._pending
+            m = platform.metrics
+            d_miss = m.deadline_misses - before["misses"]
+            d_soft = m.soft_failures - before["soft"]
+            d_energy = m.energy_j - before["energy"]
+            # Local credit assignment: each core pays for its *own* power
+            # draw (global deltas only split the shared failure terms).
+            from repro.system.power import total_power
+
+            powers = [total_power(core) for core in platform.cores]
+            total_p = sum(powers) or 1.0
+            for idx, core in enumerate(platform.cores):
+                overheat = max(
+                    float(platform.thermal.temperatures[idx]) - self.t_limit_c, 0.0
+                )
+                local_energy = d_energy * powers[idx] / total_p
+                reward = (
+                    -self.w_miss * d_miss / n_cores
+                    - self.w_soft * d_soft / n_cores
+                    - self.w_temp * overheat
+                    - self.w_energy * n_cores * local_energy
+                )
+                self._agent_for(core).update(
+                    prev_states[core.core_id],
+                    prev_actions[core.core_id],
+                    reward,
+                    states[core.core_id],
+                )
+        actions = {}
+        for core in platform.cores:
+            action = self._agent_for(core).act(
+                states[core.core_id], explore=self.training
+            )
+            core.set_level(min(action, len(core.vf_levels) - 1))
+            actions[core.core_id] = action
+        self._pending = (
+            states,
+            actions,
+            {
+                "misses": platform.metrics.deadline_misses,
+                "soft": platform.metrics.soft_failures,
+                "energy": platform.metrics.energy_j,
+            },
+        )
+
+    def freeze(self):
+        self.training = False
+
+
+class MigrationThermalManager:
+    """Thermal management by task re-allocation ([39],[40],[49] mechanism).
+
+    Each control epoch the most-loaded task on the hottest core migrates
+    to the coolest core (if it fits), flattening spatial gradients and
+    thermal cycling — the thread-allocation knob of the surveyed thermal
+    managers, in its greedy deterministic form.
+    """
+
+    def __init__(self, gradient_threshold_k=3.0):
+        self.gradient_threshold_k = gradient_threshold_k
+
+    def control(self, platform):
+        temps = platform.thermal.temperatures
+        hot = int(np.argmax(temps))
+        cool = int(np.argmin(temps))
+        if temps[hot] - temps[cool] < self.gradient_threshold_k or hot == cool:
+            return
+        from repro.system.scheduler import edf_feasible
+
+        candidates = [
+            t for t in platform.task_set if platform.assignment[t.name] == hot
+        ]
+        if not candidates:
+            return
+        mover = max(candidates, key=lambda t: t.utilization)
+        cool_tasks = [
+            t for t in platform.task_set if platform.assignment[t.name] == cool
+        ]
+        if edf_feasible(cool_tasks + [mover], speed=platform.cores[cool].speed_factor):
+            assignment = dict(platform.assignment)
+            assignment[mover.name] = cool
+            platform.remap(assignment)
+
+
+class RLThermalManager(RLDVFSManager):
+    """RL thermal manager: DVFS knob + greedy migration, thermal-heavy reward.
+
+    Follows the intra/inter-application thermal optimization of [39]/[44]:
+    the Q-learning reward is dominated by peak-temperature and
+    thermal-cycle terms (lifetime), with deadline misses as a constraint
+    penalty, and the task-migration knob runs alongside the learned DVFS.
+    """
+
+    def __init__(self, t_limit_c=60.0, seed=0):
+        super().__init__(
+            t_limit_c=t_limit_c,
+            w_miss=40.0,
+            w_soft=5.0,
+            w_temp=8.0,
+            w_energy=0.2,
+            seed=seed,
+        )
+        self._migrator = MigrationThermalManager()
+
+    def control(self, platform):
+        super().control(platform)
+        self._migrator.control(platform)
+
+
+def run_managed_simulation(
+    manager,
+    task_set,
+    n_cores=4,
+    duration=30.0,
+    dt=0.05,
+    seed=0,
+    training_episodes=0,
+    cores_factory=None,
+):
+    """Simulate a mission window under a manager; optionally pre-train RL.
+
+    ``training_episodes`` runs throwaway episodes first (same workload,
+    different random seeds) so the Q-table converges before the scored
+    run — the design-time learning phase of the Fig. 1 loop.
+    """
+    from repro.system.core import Core
+    from repro.system.scheduler import first_fit_partition
+
+    def build(seed_offset):
+        if cores_factory is not None:
+            cores = cores_factory()
+        else:
+            cores = [Core(i) for i in range(n_cores)]
+        assignment = first_fit_partition(task_set, cores)
+        return Platform(
+            cores, task_set, assignment, dt=dt, seed=seed + seed_offset
+        )
+
+    for episode in range(training_episodes):
+        platform = build(1000 + episode)
+        platform.run(duration, manager=manager)
+    if hasattr(manager, "freeze"):
+        manager.freeze()
+    platform = build(0)
+    return platform.run(duration, manager=manager)

@@ -1,0 +1,39 @@
+"""System-level MTTF combination and availability (ref [1])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def system_mttf(core_mttfs):
+    """MTTF of a system whose cores fail independently (series system)."""
+    core_mttfs = np.asarray(list(core_mttfs), dtype=float)
+    if len(core_mttfs) == 0:
+        raise ValueError("need at least one core MTTF")
+    if np.any(core_mttfs <= 0):
+        raise ValueError("MTTFs must be positive")
+    return float(1.0 / np.sum(1.0 / core_mttfs))
+
+
+def availability(mttf, mttr):
+    """Steady-state availability ``MTTF / (MTTF + MTTR)`` as in [1]."""
+    if mttf <= 0 or mttr < 0:
+        raise ValueError("mttf must be positive and mttr non-negative")
+    return mttf / (mttf + mttr)
+
+
+def lifetime_weighted_availability(mttf_years, soft_failure_rate_per_s, repair_s=1.0):
+    """Availability combining hard (lifetime) and soft (transient) failures.
+
+    Hard failures take the system down permanently relative to mission
+    horizons; soft failures cost a recovery interval each.  Following
+    [1]'s availability formulation, both are folded into a single
+    MTTF/(MTTF+MTTR) with rates summed.
+    """
+    year_s = 3.154e7
+    hard_rate = 1.0 / (mttf_years * year_s)
+    total_rate = hard_rate + soft_failure_rate_per_s
+    if total_rate <= 0:
+        return 1.0
+    mttf_s = 1.0 / total_rate
+    return availability(mttf_s, repair_s)

@@ -1,0 +1,55 @@
+"""Mean workload to failure (ref [2], Sec. IV-A3).
+
+MWTF measures how much useful work completes per failure:
+
+    MWTF = work_rate / failure_rate
+         = 1 / (AVF * raw_SER * t_exec_per_work_unit)
+
+Mapping a task to a core changes all three terms: a faster core shortens
+the exposure window, a less vulnerable core lowers the effective AVF.
+Maximizing MWTF balances performance against vulnerability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.ser import soft_error_rate
+
+
+def mwtf(task, core, execution_time=None):
+    """Expected successfully-executed jobs of ``task`` on ``core`` between
+    failures (dimensionless work units)."""
+    t_exec = execution_time if execution_time is not None else core.scaled_wcet(task)
+    if t_exec <= 0 or not np.isfinite(t_exec):
+        raise ValueError("execution time must be positive and finite")
+    rate = (
+        soft_error_rate(core.vf.voltage)
+        * core.vulnerability_factor
+        * task.vulnerability
+    )
+    failures_per_job = rate * t_exec
+    if failures_per_job <= 0:
+        return float("inf")
+    return 1.0 / failures_per_job
+
+
+def mapping_mwtf(task_set, cores, assignment):
+    """Aggregate MWTF of a task-to-core assignment (harmonic combination).
+
+    ``assignment`` maps task name -> core index.  The system fails when
+    any task's output is corrupted, so failure rates add: the aggregate
+    MWTF is the harmonic-style combination of per-task MWTFs weighted by
+    their job rates.
+    """
+    total_rate = 0.0
+    total_work = 0.0
+    for task in task_set:
+        core = cores[assignment[task.name]]
+        m = mwtf(task, core)
+        jobs_per_s = 1.0 / task.period
+        total_work += jobs_per_s
+        total_rate += jobs_per_s / m
+    if total_rate <= 0:
+        return float("inf")
+    return total_work / total_rate

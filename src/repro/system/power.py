@@ -1,0 +1,39 @@
+"""Core power model: dynamic switching power plus temperature-dependent leakage."""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Effective switched capacitance (nF-equivalent scale constant) and leakage
+# coefficients tuned for watts-range embedded cores.
+C_EFF = 1.1  # W / (V^2 * GHz) at full utilization
+LEAK_K = 0.12  # W / V at reference temperature
+LEAK_T_COEFF = 0.012  # 1/K exponential leakage growth
+REFERENCE_T = 40.0
+
+IDLE_POWER_FACTOR = {"active": 1.0, "idle": 0.3, "sleep": 0.05, "off": 0.0}
+
+
+def dynamic_power(voltage, frequency, utilization=1.0):
+    """Switching power ``C V^2 f u`` in watts."""
+    if voltage <= 0 or frequency <= 0:
+        raise ValueError("voltage and frequency must be positive")
+    utilization = float(np.clip(utilization, 0.0, 1.0))
+    return C_EFF * voltage**2 * frequency * utilization
+
+
+def leakage_power(voltage, temperature_c):
+    """Static power, exponential in temperature (the leakage-thermal loop)."""
+    if voltage <= 0:
+        raise ValueError("voltage must be positive")
+    return LEAK_K * voltage * np.exp(LEAK_T_COEFF * (temperature_c - REFERENCE_T))
+
+
+def total_power(core):
+    """Current power draw of a :class:`repro.system.core.Core`."""
+    factor = IDLE_POWER_FACTOR[core.power_state]
+    if factor == 0.0:
+        return 0.0
+    p_dyn = dynamic_power(core.vf.voltage, core.vf.frequency, core.utilization)
+    p_leak = leakage_power(core.vf.voltage, core.temperature_c)
+    return factor * (p_dyn * (1.0 if core.power_state == "active" else 0.0) + p_leak)

@@ -1,0 +1,116 @@
+"""Device-level lifetime (MTTF) models: EM, TDDB, TC, NBTI, HCI (ref [46]).
+
+Standard empirical forms, normalized so a core at nominal conditions
+(1.0 V, 2.2 GHz, 60 C, moderate activity) has an MTTF of roughly 10
+years per mechanism.  What the management layers consume are the
+*relative* sensitivities to temperature, voltage, and thermal cycling,
+which these forms capture:
+
+* Electromigration (Black):        MTTF ~ J^-n * exp(Ea/kT)
+* TDDB (field-driven):             MTTF ~ V^-(a-bT) * exp(X + Y/T + ZT)/kT-ish,
+  simplified to exp-form with voltage acceleration
+* Thermal cycling (Coffin-Manson): N_f ~ dT^-q  (cycles to failure)
+* NBTI / HCI:                      threshold-shift-limited lifetime via the
+  :mod:`repro.transistor.aging` physics inverted for a failure criterion
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BOLTZMANN_EV = 8.617e-5
+YEAR_S = 3.154e7
+
+# Normalization targets: ~10 years at the nominal corner.
+_NOMINAL_T_K = 273.15 + 60.0
+_EM_EA = 0.7
+_TDDB_EA = 0.75
+_EM_N = 1.8
+_TDDB_GAMMA = 6.0  # voltage acceleration decades
+_TC_Q = 2.35
+_NBTI_FAIL_SHIFT = 0.05  # V of delta-Vth considered end-of-life
+
+
+def _kelvin(t_c):
+    return np.asarray(t_c, dtype=float) + 273.15
+
+
+def em_mttf(temperature_c, current_density=1.0):
+    """Electromigration MTTF (years), Black's equation.
+
+    ``current_density`` is relative to nominal (scales with V*f roughly).
+    """
+    if np.any(np.asarray(current_density) <= 0):
+        raise ValueError("current density must be positive")
+    t_k = _kelvin(temperature_c)
+    accel = np.exp(_EM_EA / BOLTZMANN_EV * (1.0 / t_k - 1.0 / _NOMINAL_T_K))
+    return 10.0 * accel / np.asarray(current_density, dtype=float) ** _EM_N
+
+
+def tddb_mttf(temperature_c, voltage=1.0):
+    """Time-dependent dielectric breakdown MTTF (years)."""
+    if np.any(np.asarray(voltage) <= 0):
+        raise ValueError("voltage must be positive")
+    t_k = _kelvin(temperature_c)
+    thermal = np.exp(_TDDB_EA / BOLTZMANN_EV * (1.0 / t_k - 1.0 / _NOMINAL_T_K))
+    voltage_accel = 10.0 ** (-_TDDB_GAMMA * (np.asarray(voltage, dtype=float) - 1.0))
+    return 10.0 * thermal * voltage_accel
+
+
+def tc_mttf(cycle_amplitude_k, cycles_per_day=50.0):
+    """Thermal-cycling MTTF (years) via Coffin-Manson.
+
+    Normalized to 10 years at 10 K swings, 50 cycles/day.
+    """
+    amp = np.asarray(cycle_amplitude_k, dtype=float)
+    if np.any(amp < 0) or cycles_per_day <= 0:
+        raise ValueError("invalid cycling parameters")
+    amp = np.maximum(amp, 1e-3)
+    cycles_to_failure = (10.0 / amp) ** _TC_Q * (10.0 * 365.0 * 50.0)
+    return cycles_to_failure / (cycles_per_day * 365.0)
+
+
+def nbti_mttf(temperature_c, voltage=1.0, duty_cycle=0.5):
+    """NBTI-limited lifetime (years): time until delta-Vth hits the failure
+    criterion, inverted from :func:`repro.transistor.aging.nbti_delta_vth`."""
+    from repro.transistor.aging import nbti_delta_vth
+
+    # Solve nbti_delta_vth(t) = FAIL for t via the power-law exponent.
+    probe_t = YEAR_S
+    shift_at_year = nbti_delta_vth(probe_t, duty_cycle, temperature_c, vdd=voltage * 0.8)
+    shift_at_year = np.maximum(shift_at_year, 1e-9)
+    from repro.transistor.aging import NBTI_TIME_EXPONENT
+
+    years = (_NBTI_FAIL_SHIFT / shift_at_year) ** (1.0 / NBTI_TIME_EXPONENT)
+    return years
+
+
+def hci_mttf(temperature_c, voltage=1.0, activity=0.2):
+    """HCI-limited lifetime (years), inverted like :func:`nbti_mttf`."""
+    from repro.transistor.aging import HCI_TIME_EXPONENT, hci_delta_vth
+
+    shift_at_year = hci_delta_vth(YEAR_S, activity, temperature_c, vdd=voltage * 0.8)
+    shift_at_year = np.maximum(shift_at_year, 1e-9)
+    years = (_NBTI_FAIL_SHIFT / shift_at_year) ** (1.0 / HCI_TIME_EXPONENT)
+    return years
+
+
+def combined_mttf(
+    temperature_c,
+    voltage=1.0,
+    current_density=1.0,
+    cycle_amplitude_k=5.0,
+    cycles_per_day=50.0,
+    duty_cycle=0.5,
+    activity=0.2,
+):
+    """System MTTF via sum-of-failure-rates over the five mechanisms."""
+    mechanisms = [
+        em_mttf(temperature_c, current_density),
+        tddb_mttf(temperature_c, voltage),
+        tc_mttf(cycle_amplitude_k, cycles_per_day),
+        nbti_mttf(temperature_c, voltage, duty_cycle),
+        hci_mttf(temperature_c, voltage, activity),
+    ]
+    rates = sum(1.0 / np.asarray(m, dtype=float) for m in mechanisms)
+    return 1.0 / rates

@@ -1,0 +1,128 @@
+"""Adaptive replica management under changing environments (ref [45]).
+
+Fault-tolerant real-time systems replicate task executions; the right
+replica count depends on the environment's fault rate, which drifts
+(altitude, radiation, temperature).  A learning manager predicts the
+current fault regime from noisy observations and sets the replica count,
+balancing failure probability against the replication overhead — versus
+static policies that are either wasteful or under-protected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.ensemble import RandomForestClassifier
+from repro.ml.preprocessing import StandardScaler
+
+
+class ReplicationEnvironment:
+    """A drifting fault-rate environment with observable noisy symptoms.
+
+    The hidden state is a fault-rate regime (0 = benign, 1 = elevated,
+    2 = harsh); regimes persist and transition slowly.  Observations are
+    noisy sensor features correlated with the regime (error-detector
+    counts, temperature, altitude proxy).
+    """
+
+    REGIME_RATES = (0.002, 0.02, 0.12)  # per-job fault probability
+
+    def __init__(self, seed=0, persistence=0.95):
+        self.rng = np.random.default_rng(seed)
+        self.persistence = persistence
+        self.regime = 0
+
+    def step(self):
+        """Advance the hidden regime one epoch."""
+        if self.rng.random() > self.persistence:
+            self.regime = int(self.rng.integers(3))
+        return self.regime
+
+    def observe(self):
+        """Noisy sensor vector correlated with the regime."""
+        base = np.array(
+            [
+                0.5 + 1.2 * self.regime,  # corrected-error counter
+                45.0 + 8.0 * self.regime,  # temperature
+                0.2 + 0.3 * self.regime,  # radiation/altitude proxy
+            ]
+        )
+        return base + self.rng.normal(0, [0.35, 2.5, 0.1])
+
+    def job_fails(self, n_replicas):
+        """True when all replicas of a majority-voted job are corrupted.
+
+        With ``n`` replicas and per-replica fault probability ``p``, the
+        job fails when a majority of replicas is corrupted.
+        """
+        p = self.REGIME_RATES[self.regime]
+        faults = self.rng.random(n_replicas) < p
+        return int(faults.sum()) > n_replicas // 2
+
+
+@dataclass
+class ReplicationMetrics:
+    jobs: int = 0
+    failures: int = 0
+    replicas_executed: int = 0
+
+    @property
+    def failure_rate(self):
+        return self.failures / max(self.jobs, 1)
+
+    @property
+    def overhead(self):
+        """Mean replicas per job (1.0 = no replication)."""
+        return self.replicas_executed / max(self.jobs, 1)
+
+
+class AdaptiveReplicationManager:
+    """Learns the regime from observations and adapts the replica count."""
+
+    REPLICAS_PER_REGIME = (1, 3, 5)
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._clf = None
+        self._scaler = None
+
+    def train(self, env_factory, n_epochs=800):
+        """Collect (observation, regime) pairs from a training environment."""
+        env = env_factory()
+        X = []
+        y = []
+        for _ in range(n_epochs):
+            env.step()
+            X.append(env.observe())
+            y.append(env.regime)
+        X = np.asarray(X)
+        y = np.asarray(y)
+        self._scaler = StandardScaler().fit(X)
+        self._clf = RandomForestClassifier(n_estimators=12, max_depth=6, seed=self.seed)
+        self._clf.fit(self._scaler.transform(X), y)
+        return self
+
+    def choose_replicas(self, observation):
+        if self._clf is None:
+            raise RuntimeError("manager is not trained")
+        regime = int(
+            self._clf.predict(self._scaler.transform(np.asarray([observation])))[0]
+        )
+        return self.REPLICAS_PER_REGIME[regime]
+
+    @staticmethod
+    def run_episode(env, policy, n_epochs=500, jobs_per_epoch=4):
+        """Run a mission under a replica policy ``policy(observation) -> n``."""
+        metrics = ReplicationMetrics()
+        for _ in range(n_epochs):
+            env.step()
+            obs = env.observe()
+            n_replicas = policy(obs)
+            for _ in range(jobs_per_epoch):
+                metrics.jobs += 1
+                metrics.replicas_executed += n_replicas
+                if env.job_fails(n_replicas):
+                    metrics.failures += 1
+        return metrics

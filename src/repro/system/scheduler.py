@@ -1,0 +1,49 @@
+"""Scheduling utilities: EDF feasibility and partitioned assignment."""
+
+from __future__ import annotations
+
+
+def utilization(tasks, speed=1.0):
+    """Total utilization of ``tasks`` on a core of relative ``speed``."""
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    return sum(t.wcet / speed / t.period for t in tasks)
+
+
+def edf_feasible(tasks, speed=1.0):
+    """EDF feasibility for implicit-deadline periodic tasks: U <= 1."""
+    return utilization(tasks, speed) <= 1.0 + 1e-12
+
+
+def first_fit_partition(task_set, cores):
+    """First-fit-decreasing partition of tasks onto cores under EDF.
+
+    Returns a mapping task name -> core index, or raises if infeasible.
+    Core speeds account for heterogeneous throughput at max frequency.
+    """
+    bins = [[] for _ in cores]
+    order = sorted(task_set, key=lambda t: -t.utilization)
+    for task in order:
+        placed = False
+        for idx, core in enumerate(cores):
+            candidate = bins[idx] + [task]
+            if edf_feasible(candidate, speed=core.speed_factor):
+                bins[idx].append(task)
+                placed = True
+                break
+        if not placed:
+            raise ValueError(f"task {task.name} does not fit on any core")
+    assignment = {}
+    for idx, tasks in enumerate(bins):
+        for task in tasks:
+            assignment[task.name] = idx
+    return assignment
+
+
+def load_per_core(task_set, cores, assignment):
+    """Utilization each core carries under an assignment (at max frequency)."""
+    loads = [0.0] * len(cores)
+    for task in task_set:
+        idx = assignment[task.name]
+        loads[idx] += task.wcet / cores[idx].speed_factor / task.period
+    return loads

@@ -1,0 +1,50 @@
+"""Soft-error rate vs supply voltage, and task failure probability.
+
+Lowering V-f saves energy and heat but raises the transient-fault rate
+exponentially (the critical-charge effect) *and* stretches execution time
+— the functional-reliability tension Sec. IV revolves around:
+
+    SER(V) = SER0 * 10^((V_nom - V) / S)
+
+with S the voltage sensitivity (volts per decade).  The probability a
+task executes without a corrupting soft error is
+
+    P_ok = exp(-SER * AVF * t_exec)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SER0 = 1e-6  # raw faults per second at nominal voltage (accelerated scale)
+V_NOM = 1.0
+SENSITIVITY = 0.35  # volts per decade of SER
+
+
+def soft_error_rate(voltage, ser0=SER0, sensitivity=SENSITIVITY):
+    """Raw soft-error rate (faults/s) at a given supply voltage."""
+    if np.any(np.asarray(voltage) <= 0):
+        raise ValueError("voltage must be positive")
+    return ser0 * 10.0 ** ((V_NOM - np.asarray(voltage, dtype=float)) / sensitivity)
+
+
+def task_failure_probability(task, voltage, execution_time, vulnerability_factor=1.0):
+    """Probability that a soft error corrupts one job of ``task``.
+
+    ``execution_time`` is the job's wall-clock time at the chosen V-f
+    (longer at lower frequency — the second reliability penalty of DVFS).
+    """
+    if execution_time < 0:
+        raise ValueError("execution time must be non-negative")
+    rate = soft_error_rate(voltage) * task.vulnerability * vulnerability_factor
+    return float(1.0 - np.exp(-rate * execution_time))
+
+
+def expected_failures(task_set, core, dt):
+    """Expected soft-error task failures on ``core`` during ``dt`` seconds."""
+    rate = soft_error_rate(core.vf.voltage) * core.vulnerability_factor
+    busy_fraction = core.utilization
+    mean_vulnerability = (
+        float(np.mean([t.vulnerability for t in task_set])) if len(task_set) else 0.0
+    )
+    return rate * mean_vulnerability * busy_fraction * dt

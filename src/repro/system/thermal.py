@@ -1,0 +1,98 @@
+"""Lumped RC thermal model for a multicore die.
+
+Each core is a thermal node with resistance to ambient and conductive
+coupling to its neighbors; temperature evolves by forward-Euler
+integration.  Tracks the statistics lifetime models need: peak
+temperature, spatial gradients, and thermal cycles (for Coffin-Manson).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ThermalModel:
+    """RC network: ``C dT/dt = P - (T - T_amb)/R - sum_j (T - T_j)/R_c``."""
+
+    def __init__(
+        self,
+        n_cores,
+        ambient_c=40.0,
+        r_core=8.0,  # K/W to ambient
+        r_couple=20.0,  # K/W between adjacent cores
+        c_core=0.25,  # J/K
+    ):
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.n_cores = n_cores
+        self.ambient_c = ambient_c
+        self.r_core = r_core
+        self.r_couple = r_couple
+        self.c_core = c_core
+        self.temperatures = np.full(n_cores, float(ambient_c))
+        self.peak_history = [self.temperatures.copy()]
+        self._cycle_state = np.zeros(n_cores)  # last extreme per core
+        self._cycle_direction = np.zeros(n_cores)  # +1 heating, -1 cooling
+        self.thermal_cycles = [[] for _ in range(n_cores)]  # delta-T of cycles
+
+    def step(self, powers, dt):
+        """Advance the network by ``dt`` seconds under per-core powers (W)."""
+        powers = np.asarray(powers, dtype=float)
+        if powers.shape != (self.n_cores,):
+            raise ValueError("powers must have one entry per core")
+        T = self.temperatures
+        flow = (T - self.ambient_c) / self.r_core
+        couple = np.zeros_like(T)
+        for i in range(self.n_cores - 1):
+            q = (T[i] - T[i + 1]) / self.r_couple
+            couple[i] += q
+            couple[i + 1] -= q
+        dT = (powers - flow - couple) * dt / self.c_core
+        new_T = T + dT
+        self._track_cycles(T, new_T)
+        self.temperatures = new_T
+        self.peak_history.append(new_T.copy())
+        return self.temperatures
+
+    def _track_cycles(self, old, new):
+        """Record temperature-swing amplitudes at direction reversals."""
+        direction = np.sign(new - old)
+        for i in range(self.n_cores):
+            if direction[i] == 0:
+                continue
+            if self._cycle_direction[i] == 0:
+                self._cycle_direction[i] = direction[i]
+                self._cycle_state[i] = old[i]
+            elif direction[i] != self._cycle_direction[i]:
+                swing = abs(old[i] - self._cycle_state[i])
+                if swing > 0.5:  # ignore numerical jitter
+                    self.thermal_cycles[i].append(swing)
+                self._cycle_state[i] = old[i]
+                self._cycle_direction[i] = direction[i]
+
+    # -- statistics --------------------------------------------------------------
+    def peak_temperature(self):
+        return float(np.max(np.stack(self.peak_history)))
+
+    def mean_temperature(self):
+        return float(np.mean(np.stack(self.peak_history)))
+
+    def max_spatial_gradient(self):
+        """Largest instantaneous temperature difference across the die."""
+        hist = np.stack(self.peak_history)
+        return float(np.max(hist.max(axis=1) - hist.min(axis=1)))
+
+    def mean_cycle_amplitude(self, core=None):
+        """Mean thermal-cycle swing (K); 0.0 when no full cycle occurred."""
+        if core is not None:
+            cycles = self.thermal_cycles[core]
+        else:
+            cycles = [c for per_core in self.thermal_cycles for c in per_core]
+        if not cycles:
+            return 0.0
+        return float(np.mean(cycles))
+
+    def cycle_count(self, core=None):
+        if core is not None:
+            return len(self.thermal_cycles[core])
+        return sum(len(c) for c in self.thermal_cycles)

@@ -1,0 +1,30 @@
+"""Device-level models (Sec. II): delay, aging, and self-heating.
+
+These analytic models stand in for the foundry's confidential
+physics-based SPICE models.  They expose the same interfaces the upper
+layers need — (operating condition -> delay / delta-Vth / temperature) —
+with realistic nonlinearity and monotonic trends, so the characterization
+and ML flows built on top of them exercise the same code paths as the
+paper's flows did on proprietary decks.
+"""
+
+from repro.transistor.device import Transistor, alpha_power_delay
+from repro.transistor.aging import (
+    nbti_delta_vth,
+    hci_delta_vth,
+    combined_delta_vth,
+    aged_transistor,
+    waveform_duty_cycle,
+)
+from repro.transistor.self_heating import SelfHeatingModel
+
+__all__ = [
+    "Transistor",
+    "alpha_power_delay",
+    "nbti_delta_vth",
+    "hci_delta_vth",
+    "combined_delta_vth",
+    "aged_transistor",
+    "waveform_duty_cycle",
+    "SelfHeatingModel",
+]

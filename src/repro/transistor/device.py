@@ -1,0 +1,95 @@
+"""Transistor abstraction and the alpha-power-law delay model.
+
+The alpha-power law (Sakurai-Newton) gives gate delay as
+
+    t_d = K * C_L * V_dd / (V_dd - V_th)^alpha
+
+with alpha ~ 1.3 for short-channel devices.  It captures the first-order
+dependency of delay on supply voltage, threshold voltage (hence aging),
+and load capacitance that the characterization flows in
+:mod:`repro.circuit` need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+# Nominal 7 nm-class FinFET-ish parameters (arbitrary but self-consistent units).
+NOMINAL_VDD = 0.8  # volts
+NOMINAL_VTH = 0.30  # volts
+ALPHA = 1.3
+ROOM_TEMPERATURE = 25.0  # Celsius
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """A minimal transistor description for cell characterization.
+
+    Attributes
+    ----------
+    width_nm:
+        Effective channel width; wider devices drive more current.
+    n_fins:
+        Fin count for FinFET/nanosheet devices; scales drive and heat.
+    vth:
+        Threshold voltage in volts (shifted upward by aging).
+    is_pmos:
+        PMOS devices are NBTI-prone; NMOS devices are HCI-prone.
+    """
+
+    width_nm: float = 100.0
+    n_fins: int = 2
+    vth: float = NOMINAL_VTH
+    is_pmos: bool = False
+
+    def __post_init__(self):
+        if self.width_nm <= 0:
+            raise ValueError("width_nm must be positive")
+        if self.n_fins < 1:
+            raise ValueError("n_fins must be at least 1")
+        if not 0.0 < self.vth < NOMINAL_VDD:
+            raise ValueError("vth must lie strictly between 0 and VDD")
+
+    @property
+    def drive_strength(self) -> float:
+        """Relative drive current, normalized to the nominal device."""
+        return (self.width_nm / 100.0) * (self.n_fins / 2.0)
+
+    def with_vth_shift(self, delta_vth: float) -> "Transistor":
+        """A copy of this device with its threshold shifted by aging."""
+        return replace(self, vth=self.vth + delta_vth)
+
+
+def alpha_power_delay(
+    transistor: Transistor,
+    load_cap_ff: float,
+    vdd: float = NOMINAL_VDD,
+    temperature_c: float = ROOM_TEMPERATURE,
+    alpha: float = ALPHA,
+) -> float:
+    """Gate delay (ps) of a transistor driving a capacitive load.
+
+    Includes a first-order temperature dependence: carrier mobility
+    degrades ~0.15 %/K above room temperature, which slows the device.
+    This is where self-heating feeds back into timing.
+    """
+    if load_cap_ff <= 0:
+        raise ValueError("load capacitance must be positive")
+    if vdd <= transistor.vth:
+        raise ValueError("VDD must exceed Vth for the device to switch")
+    k = 0.69  # fitted scale constant, ps * V / fF at nominal drive
+    base = k * load_cap_ff * vdd / (vdd - transistor.vth) ** alpha
+    base /= transistor.drive_strength
+    mobility_derate = 1.0 + 0.0015 * (temperature_c - ROOM_TEMPERATURE)
+    return base * max(mobility_derate, 0.1)
+
+
+def saturation_current(
+    transistor: Transistor,
+    vdd: float = NOMINAL_VDD,
+    alpha: float = ALPHA,
+) -> float:
+    """Relative saturation current, the main driver of self-heating power."""
+    if vdd <= transistor.vth:
+        return 0.0
+    return transistor.drive_strength * (vdd - transistor.vth) ** alpha

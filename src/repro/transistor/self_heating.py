@@ -1,0 +1,96 @@
+"""Transistor self-heating (SHE) model.
+
+With confined 3D devices (nanosheet/ribbon FETs), switching power cannot
+dissipate out of the channel and raises the channel temperature above the
+chip temperature (Sec. II, Fig. 2).  The experienced SHE depends on the
+device geometry (width, fins) *and* on the cell instance's operating
+condition — input slew and output load — which is why per-instance SHE
+estimation requires the Fig. 3 flow rather than a single per-cell-type
+number.
+
+Model: thermal ΔT = R_th * P_switching, with
+
+* ``R_th`` growing with fin count (more confinement) and shrinking with
+  width (more dissipation area),
+* ``P`` proportional to drive current during the switching window, which
+  lengthens with output load and input slew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transistor.device import Transistor, saturation_current
+
+
+class SelfHeatingModel:
+    """Analytic SHE estimator for a transistor under a timing-arc condition.
+
+    Parameters
+    ----------
+    r_th_base:
+        Base thermal resistance (K per normalized power unit).
+    confinement_per_fin:
+        Extra fractional confinement per additional fin.
+    """
+
+    def __init__(self, r_th_base=28.0, confinement_per_fin=0.35):
+        if r_th_base <= 0:
+            raise ValueError("r_th_base must be positive")
+        self.r_th_base = r_th_base
+        self.confinement_per_fin = confinement_per_fin
+
+    def thermal_resistance(self, transistor: Transistor) -> float:
+        """Effective thermal resistance of the device channel."""
+        confinement = 1.0 + self.confinement_per_fin * (transistor.n_fins - 1)
+        area_relief = (transistor.width_nm / 100.0) ** 0.5
+        return self.r_th_base * confinement / area_relief
+
+    def delta_t(
+        self,
+        transistor: Transistor,
+        input_slew_ps: float,
+        load_cap_ff: float,
+        activity: float = 1.0,
+        vdd: float = 0.8,
+    ) -> float:
+        """Self-heating temperature rise (K above chip temperature).
+
+        Parameters
+        ----------
+        input_slew_ps:
+            Input transition time; slower slews keep the device in the
+            high-current region longer (more short-circuit heating).
+        load_cap_ff:
+            Output load; larger loads lengthen the switching window.
+        activity:
+            Switching activity factor in [0, 1]; SHE scales with how often
+            the device actually toggles.
+        """
+        if input_slew_ps < 0 or load_cap_ff < 0:
+            raise ValueError("slew and load must be non-negative")
+        activity = float(np.clip(activity, 0.0, 1.0))
+        i_sat = saturation_current(transistor, vdd=vdd)
+        # Switching-window energy ~ I * V * (t_slew-driven + load-driven terms);
+        # saturating forms keep extreme conditions physical.
+        slew_term = 1.0 - np.exp(-input_slew_ps / 40.0)
+        load_term = 1.0 - np.exp(-load_cap_ff / 8.0)
+        power = i_sat * vdd * (0.35 + 0.4 * slew_term + 0.55 * load_term)
+        return float(self.thermal_resistance(transistor) * power * activity * 0.6)
+
+    def cell_delta_t(
+        self,
+        transistors,
+        input_slew_ps: float,
+        load_cap_ff: float,
+        activity: float = 1.0,
+        vdd: float = 0.8,
+    ) -> float:
+        """Maximum SHE across a cell's transistors (what the SDF flow records)."""
+        transistors = list(transistors)
+        if not transistors:
+            raise ValueError("cell must contain at least one transistor")
+        return max(
+            self.delta_t(t, input_slew_ps, load_cap_ff, activity, vdd)
+            for t in transistors
+        )

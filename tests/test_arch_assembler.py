@@ -1,0 +1,150 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.arch.assembler import AssemblyError, assemble
+from repro.arch.cpu import CPU
+from repro.arch.isa import Opcode
+
+
+class TestAssembleBasics:
+    def test_minimal_program(self):
+        prog = assemble("halt\n.output 0 1")
+        assert len(prog) == 1
+        assert prog[0].opcode == Opcode.HALT
+
+    def test_three_register_ops(self):
+        prog = assemble("add r1, r2, r3\nhalt\n.output 0 1")
+        assert prog[0].rd == 1 and prog[0].rs1 == 2 and prog[0].rs2 == 3
+
+    def test_comments_stripped(self):
+        prog = assemble("nop ; trailing\n# whole line\nhalt\n.output 0 1")
+        assert len(prog) == 2
+
+    def test_word_directive_preloads_memory(self):
+        prog = assemble(".word 5 42\nhalt\n.output 0 1")
+        assert prog.initial_memory[5] == 42
+
+    def test_output_override(self):
+        prog = assemble("halt\n.output 0 1", output_range=(10, 2))
+        assert prog.output_range == (10, 2)
+
+
+class TestLabels:
+    def test_forward_and_backward_labels(self):
+        src = """
+        .output 100 1
+            addi r1, r0, 0
+        loop:
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            st   r1, r0, 100
+            halt
+        """
+        prog = assemble(src)
+        # blt at index 2 targets index 1: offset = 1 - 3 = -2
+        assert prog[2].imm == -2
+
+    def test_label_on_own_line(self):
+        src = "start:\n  jmp start\n  halt\n.output 0 1"
+        prog = assemble(src)
+        assert prog[0].imm == -1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\nnop\na:\nhalt\n.output 0 1")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("jmp nowhere\nhalt\n.output 0 1")
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1\nhalt\n.output 0 1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2\nhalt\n.output 0 1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2, r99\nhalt\n.output 0 1")
+
+    def test_missing_output_range(self):
+        with pytest.raises(AssemblyError):
+            assemble("halt")
+
+    def test_label_as_addi_literal_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("addi r1, r0, loop\nloop: halt\n.output 0 1")
+
+
+class TestExecution:
+    def test_assembled_checksum_runs_correctly(self):
+        src = """
+        .output 400 1
+        .word 0 7
+        .word 1 9
+        .word 2 12
+            addi r1, r0, 0
+            lui  r2, 3
+            addi r3, r0, 0
+        loop:
+            beq  r1, r2, done
+            ld   r4, r1, 0
+            xor  r3, r3, r4
+            addi r1, r1, 1
+            jmp  loop
+        done:
+            st   r3, r0, 400
+            halt
+        """
+        prog = assemble(src, name="asm_checksum")
+        out = CPU(prog).run().output(prog.output_range)
+        assert out == (7 ^ 9 ^ 12,)
+
+    def test_assembled_program_matches_builder_version(self):
+        """The assembler and the builder helpers produce equivalent kernels."""
+        from repro.arch import programs as P
+
+        builder = P.fibonacci(8)
+        src = """
+        .output 0 8
+            addi r1, r0, 0
+            addi r2, r0, 1
+            addi r3, r0, 0
+            lui  r4, 8
+        loop:
+            beq  r3, r4, done
+            st   r1, r3, 0
+            add  r5, r1, r2
+            add  r1, r2, r0
+            add  r2, r5, r0
+            addi r3, r3, 1
+            jmp  loop
+        done:
+            halt
+        """
+        asm = assemble(src, name="asm_fib")
+        out_builder = CPU(builder).run().output(builder.output_range)
+        out_asm = CPU(asm).run().output(asm.output_range)
+        assert out_builder == out_asm
+
+    def test_assembled_program_injectable(self):
+        """Assembled programs drop straight into the fault injector."""
+        from repro.arch import FaultInjector
+
+        src = """
+        .output 400 1
+        .word 0 3
+            ld r1, r0, 0
+            add r2, r1, r1
+            st r2, r0, 400
+            halt
+        """
+        prog = assemble(src, name="asm_tiny")
+        injector = FaultInjector(prog)
+        campaign = injector.run_campaign(n_trials=50, seed=0)
+        assert len(campaign.records) == 50

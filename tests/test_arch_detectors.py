@@ -1,0 +1,177 @@
+"""Tests for crossbar criticality, symptom detection, and WarningNet."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Crossbar, CrossbarFaultStudy, SymptomDetector, WarningNet
+from repro.arch.warning_net import make_image_dataset, perturb, warning_features
+from repro.ml import MLPClassifier, train_test_split
+
+
+def _hard_dataset(n=500, side=8, n_classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.zeros((n, side * side))
+    y = np.zeros(n, dtype=int)
+    half = side // 2
+    for i in range(n):
+        img = rng.normal(0.0, 0.35, (side, side))
+        cls = int(rng.integers(n_classes))
+        r0 = 0 if cls in (0, 1) else half
+        c0 = 0 if cls in (0, 2) else half
+        rr = r0 + rng.integers(half - 1)
+        cc = c0 + rng.integers(half - 1)
+        img[rr : rr + 2, cc : cc + 2] += 0.9
+        X[i] = img.ravel()
+        y[i] = cls
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def mission_small():
+    X, y = _hard_dataset(n=500, seed=0)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.4, seed=0)
+    model = MLPClassifier(hidden=(12,), n_epochs=120, lr=3e-3, seed=0).fit(Xtr, ytr)
+    return model, Xte, yte
+
+
+@pytest.fixture(scope="module")
+def mission_big():
+    X, y = make_image_dataset(n_samples=500, seed=3)
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.4, seed=0)
+    model = MLPClassifier(hidden=(64, 32), n_epochs=120, lr=3e-3, seed=0).fit(Xtr, ytr)
+    return model, Xtr, Xte, ytr, yte
+
+
+class TestCrossbar:
+    def test_effective_weights_apply_faults(self):
+        xbar = Crossbar(np.array([[1.0, -2.0], [0.5, 0.25]]))
+        xbar.inject_stuck_at(0, 1, stuck_on=False)
+        W = xbar.effective_weights()
+        assert W[0, 1] == 0.0
+        assert W[0, 0] == 1.0
+
+    def test_stuck_on_keeps_sign(self):
+        xbar = Crossbar(np.array([[1.0, -2.0]]))
+        xbar.inject_stuck_at(0, 1, stuck_on=True)
+        assert xbar.effective_weights()[0, 1] == -2.0  # g_max = 2, sign kept
+
+    def test_clear_faults(self):
+        xbar = Crossbar(np.ones((2, 2)))
+        xbar.inject_stuck_at(0, 0, stuck_on=False)
+        xbar.clear_faults()
+        assert np.array_equal(xbar.effective_weights(), np.ones((2, 2)))
+
+    def test_out_of_range_fault_rejected(self):
+        with pytest.raises(ValueError):
+            Crossbar(np.ones((2, 2))).inject_stuck_at(5, 0, True)
+
+    def test_matvec_through_faults(self):
+        xbar = Crossbar(np.eye(2))
+        xbar.inject_stuck_at(1, 1, stuck_on=False)
+        out = xbar.matvec(np.array([1.0, 1.0]))
+        assert np.allclose(out, [1.0, 0.0])
+
+
+class TestCrossbarFaultStudy:
+    @pytest.fixture(scope="class")
+    def study(self, mission_small):
+        model, Xte, yte = mission_small
+        return CrossbarFaultStudy(model, Xte[:180], yte[:180], criticality_threshold=0.008)
+
+    def test_weights_restored_after_measurement(self, study, mission_small):
+        model, _, _ = mission_small
+        before = [W.copy() for W in model.weights_]
+        study.measure_fault(0, 0, 0, stuck_on=True)
+        for a, b in zip(before, model.weights_):
+            assert np.array_equal(a, b)
+
+    def test_sampled_labels_mixed(self, study):
+        _, labels = study.sample_faults(n_faults=150, seed=1)
+        assert 0.03 < labels.mean() < 0.8
+
+    def test_predictor_accuracy(self, study):
+        descs, labels = study.sample_faults(n_faults=500, seed=1)
+        predictor, _ = study.train_criticality_predictor(descs, labels, seed=0)
+        d2, l2 = study.sample_faults(n_faults=150, seed=2)
+        acc = float(np.mean(predictor(d2) == l2))
+        assert acc > 0.85
+
+    def test_redundancy_savings_definition(self):
+        assert CrossbarFaultStudy.redundancy_savings(np.array([0, 0, 1, 0])) == 0.75
+
+    def test_empty_predictions_rejected(self):
+        with pytest.raises(ValueError):
+            CrossbarFaultStudy.redundancy_savings(np.array([]))
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValueError):
+            CrossbarFaultStudy(MLPClassifier(), np.ones((2, 2)), np.zeros(2))
+
+
+class TestSymptomDetector:
+    @pytest.fixture(scope="class")
+    def detector(self, mission_big):
+        model, Xtr, _, _, _ = mission_big
+        return SymptomDetector(model, seed=0).fit(Xtr[:200])
+
+    def test_high_recall_precision(self, detector, mission_big):
+        _, _, Xte, _, _ = mission_big
+        report = detector.evaluate(Xte[:120])
+        assert report.recall > 0.9
+        assert report.precision > 0.9
+
+    def test_low_overhead(self, detector, mission_big):
+        _, _, Xte, _, _ = mission_big
+        report = detector.evaluate(Xte[:60])
+        assert report.overhead < 0.1  # small-percent compute overhead
+
+    def test_unfitted_evaluate_raises(self, mission_big):
+        model, _, Xte, _, _ = mission_big
+        with pytest.raises(RuntimeError):
+            SymptomDetector(model).evaluate(Xte[:10])
+
+
+class TestWarningNet:
+    @pytest.fixture(scope="class")
+    def warning(self, mission_big):
+        model, Xtr, _, ytr, _ = mission_big
+        return WarningNet(model, seed=0).fit(Xtr[:220], ytr[:220])
+
+    def test_perturbations_change_inputs(self):
+        X, _ = make_image_dataset(30, seed=0)
+        for kind in ("noise", "blur", "occlusion"):
+            Xp = perturb(X, kind, severity=0.8, rng=np.random.default_rng(0))
+            assert not np.allclose(Xp, X)
+
+    def test_zero_severity_noop_for_noise(self):
+        X, _ = make_image_dataset(10, seed=1)
+        Xp = perturb(X, "noise", severity=0.0, rng=np.random.default_rng(0))
+        assert np.allclose(Xp, X)
+
+    def test_invalid_perturbation_rejected(self):
+        X, _ = make_image_dataset(5, seed=2)
+        with pytest.raises(ValueError):
+            perturb(X, "fog", 0.5)
+        with pytest.raises(ValueError):
+            perturb(X, "noise", 1.5)
+
+    def test_feature_shape(self):
+        X, _ = make_image_dataset(20, seed=3)
+        assert warning_features(X).shape == (20, 7)
+
+    def test_warning_quality(self, warning, mission_big):
+        _, _, Xte, _, yte = mission_big
+        report = warning.evaluate(Xte[:150], yte[:150])
+        assert report.recall > 0.7  # catches most failure-inducing inputs
+        assert report.accuracy > 0.7
+
+    def test_cost_fraction_small(self, warning, mission_big):
+        _, _, Xte, _, yte = mission_big
+        report = warning.evaluate(Xte[:40], yte[:40])
+        # The paper's claim: ~1/20 of the mission-task cost.
+        assert report.cost_ratio < 0.1
+
+    def test_unfitted_warn_raises(self, mission_big):
+        model, _, Xte, _, _ = mission_big
+        with pytest.raises(RuntimeError):
+            WarningNet(model).warn(Xte[:5])

@@ -1,0 +1,214 @@
+"""Tests for the ISA and CPU simulator."""
+
+import numpy as np
+import pytest
+
+from repro.arch import programs as P
+from repro.arch.cpu import CPU, CrashError, pack_instruction, unpack_instruction
+from repro.arch.isa import (
+    Instruction,
+    Opcode,
+    Program,
+    add,
+    addi,
+    beq,
+    halt,
+    jmp,
+    ld,
+    lui,
+    st,
+    sub,
+)
+
+
+class TestInstruction:
+    def test_register_bounds(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=16)
+
+    def test_reads_writes_arith(self):
+        i = add(3, 1, 2)
+        assert i.reads == (1, 2)
+        assert i.writes == 3
+
+    def test_reads_writes_store(self):
+        i = st(5, 2, 10)
+        assert set(i.reads) == {2, 5}
+        assert i.writes is None
+
+    def test_branch_has_no_write(self):
+        assert beq(1, 2, 5).writes is None
+
+    def test_str_contains_opcode(self):
+        assert "add" in str(add(1, 2, 3))
+
+
+class TestProgram:
+    def test_must_end_with_halt(self):
+        with pytest.raises(ValueError):
+            Program("bad", [addi(1, 0, 1)], output_range=(0, 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Program("bad", [], output_range=(0, 1))
+
+    def test_empty_output_range_rejected(self):
+        with pytest.raises(ValueError):
+            Program("bad", [halt()], output_range=(0, 0))
+
+
+class TestPackUnpack:
+    def test_roundtrip_all_opcodes(self):
+        for op in Opcode:
+            instr = Instruction(op, rd=3, rs1=7, rs2=11, imm=-42)
+            assert unpack_instruction(pack_instruction(instr)) == instr
+
+    def test_corrupted_opcode_field_may_crash(self):
+        word = pack_instruction(halt())
+        # Force an out-of-range opcode index.
+        word |= 0x1F << 27
+        with pytest.raises(CrashError):
+            unpack_instruction(word)
+
+    def test_imm_sign_roundtrip(self):
+        instr = jmp(-7)
+        assert unpack_instruction(pack_instruction(instr)).imm == -7
+
+
+class TestCPUExecution:
+    def test_program_semantics_vector_add(self):
+        prog = P.vector_add(8, seed=5)
+        out = CPU(prog).run().output(prog.output_range)
+        a = [prog.initial_memory[i] for i in range(8)]
+        b = [prog.initial_memory[100 + i] for i in range(8)]
+        assert list(out) == [x + y for x, y in zip(a, b)]
+
+    def test_program_semantics_matmul(self):
+        prog = P.matmul(3, seed=7)
+        out = CPU(prog).run().output(prog.output_range)
+        A = np.array([prog.initial_memory[i] for i in range(9)]).reshape(3, 3)
+        B = np.array([prog.initial_memory[100 + i] for i in range(9)]).reshape(3, 3)
+        assert list(out) == (A @ B).ravel().tolist()
+
+    def test_program_semantics_sort(self):
+        prog = P.bubble_sort(8, seed=9)
+        out = CPU(prog).run().output(prog.output_range)
+        assert list(out) == sorted(prog.initial_memory[i] for i in range(8))
+
+    def test_program_semantics_fibonacci(self):
+        prog = P.fibonacci(10)
+        out = CPU(prog).run().output(prog.output_range)
+        assert list(out) == [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+
+    def test_program_semantics_fir_filter(self):
+        prog = P.fir_filter(12, 3, seed=5)
+        out = CPU(prog).run().output(prog.output_range)
+        h = [prog.initial_memory[i] for i in range(3)]
+        x = [prog.initial_memory[100 + i] for i in range(12)]
+        assert out == tuple(
+            sum(h[j] * x[i + j] for j in range(3)) for i in range(10)
+        )
+
+    def test_program_semantics_binary_search(self):
+        import bisect
+
+        for seed in range(6):
+            prog = P.binary_search(12, seed=seed)
+            out = CPU(prog).run().output(prog.output_range)
+            data = [prog.initial_memory[i] for i in range(12)]
+            target = prog.initial_memory[300]
+            if target in data:
+                assert data[out[0]] == target
+            else:
+                assert out[0] == bisect.bisect_left(data, target)
+
+    def test_all_programs_run_clean(self):
+        for prog in P.all_programs():
+            result = CPU(prog, max_cycles=500_000).run()
+            assert result.halted
+            assert result.cycles > 0
+
+    def test_r0_hardwired_to_zero(self):
+        prog = Program(
+            "r0test",
+            [addi(0, 0, 99), st(0, 0, 10), halt()],
+            output_range=(10, 1),
+        )
+        assert CPU(prog).run().output((10, 1)) == (0,)
+
+    def test_deterministic_cycles(self):
+        prog = P.checksum(8)
+        assert CPU(prog).run().cycles == CPU(prog).run().cycles
+
+    def test_hang_detection(self):
+        prog = Program("spin", [jmp(-1), halt()], output_range=(0, 1))
+        with pytest.raises(TimeoutError):
+            CPU(prog, max_cycles=100).run()
+
+    def test_bad_pc_crashes(self):
+        prog = Program("wild", [jmp(1000), halt()], output_range=(0, 1))
+        with pytest.raises(CrashError):
+            CPU(prog).run()
+
+    def test_bad_memory_crashes(self):
+        prog = Program(
+            "badmem",
+            [lui(1, 0x7FFF), Instruction(Opcode.SHL, rd=1, rs1=1, rs2=2),
+             addi(2, 0, 8), Instruction(Opcode.SHL, rd=1, rs1=1, rs2=2),
+             ld(3, 1, 0), halt()],
+            output_range=(0, 1),
+        )
+        # r1 becomes large after shifting; load from it must crash.
+        prog2 = Program(
+            "badmem2",
+            [addi(2, 0, 21), lui(1, 1), Instruction(Opcode.SHL, rd=1, rs1=1, rs2=2),
+             ld(3, 1, 0), halt()],
+            output_range=(0, 1),
+        )
+        with pytest.raises(CrashError):
+            CPU(prog2).run()
+
+
+class TestFaultInjectionMechanics:
+    def test_flip_register_bit(self):
+        prog = P.fibonacci(5)
+        cpu = CPU(prog)
+        cpu.reset()
+        cpu.registers[3] = 0
+        cpu.flip_bit("reg3", 4)
+        assert cpu.registers[3] == 16
+
+    def test_flip_r0_is_masked(self):
+        prog = P.fibonacci(5)
+        cpu = CPU(prog)
+        cpu.reset()
+        cpu.flip_bit("reg0", 7)
+        assert cpu.registers[0] == 0
+
+    def test_flip_pc_changes_flow(self):
+        prog = P.fibonacci(5)
+        golden = CPU(prog).run().cycles
+        cpu = CPU(prog, max_cycles=4 * golden)
+        outcome = "completed"
+        try:
+            cpu.run(fault=(3, "pc", 3))
+        except (CrashError, TimeoutError):
+            outcome = "failed"
+        # Either way the fault must not corrupt the simulator itself.
+        assert outcome in ("completed", "failed")
+
+    def test_invalid_element_rejected(self):
+        cpu = CPU(P.fibonacci(5))
+        with pytest.raises(ValueError):
+            cpu.flip_bit("cache0", 0)
+
+    def test_invalid_bit_rejected(self):
+        cpu = CPU(P.fibonacci(5))
+        with pytest.raises(ValueError):
+            cpu.flip_bit("reg1", 32)
+
+    def test_state_elements_list(self):
+        cpu = CPU(P.fibonacci(5))
+        elements = cpu.state_elements()
+        assert "reg0" in elements and "pc" in elements and "ir" in elements
+        assert len(elements) == 18

@@ -1,0 +1,161 @@
+"""Tests for scale prediction, pattern mining, SDC-GAT, and replication."""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    FaultInjector,
+    PatternMiner,
+    ReplicationStudy,
+    ScalePredictionStudy,
+    SDCPredictor,
+)
+from repro.arch import programs as P
+from repro.arch.scale_prediction import generate_applications
+from repro.arch.sdc_prediction import build_instruction_graph, label_instructions
+
+
+class TestScalePrediction:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return ScalePredictionStudy(n_train=400, n_test=250, seed=0)
+
+    def test_dataset_shapes(self):
+        X, y = generate_applications(50, seed=0)
+        assert X.shape == (50, 20)
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+    def test_all_models_beat_chance(self, study):
+        for result in study.compare_all():
+            assert result.accuracy > 0.5, result
+
+    def test_boosting_competitive(self, study):
+        results = {r.model_name: r.accuracy for r in study.compare_all()}
+        best_multiclass = max(
+            v for k, v in results.items() if k != "svm"
+        )
+        assert results["adaboost"] >= best_multiclass - 0.05
+
+    def test_unknown_model_rejected(self, study):
+        with pytest.raises(KeyError):
+            study.evaluate("deep_transformer")
+
+    def test_reproducible_datasets(self):
+        X1, y1 = generate_applications(30, seed=7)
+        X2, y2 = generate_applications(30, seed=7)
+        assert np.array_equal(X1, X2) and np.array_equal(y1, y2)
+
+
+class TestPatternMining:
+    @pytest.fixture(scope="class")
+    def miner(self):
+        campaigns = [
+            FaultInjector(p).run_campaign(n_trials=250, seed=i)
+            for i, p in enumerate([P.checksum(10), P.fibonacci(8)])
+        ]
+        return PatternMiner(campaigns, seed=0).fit_outcome_predictor(n_estimators=25)
+
+    def test_record_count(self, miner):
+        assert miner.n_records == 500
+
+    def test_training_accuracy_beats_majority(self, miner):
+        majority = max(np.bincount(miner.y)) / len(miner.y)
+        assert miner.training_accuracy() > majority
+
+    def test_predicts_new_campaign(self, miner):
+        campaign = FaultInjector(P.vector_add(6)).run_campaign(n_trials=100, seed=9)
+        pred = miner.predict_outcomes(campaign)
+        assert len(pred) == 100
+
+    def test_feature_importance_nonnegative_sum(self, miner):
+        imp = miner.feature_importance(n_permutations=2)
+        assert len(imp) == 7
+        assert sum(imp.values()) > 0.0
+
+    def test_failure_clusters(self, miner):
+        summary = miner.cluster_summary(n_clusters=3)
+        assert 1 <= len(summary) <= 3
+        assert all(s["size"] > 0 for s in summary)
+
+    def test_empty_campaign_list_rejected(self):
+        with pytest.raises(ValueError):
+            PatternMiner([])
+
+    def test_predict_before_fit_raises(self):
+        campaigns = [FaultInjector(P.fibonacci(6)).run_campaign(n_trials=20, seed=0)]
+        miner = PatternMiner(campaigns)
+        with pytest.raises(RuntimeError):
+            miner.predict_outcomes(campaigns[0])
+
+
+class TestSDCPrediction:
+    def test_graph_structure(self):
+        prog = P.dot_product(8)
+        graph = build_instruction_graph(prog)
+        assert graph.n_nodes == len(prog.instructions)
+        assert len(graph.edges) > graph.n_nodes  # data + control + memory edges
+        assert set(graph.edge_types) <= {0, 1, 2}
+
+    def test_labels_cover_all_instructions(self):
+        prog = P.fibonacci(8)
+        labels = label_instructions(prog, n_trials_per_instruction=10, seed=0)
+        assert len(labels) == len(prog.instructions)
+        assert labels.min() >= 0 and labels.max() <= 3
+
+    def test_inductive_prediction_beats_chance(self):
+        train = [P.vector_add(8), P.dot_product(8), P.fibonacci(10)]
+        test = P.checksum(12)
+        predictor = SDCPredictor(
+            hidden=12, n_epochs=150, lr=0.05, n_trials_per_instruction=15, seed=0
+        ).fit(train)
+        truth = label_instructions(test, n_trials_per_instruction=15, seed=5)
+        acc = float(np.mean(predictor.predict(test) == truth))
+        assert acc > 0.3  # 4-class chance is 0.25; inductive transfer helps
+
+    def test_sdc_prone_listing(self):
+        train = [P.vector_add(6), P.fibonacci(8)]
+        predictor = SDCPredictor(
+            hidden=8, n_epochs=60, n_trials_per_instruction=10, seed=0
+        ).fit(train)
+        prone = predictor.sdc_prone_instructions(P.dot_product(6), threshold=0.1)
+        assert isinstance(prone, list)
+
+
+class TestReplicationStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return ReplicationStudy(
+            [P.dot_product(8), P.checksum(10), P.vector_add(8)],
+            n_trials_per_instruction=30,
+            seed=0,
+        )
+
+    def test_full_replication_full_coverage(self, study):
+        out = study.evaluate_full_replication(study.programs[0])
+        assert out.coverage == 1.0
+
+    def test_ipas_cheaper_than_heuristic(self, study):
+        # Aggregated over the workload suite, the learned selection must be
+        # strictly cheaper than the static backward-slice heuristic.
+        ipas_total = sum(study.evaluate_ipas(p).slowdown for p in study.programs)
+        heur_total = sum(study.evaluate_heuristic(p).slowdown for p in study.programs)
+        assert ipas_total < heur_total
+
+    def test_ipas_keeps_useful_coverage(self, study):
+        p = study.programs[0]
+        assert study.evaluate_ipas(p).coverage > 0.5
+
+    def test_oracle_bounds_ipas_coverage_cost(self, study):
+        p = study.programs[1]
+        oracle = study.evaluate_oracle(p)
+        full = study.evaluate_full_replication(p)
+        assert oracle.slowdown <= full.slowdown + 1e-9
+
+    def test_leave_one_out_generalizes(self, study):
+        out = study.leave_one_out(study.programs[2])
+        assert out.coverage > 0.3
+
+    def test_single_program_loo_rejected(self):
+        lone = ReplicationStudy([P.fibonacci(8)], n_trials_per_instruction=10, seed=0)
+        with pytest.raises(ValueError):
+            lone.leave_one_out(lone.programs[0])

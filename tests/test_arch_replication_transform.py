@@ -1,0 +1,121 @@
+"""Tests for the duplicate-and-compare program transformation."""
+
+import numpy as np
+import pytest
+
+from repro.arch import measure_protection, protect_program
+from repro.arch import programs as P
+from repro.arch.cpu import CPU
+from repro.arch.isa import Opcode, Program, add, addi, halt, st
+from repro.arch.replication_transform import (
+    DETECTION_FLAG_ADDR,
+    DETECTION_FLAG_VALUE,
+)
+
+
+ALL_KERNELS = [
+    P.vector_add(6),
+    P.dot_product(6),
+    P.fibonacci(8),
+    P.checksum(8),
+    P.bubble_sort(5),
+    P.matmul(3),
+]
+
+
+class TestSemanticsPreservation:
+    @pytest.mark.parametrize("program", ALL_KERNELS, ids=lambda p: p.name)
+    def test_full_protection_preserves_output(self, program):
+        protected = protect_program(program, set(range(len(program.instructions))))
+        a = CPU(program, max_cycles=1_000_000).run().output(program.output_range)
+        b = CPU(protected, max_cycles=1_000_000).run().output(program.output_range)
+        assert a == b
+
+    @pytest.mark.parametrize("program", ALL_KERNELS[:3], ids=lambda p: p.name)
+    def test_partial_protection_preserves_output(self, program):
+        protected = protect_program(program, {1, 3, 5})
+        a = CPU(program, max_cycles=1_000_000).run().output(program.output_range)
+        b = CPU(protected, max_cycles=1_000_000).run().output(program.output_range)
+        assert a == b
+
+    def test_empty_protection_set_is_identity_semantics(self):
+        program = P.fibonacci(6)
+        protected = protect_program(program, set())
+        a = CPU(program).run().output(program.output_range)
+        b = CPU(protected, max_cycles=1_000_000).run().output(program.output_range)
+        assert a == b
+
+    def test_scratch_register_conflict_rejected(self):
+        conflicted = Program(
+            "uses_r15",
+            [addi(15, 0, 1), st(15, 0, 10), halt()],
+            output_range=(10, 1),
+        )
+        with pytest.raises(ValueError):
+            protect_program(conflicted, {0})
+
+
+class TestDetection:
+    def test_injected_fault_detected(self):
+        # Protect the single add; flip its destination right after it runs.
+        program = Program(
+            "tiny",
+            [addi(1, 0, 21), add(2, 1, 1), st(2, 0, 50), halt()],
+            output_range=(50, 1),
+        )
+        protected = protect_program(program, {1})
+        # Find the cycle where the protected add writes r2 (trace it).
+        cpu = CPU(protected, max_cycles=10_000)
+        trace = []
+        while not cpu.halted:
+            trace.append(cpu.pc)
+            cpu.step()
+        add_cycles = [
+            c for c, pc in enumerate(trace)
+            if protected.instructions[pc].opcode == Opcode.ADD
+            and protected.instructions[pc].writes == 2
+        ]
+        cycle = add_cycles[0] + 1
+        result = CPU(protected, max_cycles=10_000).run(fault=(cycle, "reg2", 5))
+        assert result.memory.get(DETECTION_FLAG_ADDR) == DETECTION_FLAG_VALUE
+
+    def test_rd_also_source_case_detected(self):
+        # acc = acc + x: destination is a source; the save-register path.
+        program = Program(
+            "accum",
+            [addi(1, 0, 5), addi(2, 0, 7), add(1, 1, 2), st(1, 0, 60), halt()],
+            output_range=(60, 1),
+        )
+        protected = protect_program(program, {2})
+        golden = CPU(protected, max_cycles=10_000).run()
+        assert golden.output((60, 1)) == (12,)
+
+
+class TestMeasurement:
+    @pytest.fixture(scope="class")
+    def full(self):
+        program = P.checksum(10)
+        return measure_protection(
+            program, set(range(len(program.instructions))), n_trials=200, seed=0
+        )
+
+    def test_full_protection_eliminates_sdc(self, full):
+        assert full.sdc_rate_unprotected > 0.2
+        assert full.sdc_rate_protected < 0.02
+        assert full.sdc_reduction > 0.95
+
+    def test_full_protection_detects_most_faults(self, full):
+        assert full.detection_rate > 0.8
+
+    def test_slowdown_in_duplication_band(self, full):
+        # Duplicate + compare of every instruction: 2x-3.5x.
+        assert 1.8 < full.slowdown < 3.6
+
+    def test_partial_protection_cheaper(self):
+        program = P.checksum(10)
+        partial = measure_protection(program, {4, 5}, n_trials=120, seed=1)
+        full = measure_protection(
+            program, set(range(len(program.instructions))), n_trials=120, seed=1
+        )
+        assert partial.slowdown < full.slowdown
+        assert partial.sdc_rate_protected <= partial.sdc_rate_unprotected

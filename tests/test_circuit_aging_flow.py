@@ -1,0 +1,132 @@
+"""Tests for signal-probability propagation and the workload aging flow."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    AgingFlow,
+    Instance,
+    Netlist,
+    SpiceLikeCharacterizer,
+    build_default_library,
+    instance_stress,
+    propagate_probabilities,
+    switching_activity,
+    synthesize_core,
+)
+from repro.circuit.signal_probability import output_probability
+
+
+class TestOutputProbability:
+    def test_inverter(self):
+        assert output_probability("INV", [0.3]) == pytest.approx(0.7)
+
+    def test_nand2(self):
+        assert output_probability("NAND2", [0.5, 0.5]) == pytest.approx(0.75)
+
+    def test_nor2(self):
+        assert output_probability("NOR2", [0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_xor2(self):
+        assert output_probability("XOR2", [0.5, 0.5]) == pytest.approx(0.5)
+        assert output_probability("XOR2", [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_aoi21(self):
+        # Y = !((A & B) | C); with A=B=1, C=0 -> 0
+        assert output_probability("AOI21", [1.0, 1.0, 0.0]) == pytest.approx(0.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            output_probability("MUX4", [0.5])
+
+
+class TestPropagation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        lib = build_default_library()
+        SpiceLikeCharacterizer().characterize_library(lib)
+        net = synthesize_core(lib, n_instances=150, seed=0)
+        return lib, net
+
+    def test_probabilities_bounded(self, setup):
+        _, net = setup
+        probs = propagate_probabilities(net)
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+        assert len(probs) == len(net) + len(net.primary_inputs)
+
+    def test_pi_override(self, setup):
+        _, net = setup
+        pi = net.primary_inputs[0]
+        probs = propagate_probabilities(net, {pi: 0.9})
+        assert probs[pi] == 0.9
+
+    def test_invalid_pi_probability(self, setup):
+        _, net = setup
+        with pytest.raises(ValueError):
+            propagate_probabilities(net, {net.primary_inputs[0]: 1.5})
+
+    def test_inverter_chain_alternates(self):
+        net = Netlist("chain")
+        net.add_primary_input("pi0")
+        net.add_instance(Instance("u0", "INV_X1", {"A": "pi0"}))
+        net.add_instance(Instance("u1", "INV_X1", {"A": "u0"}))
+        net.mark_primary_output("u1")
+        probs = propagate_probabilities(net, {"pi0": 0.8})
+        assert probs["u0"] == pytest.approx(0.2)
+        assert probs["u1"] == pytest.approx(0.8)
+
+    def test_activity_peaks_at_half(self):
+        assert switching_activity(0.5) == pytest.approx(0.5)
+        assert switching_activity(0.0) == 0.0
+        assert switching_activity(1.0) == 0.0
+
+    def test_stress_fields(self, setup):
+        _, net = setup
+        stress = instance_stress(net)
+        sample = next(iter(stress.values()))
+        assert set(sample) == {"duty_cycle", "activity", "output_probability"}
+        duties = [s["duty_cycle"] for s in stress.values()]
+        # Real logic produces a spread of stress conditions.
+        assert max(duties) - min(duties) > 0.3
+
+
+class TestAgingFlow:
+    @pytest.fixture(scope="class")
+    def signoff(self):
+        lib = build_default_library()
+        ch = SpiceLikeCharacterizer()
+        ch.characterize_library(lib)
+        net = synthesize_core(lib, n_instances=150, seed=1)
+        flow = AgingFlow(ch, lifetime_s=3.15e8, temperature_c=85.0)
+        return flow, net, lib, flow.signoff(
+            net, build_default_library, ml_training_samples=2500
+        )
+
+    def test_worst_case_slower_than_fresh(self, signoff):
+        _, _, _, result = signoff
+        assert result.worst_case_period > result.fresh_period
+
+    def test_workload_aware_between(self, signoff):
+        _, _, _, result = signoff
+        assert result.fresh_period < result.workload_aware_period
+        assert result.workload_aware_period < result.worst_case_period
+
+    def test_guardband_reduction_positive(self, signoff):
+        _, _, _, result = signoff
+        assert result.guardband_reduction > 0.1
+
+    def test_shifts_below_worst_case(self, signoff):
+        flow, net, lib, result = signoff
+        shifts = flow.instance_delta_vth(net, lib)
+        wc = flow.worst_case_delta_vth(lib)
+        assert max(shifts.values()) <= wc + 1e-9
+        assert np.mean(list(shifts.values())) < wc
+
+    def test_longer_lifetime_more_aging(self, signoff):
+        flow, net, lib, _ = signoff
+        short = AgingFlow(flow.characterizer, lifetime_s=3.15e7)
+        long = AgingFlow(flow.characterizer, lifetime_s=3.15e8)
+        s_short = short.instance_delta_vth(net, lib)
+        s_long = long.instance_delta_vth(net, lib)
+        name = next(iter(s_short))
+        assert s_long[name] > s_short[name]

@@ -1,0 +1,117 @@
+"""Tests for standard cells, lookup tables, and libraries."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.cell import LookupTable, StandardCell, make_cell
+from repro.circuit.library import Library, build_default_library
+from repro.transistor import Transistor
+
+
+class TestLookupTable:
+    def _table(self):
+        return LookupTable(
+            slews=[10.0, 20.0], loads=[1.0, 2.0], values=[[1.0, 2.0], [3.0, 4.0]]
+        )
+
+    def test_exact_corner_lookup(self):
+        t = self._table()
+        assert t(10.0, 1.0) == 1.0
+        assert t(20.0, 2.0) == 4.0
+
+    def test_bilinear_midpoint(self):
+        t = self._table()
+        assert t(15.0, 1.5) == pytest.approx(2.5)
+
+    def test_clamping_beyond_grid(self):
+        t = self._table()
+        assert t(1000.0, 1000.0) == 4.0
+        assert t(0.0, 0.0) == 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            LookupTable([1.0, 2.0], [1.0], [[1.0, 2.0]])
+
+    def test_non_monotone_axes_rejected(self):
+        with pytest.raises(ValueError):
+            LookupTable([2.0, 1.0], [1.0, 2.0], np.ones((2, 2)))
+
+    def test_max_value(self):
+        assert self._table().max_value() == 4.0
+
+
+class TestMakeCell:
+    def test_known_kinds(self):
+        inv = make_cell("INV", 1)
+        assert inv.name == "INV_X1"
+        assert inv.inputs == ("A",)
+        assert not inv.is_sequential
+
+    def test_dff_is_sequential(self):
+        dff = make_cell("DFF", 2)
+        assert dff.is_sequential
+        assert dff.output == "Q"
+
+    def test_strength_scales_width_and_cap(self):
+        x1 = make_cell("NAND2", 1)
+        x4 = make_cell("NAND2", 4)
+        assert x4.transistors[0].width_nm == 4 * x1.transistors[0].width_nm
+        assert x4.input_cap_ff > x1.input_cap_ff
+
+    def test_stack_depth_by_kind(self):
+        assert make_cell("INV").stack_depth == 1
+        assert make_cell("NAND3").stack_depth == 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_cell("MUX4")
+
+    def test_clone_uncharacterized_drops_arcs(self):
+        cell = make_cell("INV")
+        cell.arcs = ["sentinel"]
+        clone = cell.clone_uncharacterized(name="INV_X1@u0")
+        assert clone.arcs == []
+        assert clone.name == "INV_X1@u0"
+        assert cell.arcs == ["sentinel"]
+
+    def test_cell_requires_transistors(self):
+        with pytest.raises(ValueError):
+            StandardCell(
+                name="BAD", inputs=("A",), output="Y", transistors=[], input_cap_ff=1.0
+            )
+
+
+class TestLibrary:
+    def test_default_library_has_59_cells(self):
+        lib = build_default_library()
+        assert len(lib) == 59
+
+    def test_duplicate_rejected(self):
+        lib = Library("t")
+        lib.add(make_cell("INV"))
+        with pytest.raises(ValueError):
+            lib.add(make_cell("INV"))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Library("t").get("NOPE")
+
+    def test_combinational_vs_sequential_partition(self):
+        lib = build_default_library()
+        comb = lib.combinational_cells()
+        seq = [c for c in lib if c.is_sequential]
+        assert len(comb) + len(seq) == len(lib)
+        assert len(seq) == 2
+
+    def test_clone_empty_keeps_corner(self):
+        lib = Library("corner", temperature_c=125.0, vdd=0.7, delta_vth=0.05)
+        clone = lib.clone_empty("new")
+        assert clone.temperature_c == 125.0
+        assert clone.vdd == 0.7
+        assert clone.delta_vth == 0.05
+        assert len(clone) == 0
+
+    def test_contains_and_names(self):
+        lib = build_default_library()
+        assert "INV_X1" in lib
+        assert "INV_X1" in lib.cell_names()

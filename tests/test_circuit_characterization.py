@@ -1,0 +1,100 @@
+"""Tests for the SPICE-like characterizer (delay and SHE modes)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.cell import make_cell
+from repro.circuit.characterization import SpiceLikeCharacterizer
+from repro.circuit.library import build_default_library
+
+
+@pytest.fixture()
+def characterizer():
+    return SpiceLikeCharacterizer()
+
+
+class TestArcDelay:
+    def test_monotone_in_load(self, characterizer):
+        cell = make_cell("INV")
+        d_small = characterizer.arc_delay(cell, 20.0, 2.0)
+        d_big = characterizer.arc_delay(cell, 20.0, 16.0)
+        assert d_big > d_small
+
+    def test_monotone_in_temperature(self, characterizer):
+        cell = make_cell("NAND2")
+        cold = characterizer.arc_delay(cell, 20.0, 4.0, temperature_c=25.0)
+        hot = characterizer.arc_delay(cell, 20.0, 4.0, temperature_c=125.0)
+        assert hot > cold
+
+    def test_monotone_in_aging(self, characterizer):
+        cell = make_cell("NOR2")
+        fresh = characterizer.arc_delay(cell, 20.0, 4.0, delta_vth=0.0)
+        aged = characterizer.arc_delay(cell, 20.0, 4.0, delta_vth=0.05)
+        assert aged > fresh
+
+    def test_stack_penalty(self, characterizer):
+        inv = make_cell("INV")
+        nand3 = make_cell("NAND3")
+        assert characterizer.arc_delay(nand3, 20.0, 4.0) > characterizer.arc_delay(
+            inv, 20.0, 4.0
+        )
+
+    def test_she_feedback_slows_cell(self, characterizer):
+        cell = make_cell("INV", 8)
+        without = characterizer.arc_delay(cell, 80.0, 32.0, include_she=False)
+        with_she = characterizer.arc_delay(cell, 80.0, 32.0, include_she=True)
+        assert with_she > without
+
+    def test_cost_counter_increments(self, characterizer):
+        cell = make_cell("INV")
+        before = characterizer.simulated_points
+        characterizer.arc_delay(cell, 20.0, 4.0)
+        assert characterizer.simulated_points == before + 1
+
+
+class TestCellCharacterization:
+    def test_arcs_created_per_input(self, characterizer):
+        cell = make_cell("NAND3")
+        characterizer.characterize_cell(cell)
+        assert len(cell.arcs) == 3
+        assert {a.input_pin for a in cell.arcs} == {"A", "B", "C"}
+
+    def test_table_values_positive(self, characterizer):
+        cell = make_cell("XOR2")
+        characterizer.characterize_cell(cell)
+        for arc in cell.arcs:
+            assert np.all(arc.delay.values > 0)
+            assert np.all(arc.output_slew.values > 0)
+
+    def test_she_mode_replaces_delay_with_temperature(self, characterizer):
+        cell_delay = make_cell("INV", 8)
+        cell_she = make_cell("INV", 8)
+        characterizer.characterize_cell(cell_delay)
+        characterizer.characterize_cell_she(cell_she)
+        # SHE tables grow with load like delays but are on a different scale
+        # and the slew table passes input slew through unchanged.
+        she_arc = cell_she.arcs[0]
+        assert she_arc.output_slew(40.0, 4.0) == pytest.approx(40.0)
+        assert she_arc.delay(20.0, 32.0) > she_arc.delay(20.0, 1.0)
+
+    def test_characterize_library_all_cells(self, characterizer):
+        lib = build_default_library()
+        characterizer.characterize_library(lib)
+        assert all(cell.arcs for cell in lib)
+
+    def test_corner_shifts_whole_library(self):
+        ch = SpiceLikeCharacterizer()
+        cool = build_default_library("cool", temperature_c=25.0)
+        hot = build_default_library("hot", temperature_c=125.0)
+        ch.characterize_library(cool)
+        ch.characterize_library(hot)
+        for name in ("INV_X1", "NAND2_X2"):
+            d_cool = cool.get(name).arcs[0].delay(20.0, 4.0)
+            d_hot = hot.get(name).arcs[0].delay(20.0, 4.0)
+            assert d_hot > d_cool
+
+    def test_spice_cost_property(self, characterizer):
+        cell = make_cell("INV")
+        characterizer.characterize_cell(cell)
+        expected = len(characterizer.slews) * len(characterizer.loads)
+        assert characterizer.spice_cost == pytest.approx(expected)

@@ -1,0 +1,105 @@
+"""Tests for Liberty-format library serialization."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    SpiceLikeCharacterizer,
+    StaticTimingAnalysis,
+    build_default_library,
+    parse_liberty,
+    read_liberty,
+    synthesize_core,
+    write_liberty,
+)
+from repro.circuit.liberty import LibertyParseError
+
+
+@pytest.fixture(scope="module")
+def characterized():
+    lib = build_default_library(temperature_c=45.0, delta_vth=0.02)
+    SpiceLikeCharacterizer().characterize_library(lib)
+    return lib
+
+
+@pytest.fixture(scope="module")
+def roundtripped(characterized):
+    return parse_liberty(write_liberty(characterized))
+
+
+class TestWrite:
+    def test_header_attributes(self, characterized):
+        text = write_liberty(characterized)
+        assert "nom_temperature : 45;" in text
+        assert "delta_vth : 0.02;" in text
+
+    def test_all_cells_present(self, characterized):
+        text = write_liberty(characterized)
+        for name in characterized.cell_names():
+            assert f"cell ({name})" in text
+
+    def test_file_output(self, characterized, tmp_path):
+        path = tmp_path / "lib.lib"
+        write_liberty(characterized, path=str(path))
+        assert path.read_text().startswith("library (")
+
+
+class TestRoundtrip:
+    def test_cell_count_preserved(self, characterized, roundtripped):
+        assert len(roundtripped) == len(characterized)
+
+    def test_corner_preserved(self, characterized, roundtripped):
+        assert roundtripped.temperature_c == characterized.temperature_c
+        assert roundtripped.vdd == characterized.vdd
+        assert roundtripped.delta_vth == characterized.delta_vth
+
+    def test_structure_preserved(self, characterized, roundtripped):
+        for name in ("INV_X1", "NAND3_X4", "DFF_X1"):
+            a = characterized.get(name)
+            b = roundtripped.get(name)
+            assert a.inputs == b.inputs
+            assert a.output == b.output
+            assert a.is_sequential == b.is_sequential
+            assert a.stack_depth == b.stack_depth
+            assert a.input_cap_ff == pytest.approx(b.input_cap_ff, rel=1e-4)
+
+    def test_tables_preserved_to_serialization_precision(
+        self, characterized, roundtripped
+    ):
+        for name in ("INV_X2", "XOR2_X4"):
+            a = characterized.get(name)
+            b = roundtripped.get(name)
+            assert len(a.arcs) == len(b.arcs)
+            for arc_a, arc_b in zip(a.arcs, b.arcs):
+                assert arc_a.input_pin == arc_b.input_pin
+                assert arc_a.delay(20.0, 4.0) == pytest.approx(
+                    arc_b.delay(20.0, 4.0), rel=1e-4
+                )
+                assert arc_a.output_slew(20.0, 4.0) == pytest.approx(
+                    arc_b.output_slew(20.0, 4.0), rel=1e-4
+                )
+
+    def test_sta_agrees_across_roundtrip(self, characterized, roundtripped):
+        netlist = synthesize_core(characterized, n_instances=120, seed=3)
+        p1 = StaticTimingAnalysis(netlist, characterized).run().min_feasible_period()
+        p2 = StaticTimingAnalysis(netlist, roundtripped).run().min_feasible_period()
+        assert p1 == pytest.approx(p2, rel=1e-4)
+
+    def test_read_from_disk(self, characterized, tmp_path):
+        path = tmp_path / "lib.lib"
+        write_liberty(characterized, path=str(path))
+        lib = read_liberty(str(path))
+        assert len(lib) == len(characterized)
+
+
+class TestParseErrors:
+    def test_missing_header(self):
+        with pytest.raises(LibertyParseError):
+            parse_liberty("cell (X) { }")
+
+    def test_missing_attributes(self):
+        with pytest.raises(LibertyParseError):
+            parse_liberty(
+                "library (x) {\n  nom_temperature : 25;\n  nom_voltage : 0.8;\n"
+                "  cell (BAD) { }\n}"
+            )

@@ -1,0 +1,172 @@
+"""Tests for netlists, the synthetic core generator, STA, and SDF export."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Instance,
+    Netlist,
+    SpiceLikeCharacterizer,
+    StaticTimingAnalysis,
+    build_default_library,
+    synthesize_core,
+    write_sdf,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    library = build_default_library()
+    SpiceLikeCharacterizer().characterize_library(library)
+    return library
+
+
+def _chain_netlist(lib, n=5):
+    """PI -> INV -> INV -> ... chain."""
+    net = Netlist("chain")
+    net.add_primary_input("pi0")
+    prev = "pi0"
+    for i in range(n):
+        net.add_instance(
+            Instance(name=f"u{i}", cell_name="INV_X1", fanin={"A": prev}, wire_cap_ff=1.0)
+        )
+        prev = f"u{i}"
+    net.mark_primary_output(prev)
+    return net
+
+
+class TestNetlist:
+    def test_unknown_driver_rejected(self):
+        net = Netlist()
+        with pytest.raises(ValueError):
+            net.add_instance(Instance(name="u0", cell_name="INV_X1", fanin={"A": "ghost"}))
+
+    def test_duplicate_names_rejected(self):
+        net = Netlist()
+        net.add_primary_input("a")
+        with pytest.raises(ValueError):
+            net.add_primary_input("a")
+
+    def test_topological_order_respects_dependencies(self, lib):
+        net = _chain_netlist(lib)
+        order = net.topological_order()
+        assert order == [f"u{i}" for i in range(5)]
+
+    def test_cycle_detection(self):
+        net = Netlist()
+        net.add_primary_input("pi0")
+        net.add_instance(Instance(name="u0", cell_name="INV_X1", fanin={"A": "pi0"}))
+        net.add_instance(Instance(name="u1", cell_name="INV_X1", fanin={"A": "u0"}))
+        # Manually create a cycle
+        net.get("u0").fanin["A"] = "u1"
+        net._fanout_cache = None
+        with pytest.raises(ValueError):
+            net.topological_order()
+
+    def test_load_includes_sinks_and_wire(self, lib):
+        net = _chain_netlist(lib)
+        # u0 drives u1 (one INV_X1 input cap) plus its own wire cap.
+        load = net.load_of("u0", lib)
+        assert load == pytest.approx(lib.get("INV_X1").input_cap_ff + 1.0)
+
+    def test_mark_unknown_po_rejected(self):
+        with pytest.raises(ValueError):
+            Netlist().mark_primary_output("nope")
+
+
+class TestSynthesizeCore:
+    def test_size_and_outputs(self, lib):
+        net = synthesize_core(lib, n_instances=200, seed=0)
+        assert len(net) == 200
+        assert len(net.primary_outputs) > 0
+
+    def test_is_acyclic(self, lib):
+        net = synthesize_core(lib, n_instances=150, seed=1)
+        assert len(net.topological_order()) == 150
+
+    def test_deterministic_per_seed(self, lib):
+        a = synthesize_core(lib, n_instances=100, seed=7)
+        b = synthesize_core(lib, n_instances=100, seed=7)
+        assert [i.cell_name for i in a] == [i.cell_name for i in b]
+
+    def test_uses_multiple_cell_types(self, lib):
+        net = synthesize_core(lib, n_instances=300, seed=2)
+        kinds = {inst.cell_name for inst in net}
+        assert len(kinds) > 10
+
+    def test_contains_sequential_endpoints(self, lib):
+        net = synthesize_core(lib, n_instances=300, seed=3)
+        assert any(lib.get(i.cell_name).is_sequential for i in net)
+
+
+class TestSTA:
+    def test_chain_arrival_accumulates(self, lib):
+        net = _chain_netlist(lib, n=4)
+        sta = StaticTimingAnalysis(net, lib, clock_period_ps=1000.0).run()
+        arrivals = [sta.timings[f"u{i}"].arrival for i in range(4)]
+        assert all(np.diff(arrivals) > 0)
+
+    def test_worst_slack_matches_period(self, lib):
+        net = _chain_netlist(lib, n=4)
+        sta1 = StaticTimingAnalysis(net, lib, clock_period_ps=1000.0).run()
+        sta2 = StaticTimingAnalysis(net, lib, clock_period_ps=500.0).run()
+        assert sta1.worst_slack - sta2.worst_slack == pytest.approx(500.0)
+
+    def test_min_feasible_period_consistent(self, lib):
+        net = synthesize_core(lib, n_instances=150, seed=4)
+        sta = StaticTimingAnalysis(net, lib, clock_period_ps=10_000.0).run()
+        p = sta.min_feasible_period()
+        tight = StaticTimingAnalysis(net, lib, clock_period_ps=p).run()
+        assert tight.worst_slack == pytest.approx(0.0, abs=1e-6)
+
+    def test_critical_path_is_connected(self, lib):
+        net = synthesize_core(lib, n_instances=200, seed=5)
+        sta = StaticTimingAnalysis(net, lib).run()
+        path = sta.critical_path()
+        assert len(path) >= 2
+        for a, b in zip(path[:-1], path[1:]):
+            assert a in net.get(b).fanin.values()
+
+    def test_hotter_corner_longer_period(self):
+        cool_lib = build_default_library("cool", temperature_c=25.0)
+        hot_lib = build_default_library("hot", temperature_c=125.0)
+        ch = SpiceLikeCharacterizer()
+        ch.characterize_library(cool_lib)
+        ch.characterize_library(hot_lib)
+        net = synthesize_core(cool_lib, n_instances=150, seed=6)
+        p_cool = StaticTimingAnalysis(net, cool_lib).run().min_feasible_period()
+        p_hot = StaticTimingAnalysis(net, hot_lib).run().min_feasible_period()
+        assert p_hot > p_cool
+
+    def test_results_require_run(self, lib):
+        net = _chain_netlist(lib)
+        sta = StaticTimingAnalysis(net, lib)
+        with pytest.raises(RuntimeError):
+            _ = sta.worst_slack
+
+    def test_cell_resolver_override(self, lib):
+        net = _chain_netlist(lib, n=3)
+        sta_base = StaticTimingAnalysis(net, lib).run()
+        slow = lib.get("INV_X1").clone_uncharacterized("INV_SLOW")
+        SpiceLikeCharacterizer().characterize_cell(slow, temperature_c=150.0, delta_vth=0.06)
+        sta_slow = StaticTimingAnalysis(
+            net, lib, cell_resolver=lambda inst: slow
+        ).run()
+        assert sta_slow.worst_arrival > sta_base.worst_arrival
+
+
+class TestSDF:
+    def test_sdf_structure(self, lib):
+        net = _chain_netlist(lib, n=2)
+        sta = StaticTimingAnalysis(net, lib).run()
+        text = write_sdf(sta)
+        assert "(DELAYFILE" in text
+        assert text.count("(CELL") >= 2
+        assert "IOPATH" in text
+
+    def test_sdf_written_to_file(self, lib, tmp_path):
+        net = _chain_netlist(lib, n=2)
+        sta = StaticTimingAnalysis(net, lib).run()
+        out = tmp_path / "design.sdf"
+        write_sdf(sta, path=str(out))
+        assert out.read_text().startswith("(DELAYFILE")

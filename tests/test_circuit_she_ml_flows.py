@@ -1,0 +1,135 @@
+"""Integration tests for the Fig. 3 SHE flow, ML characterization, guardbands."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    MLCharacterizer,
+    SheFlow,
+    SpiceLikeCharacterizer,
+    StaticTimingAnalysis,
+    build_default_library,
+    guardband_comparison,
+    synthesize_core,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    lib = build_default_library()
+    ch = SpiceLikeCharacterizer()
+    ch.characterize_library(lib)
+    net = synthesize_core(lib, n_instances=150, seed=0)
+    return lib, ch, net
+
+
+class TestSheFlow:
+    def test_report_covers_all_instances(self, setup):
+        lib, ch, net = setup
+        report = SheFlow(ch).run(net, lib)
+        assert set(report.instance_delta_t) == set(net.instance_names())
+
+    def test_temperatures_positive_and_varied(self, setup):
+        lib, ch, net = setup
+        report = SheFlow(ch).run(net, lib)
+        lo, mean, hi = report.spread()
+        assert lo > 0.0
+        assert hi > 2 * lo  # the Fig. 2 point: wide per-instance variety
+
+    def test_same_cell_type_sees_different_she(self, setup):
+        # Fig. 2's message: a single cell type experiences many different
+        # SHE temperatures depending on its instance context.
+        lib, ch, net = setup
+        report = SheFlow(ch).run(net, lib)
+        by_type = report.per_cell_type()
+        multi = [temps for temps in by_type.values() if len(temps) >= 5]
+        assert multi, "expected cell types with several instances"
+        assert any(max(t) - min(t) > 0.5 for t in multi)
+
+    def test_sdf_contains_temperatures(self, setup):
+        lib, ch, net = setup
+        report = SheFlow(ch).run(net, lib)
+        assert "IOPATH" in report.sdf_text
+
+    def test_uncharacterized_library_rejected(self, setup):
+        _, ch, net = setup
+        bare = build_default_library()
+        with pytest.raises(ValueError):
+            SheFlow(ch).build_she_library(bare)
+
+    def test_histogram_bins(self, setup):
+        lib, ch, net = setup
+        report = SheFlow(ch).run(net, lib)
+        counts, edges = report.histogram(bins=8)
+        assert counts.sum() == len(net)
+        assert len(edges) == 9
+
+
+class TestMLCharacterizer:
+    @pytest.fixture(scope="class")
+    def fitted(self, setup):
+        lib, ch, _ = setup
+        ml = MLCharacterizer(oracle=ch, seed=0)
+        ml.fit(lib, n_samples=1200)
+        return ml
+
+    def test_validation_error_small(self, fitted, setup):
+        lib, _, _ = setup
+        mape = fitted.validate(lib, n_samples=150)
+        assert mape < 0.05
+
+    def test_predict_monotone_in_temperature(self, fitted, setup):
+        lib, _, _ = setup
+        cell = lib.get("NAND2_X2")
+        cool = fitted.predict_delay(cell, 20.0, 4.0, temperature_c=30.0)
+        hot = fitted.predict_delay(cell, 20.0, 4.0, temperature_c=140.0)
+        assert hot > cool * 0.99  # allow tiny model noise, trend must hold
+
+    def test_instance_library_covers_netlist(self, fitted, setup):
+        lib, _, net = setup
+        temps = {name: 50.0 for name in net.instance_names()}
+        inst_lib, resolver = fitted.generate_instance_library(net, lib, temps)
+        assert len(inst_lib) == len(net)
+        for inst in net:
+            cell = resolver(inst)
+            assert cell.arcs
+            assert cell.name.endswith(f"@{inst.name}")
+
+    def test_sta_runs_on_instance_library(self, fitted, setup):
+        lib, _, net = setup
+        temps = {name: 80.0 for name in net.instance_names()}
+        _, resolver = fitted.generate_instance_library(net, lib, temps)
+        sta = StaticTimingAnalysis(net, lib, cell_resolver=resolver).run()
+        assert sta.min_feasible_period() > 0
+
+    def test_unfitted_raises(self, setup):
+        lib, ch, _ = setup
+        with pytest.raises(RuntimeError):
+            MLCharacterizer(oracle=ch).predict_delay(lib.get("INV_X1"), 20.0, 4.0)
+
+
+class TestGuardbandComparison:
+    @pytest.fixture(scope="class")
+    def result(self, setup):
+        _, _, net = setup
+        return guardband_comparison(
+            net, build_default_library, ml_training_samples=3000, seed=0
+        )
+
+    def test_worst_case_most_pessimistic(self, result):
+        assert result.worst_case_period > result.nominal_period
+
+    def test_she_aware_between_nominal_and_worst(self, result):
+        # Allow small ML noise below nominal but the ordering vs worst-case
+        # (the paper's claim) must hold strictly.
+        assert result.she_aware_period < result.worst_case_period
+        assert result.she_aware_period > 0.95 * result.nominal_period
+
+    def test_guardband_reduction_positive(self, result):
+        assert result.guardband_reduction > 0.0
+
+    def test_performance_gain_positive(self, result):
+        assert result.performance_gain > 0.0
+
+    def test_ml_error_well_below_effect(self, result):
+        assert result.ml_validation_mape < 0.03

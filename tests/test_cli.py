@@ -1,0 +1,63 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.runs == 100
+        assert args.instances == 300
+
+    def test_overrides(self):
+        args = build_parser().parse_args(["fig6", "--runs", "10"])
+        assert args.runs == 10
+
+
+class TestMain:
+    def test_list_enumerates_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--runs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "1e-08" in out
+
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6", "--runs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "WCET" in out
+
+    def test_wall_runs(self, capsys):
+        assert main(["wall", "--runs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "error-rate wall" in out
+
+    def test_hdc_runs(self, capsys):
+        assert main(["hdc"]) == 0
+        out = capsys.readouterr().out
+        assert "HDC accuracy" in out
+
+    def test_multiple_experiments_in_sequence(self, capsys):
+        assert main(["fig5", "fig6", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out and "Fig. 6" in out
+
+    def test_fig2_runs_small(self, capsys):
+        assert main(["fig2", "--instances", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "SHE dT" in out

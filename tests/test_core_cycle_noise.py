@@ -1,0 +1,221 @@
+"""Tests for workloads, budget policies, runs, and the Monte Carlo study."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALL_POLICIES,
+    DS,
+    DS_1_5X,
+    DS_2X,
+    WCET,
+    CheckpointSystem,
+    MonteCarloStudy,
+    SegmentedWorkload,
+    adpcm_like_workload,
+    simulate_run,
+)
+from repro.core.workload import SEGMENT_MAX_CYCLES, SEGMENT_MIN_CYCLES
+
+
+class TestWorkload:
+    def test_segment_range_matches_paper(self):
+        wl = adpcm_like_workload(n_segments=40, seed=0)
+        assert min(wl) >= SEGMENT_MIN_CYCLES
+        assert max(wl) <= SEGMENT_MAX_CYCLES
+
+    def test_deadline_exceeds_clean_time(self):
+        wl = adpcm_like_workload(seed=1)
+        assert wl.deadline() > wl.clean_cycles()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentedWorkload("w", [])
+
+    def test_nonpositive_segments_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentedWorkload("w", [1000, 0])
+
+
+class TestBudgetPolicies:
+    def test_budgets_ordering(self):
+        seg, cp, rb = 100_000, 100, 48
+        budgets = [p.budget_cycles(seg, cp, rb) for p in (DS, DS_1_5X, DS_2X, WCET)]
+        assert budgets == sorted(budgets)
+
+    def test_ds_budget_is_clean_cycles(self):
+        assert DS.budget_cycles(50_000, 100, 48) == 50_100
+
+    def test_wcet_covers_static_allowance(self):
+        b = WCET.budget_cycles(50_000, 100, 48)
+        assert b == 50_100 + 3 * (48 + 50_000 + 100)
+
+
+class TestSimulateRun:
+    def test_error_free_always_meets_deadline(self):
+        wl = adpcm_like_workload(seed=0)
+        cp = CheckpointSystem(0.0)
+        rng = np.random.default_rng(0)
+        for policy in ALL_POLICIES:
+            run = simulate_run(wl, cp, policy, rng)
+            assert run.deadline_met, policy.name
+            assert run.rollbacks_per_segment == 0.0
+
+    def test_conservative_policies_run_faster(self):
+        wl = adpcm_like_workload(seed=0)
+        cp = CheckpointSystem(0.0)
+        rng = np.random.default_rng(0)
+        speeds = {
+            p.name: simulate_run(wl, cp, p, rng).mean_speed for p in ALL_POLICIES
+        }
+        assert speeds["DS"] < speeds["DS 1.5x"] < speeds["DS 2x"] <= speeds["WCET"]
+
+    def test_conservative_policies_cost_energy(self):
+        wl = adpcm_like_workload(seed=0)
+        cp = CheckpointSystem(0.0)
+        rng = np.random.default_rng(0)
+        e_ds = simulate_run(wl, cp, DS, rng).energy
+        e_wcet = simulate_run(wl, cp, WCET, rng).energy
+        assert e_wcet > e_ds
+
+    def test_past_wall_even_wcet_misses(self):
+        wl = adpcm_like_workload(seed=0)
+        cp = CheckpointSystem(1e-4)
+        rng = np.random.default_rng(0)
+        run = simulate_run(wl, cp, WCET, rng)
+        assert not run.deadline_met
+
+
+class TestMonteCarloStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        wl = adpcm_like_workload(n_segments=12, seed=0)
+        study = MonteCarloStudy(wl, n_runs=60, seed=0)
+        return study.sweep([1e-8, 1e-7, 1e-6, 3e-6, 1e-5, 1e-4]), study
+
+    def test_fig5_shape(self, points):
+        pts, study = points
+        rollbacks = [p.mean_rollbacks_per_segment for p in pts]
+        # Flat near zero below 1e-6, rising steeply after.
+        assert rollbacks[0] < 0.05
+        assert rollbacks[2] < 1.0
+        assert rollbacks[-1] > 10.0
+        assert all(a <= b + 0.2 for a, b in zip(rollbacks[:-1], rollbacks[1:]))
+
+    def test_fig6_wall_window(self, points):
+        pts, study = points
+        for policy in ALL_POLICIES:
+            rates = [p.hit_rate[policy.name] for p in pts]
+            assert rates[0] > 0.95  # safe region
+            assert rates[-1] < 0.05  # beyond the wall
+
+    def test_fig6_conservative_ordering_in_window(self, points):
+        pts, _ = points
+        # Inside the 1e-6..1e-5 window, more conservative policies win.
+        window = [p for p in pts if 1e-6 <= p.error_probability <= 1e-5]
+        assert window
+        for pt in window:
+            hr = pt.hit_rate
+            assert hr["WCET"] >= hr["DS 2x"] - 0.05
+            assert hr["DS 2x"] >= hr["DS 1.5x"] - 0.05
+            assert hr["DS 1.5x"] >= hr["DS"] - 0.05
+
+    def test_wall_location(self, points):
+        pts, study = points
+        wall = study.find_wall(pts, "WCET")
+        assert 1e-7 <= wall.last_safe_p <= 1e-5
+        assert wall.first_failed_p <= 1e-4
+
+    def test_analytic_matches_simulated_rollbacks(self, points):
+        pts, study = points
+        probs = [p.error_probability for p in pts[:4]]  # below-wall region
+        analytic = study.analytic_rollbacks(probs)
+        simulated = [p.mean_rollbacks_per_segment for p in pts[:4]]
+        for a, s in zip(analytic, simulated):
+            assert s == pytest.approx(a, abs=max(0.15, 0.5 * a))
+
+    def test_energy_ordering_below_wall(self, points):
+        pts, _ = points
+        safe = pts[0]
+        assert safe.mean_energy["WCET"] > safe.mean_energy["DS"]
+
+    def test_wall_location_stable_across_workloads(self):
+        """The error-rate wall is a property of the segment-size scale,
+        not of one particular workload draw."""
+        from repro.core import WCET
+
+        walls = []
+        for seed in (1, 2, 3):
+            wl = adpcm_like_workload(n_segments=10, seed=seed)
+            study = MonteCarloStudy(wl, n_runs=40, seed=0)
+            pts = study.sweep([1e-7, 1e-6, 3e-6, 1e-5, 1e-4])
+            walls.append(study.find_wall(pts, WCET.name).first_failed_p)
+        # Every draw collapses somewhere in the same decade band.
+        assert all(1e-6 <= w <= 1e-4 for w in walls)
+
+
+class TestFrameworkLoop:
+    def test_loop_learns_simple_control(self):
+        from repro.core import ReliabilityManagementLoop
+        from repro.system.rl import QLearningAgent
+
+        # Toy system: state is "hot" or "cool"; action 0 cools, action 1
+        # heats but earns work; reward penalizes heat.
+        class ToySystem:
+            def __init__(self):
+                self.temp = 0
+                self.last_action = 0
+
+        def observe(sys):
+            return (1 if sys.temp > 3 else 0,)
+
+        def apply_action(sys, action):
+            sys.last_action = action
+
+        def step(sys):
+            sys.temp += 1 if sys.last_action == 1 else -1
+            sys.temp = max(0, min(6, sys.temp))
+
+        def reward(sys):
+            return (1.0 if sys.last_action == 1 else 0.0) - (2.0 if sys.temp > 3 else 0.0)
+
+        agent = QLearningAgent(n_actions=2, seed=0, epsilon=0.4)
+        loop = ReliabilityManagementLoop(agent, observe, apply_action, reward, step)
+        system = ToySystem()
+        histories = [loop.run_episode(system, n_epochs=20, learn=True) for _ in range(30)]
+        # Learned policy: keep working while cool (the unambiguous state).
+        assert agent.act((0,), explore=False) == 1
+        # And learning improved the episode reward over time.
+        assert np.mean([h.total_reward for h in histories[-5:]]) >= np.mean(
+            [h.total_reward for h in histories[:5]]
+        )
+
+    def test_loop_history(self):
+        from repro.core import ReliabilityManagementLoop
+        from repro.system.rl import QLearningAgent
+
+        agent = QLearningAgent(n_actions=1, seed=0)
+        loop = ReliabilityManagementLoop(
+            agent,
+            observe=lambda s: (0,),
+            apply_action=lambda s, a: None,
+            reward=lambda s: 1.0,
+            step_system=lambda s: None,
+        )
+        history = loop.run_episode(object(), n_epochs=5)
+        assert history.total_reward == 5.0
+        assert len(history.actions) == 5
+
+    def test_loop_validates_epochs(self):
+        from repro.core import ReliabilityManagementLoop
+        from repro.system.rl import QLearningAgent
+
+        loop = ReliabilityManagementLoop(
+            QLearningAgent(n_actions=1),
+            observe=lambda s: (0,),
+            apply_action=lambda s, a: None,
+            reward=lambda s: 0.0,
+            step_system=lambda s: None,
+        )
+        with pytest.raises(ValueError):
+            loop.run_episode(object(), n_epochs=0)

@@ -1,0 +1,160 @@
+"""Tests for the Sec. V error model (Eqs. (1)-(2)) and checkpoint system."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CHECKPOINT_CYCLES,
+    ROLLBACK_CYCLES,
+    CheckpointSystem,
+    expected_rollbacks,
+    prob_no_error,
+    rollback_pmf,
+    sample_rollbacks,
+)
+
+
+class TestEquationOne:
+    def test_zero_probability(self):
+        assert prob_no_error(0.0, 100_000) == 1.0
+
+    def test_matches_closed_form(self):
+        assert prob_no_error(1e-4, 1000) == pytest.approx((1 - 1e-4) ** 1000)
+
+    def test_monotone_in_cycles(self):
+        assert prob_no_error(1e-5, 10_000) > prob_no_error(1e-5, 100_000)
+
+    def test_monotone_in_p(self):
+        assert prob_no_error(1e-6, 50_000) > prob_no_error(1e-4, 50_000)
+
+    def test_no_underflow_at_huge_counts(self):
+        value = prob_no_error(1e-6, 10_000_000)
+        assert 0.0 <= value < 1.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            prob_no_error(1.0, 10)
+        with pytest.raises(ValueError):
+            prob_no_error(-0.1, 10)
+
+
+class TestEquationTwo:
+    def test_pmf_sums_to_one(self):
+        p, n_c = 1e-5, 50_000
+        total = sum(rollback_pmf(p, n_c, k) for k in range(2000))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_rollbacks_most_likely_below_wall(self):
+        p, n_c = 1e-7, 100_000
+        assert rollback_pmf(p, n_c, 0) > rollback_pmf(p, n_c, 1)
+
+    def test_expected_value_matches_geometric_mean(self):
+        p, n_c = 1e-5, 100_000
+        q = prob_no_error(p, n_c)
+        assert expected_rollbacks(p, n_c) == pytest.approx((1 - q) / q)
+
+    def test_expected_rollbacks_explode_past_wall(self):
+        # The Fig. 5 "error rate wall": tiny below 1e-6, >10 above 1e-5.
+        assert expected_rollbacks(1e-7, 150_000) < 0.1
+        assert expected_rollbacks(3e-5, 150_000) > 10.0
+
+    def test_sampling_matches_expectation(self):
+        rng = np.random.default_rng(0)
+        p, n_c = 1e-5, 80_000
+        samples = [sample_rollbacks(p, n_c, rng) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(
+            expected_rollbacks(p, n_c), rel=0.15
+        )
+
+    def test_sampling_cap(self):
+        rng = np.random.default_rng(0)
+        assert sample_rollbacks(0.5, 1_000_000, rng, cap=17) == 17
+
+
+@given(
+    st.floats(min_value=1e-9, max_value=1e-3),
+    st.integers(min_value=1_000, max_value=500_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_eq1_eq2_consistency_property(p, n_c):
+    q = prob_no_error(p, n_c)
+    assert 0.0 < q <= 1.0
+    assert rollback_pmf(p, n_c, 0) == pytest.approx(q)
+
+
+class TestCheckpointSystem:
+    def test_clean_cycles_include_checkpoint(self):
+        cp = CheckpointSystem(0.0)
+        assert cp.clean_segment_cycles(40_000) == 40_000 + CHECKPOINT_CYCLES
+
+    def test_rollback_cost_accounting(self):
+        cp = CheckpointSystem(0.0)
+        seg = 100_000
+        one = cp.segment_cycles_with_rollbacks(seg, 1)
+        clean = cp.clean_segment_cycles(seg)
+        assert one == clean + ROLLBACK_CYCLES + seg + CHECKPOINT_CYCLES
+
+    def test_no_errors_no_rollbacks(self):
+        cp = CheckpointSystem(0.0)
+        rng = np.random.default_rng(0)
+        n_rb, cycles = cp.sample_segment(100_000, rng)
+        assert n_rb == 0
+        assert cycles == cp.clean_segment_cycles(100_000)
+
+    def test_overhead_factor_grows_with_p(self):
+        seg = 150_000
+        assert CheckpointSystem(1e-5).expected_overhead_factor(
+            seg
+        ) > CheckpointSystem(1e-7).expected_overhead_factor(seg)
+
+    def test_negative_rollbacks_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointSystem(0.0).segment_cycles_with_rollbacks(1000, -1)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointSystem(1.5)
+
+
+class TestCheckpointOptimization:
+    def test_matches_brute_force(self):
+        cp = CheckpointSystem(1e-6)
+        total = 900_000
+        n_opt = cp.optimal_segment_count(total)
+        brute = min(
+            range(1, 1500), key=lambda n: cp.expected_total_cycles(total, n)
+        )
+        assert n_opt == brute
+
+    def test_optimum_scales_with_error_rate(self):
+        # Young/Daly structure: the optimal checkpoint count grows ~sqrt(p).
+        total = 1_800_000
+        n_low = CheckpointSystem(1e-7).optimal_segment_count(total)
+        n_mid = CheckpointSystem(1e-6).optimal_segment_count(total)
+        n_high = CheckpointSystem(1e-5).optimal_segment_count(total)
+        assert n_low < n_mid < n_high
+        assert 2.0 < n_mid / n_low < 5.0  # ~sqrt(10) per decade
+
+    def test_expected_total_cycles_unimodal_at_optimum(self):
+        cp = CheckpointSystem(1e-5)
+        total = 1_000_000
+        n_opt = cp.optimal_segment_count(total)
+        at = cp.expected_total_cycles(total, n_opt)
+        assert at <= cp.expected_total_cycles(total, max(n_opt // 2, 1))
+        assert at <= cp.expected_total_cycles(total, n_opt * 2)
+
+    def test_optimization_reduces_overhead_vs_coarse(self):
+        cp = CheckpointSystem(1e-5)
+        total = 1_800_000
+        coarse = cp.expected_total_cycles(total, 6)
+        optimal = cp.expected_total_cycles(total, cp.optimal_segment_count(total))
+        assert optimal < coarse
+
+    def test_invalid_inputs(self):
+        cp = CheckpointSystem(1e-6)
+        with pytest.raises(ValueError):
+            cp.expected_total_cycles(1000, 0)
+        with pytest.raises(ValueError):
+            cp.optimal_segment_count(0)

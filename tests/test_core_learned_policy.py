@@ -1,0 +1,155 @@
+"""Tests for the learning-based cycle-noise budget policies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveBudgetPolicy,
+    CheckpointSystem,
+    DS,
+    MLExecutionTimePredictor,
+    WCET,
+    adpcm_like_workload,
+    quantile_rollbacks,
+    simulate_run,
+)
+
+
+class TestQuantileRollbacks:
+    def test_zero_error_zero_rollbacks(self):
+        assert quantile_rollbacks(0.0, 100_000) == 0
+
+    def test_monotone_in_quantile(self):
+        assert quantile_rollbacks(1e-5, 150_000, 0.99) >= quantile_rollbacks(
+            1e-5, 150_000, 0.5
+        )
+
+    def test_monotone_in_p(self):
+        assert quantile_rollbacks(1e-4, 150_000) >= quantile_rollbacks(1e-6, 150_000)
+
+    def test_matches_cdf(self):
+        p, n_c = 1e-5, 120_000
+        from repro.core import rollback_pmf
+
+        r = quantile_rollbacks(p, n_c, 0.95)
+        cdf = sum(rollback_pmf(p, n_c, k) for k in range(r + 1))
+        assert cdf >= 0.95
+        if r > 0:
+            cdf_below = sum(rollback_pmf(p, n_c, k) for k in range(r))
+            assert cdf_below < 0.95
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            quantile_rollbacks(1e-5, 1000, quantile=1.0)
+
+
+class TestAdaptiveBudgetPolicy:
+    def test_cold_start_mildly_conservative(self):
+        policy = AdaptiveBudgetPolicy()
+        ds_budget = DS.budget_cycles(150_000, 100, 48)
+        budget = policy.budget_cycles(150_000, 100, 48)
+        assert budget >= ds_budget
+
+    def test_estimate_converges(self):
+        p_true = 3e-6
+        cp = CheckpointSystem(p_true)
+        rng = np.random.default_rng(0)
+        policy = AdaptiveBudgetPolicy()
+        for _ in range(600):
+            n_rb, _ = cp.sample_segment(150_000, rng)
+            policy.observe(150_000, n_rb)
+        assert policy.p_hat == pytest.approx(p_true, rel=0.5)
+
+    def test_budget_grows_with_observed_errors(self):
+        policy = AdaptiveBudgetPolicy()
+        before = policy.budget_cycles(150_000, 100, 48)
+        for _ in range(10):
+            policy.observe(150_000, 3)
+        after = policy.budget_cycles(150_000, 100, 48)
+        assert after > before
+
+    def test_invalid_observation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBudgetPolicy().observe(0, 1)
+        with pytest.raises(ValueError):
+            AdaptiveBudgetPolicy().observe(1000, -1)
+
+    def test_pareto_win_inside_window(self):
+        """At p inside the wall window: WCET-like hit rate, less energy
+        than WCET once the estimate converges (the Sec. V extension)."""
+        p = 1e-6
+        workload = adpcm_like_workload(n_segments=12, seed=0)
+        cp = CheckpointSystem(p)
+        policy = AdaptiveBudgetPolicy(quantile=0.98)
+        rng = np.random.default_rng(0)
+        learned_hits = 0
+        learned_energy = []
+        for _ in range(60):
+            run = simulate_run(workload, cp, policy, rng)
+            learned_hits += run.deadline_met
+            learned_energy.append(run.energy)
+
+        def baseline(pol):
+            r = np.random.default_rng(0)
+            hits, energy = 0, []
+            for _ in range(60):
+                run = simulate_run(workload, cp, pol, r)
+                hits += run.deadline_met
+                energy.append(run.energy)
+            return hits / 60, float(np.mean(energy))
+
+        ds_hit, _ = baseline(DS)
+        wcet_hit, wcet_energy = baseline(WCET)
+        assert learned_hits / 60 >= wcet_hit - 0.05
+        assert learned_hits / 60 > ds_hit + 0.3
+        assert float(np.mean(learned_energy)) < wcet_energy
+
+
+class TestMLExecutionTimePredictor:
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        return MLExecutionTimePredictor(quantile=0.95, seed=0).fit(
+            error_probs=(1e-7, 1e-6, 3e-6, 1e-5),
+            n_samples=150,
+            samples_per_point=40,
+        )
+
+    def test_budget_grows_with_p(self, predictor):
+        predictor.assume_error_probability(1e-7)
+        low = predictor.budget_cycles(150_000, 100, 48)
+        predictor.assume_error_probability(1e-5)
+        high = predictor.budget_cycles(150_000, 100, 48)
+        assert high > low
+
+    def test_budget_at_least_clean(self, predictor):
+        predictor.assume_error_probability(1e-7)
+        assert predictor.budget_cycles(40_000, 100, 48) >= 40_100
+
+    def test_budget_covers_quantile(self, predictor):
+        p, n_c = 3e-6, 200_000
+        predictor.assume_error_probability(p)
+        budget = predictor.budget_cycles(n_c, 100, 48)
+        cp = CheckpointSystem(p)
+        rng = np.random.default_rng(1)
+        covered = np.mean(
+            [cp.sample_segment(n_c, rng)[1] <= budget for _ in range(300)]
+        )
+        assert covered > 0.8
+
+    def test_unfitted_rejected(self):
+        fresh = MLExecutionTimePredictor()
+        fresh._p_assumed = 1e-6
+        with pytest.raises(RuntimeError):
+            fresh.budget_cycles(1000, 100, 48)
+
+    def test_missing_p_rejected(self, predictor):
+        fresh = MLExecutionTimePredictor(seed=1).fit((1e-6,), n_samples=20, samples_per_point=10)
+        with pytest.raises(RuntimeError):
+            fresh.budget_cycles(1000, 100, 48)
+
+    def test_usable_in_simulation(self, predictor):
+        predictor.assume_error_probability(1e-6)
+        workload = adpcm_like_workload(n_segments=8, seed=1)
+        cp = CheckpointSystem(1e-6)
+        run = simulate_run(workload, cp, predictor, np.random.default_rng(0))
+        assert run.finish_time > 0

@@ -1,0 +1,111 @@
+"""Tests for the cross-layer aging management loop (Sec. VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cross_layer import (
+    AgingAwareSystem,
+    compare_strategies,
+    run_mission,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return AgingAwareSystem(
+        nominal_delay_ps=500.0, vdd=0.8, vth0=0.30, duty_cycle=0.5,
+        temperature_c=85.0,
+    )
+
+
+class TestAgingAwareSystem:
+    def test_delay_grows_with_age(self, system):
+        one_year = 3.154e7
+        assert system.delay_at(10 * one_year) > system.delay_at(one_year)
+        assert system.delay_at(one_year) > system.delay_at(0)
+
+    def test_fresh_delay_is_nominal(self, system):
+        assert system.delay_at(0) == pytest.approx(500.0)
+
+    def test_safe_frequency_decreases(self, system):
+        one_year = 3.154e7
+        assert system.safe_frequency_at(10 * one_year) < system.safe_frequency_at(
+            one_year
+        )
+
+    def test_higher_vdd_restores_speed(self, system):
+        one_year = 3.154e7
+        t = 5 * one_year
+        assert system.delay_at(t, vdd=0.9) < system.delay_at(t, vdd=0.8)
+
+    def test_extreme_aging_yields_infinite_delay(self):
+        # A system stressed to where overdrive collapses must be flagged.
+        hot = AgingAwareSystem(vdd=0.45, vth0=0.40, temperature_c=150.0)
+        assert hot.delay_at(3.154e9) == float("inf")
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ValueError):
+            AgingAwareSystem(nominal_delay_ps=0.0)
+
+
+class TestRunMission:
+    def test_worst_case_never_violates(self, system):
+        log = run_mission(system, "static_worst_case", mission_years=10.0)
+        assert log.violations == 0
+
+    def test_nominal_violates_eventually(self, system):
+        log = run_mission(system, "static_nominal", mission_years=10.0)
+        assert log.violations > 0
+
+    def test_adaptive_never_violates_with_true_model(self, system):
+        log = run_mission(system, "adaptive", mission_years=10.0)
+        assert log.violations == 0
+
+    def test_adaptive_outworks_worst_case(self, system):
+        logs = compare_strategies(system, mission_years=10.0)
+        assert logs["adaptive"].work > logs["static_worst_case"].work
+        assert logs["adaptive"].violations == 0
+
+    def test_adaptive_frequency_declines_over_mission(self, system):
+        log = run_mission(system, "adaptive", mission_years=10.0)
+        assert log.frequencies[0] > log.frequencies[-1]
+
+    def test_unknown_strategy_rejected(self, system):
+        with pytest.raises(ValueError):
+            run_mission(system, "yolo")
+
+    def test_optimistic_predictor_causes_violations(self, system):
+        # An aging predictor that underestimates dVth breaks timing —
+        # prediction quality is load-bearing in the cross-layer loop.
+        log = run_mission(
+            system,
+            "adaptive",
+            mission_years=10.0,
+            aging_predictor=lambda t: 0.5 * system.delta_vth_at(t),
+        )
+        assert log.violations > 0
+
+    def test_hdc_mimic_predictor_works(self, system):
+        """The confidentiality scenario: drive the loop with the HDC mimic."""
+        from repro.hdc import HDCAgingModel
+
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0.05, 10.0, 220) * 3.154e7
+        # Waveform length encodes the stress time for this 1-D mimic; the
+        # label is the physics-model shift with a safety factor.
+        waves = [np.full(16, t / (10 * 3.154e7) * 0.8) for t in times]
+        labels = [1.15 * system.delta_vth_at(t) for t in times]
+        mimic = HDCAgingModel(dim=2048, n_buckets=24, seed=0).fit(waves, labels)
+
+        def predictor(t_seconds):
+            wave = np.full(16, t_seconds / (10 * 3.154e7) * 0.8)
+            return float(mimic.predict([wave])[0])
+
+        log = run_mission(
+            system, "adaptive", mission_years=10.0, aging_predictor=predictor
+        )
+        # The margined mimic must keep violations rare while beating the
+        # worst-case static clock on useful work.
+        worst = run_mission(system, "static_worst_case", mission_years=10.0)
+        assert log.violations <= 6
+        assert log.work > 0.9 * worst.work

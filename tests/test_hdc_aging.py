@@ -1,0 +1,73 @@
+"""Tests for the HDC aging-mimic model (ref [18])."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import HDCAgingModel
+from repro.transistor import Transistor, combined_delta_vth, waveform_duty_cycle
+
+
+def _dataset(n=200, seed=0, length=24):
+    """Synthetic gate-voltage waveforms labelled by the physics aging model."""
+    rng = np.random.default_rng(seed)
+    pmos = Transistor(is_pmos=True)
+    waveforms = []
+    labels = []
+    for _ in range(n):
+        duty_target = rng.uniform(0.05, 0.95)
+        wave = (rng.random(length) > duty_target).astype(float) * 0.8
+        duty = waveform_duty_cycle(wave)
+        dvth = float(
+            combined_delta_vth(
+                pmos,
+                stress_time_s=3.15e8,  # ~10 years
+                duty_cycle=duty,
+                temperature_c=100.0,
+            )
+        )
+        waveforms.append(wave)
+        labels.append(dvth)
+    return waveforms, np.array(labels)
+
+
+class TestHDCAgingModel:
+    def test_predictions_correlate_with_physics(self):
+        waves, labels = _dataset(n=250, seed=1)
+        model = HDCAgingModel(dim=4096, n_buckets=20, seed=0)
+        model.fit(waves[:200], labels[:200])
+        pred = model.predict(waves[200:])
+        corr = np.corrcoef(pred, labels[200:])[0, 1]
+        assert corr > 0.7
+
+    def test_predictions_within_label_range(self):
+        waves, labels = _dataset(n=100, seed=2)
+        model = HDCAgingModel(dim=2048, seed=0).fit(waves, labels)
+        pred = model.predict(waves[:10])
+        assert pred.min() >= labels.min() - 1e-9
+        assert pred.max() <= labels.max() + 1e-9
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            HDCAgingModel().fit([np.ones(10)], np.array([0.1, 0.2]))
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            HDCAgingModel().fit([], np.array([]))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            HDCAgingModel().predict([np.ones(10)])
+
+    def test_short_waveform_rejected(self):
+        model = HDCAgingModel(ngram=5, dim=512)
+        with pytest.raises(ValueError):
+            model.fit([np.ones(3)], np.array([0.1]))
+
+    def test_abstracts_physics_constants(self):
+        # The fitted model exposes only hypervector prototypes and bucket
+        # centers — no physics coefficients (the confidentiality argument).
+        waves, labels = _dataset(n=50, seed=3)
+        model = HDCAgingModel(dim=512, seed=0).fit(waves, labels)
+        public_attrs = {k for k in vars(model) if not k.startswith("_")}
+        assert "NBTI_A" not in public_attrs
+        assert model._prototypes.dtype.kind == "i"

@@ -1,0 +1,88 @@
+"""Tests for the HDC classifier and its error robustness (Sec. II claim)."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import HDCClassifier
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(c, 0.5, size=(40, 5)) for c in (0.0, 2.5, 5.0)])
+    y = np.repeat([0, 1, 2], 40)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def fitted(blobs):
+    X, y = blobs
+    return HDCClassifier(dim=2048, retrain_epochs=2, seed=0).fit(X, y)
+
+
+class TestHDCClassifier:
+    def test_clean_accuracy(self, fitted, blobs):
+        X, y = blobs
+        assert np.mean(fitted.predict(X) == y) > 0.95
+
+    def test_robust_at_forty_percent_errors(self, fitted, blobs):
+        # The paper's headline: ~40 % component error rate barely moves
+        # inference accuracy.
+        X, y = blobs
+        clean = np.mean(fitted.predict(X[::4]) == y[::4])
+        noisy = np.mean(
+            fitted.predict(X[::4], error_rate=0.4, rng=np.random.default_rng(1))
+            == y[::4]
+        )
+        assert clean - noisy <= 0.05
+
+    def test_collapse_at_half_errors(self, fitted, blobs):
+        # At 50 % flips the query hypervector is pure noise: accuracy must
+        # drop to roughly chance level, confirming errors are really injected.
+        X, y = blobs
+        noisy = np.mean(
+            fitted.predict(X, error_rate=0.5, rng=np.random.default_rng(2)) == y
+        )
+        assert noisy < 0.75
+
+    def test_error_sweep_monotone_envelope(self, fitted, blobs):
+        X, y = blobs
+        accs = fitted.accuracy_under_errors(
+            X[::4], y[::4], [0.0, 0.2, 0.4, 0.5], n_repeats=2
+        )
+        assert accs[0] >= accs[-1]
+        assert accs[0] > 0.9
+
+    def test_corrupt_prototypes_harsher(self, fitted, blobs):
+        X, y = blobs
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        q_only = np.mean(fitted.predict(X, error_rate=0.45, rng=rng1) == y)
+        both = np.mean(
+            fitted.predict(X, error_rate=0.45, rng=rng2, corrupt_prototypes=True) == y
+        )
+        assert both <= q_only + 0.1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HDCClassifier().predict(np.ones((2, 2)))
+
+    def test_single_feature_input(self):
+        rng = np.random.default_rng(4)
+        X = np.concatenate([rng.normal(0, 0.3, 30), rng.normal(3, 0.3, 30)])
+        y = np.repeat([0, 1], 30)
+        clf = HDCClassifier(dim=1024, seed=1).fit(X, y)
+        assert np.mean(clf.predict(X) == y) > 0.9
+
+    def test_constant_feature_handled(self):
+        X = np.column_stack([np.ones(20), np.linspace(0, 1, 20)])
+        y = (X[:, 1] > 0.5).astype(int)
+        clf = HDCClassifier(dim=1024, seed=2).fit(X, y)
+        assert np.mean(clf.predict(X) == y) > 0.8
+
+    def test_string_labels(self):
+        rng = np.random.default_rng(5)
+        X = np.vstack([rng.normal(0, 0.4, (20, 2)), rng.normal(3, 0.4, (20, 2))])
+        y = np.array(["safe"] * 20 + ["faulty"] * 20)
+        clf = HDCClassifier(dim=1024, seed=3).fit(X, y)
+        assert set(clf.predict(X)) <= {"safe", "faulty"}

@@ -1,0 +1,109 @@
+"""Tests for HDC encoders."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.encoder import ItemMemory, LevelEncoder, NGramEncoder, RecordEncoder
+from repro.hdc.hypervector import cosine_similarity
+
+
+class TestItemMemory:
+    def test_stable_mapping(self):
+        mem = ItemMemory(dim=512, seed=0)
+        assert np.array_equal(mem.get("x"), mem.get("x"))
+
+    def test_distinct_symbols_near_orthogonal(self):
+        mem = ItemMemory(dim=8192, seed=1)
+        assert abs(cosine_similarity(mem.get("a"), mem.get("b"))) < 0.05
+
+    def test_len_and_contains(self):
+        mem = ItemMemory(dim=64, seed=2)
+        mem.get("a")
+        assert len(mem) == 1 and "a" in mem and "b" not in mem
+
+
+class TestLevelEncoder:
+    def test_adjacent_levels_similar(self):
+        enc = LevelEncoder(0.0, 1.0, n_levels=16, dim=8192, seed=0)
+        sim_adjacent = cosine_similarity(enc.level_vector(7), enc.level_vector(8))
+        sim_extremes = cosine_similarity(enc.level_vector(0), enc.level_vector(15))
+        assert sim_adjacent > 0.8
+        assert sim_extremes < 0.1
+
+    def test_similarity_decays_monotonically(self):
+        enc = LevelEncoder(0.0, 1.0, n_levels=8, dim=8192, seed=1)
+        sims = [
+            cosine_similarity(enc.level_vector(0), enc.level_vector(k))
+            for k in range(8)
+        ]
+        assert all(sims[i] >= sims[i + 1] - 0.05 for i in range(7))
+
+    def test_clipping_out_of_range(self):
+        enc = LevelEncoder(0.0, 1.0, n_levels=4, dim=128, seed=2)
+        assert enc.level_of(-10.0) == 0
+        assert enc.level_of(10.0) == 3
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            LevelEncoder(1.0, 1.0)
+
+    def test_level_out_of_bounds(self):
+        enc = LevelEncoder(0.0, 1.0, n_levels=4, dim=64)
+        with pytest.raises(ValueError):
+            enc.level_vector(4)
+
+
+class TestRecordEncoder:
+    def test_similar_records_similar_hvs(self):
+        enc = RecordEncoder(n_features=4, low=0.0, high=1.0, dim=4096, seed=0)
+        a = enc.encode(np.array([0.5, 0.5, 0.5, 0.5]))
+        b = enc.encode(np.array([0.52, 0.5, 0.48, 0.5]))
+        c = enc.encode(np.array([0.0, 1.0, 0.0, 1.0]))
+        assert cosine_similarity(a, b) > cosine_similarity(a, c)
+
+    def test_wrong_length_rejected(self):
+        enc = RecordEncoder(n_features=3, low=0.0, high=1.0, dim=128)
+        with pytest.raises(ValueError):
+            enc.encode(np.array([0.1, 0.2]))
+
+    def test_batch_shape(self):
+        enc = RecordEncoder(n_features=2, low=0.0, high=1.0, dim=256)
+        out = enc.encode_batch(np.random.default_rng(0).random((5, 2)))
+        assert out.shape == (5, 256)
+
+    def test_per_feature_ranges(self):
+        enc = RecordEncoder(
+            n_features=2, low=np.array([0.0, -5.0]), high=np.array([1.0, 5.0]), dim=256
+        )
+        hv = enc.encode(np.array([0.5, 0.0]))
+        assert hv.shape == (256,)
+
+
+class TestNGramEncoder:
+    def test_identical_sequences_identical(self):
+        enc = NGramEncoder(n=3, dim=1024, seed=0)
+        a = enc.encode("abcdef")
+        b = enc.encode("abcdef")
+        assert np.array_equal(a, b)
+
+    def test_order_sensitivity(self):
+        enc = NGramEncoder(n=3, dim=8192, seed=1)
+        fwd = enc.encode("abcdefgh")
+        rev = enc.encode("hgfedcba")
+        assert cosine_similarity(fwd, rev) < 0.3
+
+    def test_shared_prefix_increases_similarity(self):
+        enc = NGramEncoder(n=2, dim=8192, seed=2)
+        a = enc.encode("abcdefgh")
+        b = enc.encode("abcdexyz")
+        c = enc.encode("qrstuvwx")
+        assert cosine_similarity(a, b) > cosine_similarity(a, c)
+
+    def test_too_short_sequence(self):
+        enc = NGramEncoder(n=4, dim=64)
+        with pytest.raises(ValueError):
+            enc.encode("ab")
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            NGramEncoder(n=0)

@@ -1,0 +1,135 @@
+"""Tests and properties for hypervector primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc.hypervector import (
+    bind,
+    bundle,
+    cosine_similarity,
+    flip_components,
+    hamming_similarity,
+    permute,
+    random_hypervector,
+)
+
+
+class TestRandomHypervector:
+    def test_bipolar_components(self):
+        hv = random_hypervector(1000, np.random.default_rng(0))
+        assert set(np.unique(hv)) <= {-1, 1}
+
+    def test_roughly_balanced(self):
+        hv = random_hypervector(10000, np.random.default_rng(1))
+        assert abs(hv.mean()) < 0.05
+
+    def test_independent_vectors_near_orthogonal(self):
+        rng = np.random.default_rng(2)
+        a = random_hypervector(8192, rng)
+        b = random_hypervector(8192, rng)
+        assert abs(cosine_similarity(a, b)) < 0.05
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            random_hypervector(0)
+
+
+class TestBind:
+    def test_self_inverse(self):
+        rng = np.random.default_rng(3)
+        a = random_hypervector(2048, rng)
+        b = random_hypervector(2048, rng)
+        assert np.array_equal(bind(bind(a, b), b), a)
+
+    def test_result_dissimilar_to_operands(self):
+        rng = np.random.default_rng(4)
+        a = random_hypervector(8192, rng)
+        b = random_hypervector(8192, rng)
+        assert abs(cosine_similarity(bind(a, b), a)) < 0.05
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bind(np.ones(4), np.ones(5))
+
+
+class TestBundle:
+    def test_result_similar_to_members(self):
+        rng = np.random.default_rng(5)
+        members = [random_hypervector(8192, rng) for _ in range(5)]
+        out = bundle(members)
+        for m in members:
+            assert cosine_similarity(out, m) > 0.2
+
+    def test_result_bipolar_even_count(self):
+        rng = np.random.default_rng(6)
+        members = [random_hypervector(512, rng) for _ in range(4)]
+        out = bundle(members, rng=rng)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bundle([])
+
+
+class TestPermute:
+    def test_invertible(self):
+        rng = np.random.default_rng(7)
+        a = random_hypervector(1024, rng)
+        assert np.array_equal(permute(permute(a, 3), -3), a)
+
+    def test_dissimilar_to_original(self):
+        rng = np.random.default_rng(8)
+        a = random_hypervector(8192, rng)
+        assert abs(cosine_similarity(permute(a, 1), a)) < 0.05
+
+
+class TestSimilarity:
+    def test_cosine_self_is_one(self):
+        a = random_hypervector(256, np.random.default_rng(9))
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+
+    def test_hamming_self_is_one(self):
+        a = random_hypervector(256, np.random.default_rng(10))
+        assert hamming_similarity(a, a) == 1.0
+
+    def test_hamming_negation_is_zero(self):
+        a = random_hypervector(256, np.random.default_rng(11))
+        assert hamming_similarity(a, -a) == 0.0
+
+    def test_zero_vector_cosine(self):
+        assert cosine_similarity(np.zeros(8), np.ones(8)) == 0.0
+
+
+class TestFlipComponents:
+    def test_flip_rate_respected(self):
+        rng = np.random.default_rng(12)
+        a = random_hypervector(20000, rng)
+        noisy = flip_components(a, 0.3, rng)
+        rate = np.mean(noisy != a)
+        assert abs(rate - 0.3) < 0.02
+
+    def test_zero_rate_identity(self):
+        a = random_hypervector(128, np.random.default_rng(13))
+        assert np.array_equal(flip_components(a, 0.0), a)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            flip_components(np.ones(4), 1.5)
+
+
+@given(st.integers(64, 1024), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_bind_commutative_property(dim, seed):
+    rng = np.random.default_rng(seed)
+    a = random_hypervector(dim, rng)
+    b = random_hypervector(dim, rng)
+    assert np.array_equal(bind(a, b), bind(b, a))
+
+
+@given(st.integers(64, 512), st.integers(0, 2**31 - 1), st.integers(-5, 5))
+@settings(max_examples=30, deadline=None)
+def test_permute_preserves_multiset(dim, seed, shift):
+    a = random_hypervector(dim, np.random.default_rng(seed))
+    assert sorted(permute(a, shift).tolist()) == sorted(a.tolist())

@@ -1,0 +1,119 @@
+"""Tests for wafer-map defect classification with HDC (ref [17])."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.wafer import (
+    PATTERN_CLASSES,
+    WaferHDCClassifier,
+    WaferHDCEncoder,
+    WaferMapGenerator,
+)
+from repro.ml import train_test_split
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    gen = WaferMapGenerator(side=20, seed=0)
+    maps, labels = gen.dataset(n_per_class=30)
+    idx = np.arange(len(maps))
+    tr, te, ytr, yte = train_test_split(idx, labels, test_size=0.3, seed=0)
+    return maps, tr, te, ytr, yte
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    maps, tr, te, ytr, yte = dataset
+    return WaferHDCClassifier(side=20, dim=4096, seed=0).fit(maps[tr], ytr)
+
+
+class TestWaferMapGenerator:
+    def test_maps_respect_disc_mask(self):
+        gen = WaferMapGenerator(side=16, seed=1)
+        for pattern in PATTERN_CLASSES:
+            wafer = gen.generate(pattern)
+            assert not np.any(wafer & ~gen.disc_mask)
+
+    def test_center_pattern_concentrated(self):
+        gen = WaferMapGenerator(side=20, seed=2)
+        wafer = gen.generate("center")
+        inner = wafer[gen._radius < 0.3 * 10]
+        outer = wafer[(gen._radius > 0.5 * 10) & gen.disc_mask]
+        assert inner.mean() > 3 * max(outer.mean(), 0.01)
+
+    def test_random_denser_than_none(self):
+        gen = WaferMapGenerator(side=20, seed=3)
+        dense = np.mean([gen.generate("random").sum() for _ in range(10)])
+        sparse = np.mean([gen.generate("none").sum() for _ in range(10)])
+        assert dense > 3 * sparse
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            WaferMapGenerator().generate("spiral")
+
+    def test_dataset_shapes(self):
+        gen = WaferMapGenerator(side=12, seed=4)
+        maps, labels = gen.dataset(n_per_class=5)
+        assert maps.shape == (5 * len(PATTERN_CLASSES), 12, 12)
+        assert len(np.unique(labels)) == len(PATTERN_CLASSES)
+
+    def test_small_side_rejected(self):
+        with pytest.raises(ValueError):
+            WaferMapGenerator(side=4)
+
+
+class TestWaferEncoder:
+    def test_wrong_shape_rejected(self):
+        enc = WaferHDCEncoder(side=20, dim=256)
+        with pytest.raises(ValueError):
+            enc.encode(np.zeros((10, 10), dtype=bool))
+
+    def test_similar_patterns_closer_than_different(self):
+        gen = WaferMapGenerator(side=20, seed=5)
+        enc = WaferHDCEncoder(side=20, dim=4096, seed=0)
+        from repro.hdc.hypervector import cosine_similarity
+
+        a1 = enc.encode(gen.generate("center"))
+        a2 = enc.encode(gen.generate("center"))
+        b = enc.encode(gen.generate("edge_ring"))
+        assert cosine_similarity(a1, a2) > cosine_similarity(a1, b)
+
+    def test_empty_map_encodable(self):
+        enc = WaferHDCEncoder(side=20, dim=256)
+        hv = enc.encode(np.zeros((20, 20), dtype=bool))
+        assert np.linalg.norm(hv) > 0  # density term still present
+
+
+class TestWaferClassifier:
+    def test_accuracy(self, dataset, fitted):
+        maps, tr, te, ytr, yte = dataset
+        acc = float(np.mean(fitted.predict(maps[te]) == yte))
+        assert acc > 0.85
+
+    def test_robust_under_errors(self, dataset, fitted):
+        maps, tr, te, ytr, yte = dataset
+        noisy = fitted.predict(
+            maps[te], error_rate=0.3, rng=np.random.default_rng(1)
+        )
+        assert float(np.mean(noisy == yte)) > 0.6
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            WaferHDCClassifier().predict([np.zeros((20, 20), dtype=bool)])
+
+    def test_prototype_shape(self, fitted):
+        assert fitted.prototypes_.shape == (
+            len(fitted.classes_),
+            fitted.encoder.dim,
+        )
+
+    def test_structured_classes_well_separated(self, dataset, fitted):
+        # Center vs edge-ring are the most geometrically distinct classes;
+        # they must not be confused with each other.
+        maps, tr, te, ytr, yte = dataset
+        pred = fitted.predict(maps[te])
+        center, ring = 1, 2  # class indices per PATTERN_CLASSES order
+        confusions = np.sum((yte == center) & (pred == ring)) + np.sum(
+            (yte == ring) & (pred == center)
+        )
+        assert confusions <= 1

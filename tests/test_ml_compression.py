@@ -1,0 +1,75 @@
+"""Tests for MLP pruning and quantization (ref [31] mechanisms)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPClassifier, accuracy_score, prune_mlp, quantize_mlp
+from repro.ml.compression import compression_ratio, sparsity_of
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(0, 0.6, (80, 3)), rng.normal(3, 0.6, (80, 3))])
+    y = np.repeat([0, 1], 80)
+    model = MLPClassifier(hidden=(24,), n_epochs=150, lr=3e-3).fit(X, y)
+    return model, X, y
+
+
+class TestPrune:
+    def test_sparsity_reached(self, fitted):
+        model, _, _ = fitted
+        pruned = prune_mlp(model, sparsity=0.5)
+        assert sparsity_of(pruned) >= 0.45
+
+    def test_accuracy_survives_moderate_pruning(self, fitted):
+        model, X, y = fitted
+        pruned = prune_mlp(model, sparsity=0.5)
+        assert accuracy_score(y, pruned.predict(X)) > 0.9
+
+    def test_original_untouched(self, fitted):
+        model, _, _ = fitted
+        before = [W.copy() for W in model.weights_]
+        prune_mlp(model, sparsity=0.8)
+        for a, b in zip(before, model.weights_):
+            assert np.array_equal(a, b)
+
+    def test_invalid_sparsity(self, fitted):
+        model, _, _ = fitted
+        with pytest.raises(ValueError):
+            prune_mlp(model, sparsity=1.0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            prune_mlp(MLPClassifier())
+
+
+class TestQuantize:
+    def test_accuracy_survives_8bit(self, fitted):
+        model, X, y = fitted
+        q = quantize_mlp(model, n_bits=8)
+        assert accuracy_score(y, q.predict(X)) > 0.9
+
+    def test_low_bits_change_weights(self, fitted):
+        model, _, _ = fitted
+        q = quantize_mlp(model, n_bits=2)
+        assert not np.allclose(q.weights_[0], model.weights_[0])
+
+    def test_levels_bounded(self, fitted):
+        model, _, _ = fitted
+        q = quantize_mlp(model, n_bits=3)
+        unique = np.unique(q.weights_[0])
+        assert len(unique) <= 2**3 + 1
+
+    def test_invalid_bits(self, fitted):
+        model, _, _ = fitted
+        with pytest.raises(ValueError):
+            quantize_mlp(model, n_bits=0)
+
+
+def test_compression_ratio_monotonic(fitted):
+    model, _, _ = fitted
+    dense = compression_ratio(model, sparsity=0.0, n_bits=32)
+    pruned = compression_ratio(model, sparsity=0.9, n_bits=8)
+    assert pruned > dense
+    assert dense == pytest.approx(1.0)

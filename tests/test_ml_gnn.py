@@ -1,0 +1,69 @@
+"""Tests for the graph attention classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gnn import Graph, GraphAttentionClassifier
+
+
+def _chain_graph(rng, n=15):
+    X = rng.normal(size=(n, 4))
+    edges = [(i, i + 1) for i in range(n - 1)]
+    types = [0] * (n - 1)
+    y = (X[:, 0] > 0).astype(int)
+    return Graph(X, edges, types, y)
+
+
+class TestGraph:
+    def test_edge_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Graph(np.ones((3, 2)), edges=[(0, 5)])
+
+    def test_edge_types_length_checked(self):
+        with pytest.raises(ValueError):
+            Graph(np.ones((3, 2)), edges=[(0, 1)], edge_types=[0, 1])
+
+    def test_default_edge_types(self):
+        g = Graph(np.ones((3, 2)), edges=[(0, 1), (1, 2)])
+        assert g.edge_types == [0, 0]
+
+
+class TestGraphAttentionClassifier:
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(0)
+        graphs = [_chain_graph(rng) for _ in range(4)]
+        gat = GraphAttentionClassifier(hidden=8, n_classes=2, n_epochs=40, lr=0.05)
+        gat.fit(graphs)
+        assert gat.loss_curve_[-1] < gat.loss_curve_[0]
+
+    def test_inductive_generalization(self):
+        rng = np.random.default_rng(1)
+        graphs = [_chain_graph(rng) for _ in range(10)]
+        gat = GraphAttentionClassifier(hidden=8, n_classes=2, n_epochs=250, lr=0.1)
+        gat.fit(graphs)
+        unseen = _chain_graph(rng)
+        acc = np.mean(gat.predict(unseen) == unseen.y)
+        assert acc > 0.75
+
+    def test_predict_proba_shape_and_norm(self):
+        rng = np.random.default_rng(2)
+        graphs = [_chain_graph(rng) for _ in range(2)]
+        gat = GraphAttentionClassifier(hidden=4, n_classes=2, n_epochs=5)
+        gat.fit(graphs)
+        probs = gat.predict_proba(graphs[0])
+        assert probs.shape == (graphs[0].n_nodes, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_unlabeled_training_graph_rejected(self):
+        g = Graph(np.ones((3, 2)), edges=[(0, 1)])
+        with pytest.raises(ValueError):
+            GraphAttentionClassifier().fit([g])
+
+    def test_empty_training_set_rejected(self):
+        with pytest.raises(ValueError):
+            GraphAttentionClassifier().fit([])
+
+    def test_unfitted_predict_raises(self):
+        g = Graph(np.ones((3, 2)), edges=[(0, 1)])
+        with pytest.raises(RuntimeError):
+            GraphAttentionClassifier().predict(g)

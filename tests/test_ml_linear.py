@@ -1,0 +1,79 @@
+"""Tests for repro.ml.linear."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LinearRegression, LogisticRegression, RidgeRegression
+
+
+class TestLinearRegression:
+    def test_recovers_exact_line(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = 3.0 * X.ravel() - 2.0
+        m = LinearRegression().fit(X, y)
+        assert m.coef_[0] == pytest.approx(3.0)
+        assert m.intercept_ == pytest.approx(-2.0)
+
+    def test_multivariate(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 4.0
+        m = LinearRegression().fit(X, y)
+        assert np.allclose(m.coef_, [1.0, -2.0, 0.5], atol=1e-8)
+
+    def test_1d_input_accepted(self):
+        m = LinearRegression().fit(np.arange(10.0), 2 * np.arange(10.0))
+        assert m.predict(np.array([5.0]))[0] == pytest.approx(10.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.ones((2, 1)))
+
+
+class TestRidgeRegression:
+    def test_shrinks_towards_zero(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        y = X @ np.array([5.0, -5.0]) + rng.normal(0, 0.1, 50)
+        small = RidgeRegression(alpha=0.01).fit(X, y)
+        large = RidgeRegression(alpha=100.0).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_bias_not_regularized(self):
+        y_offset = 100.0
+        X = np.random.default_rng(2).normal(size=(100, 1))
+        y = 0.0 * X.ravel() + y_offset
+        m = RidgeRegression(alpha=1000.0).fit(X, y)
+        assert m.intercept_ == pytest.approx(y_offset, rel=1e-6)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+
+class TestLogisticRegression:
+    def test_separable_data(self):
+        rng = np.random.default_rng(3)
+        X = np.vstack([rng.normal(-2, 0.5, (50, 2)), rng.normal(2, 0.5, (50, 2))])
+        y = np.repeat([0, 1], 50)
+        m = LogisticRegression(lr=0.5, n_iter=300).fit(X, y)
+        assert np.mean(m.predict(X) == y) > 0.98
+
+    def test_probabilities_in_range(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        m = LogisticRegression().fit(X, y)
+        p = m.predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_multiclass_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((3, 1)), [0, 1, 2])
+
+    def test_string_labels_preserved(self):
+        rng = np.random.default_rng(5)
+        X = np.vstack([rng.normal(-2, 0.3, (30, 1)), rng.normal(2, 0.3, (30, 1))])
+        y = np.array(["neg"] * 30 + ["pos"] * 30)
+        m = LogisticRegression(lr=0.5, n_iter=200).fit(X, y)
+        assert set(m.predict(X)) <= {"neg", "pos"}

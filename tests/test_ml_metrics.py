@@ -1,0 +1,88 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    precision_score,
+    r2_score,
+    recall_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 0, 1, 0], [1, 1, 1, 0]) == 0.75
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestPrecisionRecallF1:
+    def test_known_values(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 1, 0, 1]
+        # TP=2, FP=1, FN=1
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_positive_predictions(self):
+        assert precision_score([1, 0], [0, 0]) == 0.0
+
+    def test_no_positive_truth(self):
+        assert recall_score([0, 0], [1, 0]) == 0.0
+
+    def test_f1_zero_when_both_zero(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_custom_positive_label(self):
+        assert recall_score(["a", "b"], ["a", "a"], positive="a") == 1.0
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        cm = confusion_matrix([0, 1, 2], [0, 1, 2])
+        assert np.trace(cm) == 3
+        assert cm.sum() == 3
+
+    def test_off_diagonal(self):
+        cm = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert cm[0, 1] == 1
+        assert cm[0, 0] == 1
+        assert cm[1, 1] == 1
+
+    def test_explicit_size(self):
+        cm = confusion_matrix([0], [0], n_classes=4)
+        assert cm.shape == (4, 4)
+
+
+class TestRegressionMetrics:
+    def test_mse_mae(self):
+        assert mean_squared_error([1, 2], [1, 4]) == 2.0
+        assert mean_absolute_error([1, 2], [1, 4]) == 1.0
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2, 2, 2], [1, 2, 3]) == 0.0
+
+    def test_mape(self):
+        assert mean_absolute_percentage_error([2.0, 4.0], [1.0, 4.0]) == pytest.approx(0.25)

@@ -1,0 +1,134 @@
+"""Tests for repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import (
+    KFold,
+    MinMaxScaler,
+    StandardScaler,
+    cross_val_score,
+    one_hot,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 3))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 4))
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((3, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range_is_unit_interval(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-7, 13, size=(100, 2))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+        assert np.isclose(Z.min(axis=0), 0.0).all()
+        assert np.isclose(Z.max(axis=0), 1.0).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.2, seed=0)
+        assert len(Xte) == 20 and len(Xtr) == 80
+        assert len(ytr) == 80 and len(yte) == 20
+
+    def test_partition_is_disjoint_and_complete(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50)
+        Xtr, Xte, _, _ = train_test_split(X, y, test_size=0.3, seed=3)
+        combined = sorted(np.concatenate([Xtr.ravel(), Xte.ravel()]).tolist())
+        assert combined == list(range(50))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((5, 1)), np.ones(4))
+
+    def test_no_shuffle_takes_head_as_test(self):
+        X = np.arange(10).reshape(-1, 1)
+        y = np.arange(10)
+        _, Xte, _, _ = train_test_split(X, y, test_size=0.2, shuffle=False)
+        assert Xte.ravel().tolist() == [0, 1]
+
+    def test_all_test_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), np.ones(4), test_size=1.0)
+
+
+class TestOneHot:
+    def test_shape_and_values(self):
+        Y = one_hot(np.array([0, 2, 1]))
+        assert Y.shape == (3, 3)
+        assert Y.sum() == 3
+        assert Y[1, 2] == 1.0
+
+    def test_explicit_n_classes(self):
+        Y = one_hot(np.array([0, 1]), n_classes=5)
+        assert Y.shape == (2, 5)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int))
+
+
+class TestKFold:
+    def test_folds_cover_all_samples_once(self):
+        X = np.arange(23)
+        seen = []
+        for _, test_idx in KFold(n_splits=5, seed=0).split(X):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_train_test_disjoint(self):
+        X = np.arange(20)
+        for train_idx, test_idx in KFold(n_splits=4).split(X):
+            assert set(train_idx).isdisjoint(test_idx)
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(np.arange(3)))
+
+    def test_min_splits_validation(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+
+
+def test_cross_val_score_reasonable():
+    from repro.ml.knn import KNeighborsClassifier
+    from repro.ml.metrics import accuracy_score
+
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(0, 0.5, (40, 2)), rng.normal(3, 0.5, (40, 2))])
+    y = np.repeat([0, 1], 40)
+    scores = cross_val_score(
+        lambda: KNeighborsClassifier(3), X, y, accuracy_score, n_splits=4
+    )
+    assert len(scores) == 4
+    assert scores.mean() > 0.9

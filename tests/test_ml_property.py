@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for ML substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.metrics import accuracy_score, confusion_matrix, f1_score
+from repro.ml.preprocessing import KFold, MinMaxScaler, StandardScaler, one_hot
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+@given(
+    arrays(
+        dtype=float,
+        shape=st.tuples(st.integers(2, 30), st.integers(1, 5)),
+        elements=finite_floats,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_standard_scaler_output_stats(X):
+    from hypothesis import assume
+
+    # Skip catastrophic-cancellation regimes: a column whose spread is
+    # billions of times smaller than its magnitude loses the mean digits
+    # in float64 before the scaler ever sees them.
+    stds_in = X.std(axis=0)
+    means_in = np.abs(X.mean(axis=0))
+    assume(np.all((stds_in == 0.0) | (stds_in > 1e-7 * (1.0 + means_in))))
+    Z = StandardScaler().fit_transform(X)
+    assert np.all(np.isfinite(Z))
+    assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-6)
+    # std is 1 for non-constant columns, 0 for constant ones
+    stds = Z.std(axis=0)
+    assert np.all((np.isclose(stds, 1.0, atol=1e-6)) | (np.isclose(stds, 0.0)))
+
+
+@given(
+    arrays(
+        dtype=float,
+        shape=st.tuples(st.integers(2, 30), st.integers(1, 4)),
+        elements=finite_floats,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_minmax_scaler_bounded(X):
+    Z = MinMaxScaler().fit_transform(X)
+    assert np.all(Z >= -1e-12)
+    assert np.all(Z <= 1.0 + 1e-12)
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_accuracy_self_is_one(labels):
+    y = np.array(labels)
+    assert accuracy_score(y, y) == 1.0
+
+
+@given(
+    st.lists(st.integers(0, 3), min_size=1, max_size=60),
+    st.lists(st.integers(0, 3), min_size=1, max_size=60),
+)
+@settings(max_examples=50, deadline=None)
+def test_confusion_matrix_total(a, b):
+    n = min(len(a), len(b))
+    y_true = np.array(a[:n])
+    y_pred = np.array(b[:n])
+    cm = confusion_matrix(y_true, y_pred, n_classes=4)
+    assert cm.sum() == n
+    assert np.all(cm >= 0)
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=2, max_size=60),
+    st.lists(st.integers(0, 1), min_size=2, max_size=60),
+)
+@settings(max_examples=50, deadline=None)
+def test_f1_bounded(a, b):
+    n = min(len(a), len(b))
+    score = f1_score(np.array(a[:n]), np.array(b[:n]))
+    assert 0.0 <= score <= 1.0
+
+
+@given(st.lists(st.integers(0, 9), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_one_hot_rows_sum_to_one(labels):
+    Y = one_hot(np.array(labels), n_classes=10)
+    assert np.allclose(Y.sum(axis=1), 1.0)
+    assert np.array_equal(np.argmax(Y, axis=1), np.array(labels))
+
+
+@given(st.integers(6, 60), st.integers(2, 6))
+@settings(max_examples=50, deadline=None)
+def test_kfold_partition_property(n, k):
+    X = np.arange(n)
+    seen = []
+    for train_idx, test_idx in KFold(n_splits=k, seed=1).split(X):
+        assert set(train_idx).isdisjoint(test_idx)
+        assert len(train_idx) + len(test_idx) == n
+        seen.extend(test_idx.tolist())
+    assert sorted(seen) == list(range(n))

@@ -1,0 +1,74 @@
+"""Tests for k-means and PCA."""
+
+import numpy as np
+import pytest
+
+from repro.ml.cluster import KMeans
+from repro.ml.decomposition import PCA
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(c, 0.3, (50, 2)) for c in (0.0, 5.0, 10.0)])
+        km = KMeans(n_clusters=3, seed=0).fit(X)
+        # Each true blob should map dominantly to one cluster.
+        for start in range(0, 150, 50):
+            labels = km.labels_[start : start + 50]
+            values, counts = np.unique(labels, return_counts=True)
+            assert counts.max() >= 45
+
+    def test_inertia_decreases_with_more_clusters(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 3))
+        i2 = KMeans(n_clusters=2, seed=0).fit(X).inertia_
+        i8 = KMeans(n_clusters=8, seed=0).fit(X).inertia_
+        assert i8 < i2
+
+    def test_predict_assigns_nearest_center(self):
+        X = np.array([[0.0], [0.1], [10.0], [10.1]])
+        km = KMeans(n_clusters=2, seed=0).fit(X)
+        a = km.predict(np.array([[0.05]]))[0]
+        b = km.predict(np.array([[10.05]]))[0]
+        assert a != b
+
+    def test_fewer_samples_than_clusters_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.ones((3, 1)))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans().predict(np.ones((2, 2)))
+
+
+class TestPCA:
+    def test_explained_variance_ordering(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 4)) * np.array([10.0, 3.0, 1.0, 0.1])
+        pca = PCA(n_components=4).fit(X)
+        assert np.all(np.diff(pca.explained_variance_) <= 1e-9)
+
+    def test_dominant_direction_found(self):
+        rng = np.random.default_rng(3)
+        t = rng.normal(size=300)
+        X = np.column_stack([t, 2.0 * t + rng.normal(0, 0.01, 300)])
+        pca = PCA(n_components=1).fit(X)
+        direction = pca.components_[0] / np.linalg.norm(pca.components_[0])
+        expected = np.array([1.0, 2.0]) / np.sqrt(5.0)
+        assert abs(abs(direction @ expected) - 1.0) < 1e-3
+
+    def test_transform_inverse_roundtrip_full_rank(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(50, 3))
+        pca = PCA(n_components=3).fit(X)
+        assert np.allclose(pca.inverse_transform(pca.transform(X)), X, atol=1e-8)
+
+    def test_variance_ratio_sums_below_one(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(100, 5))
+        pca = PCA(n_components=2).fit(X)
+        assert 0.0 < pca.explained_variance_ratio_.sum() <= 1.0
+
+    def test_too_many_components_rejected(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=10).fit(np.ones((5, 3)))

@@ -1,0 +1,128 @@
+"""Property-based tests (hypothesis) on domain-model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.cell import LookupTable
+from repro.core import CheckpointSystem, prob_no_error
+from repro.system.reliability_models import combined_mttf, em_mttf, tddb_mttf
+from repro.system.ser import soft_error_rate
+from repro.transistor import SelfHeatingModel, Transistor, alpha_power_delay
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+@given(
+    st.floats(min_value=20.0, max_value=800.0),
+    st.integers(min_value=1, max_value=6),
+    st.floats(min_value=0.05, max_value=0.45),
+    st.floats(min_value=0.5, max_value=64.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_alpha_power_delay_positive_and_monotone_in_load(width, fins, vth, load):
+    t = Transistor(width_nm=width, n_fins=fins, vth=vth)
+    d1 = alpha_power_delay(t, load)
+    d2 = alpha_power_delay(t, load * 2.0)
+    assert d1 > 0
+    assert d2 > d1
+
+
+@given(
+    st.floats(min_value=0.0, max_value=200.0),
+    st.floats(min_value=0.0, max_value=64.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_self_heating_nonnegative_and_bounded(slew, load, activity):
+    she = SelfHeatingModel()
+    dt = she.delta_t(Transistor(), slew, load, activity=activity)
+    assert 0.0 <= dt < 200.0
+
+
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=2, max_size=6, unique=True),
+    st.lists(st.floats(min_value=0.1, max_value=1e3), min_size=2, max_size=6, unique=True),
+    st.floats(min_value=-1e5, max_value=1e5),
+    st.floats(min_value=-1e4, max_value=1e4),
+)
+@settings(max_examples=60, deadline=None)
+def test_lookup_table_output_within_value_range(slews, loads, q_slew, q_load):
+    slews = sorted(slews)
+    loads = sorted(loads)
+    rng = np.random.default_rng(0)
+    values = rng.uniform(1.0, 100.0, (len(slews), len(loads)))
+    table = LookupTable(slews, loads, values)
+    out = table(q_slew, q_load)
+    # Bilinear interpolation with clamping can never leave the value hull.
+    assert values.min() - 1e-9 <= out <= values.max() + 1e-9
+
+
+@given(
+    st.floats(min_value=1e-9, max_value=1e-3),
+    st.integers(min_value=1_000, max_value=400_000),
+    st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_checkpoint_cycles_affine_in_rollbacks(p, n_c, n_rb):
+    cp = CheckpointSystem(p)
+    base = cp.segment_cycles_with_rollbacks(n_c, 0)
+    with_rb = cp.segment_cycles_with_rollbacks(n_c, n_rb)
+    per_retry = cp.rollback_cycles + n_c + cp.checkpoint_cycles
+    assert with_rb == base + n_rb * per_retry
+
+
+@given(
+    st.floats(min_value=1e-9, max_value=0.5),
+    st.integers(min_value=1, max_value=1_000_000),
+    st.integers(min_value=1, max_value=1_000_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_prob_no_error_multiplicative(p, n1, n2):
+    # Independence across disjoint intervals: q(n1+n2) = q(n1) * q(n2).
+    lhs = prob_no_error(p, n1 + n2)
+    rhs = prob_no_error(p, n1) * prob_no_error(p, n2)
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-300)
+
+
+@given(st.floats(min_value=0.4, max_value=1.2))
+@settings(max_examples=40, deadline=None)
+def test_ser_positive_and_monotone(voltage):
+    s1 = float(soft_error_rate(voltage))
+    s2 = float(soft_error_rate(voltage + 0.05))
+    assert s1 > 0
+    assert s2 < s1
+
+
+@given(
+    st.floats(min_value=30.0, max_value=130.0),
+    st.floats(min_value=0.6, max_value=1.2),
+)
+@settings(max_examples=40, deadline=None)
+def test_combined_mttf_positive_and_below_components(temperature, voltage):
+    total = float(combined_mttf(temperature, voltage=voltage))
+    assert total > 0
+    assert total <= float(em_mttf(temperature)) + 1e-9
+    assert total <= float(tddb_mttf(temperature, voltage=voltage)) + 1e-9
+
+
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_netlist_generator_always_acyclic(n_instances_factor, seed):
+    from repro.circuit import build_default_library, synthesize_core
+
+    library = build_default_library()
+    n = n_instances_factor * 12  # at least one per level
+    netlist = synthesize_core(library, n_instances=n, n_levels=12, seed=seed)
+    order = netlist.topological_order()
+    assert len(order) == n
+    # Every driver precedes its sink in the order.
+    position = {name: i for i, name in enumerate(order)}
+    for inst in netlist:
+        for driver in inst.fanin.values():
+            if driver in position:
+                assert position[driver] < position[inst.name]

@@ -1,0 +1,86 @@
+"""Tests for the consolidation DPM manager."""
+
+import pytest
+
+from repro.system import (
+    ConsolidationDPMManager,
+    Core,
+    Platform,
+    StaticManager,
+    first_fit_partition,
+    generate_task_set,
+    run_managed_simulation,
+)
+
+
+@pytest.fixture()
+def light_tasks():
+    return generate_task_set(n_tasks=6, total_utilization=0.8, seed=1)
+
+
+@pytest.fixture()
+def heavy_tasks():
+    return generate_task_set(n_tasks=8, total_utilization=3.2, seed=2)
+
+
+class TestConsolidation:
+    def test_sleeps_unneeded_cores_under_light_load(self, light_tasks):
+        cores = [Core(i) for i in range(4)]
+        platform = Platform(
+            cores, light_tasks, first_fit_partition(light_tasks, cores), seed=0
+        )
+        manager = ConsolidationDPMManager()
+        manager.control(platform)
+        assert manager.active_core_count(platform) < 4
+
+    def test_keeps_all_awake_under_heavy_load(self, heavy_tasks):
+        cores = [Core(i) for i in range(4)]
+        platform = Platform(
+            cores, heavy_tasks, first_fit_partition(heavy_tasks, cores), seed=0
+        )
+        manager = ConsolidationDPMManager()
+        manager.control(platform)
+        assert manager.active_core_count(platform) == 4
+
+    def test_saves_energy_without_missing_deadlines(self, light_tasks):
+        static = run_managed_simulation(
+            StaticManager(), light_tasks, n_cores=4, duration=10.0, seed=0
+        )
+        dpm = run_managed_simulation(
+            ConsolidationDPMManager(), light_tasks, n_cores=4, duration=10.0, seed=0
+        )
+        assert dpm.energy_j < static.energy_j
+        assert dpm.deadline_hit_rate > 0.99
+
+    def test_tasks_never_mapped_to_sleeping_core(self, light_tasks):
+        cores = [Core(i) for i in range(4)]
+        platform = Platform(
+            cores, light_tasks, first_fit_partition(light_tasks, cores), seed=0
+        )
+        manager = ConsolidationDPMManager()
+        manager.control(platform)
+        for task in light_tasks:
+            core = platform.cores[platform.assignment[task.name]]
+            assert core.power_state == "active"
+
+    def test_invalid_headroom_rejected(self):
+        with pytest.raises(ValueError):
+            ConsolidationDPMManager(utilization_headroom=1.0)
+
+    def test_headroom_reduces_packing_density(self, light_tasks):
+        cores_a = [Core(i) for i in range(4)]
+        platform_a = Platform(
+            cores_a, light_tasks, first_fit_partition(light_tasks, cores_a), seed=0
+        )
+        tight = ConsolidationDPMManager(utilization_headroom=0.0)
+        tight.control(platform_a)
+
+        cores_b = [Core(i) for i in range(4)]
+        platform_b = Platform(
+            cores_b, light_tasks, first_fit_partition(light_tasks, cores_b), seed=0
+        )
+        loose = ConsolidationDPMManager(utilization_headroom=0.5)
+        loose.control(platform_b)
+        assert loose.active_core_count(platform_b) >= tight.active_core_count(
+            platform_a
+        )

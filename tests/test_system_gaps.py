@@ -1,0 +1,131 @@
+"""Coverage for the smaller system-layer helpers."""
+
+import numpy as np
+import pytest
+
+from repro.system import Core, Task, TaskSet, generate_task_set
+from repro.system.mttf import lifetime_weighted_availability
+from repro.system.mwtf import mapping_mwtf, mwtf
+from repro.system.power import IDLE_POWER_FACTOR, total_power
+from repro.system.ser import expected_failures
+
+
+class TestLifetimeWeightedAvailability:
+    def test_perfect_when_no_failures(self):
+        # Hard failures only, astronomically rare, instant repair.
+        a = lifetime_weighted_availability(1e9, 0.0, repair_s=0.0)
+        assert a == pytest.approx(1.0)
+
+    def test_soft_failures_reduce_availability(self):
+        clean = lifetime_weighted_availability(10.0, 0.0)
+        noisy = lifetime_weighted_availability(10.0, 1e-3)
+        assert noisy < clean
+
+    def test_shorter_lifetime_reduces_availability(self):
+        long = lifetime_weighted_availability(10.0, 1e-6)
+        short = lifetime_weighted_availability(0.1, 1e-6)
+        assert short < long
+
+    def test_bounded(self):
+        a = lifetime_weighted_availability(5.0, 1e-4, repair_s=2.0)
+        assert 0.0 < a < 1.0
+
+
+class TestMappingMWTF:
+    def test_aggregate_between_extremes(self):
+        tasks = TaskSet(
+            [
+                Task("a", wcet=0.01, period=0.1, vulnerability=0.3),
+                Task("b", wcet=0.02, period=0.2, vulnerability=0.8),
+            ]
+        )
+        cores = [
+            Core(0, speed_factor=1.5, vulnerability_factor=0.5),
+            Core(1, speed_factor=0.8, vulnerability_factor=2.0),
+        ]
+        assignment = {"a": 0, "b": 0}
+        agg = mapping_mwtf(tasks, cores, assignment)
+        per_task = [mwtf(t, cores[0]) for t in tasks]
+        assert min(per_task) <= agg <= max(per_task)
+
+    def test_better_assignment_higher_mwtf(self):
+        tasks = TaskSet(
+            [
+                Task("a", wcet=0.01, period=0.1, vulnerability=0.9),
+                Task("b", wcet=0.01, period=0.1, vulnerability=0.1),
+            ]
+        )
+        robust = Core(0, speed_factor=1.0, vulnerability_factor=0.3)
+        fragile = Core(1, speed_factor=1.0, vulnerability_factor=3.0)
+        cores = [robust, fragile]
+        good = mapping_mwtf(tasks, cores, {"a": 0, "b": 1})
+        bad = mapping_mwtf(tasks, cores, {"a": 1, "b": 0})
+        assert good > bad
+
+    def test_mwtf_requires_finite_exec(self):
+        task = Task("a", wcet=0.01, period=0.1)
+        sleeping = Core(0)
+        sleeping.set_power_state("sleep")
+        with pytest.raises(ValueError):
+            mwtf(task, sleeping)
+
+
+class TestExpectedFailures:
+    def test_zero_when_idle(self):
+        tasks = generate_task_set(n_tasks=4, total_utilization=0.5, seed=0)
+        core = Core(0)
+        core.utilization = 0.0
+        assert expected_failures(tasks, core, dt=1.0) == 0.0
+
+    def test_grows_with_utilization_and_time(self):
+        tasks = generate_task_set(n_tasks=4, total_utilization=0.5, seed=0)
+        core = Core(0)
+        core.utilization = 0.5
+        low = expected_failures(tasks, core, dt=1.0)
+        core.utilization = 1.0
+        high = expected_failures(tasks, core, dt=1.0)
+        assert high > low
+        assert expected_failures(tasks, core, dt=2.0) == pytest.approx(2 * high)
+
+    def test_lower_voltage_more_failures(self):
+        tasks = generate_task_set(n_tasks=4, total_utilization=0.5, seed=0)
+        core = Core(0)
+        core.utilization = 0.5
+        core.set_level(len(core.vf_levels) - 1)
+        at_max = expected_failures(tasks, core, dt=1.0)
+        core.set_level(0)
+        at_min = expected_failures(tasks, core, dt=1.0)
+        assert at_min > at_max
+
+
+class TestPowerStates:
+    def test_all_states_have_factors(self):
+        assert set(IDLE_POWER_FACTOR) == {"active", "idle", "sleep", "off"}
+
+    def test_power_ordering_across_states(self):
+        powers = {}
+        for state in ("active", "idle", "sleep", "off"):
+            core = Core(0)
+            core.utilization = 0.7
+            core.set_power_state(state)
+            powers[state] = total_power(core)
+        assert powers["active"] > powers["idle"] > powers["sleep"] > powers["off"]
+        assert powers["off"] == 0.0
+
+
+class TestCoreScaledWcet:
+    def test_scaled_wcet_tracks_level(self):
+        task = Task("t", wcet=0.1, period=1.0)
+        core = Core(0)
+        core.set_level(len(core.vf_levels) - 1)
+        fast = core.scaled_wcet(task)
+        core.set_level(0)
+        slow = core.scaled_wcet(task)
+        assert slow > fast
+        assert fast == pytest.approx(0.1)
+
+    def test_speed_factor_scales(self):
+        task = Task("t", wcet=0.1, period=1.0)
+        big = Core(0, speed_factor=2.0)
+        little = Core(1, speed_factor=0.5)
+        assert big.scaled_wcet(task) < little.scaled_wcet(task)

@@ -1,0 +1,124 @@
+"""Tests for the mixed-criticality extension (Sec. VI-B, ref [38])."""
+
+import numpy as np
+import pytest
+
+from repro.system.mixed_criticality import (
+    LearnedController,
+    MCTask,
+    MCWorkload,
+    OptimisticController,
+    PessimisticController,
+    _admit_by_value,
+    generate_lo_tasks,
+    run_mc_simulation,
+)
+
+
+class TestMCWorkload:
+    def test_demand_bounded(self):
+        wl = MCWorkload(seed=0)
+        demands = [wl.step() for _ in range(500)]
+        assert min(demands) >= 0.0
+        assert max(demands) <= 1.0
+
+    def test_spikes_reach_conservative_zone(self):
+        wl = MCWorkload(seed=1, spike_rate=0.2)
+        demands = [wl.step() for _ in range(800)]
+        assert max(demands) > 0.7 * wl.hi_conservative
+
+    def test_calm_epochs_near_optimistic(self):
+        wl = MCWorkload(seed=2, spike_rate=0.0)
+        demands = [wl.step() for _ in range(100)]
+        assert np.median(demands) == pytest.approx(wl.hi_optimistic, abs=0.05)
+
+    def test_observation_correlates_with_demand(self):
+        wl = MCWorkload(seed=3, spike_rate=0.15)
+        obs = []
+        demands = []
+        for _ in range(600):
+            obs.append(wl.observe()[0])
+            demands.append(wl.step())
+        corr = np.corrcoef(obs, demands)[0, 1]
+        assert corr > 0.4
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MCWorkload(hi_optimistic=0.9, hi_conservative=0.5)
+
+
+class TestAdmission:
+    def test_greedy_respects_capacity(self):
+        tasks = [MCTask("a", 0.3, 1.0), MCTask("b", 0.3, 2.0), MCTask("c", 0.3, 3.0)]
+        admitted = _admit_by_value(tasks, free_capacity=0.65)
+        assert sum(t.demand for t in admitted) <= 0.65
+        assert {t.name for t in admitted} == {"b", "c"}
+
+    def test_no_capacity_no_admission(self):
+        tasks = [MCTask("a", 0.1, 1.0)]
+        assert _admit_by_value(tasks, free_capacity=-0.5) == []
+
+    def test_value_density_ordering(self):
+        cheap_valuable = MCTask("cv", 0.1, 1.0)
+        bulky_valuable = MCTask("bv", 0.5, 2.0)
+        admitted = _admit_by_value([cheap_valuable, bulky_valuable], 0.15)
+        assert admitted == [cheap_valuable]
+
+
+class TestControllers:
+    @pytest.fixture(scope="class")
+    def learned(self):
+        return LearnedController(seed=0).train(lambda: MCWorkload(seed=42))
+
+    @pytest.fixture(scope="class")
+    def lo_tasks(self):
+        return generate_lo_tasks(6, seed=0)
+
+    def _run(self, controller, lo_tasks, seed=7, n_epochs=600):
+        return run_mc_simulation(controller, MCWorkload(seed=seed), lo_tasks, n_epochs)
+
+    def test_all_controllers_protect_hi(self, learned, lo_tasks):
+        for ctrl in (
+            PessimisticController(MCWorkload()),
+            OptimisticController(MCWorkload()),
+            learned,
+        ):
+            metrics = self._run(ctrl, lo_tasks)
+            assert metrics.hi_miss_rate < 0.01, ctrl.name
+
+    def test_learned_beats_pessimistic_qos(self, learned, lo_tasks):
+        p = self._run(PessimisticController(MCWorkload()), lo_tasks)
+        l = self._run(learned, lo_tasks)
+        assert l.qos > 1.3 * p.qos
+
+    def test_learned_beats_optimistic_qos(self, learned, lo_tasks):
+        o = self._run(OptimisticController(MCWorkload()), lo_tasks)
+        l = self._run(learned, lo_tasks)
+        assert l.qos > o.qos
+        assert l.mode_switches < o.mode_switches
+
+    def test_prediction_tracks_spikes(self, learned):
+        wl = MCWorkload(seed=9, spike_rate=0.15)
+        errors = []
+        for _ in range(300):
+            obs = wl.observe()
+            pred = learned.predict_hi_demand(obs)
+            actual = wl.step()
+            errors.append(pred - actual)
+        # The safety quantile makes predictions err on the high side.
+        assert np.mean(np.asarray(errors) >= 0) > 0.8
+
+    def test_untrained_controller_raises(self):
+        with pytest.raises(RuntimeError):
+            LearnedController().predict_hi_demand(np.zeros(3))
+
+    def test_recovery_penalty_costs_qos(self, learned, lo_tasks):
+        fast = run_mc_simulation(
+            OptimisticController(MCWorkload()), MCWorkload(seed=5), lo_tasks,
+            n_epochs=500, switch_recovery_epochs=0,
+        )
+        slow = run_mc_simulation(
+            OptimisticController(MCWorkload()), MCWorkload(seed=5), lo_tasks,
+            n_epochs=500, switch_recovery_epochs=6,
+        )
+        assert slow.qos < fast.qos

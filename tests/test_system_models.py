@@ -1,0 +1,224 @@
+"""Tests for tasks, cores, power, thermal, lifetime, SER, MTTF, MWTF."""
+
+import numpy as np
+import pytest
+
+from repro.system import (
+    Core,
+    DEFAULT_VF_LEVELS,
+    Task,
+    TaskSet,
+    ThermalModel,
+    availability,
+    combined_mttf,
+    dynamic_power,
+    em_mttf,
+    generate_task_set,
+    hci_mttf,
+    leakage_power,
+    mwtf,
+    nbti_mttf,
+    soft_error_rate,
+    system_mttf,
+    task_failure_probability,
+    tc_mttf,
+    tddb_mttf,
+)
+from repro.system.power import total_power
+
+
+class TestTask:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Task("t", wcet=0.0, period=1.0)
+        with pytest.raises(ValueError):
+            Task("t", wcet=2.0, period=1.0)
+        with pytest.raises(ValueError):
+            Task("t", wcet=0.1, period=1.0, vulnerability=2.0)
+
+    def test_implicit_deadline(self):
+        t = Task("t", wcet=0.1, period=0.5)
+        assert t.deadline == 0.5
+
+    def test_utilization(self):
+        assert Task("t", wcet=0.25, period=1.0).utilization == 0.25
+
+    def test_duplicate_names_rejected(self):
+        t = Task("t", wcet=0.1, period=1.0)
+        with pytest.raises(ValueError):
+            TaskSet([t, Task("t", wcet=0.1, period=1.0)])
+
+
+class TestGenerateTaskSet:
+    def test_utilization_target_met(self):
+        ts = generate_task_set(n_tasks=10, total_utilization=1.5, seed=0)
+        assert ts.utilization == pytest.approx(1.5, rel=0.15)
+
+    def test_deterministic(self):
+        a = generate_task_set(seed=3)
+        b = generate_task_set(seed=3)
+        assert [t.wcet for t in a] == [t.wcet for t in b]
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError):
+            generate_task_set(n_tasks=2, total_utilization=5.0)
+
+
+class TestCore:
+    def test_boot_at_max_level(self):
+        core = Core(0)
+        assert core.vf == DEFAULT_VF_LEVELS[-1]
+
+    def test_effective_speed_scales_with_level(self):
+        core = Core(0)
+        core.set_level(0)
+        slow = core.effective_speed()
+        core.set_level(len(DEFAULT_VF_LEVELS) - 1)
+        assert core.effective_speed() > slow
+
+    def test_sleeping_core_does_no_work(self):
+        core = Core(0)
+        core.set_power_state("sleep")
+        assert core.effective_speed() == 0.0
+        task = Task("t", wcet=0.1, period=1.0)
+        assert core.scaled_wcet(task) == float("inf")
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            Core(0).set_level(99)
+
+    def test_invalid_power_state_rejected(self):
+        with pytest.raises(ValueError):
+            Core(0).set_power_state("hibernate")
+
+
+class TestPower:
+    def test_dynamic_power_quadratic_in_voltage(self):
+        p1 = dynamic_power(0.6, 1.0)
+        p2 = dynamic_power(1.2, 1.0)
+        assert p2 == pytest.approx(4 * p1)
+
+    def test_leakage_grows_with_temperature(self):
+        assert leakage_power(1.0, 90.0) > leakage_power(1.0, 40.0)
+
+    def test_total_power_off_core_is_zero(self):
+        core = Core(0)
+        core.set_power_state("off")
+        assert total_power(core) == 0.0
+
+    def test_idle_cheaper_than_active(self):
+        active = Core(0)
+        active.utilization = 0.8
+        idle = Core(1)
+        idle.set_power_state("idle")
+        idle.utilization = 0.8
+        assert total_power(idle) < total_power(active)
+
+
+class TestThermal:
+    def test_heating_under_power(self):
+        tm = ThermalModel(2, ambient_c=40.0)
+        for _ in range(100):
+            tm.step([5.0, 0.0], dt=0.05)
+        assert tm.temperatures[0] > 45.0
+        assert tm.temperatures[0] > tm.temperatures[1]  # gradient
+
+    def test_cooling_to_ambient(self):
+        tm = ThermalModel(1, ambient_c=40.0)
+        for _ in range(50):
+            tm.step([8.0], dt=0.05)
+        hot = tm.temperatures[0]
+        for _ in range(400):
+            tm.step([0.0], dt=0.05)
+        assert tm.temperatures[0] < hot
+        assert tm.temperatures[0] == pytest.approx(40.0, abs=1.0)
+
+    def test_neighbor_coupling_spreads_heat(self):
+        tm = ThermalModel(2, ambient_c=40.0)
+        for _ in range(200):
+            tm.step([6.0, 0.0], dt=0.05)
+        assert tm.temperatures[1] > 40.5  # heat leaked to the idle neighbor
+
+    def test_thermal_cycles_recorded(self):
+        tm = ThermalModel(1, ambient_c=40.0)
+        for _ in range(4):
+            for _ in range(80):
+                tm.step([10.0], dt=0.05)
+            for _ in range(80):
+                tm.step([0.0], dt=0.05)
+        assert tm.cycle_count(0) >= 3
+        assert tm.mean_cycle_amplitude(0) > 1.0
+
+    def test_power_shape_validated(self):
+        with pytest.raises(ValueError):
+            ThermalModel(2).step([1.0], dt=0.1)
+
+
+class TestLifetimeModels:
+    def test_all_mechanisms_hotter_is_shorter(self):
+        for model in (em_mttf, tddb_mttf, nbti_mttf, hci_mttf):
+            assert model(100.0) < model(50.0)
+
+    def test_tddb_voltage_acceleration(self):
+        assert tddb_mttf(60.0, voltage=1.1) < tddb_mttf(60.0, voltage=0.9)
+
+    def test_em_current_density(self):
+        assert em_mttf(60.0, current_density=2.0) < em_mttf(60.0, current_density=1.0)
+
+    def test_tc_bigger_swings_shorter_life(self):
+        assert tc_mttf(30.0) < tc_mttf(5.0)
+
+    def test_nominal_corner_magnitudes(self):
+        # All mechanisms are normalized to ~10 years near nominal conditions.
+        assert 5.0 < float(em_mttf(60.0)) < 20.0
+        assert 5.0 < float(tddb_mttf(60.0)) < 20.0
+        assert 5.0 < float(nbti_mttf(60.0)) < 30.0
+        assert 5.0 < float(hci_mttf(60.0)) < 30.0
+
+    def test_combined_below_weakest(self):
+        parts = [
+            float(em_mttf(60.0)),
+            float(tddb_mttf(60.0)),
+            float(tc_mttf(5.0)),
+            float(nbti_mttf(60.0)),
+            float(hci_mttf(60.0)),
+        ]
+        assert float(combined_mttf(60.0)) < min(parts)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            em_mttf(60.0, current_density=0.0)
+        with pytest.raises(ValueError):
+            tddb_mttf(60.0, voltage=-1.0)
+
+
+class TestSER:
+    def test_exponential_voltage_dependence(self):
+        low = soft_error_rate(0.6)
+        high = soft_error_rate(1.0)
+        assert low > 10 * high
+
+    def test_task_failure_probability_bounds(self):
+        t = Task("t", wcet=0.01, period=0.1, vulnerability=0.5)
+        p = task_failure_probability(t, voltage=0.7, execution_time=0.02)
+        assert 0.0 <= p < 1.0
+
+    def test_longer_exposure_riskier(self):
+        t = Task("t", wcet=0.01, period=0.1, vulnerability=0.5)
+        assert task_failure_probability(t, 0.7, 0.05) > task_failure_probability(
+            t, 0.7, 0.01
+        )
+
+
+class TestSystemMTTFAndMWTF:
+    def test_series_system_weaker_than_parts(self):
+        assert system_mttf([10.0, 10.0]) == pytest.approx(5.0)
+
+    def test_availability(self):
+        assert availability(99.0, 1.0) == pytest.approx(0.99)
+
+    def test_mwtf_prefers_fast_robust_core(self):
+        t = Task("t", wcet=0.01, period=0.1, vulnerability=0.5)
+        fast_robust = Core(0, speed_factor=1.5, vulnerability_factor=0.5)
+        slow_fragile = Core(1, speed_factor=0.8, vulnerability_factor=2.0)
+        assert mwtf(t, fast_robust) > mwtf(t, slow_fragile)

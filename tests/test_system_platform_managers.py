@@ -1,0 +1,282 @@
+"""Integration tests: platform simulation, RL managers, mapping, replication."""
+
+import numpy as np
+import pytest
+
+from repro.system import (
+    AdaptiveReplicationManager,
+    Core,
+    GreedyThermalManager,
+    MWTFMappingStudy,
+    Platform,
+    QLearningAgent,
+    RandomManager,
+    ReplicationEnvironment,
+    RLDVFSManager,
+    StaticManager,
+    edf_feasible,
+    first_fit_partition,
+    generate_task_set,
+    run_managed_simulation,
+)
+from repro.system.mwtf_mapping import make_heterogeneous_cores
+from repro.system.rl import Discretizer
+from repro.system.scheduler import load_per_core
+
+
+@pytest.fixture(scope="module")
+def task_set():
+    return generate_task_set(n_tasks=8, total_utilization=2.0, seed=0)
+
+
+class TestScheduler:
+    def test_edf_bound(self, task_set):
+        heavy = generate_task_set(n_tasks=3, total_utilization=1.4, seed=1)
+        assert not edf_feasible(list(heavy))
+
+    def test_first_fit_covers_all_tasks(self, task_set):
+        cores = [Core(i) for i in range(4)]
+        assignment = first_fit_partition(task_set, cores)
+        assert set(assignment) == {t.name for t in task_set}
+
+    def test_partition_feasible_per_core(self, task_set):
+        cores = [Core(i) for i in range(4)]
+        assignment = first_fit_partition(task_set, cores)
+        loads = load_per_core(task_set, cores, assignment)
+        assert all(u <= 1.0 + 1e-9 for u in loads)
+
+    def test_infeasible_partition_raises(self):
+        ts = generate_task_set(n_tasks=4, total_utilization=3.5, seed=2)
+        with pytest.raises(ValueError):
+            first_fit_partition(ts, [Core(0)])
+
+
+class TestPlatform:
+    def test_simulation_accumulates_metrics(self, task_set):
+        cores = [Core(i) for i in range(4)]
+        platform = Platform(cores, task_set, first_fit_partition(task_set, cores), seed=0)
+        metrics = platform.run(duration=5.0)
+        assert metrics.jobs_released > 0
+        assert metrics.energy_j > 0
+        assert metrics.peak_temperature_c > 40.0
+        assert metrics.mttf_years > 0.0
+
+    def test_static_max_meets_deadlines(self, task_set):
+        m = run_managed_simulation(StaticManager(), task_set, n_cores=4, duration=5.0, seed=0)
+        assert m.deadline_hit_rate > 0.99
+
+    def test_lowest_level_misses_deadlines(self, task_set):
+        m = run_managed_simulation(
+            StaticManager(level_index=0), task_set, n_cores=4, duration=5.0, seed=0
+        )
+        assert m.deadline_hit_rate < 0.9
+
+    def test_low_voltage_raises_soft_error_exposure(self):
+        # Same workload, low vs high V-f: lower voltage must produce more
+        # soft failures statistically (SER grows exponentially).
+        ts = generate_task_set(n_tasks=6, total_utilization=1.2, seed=4)
+        lo = run_managed_simulation(
+            StaticManager(level_index=1), ts, n_cores=4, duration=40.0, seed=0
+        )
+        hi = run_managed_simulation(
+            StaticManager(level_index=4), ts, n_cores=4, duration=40.0, seed=0
+        )
+        assert lo.soft_failures >= hi.soft_failures
+
+    def test_remap_changes_assignment(self, task_set):
+        cores = [Core(i) for i in range(4)]
+        assignment = first_fit_partition(task_set, cores)
+        platform = Platform(cores, task_set, assignment, seed=0)
+        new_assignment = {name: 0 for name in assignment}
+        platform.remap(new_assignment)
+        assert all(platform.assignment[n] == 0 for n in assignment)
+
+
+class TestRLInfrastructure:
+    def test_discretizer_bins(self):
+        d = Discretizer([np.array([1.0, 2.0]), np.array([10.0])])
+        assert d((0.5, 5.0)) == (0, 0)
+        assert d((1.5, 15.0)) == (1, 1)
+        assert d((3.0, 15.0)) == (2, 1)
+
+    def test_discretizer_validation(self):
+        with pytest.raises(ValueError):
+            Discretizer([np.array([2.0, 1.0])])
+        d = Discretizer([np.array([1.0])])
+        with pytest.raises(ValueError):
+            d((1.0, 2.0))
+
+    def test_qlearning_converges_on_bandit(self):
+        agent = QLearningAgent(n_actions=3, alpha=0.5, epsilon=0.5, seed=0)
+        rewards = {0: 0.0, 1: 1.0, 2: 0.2}
+        state = (0,)
+        for _ in range(300):
+            a = agent.act(state)
+            agent.update(state, a, rewards[a], state)
+        assert agent.act(state, explore=False) == 1
+
+    def test_epsilon_decays(self):
+        agent = QLearningAgent(n_actions=2, epsilon=0.5, epsilon_decay=0.9)
+        for _ in range(50):
+            agent.update((0,), 0, 0.0, (0,))
+        assert agent.epsilon < 0.1
+
+    def test_agent_validation(self):
+        with pytest.raises(ValueError):
+            QLearningAgent(n_actions=0)
+        with pytest.raises(ValueError):
+            QLearningAgent(n_actions=2, alpha=0.0)
+
+
+class TestManagers:
+    def test_rl_beats_random(self, task_set):
+        rl = RLDVFSManager(seed=0)
+        m_rl = run_managed_simulation(
+            rl, task_set, n_cores=4, duration=10.0, seed=0, training_episodes=5
+        )
+        m_rnd = run_managed_simulation(
+            RandomManager(seed=1), task_set, n_cores=4, duration=10.0, seed=0
+        )
+        assert m_rl.deadline_hit_rate > m_rnd.deadline_hit_rate
+
+    def test_rl_saves_energy_vs_static_max(self, task_set):
+        rl = RLDVFSManager(seed=0)
+        m_rl = run_managed_simulation(
+            rl, task_set, n_cores=4, duration=10.0, seed=0, training_episodes=5
+        )
+        m_static = run_managed_simulation(
+            StaticManager(), task_set, n_cores=4, duration=10.0, seed=0
+        )
+        assert m_rl.energy_j < m_static.energy_j
+        assert m_rl.deadline_hit_rate > 0.9
+
+    def test_greedy_thermal_reacts(self, task_set):
+        mgr = GreedyThermalManager(hot_c=45.0, cool_c=30.0)
+        m = run_managed_simulation(mgr, task_set, n_cores=4, duration=5.0, seed=0)
+        # With a 45C threshold the governor must have throttled below max.
+        assert m.energy_j < run_managed_simulation(
+            StaticManager(), task_set, n_cores=4, duration=5.0, seed=0
+        ).energy_j
+
+
+class TestPerCoreRLDVFS:
+    @pytest.fixture(scope="class")
+    def skewed_tasks(self):
+        from repro.system import Task, TaskSet
+
+        return TaskSet(
+            [Task(f"heavy{i}", wcet=0.08, period=0.1) for i in range(2)]
+            + [Task(f"light{i}", wcet=0.004, period=0.1) for i in range(6)]
+        )
+
+    def test_one_agent_per_core(self, skewed_tasks):
+        from repro.system import PerCoreRLDVFSManager
+
+        manager = PerCoreRLDVFSManager(seed=0)
+        run_managed_simulation(
+            manager, skewed_tasks, n_cores=4, duration=3.0, seed=0
+        )
+        assert len(manager.agents) == 4
+
+    def test_keeps_deadlines_on_skewed_load(self, skewed_tasks):
+        from repro.system import PerCoreRLDVFSManager
+
+        m = run_managed_simulation(
+            PerCoreRLDVFSManager(seed=0), skewed_tasks, n_cores=4,
+            duration=15.0, seed=0, training_episodes=15,
+        )
+        assert m.deadline_hit_rate > 0.97
+
+    def test_saves_energy_vs_static(self, skewed_tasks):
+        from repro.system import PerCoreRLDVFSManager
+
+        static = run_managed_simulation(
+            StaticManager(), skewed_tasks, n_cores=4, duration=15.0, seed=0
+        )
+        per = run_managed_simulation(
+            PerCoreRLDVFSManager(seed=0), skewed_tasks, n_cores=4,
+            duration=15.0, seed=0, training_episodes=15,
+        )
+        assert per.energy_j < static.energy_j
+
+    def test_freeze_stops_learning(self, skewed_tasks):
+        from repro.system import PerCoreRLDVFSManager
+
+        manager = PerCoreRLDVFSManager(seed=0)
+        run_managed_simulation(
+            manager, skewed_tasks, n_cores=4, duration=3.0, seed=0
+        )
+        assert not manager.training  # run_managed_simulation froze it
+
+
+class TestMWTFMapping:
+    @pytest.fixture(scope="class")
+    def study(self):
+        cores = make_heterogeneous_cores(seed=0)
+        s = MWTFMappingStudy(cores, seed=0)
+        s.train(generate_task_set(12, total_utilization=2.0, seed=5))
+        return s
+
+    def test_oracle_beats_performance_mapping(self, study):
+        ts = generate_task_set(8, total_utilization=1.8, seed=9)
+        assert study.map_mwtf_oracle(ts).mwtf > study.map_performance_only(ts).mwtf
+
+    def test_nn_mapping_captures_most_of_oracle_gain(self, study):
+        ts = generate_task_set(8, total_utilization=1.8, seed=9)
+        perf = study.map_performance_only(ts).mwtf
+        nn = study.map_mwtf_nn(ts).mwtf
+        oracle = study.map_mwtf_oracle(ts).mwtf
+        assert nn > perf
+        assert (nn - perf) / (oracle - perf) > 0.4
+
+    def test_avf_estimation_reasonable(self, study):
+        ts = generate_task_set(6, total_utilization=1.0, seed=11)
+        assert study.estimation_error(ts) < 0.25
+
+    def test_untrained_mapping_raises(self):
+        s = MWTFMappingStudy(make_heterogeneous_cores(seed=1), seed=0)
+        with pytest.raises(RuntimeError):
+            s.map_mwtf_nn(generate_task_set(4, total_utilization=0.8, seed=0))
+
+
+class TestReplicationManager:
+    @pytest.fixture(scope="class")
+    def manager(self):
+        return AdaptiveReplicationManager(seed=0).train(
+            lambda: ReplicationEnvironment(seed=42)
+        )
+
+    def test_adaptive_beats_static1_on_failures(self, manager):
+        env_a = ReplicationEnvironment(seed=7)
+        env_b = ReplicationEnvironment(seed=7)
+        adaptive = manager.run_episode(env_a, manager.choose_replicas, n_epochs=400)
+        static1 = manager.run_episode(env_b, lambda obs: 1, n_epochs=400)
+        assert adaptive.failure_rate < static1.failure_rate
+
+    def test_adaptive_cheaper_than_static5(self, manager):
+        env_a = ReplicationEnvironment(seed=8)
+        env_b = ReplicationEnvironment(seed=8)
+        adaptive = manager.run_episode(env_a, manager.choose_replicas, n_epochs=400)
+        static5 = manager.run_episode(env_b, lambda obs: 5, n_epochs=400)
+        assert adaptive.overhead < static5.overhead
+
+    def test_replica_choice_tracks_regime(self, manager):
+        env = ReplicationEnvironment(seed=3)
+        env.regime = 2
+        harsh_choice = manager.choose_replicas(env.observe())
+        env.regime = 0
+        benign_choice = manager.choose_replicas(env.observe())
+        assert harsh_choice >= benign_choice
+
+    def test_untrained_manager_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaptiveReplicationManager().choose_replicas(np.zeros(3))
+
+    def test_majority_voting_fails_only_on_majority(self):
+        env = ReplicationEnvironment(seed=0)
+        env.regime = 2
+        fails = sum(env.job_fails(5) for _ in range(2000))
+        env2 = ReplicationEnvironment(seed=0)
+        env2.regime = 2
+        fails1 = sum(env2.job_fails(1) for _ in range(2000))
+        assert fails < fails1

@@ -1,0 +1,176 @@
+"""Tests for device-level models: delay, aging, self-heating."""
+
+import numpy as np
+import pytest
+
+from repro.transistor import (
+    SelfHeatingModel,
+    Transistor,
+    aged_transistor,
+    alpha_power_delay,
+    combined_delta_vth,
+    hci_delta_vth,
+    nbti_delta_vth,
+    waveform_duty_cycle,
+)
+from repro.transistor.device import saturation_current
+
+
+class TestTransistor:
+    def test_drive_strength_scales_with_width_and_fins(self):
+        base = Transistor(width_nm=100, n_fins=2)
+        wide = Transistor(width_nm=200, n_fins=2)
+        tall = Transistor(width_nm=100, n_fins=4)
+        assert wide.drive_strength == pytest.approx(2 * base.drive_strength)
+        assert tall.drive_strength == pytest.approx(2 * base.drive_strength)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Transistor(width_nm=0)
+        with pytest.raises(ValueError):
+            Transistor(n_fins=0)
+        with pytest.raises(ValueError):
+            Transistor(vth=0.9)  # above VDD
+
+    def test_vth_shift_copy(self):
+        t = Transistor()
+        aged = t.with_vth_shift(0.05)
+        assert aged.vth == pytest.approx(t.vth + 0.05)
+        assert t.vth == pytest.approx(0.30)
+
+
+class TestAlphaPowerDelay:
+    def test_delay_increases_with_load(self):
+        t = Transistor()
+        assert alpha_power_delay(t, 8.0) > alpha_power_delay(t, 2.0)
+
+    def test_delay_increases_with_vth(self):
+        t_fresh = Transistor(vth=0.30)
+        t_aged = Transistor(vth=0.36)
+        assert alpha_power_delay(t_aged, 4.0) > alpha_power_delay(t_fresh, 4.0)
+
+    def test_delay_increases_with_temperature(self):
+        t = Transistor()
+        assert alpha_power_delay(t, 4.0, temperature_c=125.0) > alpha_power_delay(
+            t, 4.0, temperature_c=25.0
+        )
+
+    def test_stronger_device_faster(self):
+        weak = Transistor(width_nm=100)
+        strong = Transistor(width_nm=400)
+        assert alpha_power_delay(strong, 4.0) < alpha_power_delay(weak, 4.0)
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            alpha_power_delay(Transistor(), 0.0)
+
+    def test_vdd_below_vth_rejected(self):
+        with pytest.raises(ValueError):
+            alpha_power_delay(Transistor(vth=0.3), 4.0, vdd=0.25)
+
+
+class TestAging:
+    def test_nbti_grows_with_time(self):
+        early = nbti_delta_vth(1e6, 0.5, 100.0)
+        late = nbti_delta_vth(1e8, 0.5, 100.0)
+        assert late > early
+
+    def test_nbti_grows_with_temperature(self):
+        cold = nbti_delta_vth(1e7, 0.5, 25.0)
+        hot = nbti_delta_vth(1e7, 0.5, 125.0)
+        assert hot > cold
+
+    def test_nbti_grows_with_duty(self):
+        low = nbti_delta_vth(1e7, 0.1, 100.0)
+        high = nbti_delta_vth(1e7, 0.9, 100.0)
+        assert high > low
+
+    def test_nbti_magnitude_10y_band(self):
+        # ~10 years at 125C, 50 % duty: tens of millivolts.
+        dvth = nbti_delta_vth(3.15e8, 0.5, 125.0)
+        assert 0.02 < dvth < 0.12
+
+    def test_hci_grows_with_activity_and_vdd(self):
+        assert hci_delta_vth(1e7, 0.9, 100.0) > hci_delta_vth(1e7, 0.1, 100.0)
+        assert hci_delta_vth(1e7, 0.5, 100.0, vdd=0.9) > hci_delta_vth(
+            1e7, 0.5, 100.0, vdd=0.7
+        )
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            nbti_delta_vth(-1.0, 0.5, 100.0)
+        with pytest.raises(ValueError):
+            hci_delta_vth(-1.0, 0.5, 100.0)
+
+    def test_pmos_dominated_by_nbti(self):
+        pmos = Transistor(is_pmos=True)
+        nmos = Transistor(is_pmos=False)
+        # Under high duty and low activity, PMOS should age more (NBTI).
+        p = combined_delta_vth(pmos, 1e8, duty_cycle=0.9, switching_activity=0.01)
+        n = combined_delta_vth(nmos, 1e8, duty_cycle=0.9, switching_activity=0.01)
+        assert p > n
+
+    def test_aged_transistor_slower(self):
+        t = Transistor(is_pmos=True)
+        aged = aged_transistor(t, 3.15e8, temperature_c=125.0)
+        assert alpha_power_delay(aged, 4.0) > alpha_power_delay(t, 4.0)
+
+    def test_zero_time_zero_shift(self):
+        assert nbti_delta_vth(0.0, 0.5, 100.0) == 0.0
+
+
+class TestWaveformDutyCycle:
+    def test_all_low_is_one(self):
+        assert waveform_duty_cycle(np.zeros(10)) == 1.0
+
+    def test_all_high_is_zero(self):
+        assert waveform_duty_cycle(np.full(10, 0.8)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            waveform_duty_cycle(np.array([]))
+
+
+class TestSelfHeating:
+    def test_dt_positive(self):
+        she = SelfHeatingModel()
+        assert she.delta_t(Transistor(), 20.0, 4.0) > 0.0
+
+    def test_dt_grows_with_load_and_slew(self):
+        she = SelfHeatingModel()
+        t = Transistor()
+        assert she.delta_t(t, 20.0, 16.0) > she.delta_t(t, 20.0, 2.0)
+        assert she.delta_t(t, 120.0, 4.0) > she.delta_t(t, 10.0, 4.0)
+
+    def test_more_fins_more_confinement(self):
+        she = SelfHeatingModel()
+        # Same drive strength, different fin counts: more fins trap heat.
+        narrow = Transistor(width_nm=200.0, n_fins=2)
+        finny = Transistor(width_nm=100.0, n_fins=4)
+        assert finny.drive_strength == narrow.drive_strength
+        assert she.delta_t(finny, 20.0, 4.0) > she.delta_t(narrow, 20.0, 4.0)
+
+    def test_activity_scales_linearly(self):
+        she = SelfHeatingModel()
+        t = Transistor()
+        full = she.delta_t(t, 20.0, 4.0, activity=1.0)
+        half = she.delta_t(t, 20.0, 4.0, activity=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_cell_dt_is_max_over_devices(self):
+        she = SelfHeatingModel()
+        weak = Transistor(width_nm=50.0)
+        strong = Transistor(width_nm=400.0)
+        cell_dt = she.cell_delta_t([weak, strong], 20.0, 4.0)
+        assert cell_dt == pytest.approx(she.delta_t(strong, 20.0, 4.0))
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(ValueError):
+            SelfHeatingModel().cell_delta_t([], 20.0, 4.0)
+
+    def test_negative_condition_rejected(self):
+        with pytest.raises(ValueError):
+            SelfHeatingModel().delta_t(Transistor(), -1.0, 4.0)
+
+    def test_saturation_current_zero_below_vth(self):
+        assert saturation_current(Transistor(vth=0.35), vdd=0.3) == 0.0
