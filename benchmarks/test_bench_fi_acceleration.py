@@ -59,3 +59,20 @@ def test_bench_fi_campaign_throughput(benchmark):
         rounds=3, iterations=1,
     )
     assert len(result.records) == 100
+
+
+def test_bench_fi_campaign_parallel(benchmark):
+    """The same campaign through the parallel runtime (jobs=2).
+
+    Determinism contract: per-trial seed streams make the fan-out
+    bit-identical to the serial run above, whatever the worker count.
+    """
+    from repro.arch import FaultInjector
+
+    injector = FaultInjector(P.checksum(12))
+    result = benchmark.pedantic(
+        injector.run_campaign, kwargs={"n_trials": 100, "seed": 0, "jobs": 2},
+        rounds=3, iterations=1,
+    )
+    serial = injector.run_campaign(n_trials=100, seed=0)
+    assert result.records == serial.records

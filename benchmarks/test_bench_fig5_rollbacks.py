@@ -20,12 +20,20 @@ def study():
 
 @pytest.fixture(scope="module")
 def sweep(study):
-    return study.sweep(ERROR_PROBS)
+    # Exercise the parallel campaign runtime; levels are internally
+    # seeded, so this is bit-identical to the serial sweep.
+    return study.sweep(ERROR_PROBS, jobs=2)
 
 
 def test_bench_fig5_rollbacks(benchmark, study, sweep, report):
     # Time one Monte Carlo level (100 runs) at the wall.
     benchmark.pedantic(study.run_level, args=(1e-5,), rounds=3, iterations=1)
+
+    # The parallel sweep must reproduce the serial level exactly.
+    serial = study.run_level(1e-6)
+    parallel_pt = sweep[ERROR_PROBS.index(1e-6)]
+    assert parallel_pt.mean_rollbacks_per_segment == serial.mean_rollbacks_per_segment
+    assert parallel_pt.hit_rate == serial.hit_rate
 
     analytic = study.analytic_rollbacks(ERROR_PROBS)
     rows = [

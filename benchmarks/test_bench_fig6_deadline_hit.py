@@ -20,7 +20,9 @@ def study():
 
 @pytest.fixture(scope="module")
 def sweep(study):
-    return study.sweep(ERROR_PROBS)
+    # Parallel campaign runtime; bit-identical to the serial sweep
+    # (asserted in test_bench_fig5_rollbacks).
+    return study.sweep(ERROR_PROBS, jobs=2)
 
 
 def test_bench_fig6_deadline_hit_rate(benchmark, study, sweep, report):

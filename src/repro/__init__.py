@@ -23,6 +23,10 @@ Subpackages
 ``repro.core``
     The paper's own contribution: the Fig. 1 learning loop and the
     Sec. V fault-tolerant timing-guaranteed system analysis (Figs. 5-6).
+``repro.runtime``
+    Shared parallel-execution layer: deterministic per-trial seed
+    streams, process-pool campaign fan-out, on-disk result caching,
+    and progress telemetry (see ``docs/campaigns.md``).
 """
 
 __version__ = "1.0.0"

@@ -11,16 +11,25 @@ the paper's Sec. III (and ref [24]) uses:
 * ``SYMPTOM`` — run completes with the golden output but showed a
   detectable anomaly (cycle-count deviation), the hook symptom-based
   detectors key on.
+
+Campaign execution is delegated to the shared runtime layer
+(:mod:`repro.runtime`): each trial draws from its own deterministic
+seed stream, so campaigns can fan out over a process pool (``jobs``),
+memoize chunks on disk (``cache``), and report progress — with results
+bit-identical to the serial path.  See ``docs/campaigns.md``.
 """
 
 from __future__ import annotations
 
 import enum
+import functools
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.arch.cpu import CPU, CrashError
+from repro.runtime import CampaignRunner
 
 
 class Outcome(enum.Enum):
@@ -115,6 +124,7 @@ class FaultInjector:
         self.golden_cycles = golden.cycles
         self.max_cycles = max(int(golden.cycles * max_cycles_factor), golden.cycles + 64)
         self.symptom_tolerance = symptom_tolerance
+        self.last_run_stats = None  # RunStats of the most recent campaign
         # Golden PC trace: which instruction was executing at each cycle.
         tracer = CPU(program, max_cycles=1_000_000)
         self.golden_pc_trace = []
@@ -162,33 +172,79 @@ class FaultInjector:
             opcode_at_injection=opcode_at,
         )
 
-    def run_campaign(self, n_trials=500, seed=0, elements=None):
-        """Uniformly random (cycle, element, bit) injection campaign."""
-        rng = np.random.default_rng(seed)
-        cpu = CPU(self.program)
-        elements = list(elements or cpu.state_elements())
-        result = CampaignResult(
-            program=self.program.name,
-            golden_output=self.golden_output,
-            golden_cycles=self.golden_cycles,
-        )
-        for _ in range(n_trials):
-            cycle = int(rng.integers(0, self.golden_cycles))
-            element = elements[rng.integers(len(elements))]
-            bit = int(rng.integers(0, 32))
-            result.records.append(self.inject_one(cycle, element, bit))
-        return result
+    def fingerprint(self):
+        """Content digest of everything that determines a trial's result.
 
-    def exhaustive_element_campaign(self, element, n_trials=200, seed=0):
-        """Many injections into a single element (per-element AVF estimation)."""
-        rng = np.random.default_rng(seed)
-        result = CampaignResult(
+        Namespaces the result cache: any change to the program, the hang
+        budget, or the symptom threshold changes the fingerprint and
+        invalidates prior entries.
+        """
+        listing = "\n".join(repr(i) for i in self.program.instructions)
+        return {
+            "program": self.program.name,
+            "instructions": hashlib.sha256(listing.encode()).hexdigest(),
+            "output_range": list(self.program.output_range),
+            "golden_cycles": self.golden_cycles,
+            "max_cycles": self.max_cycles,
+            "symptom_tolerance": self.symptom_tolerance,
+        }
+
+    def _campaign(self, worker, n_trials, seed, key_parts, jobs, cache, progress,
+                  chunk_size):
+        runner = CampaignRunner(
+            jobs=jobs, cache=cache, progress=progress, chunk_size=chunk_size,
+            classify=lambda record: record.outcome.value,
+        )
+        records = runner.run_trials(worker, n_trials, seed=seed,
+                                    key=("fi-campaign", self.fingerprint(), key_parts))
+        self.last_run_stats = runner.stats
+        return CampaignResult(
             program=self.program.name,
             golden_output=self.golden_output,
             golden_cycles=self.golden_cycles,
+            records=records,
         )
-        for _ in range(n_trials):
-            cycle = int(rng.integers(0, self.golden_cycles))
-            bit = int(rng.integers(0, 32))
-            result.records.append(self.inject_one(cycle, element, bit))
-        return result
+
+    def run_campaign(self, n_trials=500, seed=0, elements=None, jobs=1,
+                     cache=None, progress=None, chunk_size=32):
+        """Uniformly random (cycle, element, bit) injection campaign.
+
+        Trial ``i`` samples its coordinates from the seed stream
+        ``(seed, i)`` regardless of chunking, so any ``jobs`` value
+        yields identical records.  ``cache`` (a
+        :class:`repro.runtime.ResultCache`) memoizes trial chunks;
+        ``progress`` receives :class:`repro.runtime.ProgressEvent`
+        updates.  Runner accounting is left in ``self.last_run_stats``.
+        """
+        elements = list(elements or CPU(self.program).state_elements())
+        worker = functools.partial(_random_chunk, self, tuple(elements))
+        return self._campaign(worker, n_trials, seed, ("random", elements),
+                              jobs, cache, progress, chunk_size)
+
+    def exhaustive_element_campaign(self, element, n_trials=200, seed=0, jobs=1,
+                                    cache=None, progress=None, chunk_size=32):
+        """Many injections into a single element (per-element AVF estimation)."""
+        worker = functools.partial(_element_chunk, self, element)
+        return self._campaign(worker, n_trials, seed, ("element", element),
+                              jobs, cache, progress, chunk_size)
+
+
+def _random_chunk(injector, elements, chunk):
+    """Execute one trial chunk of a random campaign (process-pool worker)."""
+    records = []
+    for rng in chunk.rngs():
+        cycle = int(rng.integers(0, injector.golden_cycles))
+        element = elements[int(rng.integers(len(elements)))]
+        bit = int(rng.integers(0, 32))
+        records.append(injector.inject_one(cycle, element, bit))
+    return records
+
+
+def _element_chunk(injector, element, chunk):
+    """Execute one trial chunk of a single-element campaign."""
+    records = []
+    for rng in chunk.rngs():
+        cycle = int(rng.integers(0, injector.golden_cycles))
+        bit = int(rng.integers(0, 32))
+        records.append(injector.inject_one(cycle, element, bit))
+    return records

@@ -3,18 +3,37 @@
 Usage::
 
     python -m repro list                # available experiments
-    python -m repro fig5               # Fig. 5 rollbacks sweep
+    python -m repro fig5 --jobs 4      # Fig. 5 sweep over 4 processes
     python -m repro fig6 --runs 50     # Fig. 6 with 50 MC runs/point
+    python -m repro fi --trials 2000   # fault-injection campaign
     python -m repro fig2 fig3 hdc      # several in sequence
 
-The CLI prints the same series the benchmark harness checks; the full
-statistical versions live under ``benchmarks/``.
+Campaign experiments (``fig5``/``fig6``/``wall``/``fi``) execute
+through :mod:`repro.runtime`: ``--jobs N`` fans trial chunks out over N
+processes (results identical to serial), completed chunks are memoized
+on disk so re-runs only execute new points (``--no-cache`` disables,
+``--cache-dir`` relocates), and ``--progress`` streams trials/sec plus
+the outcome histogram to stderr.  The CLI prints the same series the
+benchmark harness checks; the full statistical versions live under
+``benchmarks/``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _runtime_kwargs(args):
+    """jobs/cache/progress keywords shared by all campaign experiments."""
+    from repro.runtime import ResultCache, print_progress
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return {
+        "jobs": args.jobs,
+        "cache": cache,
+        "progress": print_progress if args.progress else None,
+    }
 
 
 def _print_table(title, header, rows):
@@ -35,15 +54,15 @@ def run_fig5(args):
         adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0
     )
     probs = [1e-8, 1e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4]
-    rows = []
     analytic = study.analytic_rollbacks(probs)
-    for p, a in zip(probs, analytic):
-        point = study.run_level(p)
-        rows.append(
-            (f"{p:.0e}", f"{point.mean_rollbacks_per_segment:.3f}",
-             f"{a:.3f}" if a < 1e6 else ">1e6")
-        )
+    points = study.sweep(probs, **_runtime_kwargs(args))
+    rows = [
+        (f"{p:.0e}", f"{point.mean_rollbacks_per_segment:.3f}",
+         f"{a:.3f}" if a < 1e6 else ">1e6")
+        for p, a, point in zip(probs, analytic, points)
+    ]
     _print_table("Fig. 5: rollbacks per segment", ("p", "simulated", "analytic"), rows)
+    _print_runtime_stats(study.last_sweep_stats, unit="levels")
 
 
 def run_fig6(args):
@@ -55,11 +74,45 @@ def run_fig6(args):
     )
     probs = [1e-8, 1e-7, 1e-6, 3e-6, 1e-5, 3e-5]
     names = [p.name for p in ALL_POLICIES]
-    rows = []
-    for p in probs:
-        point = study.run_level(p)
-        rows.append((f"{p:.0e}", *(f"{point.hit_rate[n]:.2f}" for n in names)))
+    points = study.sweep(probs, **_runtime_kwargs(args))
+    rows = [
+        (f"{pt.error_probability:.0e}", *(f"{pt.hit_rate[n]:.2f}" for n in names))
+        for pt in points
+    ]
     _print_table("Fig. 6: deadline hit rate", ("p", *names), rows)
+    _print_runtime_stats(study.last_sweep_stats, unit="levels")
+
+
+def run_fi(args):
+    """Sec. III: fault-injection campaign with outcome taxonomy."""
+    from repro.arch import FaultInjector
+    from repro.arch import programs as P
+
+    injector = FaultInjector(P.checksum(12))
+    campaign = injector.run_campaign(
+        n_trials=args.trials, seed=0, **_runtime_kwargs(args)
+    )
+    counts = campaign.counts()
+    rows = [
+        (outcome.value, counts[outcome], f"{rate:.3f}")
+        for outcome, rate in campaign.rates().items()
+    ]
+    _print_table(
+        f"Sec. III: {args.trials}-trial campaign on '{campaign.program}'",
+        ("outcome", "trials", "rate"),
+        rows,
+    )
+    _print_runtime_stats(injector.last_run_stats, unit="trials")
+
+
+def _print_runtime_stats(stats, unit):
+    if stats is None:
+        return
+    print(
+        f"runtime: {stats.executed_trials} {unit} executed, "
+        f"{stats.cached_trials} cached, "
+        f"{stats.trials_per_sec:.1f} {unit}/s, jobs={stats.jobs_used}"
+    )
 
 
 def run_fig2(args):
@@ -177,7 +230,9 @@ def run_wall(args):
     study = MonteCarloStudy(
         adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0
     )
-    points = study.sweep([1e-8, 1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4])
+    points = study.sweep(
+        [1e-8, 1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4], **_runtime_kwargs(args)
+    )
     rows = []
     for policy in ALL_POLICIES:
         wall = study.find_wall(points, policy.name)
@@ -196,10 +251,25 @@ EXPERIMENTS = {
     "fig3": run_fig3,
     "fig5": run_fig5,
     "fig6": run_fig6,
+    "fi": run_fi,
     "hdc": run_hdc,
     "managers": run_managers,
     "wall": run_wall,
 }
+
+
+def _positive_int(value):
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
+def _jobs_count(value):
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 (0 = all CPUs), got {jobs}")
+    return jobs
 
 
 def build_parser():
@@ -212,9 +282,35 @@ def build_parser():
         nargs="+",
         help="experiment names (or 'list' to enumerate them)",
     )
-    parser.add_argument("--runs", type=int, default=100, help="Monte Carlo runs/point")
     parser.add_argument(
-        "--instances", type=int, default=300, help="netlist size for circuit flows"
+        "--runs", type=_positive_int, default=100, help="Monte Carlo runs/point"
+    )
+    parser.add_argument(
+        "--instances", type=_positive_int, default=300,
+        help="netlist size for circuit flows",
+    )
+    parser.add_argument(
+        "--trials", type=_positive_int, default=500,
+        help="fault-injection trials for 'fi'",
+    )
+    runtime = parser.add_argument_group(
+        "campaign runtime (fig5/fig6/wall/fi; see docs/campaigns.md)"
+    )
+    runtime.add_argument(
+        "--jobs", type=_jobs_count, default=1,
+        help="worker processes for campaigns (0 = one per CPU; default 1)",
+    )
+    runtime.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (re-execute everything)",
+    )
+    runtime.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    runtime.add_argument(
+        "--progress", action="store_true",
+        help="stream trials/sec and the outcome histogram to stderr",
     )
     return parser
 

@@ -7,6 +7,13 @@ models (MTTF, SER, deadline statistics).  This module provides that
 abstraction as a reusable loop so new managers only supply three
 callables; :class:`repro.system.managers.RLDVFSManager` is the
 hand-specialized equivalent.
+
+Unlike the trial campaigns that run through :mod:`repro.runtime`'s
+parallel :class:`~repro.runtime.CampaignRunner`, an episode is a
+*sequential* learning process — each epoch's action depends on the
+Q-table updated by the previous one — so this loop is deliberately not
+fanned out.  Independent episodes (e.g. seed sweeps over fresh agents)
+can still be parallelized by mapping them with the runtime layer.
 """
 
 from __future__ import annotations

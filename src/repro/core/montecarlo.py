@@ -10,16 +10,25 @@ the checkpoint/rollback system and each budget policy, and averages
 The *error-rate wall* — the narrow band of error probability where hit
 rates collapse from ~1 to ~0 — is located by
 :meth:`MonteCarloStudy.find_wall`.
+
+Each error-probability level is an independent, internally seeded unit
+of work, so :meth:`MonteCarloStudy.sweep` can fan levels out over the
+shared runtime layer (:mod:`repro.runtime`) with ``jobs``/``cache``
+arguments while staying bit-identical to the serial sweep.  See
+``docs/campaigns.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import functools
+import zlib
+from dataclasses import dataclass, field, is_dataclass, asdict
 
 import numpy as np
 
 from repro.core.checkpoint import CheckpointSystem
 from repro.core.cycle_noise import ALL_POLICIES, simulate_run
+from repro.runtime import CampaignRunner
 
 DEFAULT_ERROR_PROBS = tuple(float(p) for p in np.logspace(-8, -3, 11))
 
@@ -63,6 +72,7 @@ class MonteCarloStudy:
         self.seed = seed
         self.checkpoint_cycles = checkpoint_cycles
         self.rollback_cycles = rollback_cycles
+        self.last_sweep_stats = None  # RunStats of the most recent sweep
 
     def run_level(self, error_probability):
         """Monte Carlo at one error-probability level."""
@@ -85,8 +95,6 @@ class MonteCarloStudy:
         for policy in self.policies:
             # zlib.crc32, not hash(): str hashing is salted per process and
             # would break cross-run reproducibility.
-            import zlib
-
             policy_tag = zlib.crc32(policy.name.encode()) % 10_000
             rng = np.random.default_rng(self.seed + policy_tag)
             for _ in range(self.n_runs):
@@ -100,9 +108,56 @@ class MonteCarloStudy:
             mean_energy={k: float(np.mean(v)) for k, v in energies.items()},
         )
 
-    def sweep(self, error_probabilities=DEFAULT_ERROR_PROBS):
-        """Fig. 5 + Fig. 6 data: one :class:`SweepPoint` per level."""
-        return [self.run_level(float(p)) for p in error_probabilities]
+    def _fingerprint(self):
+        """Cache key for sweep levels, or ``None`` if the study is stateful.
+
+        Learned/stateful policy objects (anything that is not a frozen
+        :class:`~repro.core.cycle_noise.BudgetPolicy` dataclass) carry
+        state a content digest cannot see — and they *learn in place*
+        across levels, so their sweeps are order-dependent.  Such studies
+        are neither memoized nor parallelized.
+        """
+        policies = []
+        for policy in self.policies:
+            if not (is_dataclass(policy) and getattr(policy, "__dataclass_params__").frozen):
+                return None
+            policies.append({"type": type(policy).__name__, **asdict(policy)})
+        return {
+            "workload": {
+                "name": self.workload.name,
+                "segment_cycles": list(self.workload.segment_cycles),
+                "deadline_slack": self.workload.deadline_slack,
+            },
+            "policies": policies,
+            "n_runs": self.n_runs,
+            "seed": self.seed,
+            "checkpoint_cycles": self.checkpoint_cycles,
+            "rollback_cycles": self.rollback_cycles,
+        }
+
+    def sweep(self, error_probabilities=DEFAULT_ERROR_PROBS, jobs=1, cache=None,
+              progress=None):
+        """Fig. 5 + Fig. 6 data: one :class:`SweepPoint` per level.
+
+        Levels are independent and internally seeded, so ``jobs > 1``
+        fans them out over a process pool with results bit-identical to
+        the serial sweep.  ``cache`` memoizes per-level results keyed by
+        the study configuration.  Studies with stateful learned policies
+        run serial and uncached (see :meth:`_fingerprint`).  Runner
+        accounting is left in ``self.last_sweep_stats``.
+        """
+        fingerprint = self._fingerprint()
+        if fingerprint is None:
+            jobs, cache = 1, None
+        runner = CampaignRunner(jobs=jobs, cache=cache, progress=progress)
+        probs = [float(p) for p in error_probabilities]
+        points = runner.map(
+            functools.partial(_run_level_worker, self), probs,
+            key=("mc-sweep", fingerprint),
+            item_keys=[("level", p) for p in probs],
+        )
+        self.last_sweep_stats = runner.stats
+        return points
 
     def analytic_rollbacks(self, error_probabilities=DEFAULT_ERROR_PROBS):
         """Closed-form Fig. 5 curve from Eq. (2)'s mean (no sampling)."""
@@ -132,3 +187,8 @@ class MonteCarloStudy:
         return ErrorRateWall(
             policy=policy_name, last_safe_p=last_safe, first_failed_p=first_failed
         )
+
+
+def _run_level_worker(study, error_probability):
+    """One sweep level (module-level so the process pool can pickle it)."""
+    return study.run_level(error_probability)

@@ -1,0 +1,62 @@
+"""Shared parallel-execution layer for campaigns and sweeps.
+
+Every headline experiment in this reproduction — the Sec. III
+fault-injection taxonomy, the Fig. 5/6 Monte Carlo study, the
+ML-accelerated FI ground-truth tables — is an embarrassingly parallel
+sweep of independent trials.  This package provides the one runtime
+they all share:
+
+:mod:`repro.runtime.seeding`
+    Deterministic per-trial seed streams
+    (``SeedSequence(entropy=seed, spawn_key=(i,))``) so parallel and
+    serial runs are bit-identical.
+:mod:`repro.runtime.cache`
+    Digest-addressed on-disk result cache so re-running a sweep only
+    executes new points.
+:mod:`repro.runtime.runner`
+    :class:`CampaignRunner` — chunked fan-out over a process pool with a
+    serial fallback for ``jobs=1`` and non-picklable workloads.
+:mod:`repro.runtime.telemetry`
+    Progress events (trials/sec, outcome histogram so far) and
+    ready-made consumers.
+
+See ``docs/campaigns.md`` for the user-facing guide.
+"""
+
+from repro.runtime.cache import (
+    CACHE_VERSION,
+    CacheStats,
+    MISS,
+    ResultCache,
+    default_cache_dir,
+    stable_digest,
+)
+from repro.runtime.runner import (
+    DEFAULT_CHUNK_SIZE,
+    CampaignRunner,
+    RunStats,
+    TrialChunk,
+    chunk_bounds,
+)
+from repro.runtime.seeding import spawn_trial_seeds, trial_rng, trial_seed_sequence
+from repro.runtime.telemetry import ProgressEvent, ProgressLog, print_progress
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "MISS",
+    "ResultCache",
+    "default_cache_dir",
+    "stable_digest",
+    "DEFAULT_CHUNK_SIZE",
+    "CampaignRunner",
+    "RunStats",
+    "TrialChunk",
+    "chunk_bounds",
+    "spawn_trial_seeds",
+    "trial_rng",
+    "trial_seed_sequence",
+    "ProgressEvent",
+    "ProgressLog",
+    "print_progress",
+]

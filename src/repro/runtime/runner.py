@@ -1,0 +1,264 @@
+"""Parallel campaign execution: chunking, process pools, cache, progress.
+
+:class:`CampaignRunner` is the one execution path for every
+embarrassingly parallel study in this library (fault-injection
+campaigns, the Fig. 5/6 Monte Carlo sweeps, per-element vulnerability
+tables).  It fans units of work out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and guarantees three
+properties the studies rely on:
+
+**Determinism** — trial ``i`` draws from the seed stream
+``SeedSequence(entropy=seed, spawn_key=(i,))`` (see
+:mod:`repro.runtime.seeding`), so results are bit-identical for any
+``jobs`` / ``chunk_size`` combination, including the serial path.
+
+**Memoization** — with a :class:`~repro.runtime.cache.ResultCache`
+attached, each unit (a :class:`TrialChunk` or a mapped item) is keyed by
+the campaign fingerprint plus its own coordinates; a re-run executes
+only units not cached yet.  Chunk boundaries depend only on
+``chunk_size`` (never on ``jobs``), so cached chunks stay valid when the
+worker count changes.
+
+**Graceful degradation** — ``jobs=1`` runs inline with no pool; a
+worker or item that cannot be pickled silently falls back to the serial
+path (recorded in :attr:`RunStats.fallback_reason`) instead of failing,
+so closures and learned policy objects keep working.
+
+Workers receive one whole unit (chunk or item) per call, which keeps
+inter-process traffic to one task message per chunk rather than per
+trial.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.cache import MISS
+from repro.runtime.seeding import trial_seed_sequence
+from repro.runtime.telemetry import ProgressEvent
+
+#: Trials per chunk.  Fixed (not derived from ``jobs``) so cache entries
+#: remain chunk-aligned across different worker counts.
+DEFAULT_CHUNK_SIZE = 32
+
+
+@dataclass(frozen=True)
+class TrialChunk:
+    """A contiguous range of trials of a campaign rooted at ``seed``."""
+
+    seed: int
+    start: int
+    stop: int
+
+    def __len__(self):
+        return self.stop - self.start
+
+    @property
+    def indices(self):
+        return range(self.start, self.stop)
+
+    def seed_sequences(self):
+        """One independent seed stream per trial in the chunk."""
+        return [trial_seed_sequence(self.seed, i) for i in self.indices]
+
+    def rngs(self):
+        """One independent :class:`numpy.random.Generator` per trial."""
+        return [np.random.default_rng(ss) for ss in self.seed_sequences()]
+
+
+def chunk_bounds(n_trials, chunk_size=DEFAULT_CHUNK_SIZE):
+    """Split ``range(n_trials)`` into ``[start, stop)`` chunk bounds."""
+    if n_trials < 0:
+        raise ValueError("n_trials must be non-negative")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    return [
+        (start, min(start + chunk_size, n_trials))
+        for start in range(0, n_trials, chunk_size)
+    ]
+
+
+@dataclass
+class RunStats:
+    """Accounting for one runner invocation."""
+
+    total_trials: int = 0
+    executed_trials: int = 0
+    cached_trials: int = 0
+    units_total: int = 0
+    units_executed: int = 0
+    units_cached: int = 0
+    elapsed_s: float = 0.0
+    jobs_used: int = 1
+    fallback_reason: str = None
+    histogram: dict = field(default_factory=dict)
+
+    @property
+    def trials_per_sec(self):
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.executed_trials / self.elapsed_s
+
+
+def _invoke(worker, item):  # module-level so it pickles by reference
+    return worker(item)
+
+
+class CampaignRunner:
+    """Runs campaign units serially or over a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (default) runs inline; ``0`` or ``None``
+        means one per CPU.
+    chunk_size:
+        Trials per :class:`TrialChunk` in :meth:`run_trials`.  Keep it
+        constant across runs that should share cache entries.
+    cache:
+        Optional :class:`~repro.runtime.cache.ResultCache`; ``None``
+        disables memoization.
+    progress:
+        Optional callback receiving one
+        :class:`~repro.runtime.telemetry.ProgressEvent` per finished unit.
+    classify:
+        Optional ``result -> label`` used to build the running outcome
+        histogram exposed through progress events and :attr:`stats`.
+    """
+
+    def __init__(self, jobs=1, chunk_size=DEFAULT_CHUNK_SIZE, cache=None,
+                 progress=None, classify=None):
+        if jobs is None or jobs == 0:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ValueError("jobs must be positive (or 0/None for all CPUs)")
+        self.jobs = int(jobs)
+        self.chunk_size = int(chunk_size)
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.cache = cache
+        self.progress = progress
+        self.classify = classify
+        self.stats = RunStats()
+
+    # -- public entry points --------------------------------------------
+    def run_trials(self, worker, n_trials, seed=0, key=()):
+        """Run ``worker(chunk) -> list`` over every trial chunk, in order.
+
+        Returns the flat, trial-ordered concatenation of all chunk
+        results.  ``key`` must fingerprint everything (besides seed and
+        trial range) that determines a trial's result; it namespaces the
+        cache entries.
+        """
+        chunks = [
+            TrialChunk(seed, a, b) for a, b in chunk_bounds(n_trials, self.chunk_size)
+        ]
+        item_keys = [("trials", chunk.seed, chunk.start, chunk.stop) for chunk in chunks]
+        per_chunk = self._execute(
+            worker, chunks, key, item_keys,
+            weights=[len(c) for c in chunks], unit_is_batch=True,
+        )
+        return [result for chunk_results in per_chunk for result in chunk_results]
+
+    def map(self, worker, items, key=(), item_keys=None):
+        """Run ``worker(item)`` for each item, preserving order.
+
+        ``item_keys`` (one JSON-canonicalizable key per item) addresses
+        the cache; it defaults to the items themselves, which then must
+        be canonicalizable when a cache is attached.
+        """
+        items = list(items)
+        if item_keys is None:
+            item_keys = [("item", it) for it in items]
+        elif len(item_keys) != len(items):
+            raise ValueError("item_keys must match items one-to-one")
+        return self._execute(
+            worker, items, key, list(item_keys),
+            weights=[1] * len(items), unit_is_batch=False,
+        )
+
+    # -- internals -------------------------------------------------------
+    def _execute(self, worker, items, base_key, item_keys, weights, unit_is_batch):
+        stats = RunStats(
+            total_trials=sum(weights), units_total=len(items), jobs_used=self.jobs
+        )
+        self.stats = stats
+        started = time.perf_counter()
+        results = [None] * len(items)
+        done_trials = 0
+
+        def observe(index, result):
+            nonlocal done_trials
+            results[index] = result
+            done_trials += weights[index]
+            if self.classify is not None:
+                for r in result if unit_is_batch else (result,):
+                    label = self.classify(r)
+                    stats.histogram[label] = stats.histogram.get(label, 0) + 1
+
+        def emit():
+            stats.elapsed_s = time.perf_counter() - started
+            if self.progress is not None:
+                self.progress(ProgressEvent(
+                    done=done_trials,
+                    total=stats.total_trials,
+                    cached=stats.cached_trials,
+                    elapsed_s=stats.elapsed_s,
+                    trials_per_sec=stats.trials_per_sec,
+                    histogram=dict(stats.histogram),
+                ))
+
+        # Cache scan: satisfy whatever we can without executing.
+        pending = []
+        digests = [None] * len(items)
+        for i in range(len(items)):
+            if self.cache is not None:
+                digests[i] = self.cache.key(base_key, item_keys[i])
+                value = self.cache.get(digests[i])
+                if value is not MISS:
+                    observe(i, value)
+                    stats.cached_trials += weights[i]
+                    stats.units_cached += 1
+                    continue
+            pending.append(i)
+        if stats.units_cached:
+            emit()
+
+        def finish(i, result):
+            observe(i, result)
+            stats.executed_trials += weights[i]
+            stats.units_executed += 1
+            if self.cache is not None:
+                self.cache.put(digests[i], result)
+            emit()
+
+        if self._use_pool(worker, [items[i] for i in pending], stats):
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+                futures = {
+                    pool.submit(_invoke, worker, items[i]): i for i in pending
+                }
+                for future in as_completed(futures):
+                    finish(futures[future], future.result())
+        else:
+            for i in pending:
+                finish(i, worker(items[i]))
+
+        stats.elapsed_s = time.perf_counter() - started
+        return results
+
+    def _use_pool(self, worker, pending_items, stats):
+        if self.jobs == 1 or len(pending_items) < 2:
+            return False
+        try:
+            pickle.dumps((worker, pending_items))
+        except Exception as exc:  # non-picklable workload: serial fallback
+            stats.fallback_reason = f"{type(exc).__name__}: {exc}"
+            stats.jobs_used = 1
+            return False
+        return True

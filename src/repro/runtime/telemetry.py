@@ -1,0 +1,62 @@
+"""Progress and telemetry hooks for campaign execution.
+
+The runner emits one :class:`ProgressEvent` per completed unit of work
+(a trial chunk or a sweep item) to whatever callback it was given.
+Events carry the running trial throughput and the outcome histogram so
+far, so a long fault-injection campaign can be watched live without the
+runner knowing anything about outcome taxonomies — callers supply a
+``classify`` function that maps one result to a histogram label.
+
+Two ready-made consumers:
+
+* :class:`ProgressLog` — records every event (tests, notebooks);
+* :func:`print_progress` — one-line-per-event stderr printer used by the
+  CLI's ``--progress`` flag.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Snapshot of a campaign after one unit of work completed."""
+
+    done: int  # trials finished so far (cached + executed)
+    total: int  # trials in the whole campaign
+    cached: int  # trials satisfied from the result cache
+    elapsed_s: float  # wall time since the runner started
+    trials_per_sec: float  # executed-trial throughput (cache hits excluded)
+    histogram: dict  # label -> count over all finished trials
+
+    @property
+    def fraction(self):
+        return self.done / self.total if self.total else 1.0
+
+
+@dataclass
+class ProgressLog:
+    """Callback that stores every event, for tests and offline analysis."""
+
+    events: list = field(default_factory=list)
+
+    def __call__(self, event):
+        self.events.append(event)
+
+    @property
+    def last(self):
+        return self.events[-1] if self.events else None
+
+
+def print_progress(event, stream=None):
+    """Print one progress line per event (the CLI ``--progress`` hook)."""
+    stream = stream if stream is not None else sys.stderr
+    hist = " ".join(f"{k}={v}" for k, v in sorted(event.histogram.items()))
+    print(
+        f"[{event.done}/{event.total}] "
+        f"{event.trials_per_sec:.1f} trials/s, {event.cached} cached"
+        + (f" | {hist}" if hist else ""),
+        file=stream,
+    )

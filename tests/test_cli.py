@@ -19,6 +19,25 @@ class TestParser:
         args = build_parser().parse_args(["fig6", "--runs", "10"])
         assert args.runs == 10
 
+    def test_runtime_flag_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.jobs == 1
+        assert args.no_cache is False
+        assert args.cache_dir is None
+        assert args.progress is False
+        assert args.trials == 500
+
+    def test_runtime_flag_overrides(self):
+        args = build_parser().parse_args(
+            ["fi", "--jobs", "4", "--no-cache", "--trials", "200",
+             "--cache-dir", "/tmp/somewhere", "--progress"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.trials == 200
+        assert args.cache_dir == "/tmp/somewhere"
+        assert args.progress is True
+
 
 class TestMain:
     def test_list_enumerates_all(self, capsys):
@@ -61,3 +80,37 @@ class TestMain:
         assert main(["fig2", "--instances", "80"]) == 0
         out = capsys.readouterr().out
         assert "SHE dT" in out
+
+    def test_fig5_parallel_matches_serial(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fig5", "--runs", "10", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig5", "--runs", "10", "--jobs", "2", "--no-cache"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical tables; only the runtime accounting line may differ.
+        strip = lambda out: [l for l in out.splitlines() if not l.startswith("runtime:")]
+        assert strip(serial) == strip(parallel)
+
+    def test_fig5_cache_rerun_executes_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fig5", "--runs", "10"]) == 0
+        first = capsys.readouterr().out
+        assert "7 levels executed, 0 cached" in first
+        assert main(["fig5", "--runs", "10"]) == 0
+        second = capsys.readouterr().out
+        assert "0 levels executed, 7 cached" in second
+
+    def test_fi_campaign_with_runtime_flags(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fi", "--trials", "100", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "100-trial campaign" in out
+        assert "masked" in out
+        assert "100 trials executed" in out
+
+    def test_progress_flag_streams_to_stderr(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fi", "--trials", "64", "--no-cache", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[64/64]" in err
+        assert "trials/s" in err
