@@ -27,6 +27,11 @@ Subpackages
     Shared parallel-execution layer: deterministic per-trial seed
     streams, process-pool campaign fan-out, on-disk result caching,
     and progress telemetry (see ``docs/campaigns.md``).
+``repro.obs``
+    Cross-layer observability: hierarchical tracing spans, a
+    process-global metrics registry, and structured JSONL run records
+    rendered by ``python -m repro report`` (see
+    ``docs/observability.md``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

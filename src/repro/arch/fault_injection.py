@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.arch.cpu import CPU, CrashError
 from repro.runtime import CampaignRunner
 
@@ -144,7 +145,8 @@ class FaultInjector:
             pc_at = -1
             opcode_at = ""
         try:
-            result = cpu.run(fault=(cycle, element, bit))
+            with obs.span("arch.cpu.run"):
+                result = cpu.run(fault=(cycle, element, bit))
         except CrashError:
             return self._record(cycle, element, bit, Outcome.CRASH, pc_at, opcode_at)
         except TimeoutError:
@@ -162,6 +164,8 @@ class FaultInjector:
         return self._record(cycle, element, bit, outcome, pc_at, opcode_at)
 
     def _record(self, cycle, element, bit, outcome, pc_at, opcode_at):
+        obs.inc("arch.fault_injection.trials")
+        obs.inc(f"arch.fault_injection.outcome.{outcome.value}")
         return InjectionRecord(
             program=self.program.name,
             cycle=cycle,
@@ -195,8 +199,14 @@ class FaultInjector:
             jobs=jobs, cache=cache, progress=progress, chunk_size=chunk_size,
             classify=lambda record: record.outcome.value,
         )
-        records = runner.run_trials(worker, n_trials, seed=seed,
-                                    key=("fi-campaign", self.fingerprint(), key_parts))
+        with obs.span(
+            "arch.fault_injection.campaign",
+            program=self.program.name, trials=n_trials,
+        ):
+            records = runner.run_trials(
+                worker, n_trials, seed=seed,
+                key=("fi-campaign", self.fingerprint(), key_parts),
+            )
         self.last_run_stats = runner.stats
         return CampaignResult(
             program=self.program.name,
@@ -232,19 +242,21 @@ class FaultInjector:
 def _random_chunk(injector, elements, chunk):
     """Execute one trial chunk of a random campaign (process-pool worker)."""
     records = []
-    for rng in chunk.rngs():
-        cycle = int(rng.integers(0, injector.golden_cycles))
-        element = elements[int(rng.integers(len(elements)))]
-        bit = int(rng.integers(0, 32))
-        records.append(injector.inject_one(cycle, element, bit))
+    with obs.span("arch.fault_injection.chunk", trials=len(chunk)):
+        for rng in chunk.rngs():
+            cycle = int(rng.integers(0, injector.golden_cycles))
+            element = elements[int(rng.integers(len(elements)))]
+            bit = int(rng.integers(0, 32))
+            records.append(injector.inject_one(cycle, element, bit))
     return records
 
 
 def _element_chunk(injector, element, chunk):
     """Execute one trial chunk of a single-element campaign."""
     records = []
-    for rng in chunk.rngs():
-        cycle = int(rng.integers(0, injector.golden_cycles))
-        bit = int(rng.integers(0, 32))
-        records.append(injector.inject_one(cycle, element, bit))
+    with obs.span("arch.fault_injection.chunk", trials=len(chunk)):
+        for rng in chunk.rngs():
+            cycle = int(rng.integers(0, injector.golden_cycles))
+            bit = int(rng.integers(0, 32))
+            records.append(injector.inject_one(cycle, element, bit))
     return records

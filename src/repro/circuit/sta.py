@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+
 DEFAULT_INPUT_SLEW_PS = 20.0
 DFF_SETUP_PS = 20.0
 
@@ -77,6 +79,13 @@ class StaticTimingAnalysis:
 
     def run(self):
         """Propagate arrivals/slews; returns self for chaining."""
+        with obs.span("circuit.sta.run", design=self.netlist.name):
+            self._run()
+        obs.inc("circuit.sta.runs")
+        obs.inc("circuit.sta.arrival_propagations", len(self.timings))
+        return self
+
+    def _run(self):
         arrivals = {pi: 0.0 for pi in self.netlist.primary_inputs}
         slews = {pi: self.input_slew_ps for pi in self.netlist.primary_inputs}
         self.timings = {}
@@ -128,7 +137,6 @@ class StaticTimingAnalysis:
                 slack = self.clock_period_ps - timing.arrival
             self.endpoint_slacks[name] = slack
         self._ran = True
-        return self
 
     # -- results --------------------------------------------------------------
     def _require_run(self):

@@ -2,20 +2,25 @@
 
 Usage::
 
-    python -m repro list                # available experiments
-    python -m repro fig5 --jobs 4      # Fig. 5 sweep over 4 processes
-    python -m repro fig6 --runs 50     # Fig. 6 with 50 MC runs/point
-    python -m repro fi --trials 2000   # fault-injection campaign
-    python -m repro fig2 fig3 hdc      # several in sequence
+    python -m repro list                     # available experiments
+    python -m repro fig5 --jobs 4            # Fig. 5 sweep over 4 processes
+    python -m repro fig6 --runs 50           # Fig. 6 with 50 MC runs/point
+    python -m repro fi --trials 2000         # fault-injection campaign
+    python -m repro fig2 fig3 hdc            # several in sequence
+    python -m repro fi --record runs         # record telemetry to runs/<id>/
+    python -m repro report runs/<id>         # render a recorded run
 
 Campaign experiments (``fig5``/``fig6``/``wall``/``fi``) execute
 through :mod:`repro.runtime`: ``--jobs N`` fans trial chunks out over N
 processes (results identical to serial), completed chunks are memoized
 on disk so re-runs only execute new points (``--no-cache`` disables,
-``--cache-dir`` relocates), and ``--progress`` streams trials/sec plus
-the outcome histogram to stderr.  The CLI prints the same series the
-benchmark harness checks; the full statistical versions live under
-``benchmarks/``.
+``--cache-dir`` relocates), and ``--progress`` streams trials/sec, an
+ETA, and the outcome histogram to stderr.  ``--record DIR`` wraps each
+experiment in a :class:`repro.obs.RunRecorder`: spans, metrics, and
+campaign accounting land in a JSONL run record that ``python -m repro
+report <run-dir>`` renders (see ``docs/observability.md``).  The CLI
+prints the same series the benchmark harness checks; the full
+statistical versions live under ``benchmarks/``.
 """
 
 from __future__ import annotations
@@ -310,25 +315,95 @@ def build_parser():
     )
     runtime.add_argument(
         "--progress", action="store_true",
-        help="stream trials/sec and the outcome histogram to stderr",
+        help="stream trials/sec, ETA, and the outcome histogram to stderr",
+    )
+    runtime.add_argument(
+        "--record", default=None, metavar="DIR",
+        help="record spans/metrics/outcomes to DIR/<run-id>/record.jsonl "
+             "(render with 'python -m repro report DIR/<run-id>')",
     )
     return parser
 
 
+def build_report_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Render a recorded run (see 'python -m repro <exp> --record').",
+    )
+    parser.add_argument(
+        "path",
+        help="run record: a record.jsonl file, a run directory, or a base "
+             "directory of runs (newest record wins)",
+    )
+    return parser
+
+
+def run_report(argv):
+    """``python -m repro report <path>``: render one run record."""
+    from repro.obs import load_run_record, render_report
+
+    args = build_report_parser().parse_args(argv)
+    try:
+        record = load_run_record(args.path)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"cannot load run record: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(record), end="")
+    return 0
+
+
+def _describe(fn):
+    """First docstring line of an experiment runner (its one-line summary)."""
+    doc = (fn.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else "(no description)"
+
+
+def run_list(args):
+    print("available experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name:<10} {_describe(EXPERIMENTS[name])}")
+    print("  report     Render a recorded run (python -m repro report <run-dir>)")
+    return 0
+
+
+def _run_recorded(name, args):
+    """Run one experiment under a RunRecorder writing to ``args.record``."""
+    from repro import obs
+    from repro.obs import RunRecorder
+
+    config = {
+        "experiment": name,
+        "runs": args.runs,
+        "instances": args.instances,
+        "trials": args.trials,
+        "jobs": args.jobs,
+        "cache": not args.no_cache,
+    }
+    # Every CLI experiment roots its seed streams at 0 (reproducibility).
+    with RunRecorder(args.record, name=name, config=config, seed=0) as recorder:
+        with obs.span(f"cli.{name}"):
+            EXPERIMENTS[name](args)
+    print(f"run record: {recorder.path}")
+
+
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        return run_report(argv[1:])
     args = build_parser().parse_args(argv)
     if "list" in args.experiments:
-        print("available experiments:")
-        for name, fn in EXPERIMENTS.items():
-            print(f"  {name:<10} {fn.__doc__.strip().splitlines()[0]}")
-        return 0
+        return run_list(args)
     unknown = [e for e in args.experiments if e not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print("run 'python -m repro list' to see the menu", file=sys.stderr)
         return 2
     for name in args.experiments:
-        EXPERIMENTS[name](args)
+        if args.record:
+            _run_recorded(name, args)
+        else:
+            EXPERIMENTS[name](args)
     return 0
 
 

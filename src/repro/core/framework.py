@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+
 
 @dataclass
 class LoopHistory:
@@ -68,17 +70,19 @@ class ReliabilityManagementLoop:
         if n_epochs < 1:
             raise ValueError("need at least one epoch")
         history = LoopHistory()
-        state = self.observe(system)
-        for _ in range(n_epochs):
-            action = self.agent.act(state, explore=learn)
-            self.apply_action(system, action)
-            self.step_system(system)
-            next_state = self.observe(system)
-            r = self.reward(system)
-            if learn:
-                self.agent.update(state, action, r, next_state)
-            history.states.append(state)
-            history.actions.append(action)
-            history.rewards.append(r)
-            state = next_state
+        with obs.span("core.framework.episode", epochs=n_epochs, learn=learn):
+            state = self.observe(system)
+            for _ in range(n_epochs):
+                action = self.agent.act(state, explore=learn)
+                self.apply_action(system, action)
+                self.step_system(system)
+                next_state = self.observe(system)
+                r = self.reward(system)
+                if learn:
+                    self.agent.update(state, action, r, next_state)
+                history.states.append(state)
+                history.actions.append(action)
+                history.rewards.append(r)
+                state = next_state
+        obs.inc("core.framework.epochs", n_epochs)
         return history

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, is_dataclass, asdict
 
 import numpy as np
 
+from repro import obs
 from repro.core.checkpoint import CheckpointSystem
 from repro.core.cycle_noise import ALL_POLICIES, simulate_run
 from repro.runtime import CampaignRunner
@@ -76,6 +77,12 @@ class MonteCarloStudy:
 
     def run_level(self, error_probability):
         """Monte Carlo at one error-probability level."""
+        with obs.span("core.montecarlo.level", p=error_probability):
+            return self._run_level(error_probability)
+
+    def _run_level(self, error_probability):
+        obs.inc("core.montecarlo.levels")
+        obs.inc("core.montecarlo.mc_runs", self.n_runs * (1 + len(self.policies)))
         cp = CheckpointSystem(
             error_probability,
             checkpoint_cycles=self.checkpoint_cycles,

@@ -1,0 +1,130 @@
+"""Process-global metrics registry: counters, gauges, histograms.
+
+Metric names follow the ``layer.component.metric`` convention
+(``"runtime.cache.hits"``, ``"transistor.aging.nbti_evals"``) so run
+records can be broken down by abstraction layer — the first dotted
+segment is the layer.
+
+Three instrument kinds, chosen to stay cheap on hot paths and mergeable
+across process boundaries:
+
+* **counter** — monotonically increasing total (:meth:`MetricsRegistry.inc`);
+* **gauge** — last-written value (:meth:`MetricsRegistry.set_gauge`);
+* **histogram** — running ``count/total/min/max`` summary of observed
+  values (:meth:`MetricsRegistry.observe`); no reservoir, so memory is
+  O(1) per metric and worker snapshots merge exactly.
+
+While disabled (the default) every instrument call is a single flag
+check — instrumented library code pays effectively nothing.
+"""
+
+from __future__ import annotations
+
+
+class HistogramStat:
+    """O(1) summary of an observed value stream."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self):
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def absorb(self, d):
+        if not d.get("count"):
+            return
+        self.count += d["count"]
+        self.total += d["total"]
+        self.min = d["min"] if self.min is None else min(self.min, d["min"])
+        self.max = d["max"] if self.max is None else max(self.max, d["max"])
+
+
+class MetricsRegistry:
+    """One process's metric state; snapshot/merge make it cross-process."""
+
+    def __init__(self):
+        self.enabled = False
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    # -- instruments -----------------------------------------------------
+    def inc(self, name, amount=1):
+        """Add ``amount`` to counter ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name, value):
+        """Record the current value of gauge ``name``."""
+        if not self.enabled:
+            return
+        self.gauges[name] = value
+
+    def observe(self, name, value):
+        """Feed one value into histogram ``name``."""
+        if not self.enabled:
+            return
+        stat = self.histograms.get(name)
+        if stat is None:
+            stat = self.histograms[name] = HistogramStat()
+        stat.observe(value)
+
+    # -- lifecycle -------------------------------------------------------
+    def reset(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+
+    def snapshot(self):
+        """JSON-ready dump of every metric (sorted for determinism)."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_dict() for k in sorted(self.histograms)
+            },
+        }
+
+    def merge(self, snapshot):
+        """Fold a worker's snapshot into this registry.
+
+        Counters and histogram summaries add; gauges take the incoming
+        value (last writer wins, matching in-process semantics).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauges[name] = value
+        for name, d in snapshot.get("histograms", {}).items():
+            stat = self.histograms.get(name)
+            if stat is None:
+                stat = self.histograms[name] = HistogramStat()
+            stat.absorb(d)
+
+
+def layer_of(metric_or_span_name):
+    """The abstraction layer a dotted name belongs to (first segment)."""
+    return metric_or_span_name.split(".", 1)[0]

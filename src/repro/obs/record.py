@@ -1,0 +1,176 @@
+"""Structured run records: one JSONL file per recorded campaign.
+
+A *run record* is the durable artifact of one observed run: what was
+run (config + digest, seed root, package version), what happened
+(outcome histogram, campaign/cache accounting), and where time went
+(the span tree and metrics snapshot).  It is written as JSONL — one
+self-describing object per line, each with a ``"type"`` field — so the
+schema can grow without breaking old readers and a truncated file still
+parses line by line:
+
+.. code-block:: text
+
+    {"type": "meta",      "schema": 1, "run_id": ..., "config_digest": ..., ...}
+    {"type": "spans",     "root": {...span tree...}}
+    {"type": "metrics",   "counters": {...}, "gauges": {...}, "histograms": {...}}
+    {"type": "campaigns", "campaigns": [{...runner accounting...}, ...]}
+    {"type": "outcomes",  "histogram": {...label -> count...}}
+
+:class:`RunRecorder` is the writer (and the switch: entering it enables
+collection); :func:`load_run_record` is the reader the ``repro report``
+CLI uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+import repro.obs as obs
+
+#: Bump when a record line's fields change incompatibly.
+RUN_RECORD_SCHEMA = 1
+
+RECORD_FILENAME = "record.jsonl"
+
+
+def config_digest(config):
+    """Short content digest of a run's configuration mapping.
+
+    Permissive on value types (falls back to ``repr``) — unlike cache
+    keys, a run record digest only needs to *identify* a configuration,
+    never to guarantee collision-free addressing.
+    """
+    payload = json.dumps(config, sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class RunRecorder:
+    """Record one run's telemetry to ``<base_dir>/<run_id>/record.jsonl``.
+
+    Entering the recorder resets and enables :mod:`repro.obs` collection;
+    leaving it writes the record and restores the previous on/off state.
+
+    Parameters
+    ----------
+    base_dir:
+        Directory that holds run directories (created on demand).
+    name:
+        Experiment/campaign name; becomes part of the run id.
+    config:
+        Mapping describing the run (CLI args, study parameters); digested
+        into ``config_digest``.
+    seed:
+        The root seed the run's deterministic streams derive from.
+    run_id:
+        Override the generated ``<name>-<timestamp>-<pid>`` id.
+    """
+
+    def __init__(self, base_dir, name, config=None, seed=None, run_id=None):
+        self.name = name
+        self.config = dict(config or {})
+        self.seed = seed
+        if run_id is None:
+            stamp = time.strftime("%Y%m%d-%H%M%S")
+            run_id = f"{name}-{stamp}-{os.getpid()}"
+        self.run_id = run_id
+        self.run_dir = Path(base_dir) / run_id
+        self.path = self.run_dir / RECORD_FILENAME
+        self._was_enabled = False
+        self._t0 = None
+        self._started = None
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self):
+        self._was_enabled = obs.enabled()
+        obs.reset()
+        obs.enable()
+        self._started = time.strftime("%Y-%m-%dT%H:%M:%S")
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        try:
+            status = "ok" if exc_type is None else f"error: {exc_type.__name__}"
+            self.write(elapsed_s=time.perf_counter() - self._t0, status=status)
+        finally:
+            if not self._was_enabled:
+                obs.disable()
+        return False
+
+    # -- writing ---------------------------------------------------------
+    def _lines(self, elapsed_s, status):
+        import repro
+
+        campaigns = obs.campaign_notes()
+        outcomes = {}
+        for campaign in campaigns:
+            for label, count in campaign.get("histogram", {}).items():
+                outcomes[label] = outcomes.get(label, 0) + count
+        yield {
+            "type": "meta",
+            "schema": RUN_RECORD_SCHEMA,
+            "run_id": self.run_id,
+            "name": self.name,
+            "version": repro.__version__,
+            "config": self.config,
+            "config_digest": config_digest(self.config),
+            "seed_root": self.seed,
+            "started": self._started,
+            "elapsed_s": elapsed_s,
+            "status": status,
+        }
+        yield {"type": "spans", "root": obs.span_tree()}
+        yield {"type": "metrics", **obs.metrics_snapshot()}
+        yield {"type": "campaigns", "campaigns": campaigns}
+        yield {"type": "outcomes", "histogram": outcomes}
+
+    def write(self, elapsed_s=0.0, status="ok"):
+        """Serialize the current telemetry state; returns the record path."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            for line in self._lines(elapsed_s, status):
+                fh.write(json.dumps(line, sort_keys=True, default=repr) + "\n")
+        os.replace(tmp, self.path)
+        return self.path
+
+
+def _resolve_record_path(path):
+    """Accept a record file, a run dir, or a base dir of run dirs."""
+    path = Path(path)
+    if path.is_file():
+        return path
+    direct = path / RECORD_FILENAME
+    if direct.is_file():
+        return direct
+    candidates = sorted(
+        path.glob(f"*/{RECORD_FILENAME}"), key=lambda p: p.stat().st_mtime
+    )
+    if candidates:
+        return candidates[-1]  # newest run under a base directory
+    raise FileNotFoundError(f"no {RECORD_FILENAME} found under {path}")
+
+
+def load_run_record(path):
+    """Parse a run record into ``{"meta": ..., "spans": ..., ...}``.
+
+    ``path`` may be the ``record.jsonl`` file itself, a run directory, or
+    a base directory holding several run directories (the newest record
+    wins — handy for ``repro report runs/`` right after a recorded run).
+    """
+    record_path = _resolve_record_path(path)
+    record = {"path": str(record_path)}
+    with open(record_path) as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            line = json.loads(raw)
+            kind = line.pop("type", None)
+            if kind:
+                record[kind] = line
+    return record

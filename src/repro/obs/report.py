@@ -1,0 +1,164 @@
+"""Render a run record into a human-readable report.
+
+Backs the ``python -m repro report <run-dir>`` command: a summary table
+(what ran, for how long, with what outcome mix), campaign/cache
+accounting, a **per-layer time breakdown** (exclusive span self-time
+aggregated by the first dotted segment of each span name), and the
+indented span tree itself.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import layer_of
+
+
+def _walk(node, visit, depth=0):
+    visit(node, depth)
+    for child in node.get("children", ()):
+        _walk(child, visit, depth + 1)
+
+
+def _self_s(node):
+    return max(
+        node.get("total_s", 0.0)
+        - sum(c.get("total_s", 0.0) for c in node.get("children", ())),
+        0.0,
+    )
+
+
+def layer_breakdown(spans_root):
+    """Aggregate exclusive span time by abstraction layer.
+
+    Returns ``{layer: {"spans": n_nodes, "calls": total_count,
+    "self_s": exclusive_seconds}}``, skipping the synthetic root.  A
+    span's *exclusive* time (total minus children) is what its own layer
+    actually spent, so layers sum to (at most) the recorded wall time
+    instead of double-counting nested work.
+    """
+    layers = {}
+
+    def visit(node, depth):
+        if depth == 0:  # synthetic "run" root
+            return
+        layer = layer_of(node["name"])
+        entry = layers.setdefault(layer, {"spans": 0, "calls": 0, "self_s": 0.0})
+        entry["spans"] += 1
+        entry["calls"] += node.get("count", 0)
+        entry["self_s"] += _self_s(node)
+
+    _walk(spans_root, visit)
+    return layers
+
+
+def _table(header, rows):
+    if not rows:
+        return []
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(header)
+    ]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(header, widths)).rstrip()]
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)).rstrip())
+    return lines
+
+
+def format_span_tree(spans_root, max_depth=8):
+    """Indented one-line-per-node rendering of the span tree."""
+    lines = []
+
+    def visit(node, depth):
+        if depth > max_depth:
+            return
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{node['name']}  x{node.get('count', 0)}  "
+            f"{node.get('total_s', 0.0):.3f}s"
+        )
+
+    _walk(spans_root, visit)
+    return lines
+
+
+def render_report(record):
+    """Full multi-section report text for one loaded run record."""
+    meta = record.get("meta", {})
+    spans = record.get("spans", {}).get("root", {"name": "run", "children": []})
+    metrics = record.get("metrics", {})
+    campaigns = record.get("campaigns", {}).get("campaigns", [])
+    outcomes = record.get("outcomes", {}).get("histogram", {})
+
+    lines = [f"== run record: {meta.get('run_id', '?')} =="]
+    lines += _table(
+        ("field", "value"),
+        [
+            ("experiment", meta.get("name", "?")),
+            ("version", meta.get("version", "?")),
+            ("started", meta.get("started", "?")),
+            ("elapsed", f"{meta.get('elapsed_s', 0.0):.2f} s"),
+            ("status", meta.get("status", "?")),
+            ("seed root", meta.get("seed_root")),
+            ("config digest", meta.get("config_digest", "?")),
+        ],
+    )
+
+    if campaigns:
+        lines += ["", "== campaigns =="]
+        rows = []
+        for i, c in enumerate(campaigns):
+            rows.append(
+                (
+                    i,
+                    c.get("total_trials", 0),
+                    c.get("executed_trials", 0),
+                    c.get("cached_trials", 0),
+                    f"{c.get('trials_per_sec', 0.0):.1f}",
+                    c.get("jobs_used", 1),
+                    f"{c.get('cache_hits', 0)}/{c.get('cache_misses', 0)}",
+                )
+            )
+        lines += _table(
+            ("#", "trials", "executed", "cached", "trials/s", "jobs", "cache h/m"),
+            rows,
+        )
+
+    if outcomes:
+        total = sum(outcomes.values()) or 1
+        lines += ["", "== outcomes =="]
+        lines += _table(
+            ("outcome", "count", "rate"),
+            [
+                (label, count, f"{count / total:.3f}")
+                for label, count in sorted(outcomes.items())
+            ],
+        )
+
+    layers = layer_breakdown(spans)
+    if layers:
+        wall = meta.get("elapsed_s") or sum(v["self_s"] for v in layers.values()) or 1.0
+        lines += ["", "== per-layer time =="]
+        rows = [
+            (
+                layer,
+                entry["spans"],
+                entry["calls"],
+                f"{entry['self_s']:.3f}",
+                f"{100.0 * entry['self_s'] / wall:.1f}%",
+            )
+            for layer, entry in sorted(
+                layers.items(), key=lambda kv: -kv[1]["self_s"]
+            )
+        ]
+        lines += _table(("layer", "spans", "calls", "self time (s)", "of wall"), rows)
+
+    if spans.get("children"):
+        lines += ["", "== span tree =="]
+        lines += format_span_tree(spans)
+
+    counters = metrics.get("counters", {})
+    if counters:
+        lines += ["", "== counters =="]
+        lines += _table(
+            ("counter", "value"), [(k, v) for k, v in sorted(counters.items())]
+        )
+
+    return "\n".join(lines) + "\n"

@@ -17,10 +17,17 @@ they all share:
     :class:`CampaignRunner` — chunked fan-out over a process pool with a
     serial fallback for ``jobs=1`` and non-picklable workloads.
 :mod:`repro.runtime.telemetry`
-    Progress events (trials/sec, outcome histogram so far) and
-    ready-made consumers.
+    Progress events (trials/sec, ETA, cache hit/miss deltas, outcome
+    histogram so far) and ready-made consumers.
 
-See ``docs/campaigns.md`` for the user-facing guide.
+The runner is also instrumented against :mod:`repro.obs`: with
+collection enabled it opens a ``runtime.campaign`` span per invocation,
+captures spans/metrics recorded inside pool workers and re-parents them
+onto the parent process's tree, and notes per-campaign accounting for
+structured run records (``repro <exp> --record`` / ``repro report``).
+
+See ``docs/campaigns.md`` for the user-facing guide and
+``docs/observability.md`` for the observability layer.
 """
 
 from repro.runtime.cache import (

@@ -28,6 +28,8 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
+
 #: Bump when the on-disk value format or keying scheme changes; old
 #: entries then simply miss instead of deserializing garbage.
 CACHE_VERSION = 1
@@ -115,14 +117,18 @@ class ResultCache:
                 value = pickle.load(fh)
         except FileNotFoundError:
             self.stats.misses += 1
+            obs.inc("runtime.cache.misses")
             return MISS
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             # Torn/stale entry (e.g. written by an incompatible version):
             # treat as a miss; put() will overwrite it.
             self.stats.errors += 1
             self.stats.misses += 1
+            obs.inc("runtime.cache.errors")
+            obs.inc("runtime.cache.misses")
             return MISS
         self.stats.hits += 1
+        obs.inc("runtime.cache.hits")
         return value
 
     def put(self, digest, value):
@@ -140,8 +146,10 @@ class ResultCache:
                     os.unlink(tmp)
         except OSError:
             self.stats.errors += 1
+            obs.inc("runtime.cache.errors")
             return
         self.stats.writes += 1
+        obs.inc("runtime.cache.writes")
 
     def clear(self):
         """Delete every entry (directory itself is kept)."""

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.runtime.cache import MISS
 from repro.runtime.seeding import trial_seed_sequence
 from repro.runtime.telemetry import ProgressEvent
@@ -98,6 +99,8 @@ class RunStats:
     jobs_used: int = 1
     fallback_reason: str = None
     histogram: dict = field(default_factory=dict)
+    cache_hits: int = 0  # ResultCache unit hits during this run
+    cache_misses: int = 0  # ResultCache unit misses during this run
 
     @property
     def trials_per_sec(self):
@@ -106,8 +109,20 @@ class RunStats:
         return self.executed_trials / self.elapsed_s
 
 
-def _invoke(worker, item):  # module-level so it pickles by reference
-    return worker(item)
+def _invoke(worker, item, collect=False):  # module-level so it pickles by reference
+    """Run one unit; optionally capture its spans/metrics for the parent.
+
+    ``collect`` is baked in at submit time from the parent's
+    :mod:`repro.obs` state, so worker processes collect telemetry exactly
+    when the parent is collecting — including under spawn-based pools
+    where the parent's module globals are not inherited.
+    """
+    if not collect:
+        return worker(item), None
+    obs.enable()
+    with obs.capture() as cap:
+        worker_result = worker(item)
+    return worker_result, cap.snapshot
 
 
 class CampaignRunner:
@@ -189,9 +204,45 @@ class CampaignRunner:
             total_trials=sum(weights), units_total=len(items), jobs_used=self.jobs
         )
         self.stats = stats
+        with obs.span(
+            "runtime.campaign",
+            units=len(items), trials=stats.total_trials, jobs=self.jobs,
+        ):
+            results = self._execute_units(
+                worker, items, base_key, item_keys, weights, unit_is_batch, stats
+            )
+        obs.note_campaign({
+            "total_trials": stats.total_trials,
+            "executed_trials": stats.executed_trials,
+            "cached_trials": stats.cached_trials,
+            "units_total": stats.units_total,
+            "units_executed": stats.units_executed,
+            "units_cached": stats.units_cached,
+            "elapsed_s": stats.elapsed_s,
+            "trials_per_sec": stats.trials_per_sec,
+            "jobs_used": stats.jobs_used,
+            "fallback_reason": stats.fallback_reason,
+            "histogram": dict(stats.histogram),
+            "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+        })
+        return results
+
+    def _execute_units(self, worker, items, base_key, item_keys, weights,
+                       unit_is_batch, stats):
         started = time.perf_counter()
         results = [None] * len(items)
         done_trials = 0
+        # Cache counter baseline: the attached cache may outlive several
+        # runs, so progress events report this run's deltas only.
+        cache_hits0 = self.cache.stats.hits if self.cache is not None else 0
+        cache_misses0 = self.cache.stats.misses if self.cache is not None else 0
+
+        def cache_deltas():
+            if self.cache is None:
+                return 0, 0
+            return (self.cache.stats.hits - cache_hits0,
+                    self.cache.stats.misses - cache_misses0)
 
         def observe(index, result):
             nonlocal done_trials
@@ -204,6 +255,7 @@ class CampaignRunner:
 
         def emit():
             stats.elapsed_s = time.perf_counter() - started
+            stats.cache_hits, stats.cache_misses = cache_deltas()
             if self.progress is not None:
                 self.progress(ProgressEvent(
                     done=done_trials,
@@ -212,6 +264,8 @@ class CampaignRunner:
                     elapsed_s=stats.elapsed_s,
                     trials_per_sec=stats.trials_per_sec,
                     histogram=dict(stats.histogram),
+                    cache_hits=stats.cache_hits,
+                    cache_misses=stats.cache_misses,
                 ))
 
         # Cache scan: satisfy whatever we can without executing.
@@ -239,17 +293,31 @@ class CampaignRunner:
             emit()
 
         if self._use_pool(worker, [items[i] for i in pending], stats):
+            collect = obs.enabled()
             with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
                 futures = {
-                    pool.submit(_invoke, worker, items[i]): i for i in pending
+                    pool.submit(_invoke, worker, items[i], collect): i
+                    for i in pending
                 }
                 for future in as_completed(futures):
-                    finish(futures[future], future.result())
+                    result, telemetry = future.result()
+                    # Re-parent the worker's spans/metrics under the
+                    # current runtime.campaign span before accounting, so
+                    # the merged tree matches what a serial run records.
+                    obs.absorb(telemetry)
+                    finish(futures[future], result)
         else:
             for i in pending:
                 finish(i, worker(items[i]))
 
         stats.elapsed_s = time.perf_counter() - started
+        stats.cache_hits, stats.cache_misses = cache_deltas()
+        obs.inc("runtime.runner.units_executed", stats.units_executed)
+        obs.inc("runtime.runner.units_cached", stats.units_cached)
+        obs.inc("runtime.runner.trials_executed", stats.executed_trials)
+        obs.inc("runtime.runner.trials_cached", stats.cached_trials)
+        if stats.fallback_reason is not None:
+            obs.inc("runtime.runner.serial_fallbacks")
         return results
 
     def _use_pool(self, worker, pending_items, stats):

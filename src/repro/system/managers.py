@@ -17,6 +17,7 @@ import copy
 
 import numpy as np
 
+from repro import obs
 from repro.system.platform import Platform
 from repro.system.rl import Discretizer, QLearningAgent
 from repro.system.ser import soft_error_rate
@@ -281,6 +282,7 @@ class MigrationThermalManager:
             assignment = dict(platform.assignment)
             assignment[mover.name] = cool
             platform.remap(assignment)
+            obs.inc("system.managers.migrations")
 
 
 class RLThermalManager(RLDVFSManager):
@@ -337,10 +339,14 @@ def run_managed_simulation(
             cores, task_set, assignment, dt=dt, seed=seed + seed_offset
         )
 
-    for episode in range(training_episodes):
-        platform = build(1000 + episode)
-        platform.run(duration, manager=manager)
-    if hasattr(manager, "freeze"):
-        manager.freeze()
-    platform = build(0)
-    return platform.run(duration, manager=manager)
+    with obs.span(
+        "system.managers.simulation",
+        manager=type(manager).__name__, training_episodes=training_episodes,
+    ):
+        for episode in range(training_episodes):
+            platform = build(1000 + episode)
+            platform.run(duration, manager=manager)
+        if hasattr(manager, "freeze"):
+            manager.freeze()
+        platform = build(0)
+        return platform.run(duration, manager=manager)

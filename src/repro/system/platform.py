@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.system.power import total_power
 from repro.system.reliability_models import combined_mttf
 from repro.system.scheduler import load_per_core
@@ -125,12 +126,18 @@ class Platform:
         """Simulate ``duration`` seconds; the manager acts every control period."""
         control_period = control_period or (10 * self.dt)
         next_control = 0.0
-        while self.time < duration:
-            if manager is not None and self.time >= next_control:
-                manager.control(self)
-                next_control += control_period
-            self.step()
-        self.finalize()
+        manager_name = type(manager).__name__ if manager is not None else "none"
+        steps = 0
+        with obs.span("system.platform.run", manager=manager_name):
+            while self.time < duration:
+                if manager is not None and self.time >= next_control:
+                    manager.control(self)
+                    obs.inc("system.managers.control_epochs")
+                    next_control += control_period
+                self.step()
+                steps += 1
+            self.finalize()
+        obs.inc("system.platform.steps", steps)
         return self.metrics
 
     def finalize(self):

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from repro import obs
+
 
 def utilization(tasks, speed=1.0):
     """Total utilization of ``tasks`` on a core of relative ``speed``."""
@@ -12,6 +14,7 @@ def utilization(tasks, speed=1.0):
 
 def edf_feasible(tasks, speed=1.0):
     """EDF feasibility for implicit-deadline periodic tasks: U <= 1."""
+    obs.inc("system.scheduler.edf_checks")
     return utilization(tasks, speed) <= 1.0 + 1e-12
 
 
@@ -37,6 +40,8 @@ def first_fit_partition(task_set, cores):
     for idx, tasks in enumerate(bins):
         for task in tasks:
             assignment[task.name] = idx
+    obs.inc("system.scheduler.partitions")
+    obs.inc("system.scheduler.placements", len(assignment))
     return assignment
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.transistor.device import Transistor
 
 BOLTZMANN_EV = 8.617e-5  # eV/K
@@ -55,6 +56,7 @@ def nbti_delta_vth(stress_time_s, duty_cycle, temperature_c, vdd=0.8):
     if np.any(stress_time_s < 0):
         raise ValueError("stress time must be non-negative")
     duty = np.clip(np.asarray(duty_cycle, dtype=float), 0.0, 1.0)
+    obs.inc("transistor.aging.nbti_evals", int(np.size(stress_time_s)))
     t_k = _kelvin(np.asarray(temperature_c, dtype=float))
     arrhenius = np.exp(-NBTI_EA / (BOLTZMANN_EV * t_k))
     field = (vdd / 0.8) ** 2.0
@@ -74,6 +76,7 @@ def hci_delta_vth(stress_time_s, switching_activity, temperature_c, vdd=0.8):
     if np.any(stress_time_s < 0):
         raise ValueError("stress time must be non-negative")
     activity = np.clip(np.asarray(switching_activity, dtype=float), 0.0, 1.0)
+    obs.inc("transistor.aging.hci_evals", int(np.size(stress_time_s)))
     t_k = _kelvin(np.asarray(temperature_c, dtype=float))
     arrhenius = np.exp(-HCI_EA / (BOLTZMANN_EV * t_k))
     return (

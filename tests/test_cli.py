@@ -46,6 +46,22 @@ class TestMain:
         for name in EXPERIMENTS:
             assert name in out
 
+    def test_list_shows_one_line_descriptions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        # Each experiment line carries its runner's docstring summary.
+        assert "Fig. 5: rollbacks per segment vs error probability." in out
+        assert "fault-injection campaign with outcome taxonomy" in out
+        assert "report" in out  # the run-record renderer is advertised too
+
+    def test_list_survives_missing_docstring(self, capsys, monkeypatch):
+        def undocumented(args):
+            pass
+
+        monkeypatch.setitem(EXPERIMENTS, "nodoc", undocumented)
+        assert main(["list"]) == 0
+        assert "(no description)" in capsys.readouterr().out
+
     def test_unknown_experiment_errors(self, capsys):
         assert main(["fig99"]) == 2
         assert "unknown experiments" in capsys.readouterr().err
@@ -114,3 +130,13 @@ class TestMain:
         err = capsys.readouterr().err
         assert "[64/64]" in err
         assert "trials/s" in err
+
+    def test_progress_on_fully_cached_rerun_prints_no_rate(self, capsys, tmp_path,
+                                                           monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fi", "--trials", "64"]) == 0
+        capsys.readouterr()
+        assert main(["fi", "--trials", "64", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "all from cache" in err
+        assert "trials/s" not in err
