@@ -1,0 +1,305 @@
+"""Perf-smoke harness for the Sec. V evaluation kernels.
+
+Times the Fig. 5/Fig. 6 Monte Carlo sweep and the wall-ablation
+hit-rate grid on both the batched numpy kernels and the scalar
+reference path (same seeds, ``jobs=1``, no cache), verifies the
+scalar-vs-batched equivalence contract, and appends one entry — machine
+info, wall-clock timings, speedups — to a ``BENCH_sweep.json``
+trajectory record.  See ``docs/performance.md`` for how to read the
+record and why regression checks compare *speedups* (within-run ratios)
+rather than raw wall-clock across machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py                 # print only
+    PYTHONPATH=src python benchmarks/perf_smoke.py --output BENCH_sweep.json
+    PYTHONPATH=src python benchmarks/perf_smoke.py \\
+        --check BENCH_sweep.json --min-speedup 5 --output out/BENCH_sweep.json
+
+Exit status is non-zero when the equivalence contract fails, when any
+bench's speedup is below ``--min-speedup``, or when ``--check`` finds a
+more-than-``--regression-factor`` speedup drop against the baseline
+record's newest entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.core import (
+    CheckpointSystem,
+    MonteCarloStudy,
+    WCET,
+    adpcm_like_workload,
+    simulate_run,
+    simulate_runs_batch,
+)
+from repro.core.montecarlo import DEFAULT_ERROR_PROBS
+
+SCHEMA = 1
+WALL_PROBS = (1e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4)
+WALL_SPEEDS = (2.0, 4.0, 8.0)
+HIT_RATE_TOLERANCE = 0.15
+
+
+def _timed(fn, rounds):
+    """Median wall-clock of ``rounds`` calls, plus the last return value."""
+    times = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times)), result
+
+
+def _study(n_runs, kernel):
+    return MonteCarloStudy(
+        adpcm_like_workload(n_segments=12, seed=0),
+        n_runs=n_runs,
+        seed=0,
+        kernel=kernel,
+    )
+
+
+def bench_fig5_fig6_sweep(n_runs, rounds):
+    """The headline bench: the full default-grid Fig. 5 + Fig. 6 sweep."""
+    probs = list(DEFAULT_ERROR_PROBS)
+    batched = _study(n_runs, "auto")
+    scalar = _study(n_runs, "scalar")
+    batched_s, batched_pts = _timed(
+        lambda: batched.sweep(probs, jobs=1, cache=None), rounds
+    )
+    scalar_s, scalar_pts = _timed(
+        lambda: scalar.sweep(probs, jobs=1, cache=None), rounds
+    )
+
+    # Equivalence contract (docs/performance.md): Fig. 5 statistic is
+    # draw-for-draw identical, hit rates distribution-equivalent,
+    # analytic curves bit-identical.
+    deltas = []
+    for pb, ps in zip(batched_pts, scalar_pts):
+        if pb.mean_rollbacks_per_segment != ps.mean_rollbacks_per_segment:
+            raise AssertionError(
+                f"fig5 statistic diverged at p={pb.error_probability:.0e}"
+            )
+        deltas.extend(
+            abs(pb.hit_rate[name] - ps.hit_rate[name]) for name in pb.hit_rate
+        )
+    if max(deltas) > HIT_RATE_TOLERANCE:
+        raise AssertionError(
+            f"hit-rate delta {max(deltas):.3f} exceeds {HIT_RATE_TOLERANCE}"
+        )
+    if not np.array_equal(
+        batched.analytic_rollbacks(probs), scalar.analytic_rollbacks(probs)
+    ):
+        raise AssertionError("analytic curves are kernel-dependent")
+
+    return {
+        "batched_s": batched_s,
+        "scalar_s": scalar_s,
+        "speedup": scalar_s / batched_s,
+        "levels": len(probs),
+        "n_runs": n_runs,
+        "max_hit_rate_delta": max(deltas),
+    }
+
+
+def _wall_grid_batched(workload, n_runs):
+    rates = []
+    for max_speed in WALL_SPEEDS:
+        for p in WALL_PROBS:
+            batch = simulate_runs_batch(
+                workload,
+                CheckpointSystem(p),
+                WCET,
+                np.random.default_rng(0),
+                n_runs,
+                max_speed=max_speed,
+            )
+            rates.append(float(np.mean(batch.deadline_met)))
+    return rates
+
+
+def _wall_grid_scalar(workload, n_runs):
+    rates = []
+    for max_speed in WALL_SPEEDS:
+        for p in WALL_PROBS:
+            cp = CheckpointSystem(p)
+            rng = np.random.default_rng(0)
+            hits = sum(
+                simulate_run(
+                    workload, cp, WCET, rng, max_speed=max_speed
+                ).deadline_met
+                for _ in range(n_runs)
+            )
+            rates.append(hits / n_runs)
+    return rates
+
+
+def bench_wall_ablation(n_runs, rounds):
+    """The wall-ablation grid: WCET hit rate over (max speed, p)."""
+    workload = adpcm_like_workload(n_segments=12, seed=0)
+    batched_s, batched_rates = _timed(
+        lambda: _wall_grid_batched(workload, n_runs), rounds
+    )
+    scalar_s, scalar_rates = _timed(
+        lambda: _wall_grid_scalar(workload, n_runs), rounds
+    )
+    delta = max(abs(a - b) for a, b in zip(batched_rates, scalar_rates))
+    if delta > HIT_RATE_TOLERANCE:
+        raise AssertionError(
+            f"wall grid hit-rate delta {delta:.3f} exceeds {HIT_RATE_TOLERANCE}"
+        )
+    return {
+        "batched_s": batched_s,
+        "scalar_s": scalar_s,
+        "speedup": scalar_s / batched_s,
+        "grid_points": len(batched_rates),
+        "n_runs": n_runs,
+        "max_hit_rate_delta": delta,
+    }
+
+
+BENCHES = {
+    "fig5_fig6_sweep": bench_fig5_fig6_sweep,
+    "wall_ablation": bench_wall_ablation,
+}
+
+
+def machine_info():
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_benches(n_runs, rounds):
+    entry = {
+        "schema": SCHEMA,
+        "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": machine_info(),
+        "config": {"n_runs": n_runs, "rounds": rounds, "jobs": 1, "cache": False},
+        "results": {},
+    }
+    for name, bench in BENCHES.items():
+        result = bench(n_runs, rounds)
+        entry["results"][name] = result
+        print(
+            f"{name}: batched {result['batched_s']*1e3:8.1f} ms   "
+            f"scalar {result['scalar_s']*1e3:8.1f} ms   "
+            f"speedup {result['speedup']:6.1f}x   "
+            f"max hit-rate delta {result['max_hit_rate_delta']:.3f}"
+        )
+    return entry
+
+
+def load_record(path):
+    with open(path) as fh:
+        record = json.load(fh)
+    if record.get("schema") != SCHEMA or "entries" not in record:
+        raise ValueError(f"{path} is not a schema-{SCHEMA} BENCH record")
+    return record
+
+
+def append_entry(path, entry):
+    path = pathlib.Path(path)
+    if path.exists():
+        record = load_record(path)
+    else:
+        record = {"schema": SCHEMA, "benchmark": "sec5-kernels", "entries": []}
+    record["entries"].append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    return path
+
+
+def check_regression(entry, baseline_path, regression_factor):
+    """Fail when any bench's speedup dropped > ``regression_factor``x.
+
+    Wall-clock is machine-bound, so the check compares each bench's
+    *speedup vs its own scalar reference* — a within-run ratio that is
+    portable across runners — against the baseline record's newest
+    entry.
+    """
+    baseline = load_record(baseline_path)["entries"][-1]
+    failures = []
+    for name, result in entry["results"].items():
+        base = baseline["results"].get(name)
+        if base is None:
+            continue
+        if base.get("n_runs") != result.get("n_runs"):
+            # Speedup scales with the batch size; unlike-for-unlike
+            # comparisons would produce meaningless failures.
+            print(
+                f"skip {name}: baseline n_runs={base.get('n_runs')} != "
+                f"current n_runs={result.get('n_runs')}"
+            )
+            continue
+        if result["speedup"] * regression_factor < base["speedup"]:
+            failures.append(
+                f"{name}: speedup {result['speedup']:.1f}x is more than "
+                f"{regression_factor}x below baseline {base['speedup']:.1f}x "
+                f"({baseline['created_utc']})"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Time the Sec. V Monte Carlo kernels and record BENCH_sweep.json"
+    )
+    parser.add_argument("--runs", type=int, default=100,
+                        help="Monte Carlo runs per level (default 100)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per bench; the median is recorded")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="append this run's entry to FILE (trajectory record)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare speedups against BASELINE's newest entry")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail when any bench's speedup is below this")
+    parser.add_argument("--regression-factor", type=float, default=2.0,
+                        help="allowed speedup drop vs baseline (default 2x)")
+    args = parser.parse_args(argv)
+
+    entry = run_benches(args.runs, args.rounds)
+
+    status = 0
+    if args.min_speedup is not None:
+        for name, result in entry["results"].items():
+            if result["speedup"] < args.min_speedup:
+                print(
+                    f"FAIL {name}: speedup {result['speedup']:.1f}x "
+                    f"< required {args.min_speedup:.1f}x",
+                    file=sys.stderr,
+                )
+                status = 1
+    if args.check:
+        failures = check_regression(entry, args.check, args.regression_factor)
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        if failures:
+            status = 1
+    if args.output:
+        path = append_entry(args.output, entry)
+        print(f"recorded entry -> {path}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

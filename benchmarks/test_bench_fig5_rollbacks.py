@@ -54,3 +54,25 @@ def test_bench_fig5_rollbacks(benchmark, study, sweep, report):
     assert rollbacks[ERROR_PROBS.index(3e-5)] > 10.0, ">10 rollbacks past 1e-5"
     # Monotone growth (within MC noise).
     assert all(a <= b + 0.25 for a, b in zip(rollbacks[:-1], rollbacks[1:]))
+
+
+def test_bench_fig5_scalar_reference(benchmark, study, sweep):
+    """Scalar reference kernel: timed for the speedup baseline, and held
+    to the equivalence contract against the batched sweep."""
+    reference = MonteCarloStudy(
+        study.workload, n_runs=study.n_runs, seed=study.seed, kernel="scalar"
+    )
+    benchmark.pedantic(reference.run_level, args=(1e-5,), rounds=3, iterations=1)
+
+    point = reference.run_level(1e-6)
+    batched = sweep[ERROR_PROBS.index(1e-6)]
+    # The Fig. 5 statistic is draw-for-draw identical across kernels.
+    assert point.mean_rollbacks_per_segment == batched.mean_rollbacks_per_segment
+    # Hit rates are distribution-equivalent at fixed seeds.
+    for name, rate in point.hit_rate.items():
+        assert abs(rate - batched.hit_rate[name]) <= 0.15, name
+    # Analytic curves are kernel-independent, bit for bit.
+    assert np.array_equal(
+        reference.analytic_rollbacks(ERROR_PROBS),
+        study.analytic_rollbacks(ERROR_PROBS),
+    )

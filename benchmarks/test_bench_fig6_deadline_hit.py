@@ -60,6 +60,23 @@ def test_bench_fig6_deadline_hit_rate(benchmark, study, sweep, report):
         assert wall.last_safe_p >= 1e-8
 
 
+def test_bench_fig6_scalar_reference(benchmark, study, sweep):
+    """Scalar reference kernel at the wall's center: timed, and its hit
+    rates must agree with the batched sweep within MC tolerance."""
+    reference = MonteCarloStudy(
+        study.workload, n_runs=study.n_runs, seed=study.seed, kernel="scalar"
+    )
+    benchmark.pedantic(reference.run_level, args=(3e-6,), rounds=3, iterations=1)
+
+    point = reference.run_level(3e-6)
+    batched = sweep[ERROR_PROBS.index(3e-6)]
+    for name, rate in point.hit_rate.items():
+        assert abs(rate - batched.hit_rate[name]) <= 0.15, name
+        assert point.mean_energy[name] == pytest.approx(
+            batched.mean_energy[name], rel=0.2
+        )
+
+
 def test_bench_fig6_energy_tradeoff(benchmark, study, sweep, report):
     """Sec. V-C's cost note: conservative policies buy hit rate with energy."""
     benchmark.pedantic(study.run_level, args=(1e-8,), rounds=2, iterations=1)

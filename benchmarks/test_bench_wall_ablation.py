@@ -15,12 +15,23 @@ from repro.core import (
     WCET,
     adpcm_like_workload,
     simulate_run,
+    simulate_runs_batch,
 )
 
 ERROR_PROBS = [1e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4]
 
 
 def _hit_rate(workload, p, max_speed, n_runs=60, seed=0):
+    cp = CheckpointSystem(p)
+    rng = np.random.default_rng(seed)
+    batch = simulate_runs_batch(
+        workload, cp, WCET, rng, n_runs, max_speed=max_speed
+    )
+    return float(np.mean(batch.deadline_met))
+
+
+def _hit_rate_scalar(workload, p, max_speed, n_runs=60, seed=0):
+    """Scalar reference of :func:`_hit_rate` (perf + equivalence checks)."""
     cp = CheckpointSystem(p)
     rng = np.random.default_rng(seed)
     hits = 0
@@ -62,6 +73,12 @@ def test_bench_wall_vs_processor_speed(benchmark, base_workload, report):
     )
     # Faster processors move the wall outward (or keep it, never inward).
     assert walls[8.0] >= walls[2.0]
+
+    # Batched and scalar hit-rate kernels agree within MC tolerance.
+    for p in (1e-6, 1e-5):
+        assert abs(
+            _hit_rate(base_workload, p, 4.0) - _hit_rate_scalar(base_workload, p, 4.0)
+        ) <= 0.15
 
 
 def test_bench_wall_vs_checkpoint_granularity(benchmark, report):

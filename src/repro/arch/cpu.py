@@ -30,6 +30,10 @@ from repro.arch.isa import (
 MEMORY_LIMIT = 1 << 20  # addresses above this are architectural crashes
 
 _OPCODES = list(Opcode)
+# pack_instruction sits on the fault-injection hot path (every "ir"
+# fault re-packs the instruction stream), so the opcode lookup is a
+# precomputed dict rather than an O(n) list scan.
+_OPCODE_INDEX = {op: i for i, op in enumerate(_OPCODES)}
 
 
 class CrashError(Exception):
@@ -59,7 +63,7 @@ def _signed(value):
 
 def pack_instruction(instr):
     """Pack an instruction into a 32-bit word (opcode|rd|rs1|rs2|imm16)."""
-    op_idx = _OPCODES.index(instr.opcode)
+    op_idx = _OPCODE_INDEX[instr.opcode]
     imm16 = instr.imm & 0xFFFF
     return (
         (op_idx & 0x1F) << 27

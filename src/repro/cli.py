@@ -51,12 +51,18 @@ def _print_table(title, header, rows):
         print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
 
 
+def _mc_kernel(args):
+    """Kernel selection for Monte Carlo experiments (fig5/fig6/wall)."""
+    return "scalar" if getattr(args, "reference_kernel", False) else "auto"
+
+
 def run_fig5(args):
     """Fig. 5: rollbacks per segment vs error probability."""
     from repro.core import MonteCarloStudy, adpcm_like_workload
 
     study = MonteCarloStudy(
-        adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0
+        adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0,
+        kernel=_mc_kernel(args),
     )
     probs = [1e-8, 1e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4]
     analytic = study.analytic_rollbacks(probs)
@@ -75,7 +81,8 @@ def run_fig6(args):
     from repro.core import ALL_POLICIES, MonteCarloStudy, adpcm_like_workload
 
     study = MonteCarloStudy(
-        adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0
+        adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0,
+        kernel=_mc_kernel(args),
     )
     probs = [1e-8, 1e-7, 1e-6, 3e-6, 1e-5, 3e-5]
     names = [p.name for p in ALL_POLICIES]
@@ -233,7 +240,8 @@ def run_wall(args):
     from repro.core import ALL_POLICIES, MonteCarloStudy, adpcm_like_workload
 
     study = MonteCarloStudy(
-        adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0
+        adpcm_like_workload(n_segments=12, seed=0), n_runs=args.runs, seed=0,
+        kernel=_mc_kernel(args),
     )
     points = study.sweep(
         [1e-8, 1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4], **_runtime_kwargs(args)
@@ -322,6 +330,14 @@ def build_parser():
         help="record spans/metrics/outcomes to DIR/<run-id>/record.jsonl "
              "(render with 'python -m repro report DIR/<run-id>')",
     )
+    kernels = parser.add_argument_group(
+        "Monte Carlo kernels (fig5/fig6/wall; see docs/performance.md)"
+    )
+    kernels.add_argument(
+        "--reference-kernel", action="store_true",
+        help="force the scalar reference Monte Carlo kernel instead of the "
+             "batched numpy kernels (debugging / equivalence checks)",
+    )
     return parser
 
 
@@ -363,6 +379,11 @@ def run_list(args):
     for name in sorted(EXPERIMENTS):
         print(f"  {name:<10} {_describe(EXPERIMENTS[name])}")
     print("  report     Render a recorded run (python -m repro report <run-dir>)")
+    print(
+        "fig5/fig6/wall run on batched numpy Monte Carlo kernels; pass "
+        "--reference-kernel\nto force the scalar reference path "
+        "(see docs/performance.md)"
+    )
     return 0
 
 
@@ -378,6 +399,7 @@ def _run_recorded(name, args):
         "trials": args.trials,
         "jobs": args.jobs,
         "cache": not args.no_cache,
+        "reference_kernel": args.reference_kernel,
     }
     # Every CLI experiment roots its seed streams at 0 (reproducibility).
     with RunRecorder(args.record, name=name, config=config, seed=0) as recorder:

@@ -24,6 +24,7 @@ from repro.core.error_model import (
     rollback_pmf,
     expected_rollbacks,
     sample_rollbacks,
+    sample_rollbacks_batch,
 )
 from repro.core.checkpoint import CheckpointSystem, CHECKPOINT_CYCLES, ROLLBACK_CYCLES
 from repro.core.workload import SegmentedWorkload, adpcm_like_workload
@@ -35,9 +36,11 @@ from repro.core.cycle_noise import (
     WCET,
     ALL_POLICIES,
     MitigatedRun,
+    BatchRunResult,
     simulate_run,
+    simulate_runs_batch,
 )
-from repro.core.montecarlo import MonteCarloStudy, ErrorRateWall
+from repro.core.montecarlo import KERNELS, MonteCarloStudy, ErrorRateWall
 from repro.core.framework import ReliabilityManagementLoop
 from repro.core.learned_policy import (
     AdaptiveBudgetPolicy,
@@ -56,6 +59,7 @@ __all__ = [
     "rollback_pmf",
     "expected_rollbacks",
     "sample_rollbacks",
+    "sample_rollbacks_batch",
     "CheckpointSystem",
     "CHECKPOINT_CYCLES",
     "ROLLBACK_CYCLES",
@@ -68,7 +72,10 @@ __all__ = [
     "WCET",
     "ALL_POLICIES",
     "MitigatedRun",
+    "BatchRunResult",
     "simulate_run",
+    "simulate_runs_batch",
+    "KERNELS",
     "MonteCarloStudy",
     "ErrorRateWall",
     "ReliabilityManagementLoop",

@@ -11,7 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.error_model import expected_rollbacks, sample_rollbacks
+from repro.core.error_model import (
+    expected_rollbacks,
+    sample_rollbacks,
+    sample_rollbacks_batch,
+)
 
 CHECKPOINT_CYCLES = 100
 ROLLBACK_CYCLES = 48
@@ -76,6 +80,26 @@ class CheckpointSystem:
             self.p, self._exposed_cycles(segment_cycles), rng
         )
         return n_rb, self.segment_cycles_with_rollbacks(segment_cycles, n_rb)
+
+    def sample_segments_batch(self, segment_cycles, rng, n_runs):
+        """Sample rollback and total-cycle matrices for a whole MC batch.
+
+        ``segment_cycles`` is the per-segment cycle vector; the result is
+        a pair of ``(n_runs, n_segments)`` arrays ``(n_rollbacks,
+        total_cycles)``, row ``i`` being run ``i``.  One
+        :func:`~repro.core.error_model.sample_rollbacks_batch` call draws
+        the whole rollback matrix (run-major; see its draw-order
+        contract), and the cycle totals follow from
+        :meth:`segment_cycles_with_rollbacks`'s formula vectorized over
+        the matrix.
+        """
+        seg = np.atleast_1d(np.asarray(segment_cycles, dtype=float))
+        n_rb = sample_rollbacks_batch(
+            self.p, self._exposed_cycles(seg), rng, n_runs
+        )
+        clean = seg + self.checkpoint_cycles
+        per_retry = self.rollback_cycles + seg + self.checkpoint_cycles
+        return n_rb, clean + n_rb * per_retry
 
     def expected_segment_rollbacks(self, segment_cycles):
         """Analytic mean rollback count for a segment (Fig. 5's quantity)."""

@@ -127,3 +127,106 @@ def simulate_run(
         mean_speed=float(np.mean(speeds)),
         energy=energy,
     )
+
+
+@dataclass
+class BatchRunResult:
+    """Per-run result arrays for a batch of runs under one policy.
+
+    Each array has one entry per Monte Carlo run; the fields mirror
+    :class:`MitigatedRun` (``finish_times[i]`` is run ``i``'s
+    ``finish_time``, and so on).
+    """
+
+    policy: str
+    deadline: float
+    finish_times: np.ndarray
+    rollbacks_per_segment: np.ndarray
+    mean_speeds: np.ndarray
+    energies: np.ndarray
+
+    @property
+    def deadline_met(self):
+        """Boolean array: which runs met the application deadline."""
+        return self.finish_times <= self.deadline + 1e-9
+
+    def __len__(self):
+        return self.finish_times.size
+
+
+def simulate_runs_batch(
+    workload,
+    checkpoint_system,
+    policy,
+    rng,
+    n_runs,
+    max_speed=MAX_SPEED,
+    min_speed=NOMINAL_SPEED,
+):
+    """Vectorized :func:`simulate_run`: ``n_runs`` independent executions.
+
+    The per-segment plan — budgets, time slots, speeds — is a pure
+    function of the (stateless) policy and the workload, so it is
+    computed once; the full ``(n_runs, n_segments)`` rollback matrix is
+    then drawn in one RNG call
+    (:meth:`~repro.core.checkpoint.CheckpointSystem.sample_segments_batch`)
+    and finish times, rollback counts, speeds, and energies fall out of
+    cumulative sums.  The scalar path's "hopelessly late" break is
+    reproduced as a mask: each run's statistics are read at the first
+    segment where the lateness test trips (or the last segment when it
+    never does), so a batched run is segment-for-segment identical to
+    the scalar run that sees the same rollback draws.
+
+    Only stateless policies qualify: a policy with an ``observe`` hook
+    (the learned policies) must see segments in execution order and is
+    rejected — use :func:`simulate_run` for those.
+    """
+    if hasattr(policy, "observe"):
+        raise TypeError(
+            f"policy {policy.name!r} learns from observed segments and must "
+            "run through the scalar simulate_run path"
+        )
+    if n_runs < 1:
+        raise ValueError("need at least one run")
+    cp = checkpoint_system
+    seg = np.asarray(workload.segment_cycles, dtype=float)
+    clean = seg + cp.checkpoint_cycles
+    clean_total = float(workload.clean_cycles(cp.checkpoint_cycles))
+    deadline = workload.deadline(NOMINAL_SPEED, cp.checkpoint_cycles)
+
+    slots = deadline * clean / clean_total
+    budgets = np.asarray(
+        policy.budget_cycles(seg, cp.checkpoint_cycles, cp.rollback_cycles),
+        dtype=float,
+    )
+    if budgets.shape != seg.shape:
+        raise TypeError(
+            f"policy {policy.name!r} does not budget segment vectors; "
+            "use the scalar simulate_run path"
+        )
+    speeds = np.clip(budgets / slots, min_speed, max_speed)
+
+    n_rb, actual = cp.sample_segments_batch(seg, rng, n_runs)
+    times = np.cumsum(actual / speeds, axis=1)
+
+    # Scalar break condition, evaluated after every segment of every run.
+    lateness = times - deadline
+    hopeless = (lateness > 0) & (lateness * max_speed > clean_total)
+    stopped = hopeless.any(axis=1)
+    last = np.where(stopped, np.argmax(hopeless, axis=1), seg.size - 1)
+
+    rows = np.arange(n_runs)
+    rollback_totals = np.cumsum(n_rb, axis=1)[rows, last]
+    energies = np.cumsum(actual * speeds**2, axis=1)[rows, last]
+    # Mean speed over executed segments depends only on where the run
+    # stopped, so prefix means of the (shared) speed vector suffice.
+    speed_prefix_means = np.cumsum(speeds) / np.arange(1, seg.size + 1)
+
+    return BatchRunResult(
+        policy=policy.name,
+        deadline=deadline,
+        finish_times=times[rows, last],
+        rollbacks_per_segment=rollback_totals / len(workload),
+        mean_speeds=speed_prefix_means[last],
+        energies=energies,
+    )

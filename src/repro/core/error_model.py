@@ -79,3 +79,47 @@ def sample_rollbacks(p, n_cycles, rng, cap=1_000_000):
     # failures before the first success.
     sample = int(rng.geometric(q)) - 1
     return min(sample, cap)
+
+
+#: Substitute success probability for segments whose ``q`` underflowed
+#: to zero (``rng.geometric`` rejects 0).  Small enough to stay on
+#: numpy's inversion sampling path — which consumes exactly one uniform
+#: per draw, like every other segment — yet the draw always saturates
+#: far past any practical ``cap``, so the substituted value never shows.
+_Q_UNDERFLOW_SUB = 1e-12
+
+
+def sample_rollbacks_batch(p, n_cycles, rng, n_runs, cap=1_000_000):
+    """Draw an ``(n_runs, n_segments)`` matrix of rollback counts, Eq. (2).
+
+    Vectorized counterpart of :func:`sample_rollbacks` for Monte Carlo
+    batches: ``n_cycles`` is the per-segment cycle vector and every row
+    of the result is one independent run.
+
+    **RNG draw-order contract**: the whole matrix comes from a *single*
+    ``rng.geometric`` call filled in C (run-major) order — run 0's
+    segments first, then run 1's, and so on.  For segments with a
+    representable success probability this consumes the generator's
+    stream exactly like the equivalent nest of scalar
+    :func:`sample_rollbacks` calls in run-major order, so batched and
+    scalar sampling are draw-for-draw identical there; segments where
+    ``q`` underflows (the scalar path returns ``cap`` without drawing)
+    still consume one draw per matrix entry on the batched path, which
+    is where the two streams may diverge.  See ``docs/performance.md``.
+    """
+    _validate(p, n_cycles)
+    if n_runs < 1:
+        raise ValueError("need at least one run")
+    n_cycles = np.atleast_1d(np.asarray(n_cycles, dtype=float))
+    q = np.atleast_1d(np.asarray(prob_no_error(p, n_cycles), dtype=float))
+    # rng.geometric rejects q == 0; hopeless columns draw (and discard) a
+    # substituted tiny-q sample so every matrix entry consumes exactly
+    # one uniform, then get pinned to the cap.  Representable tiny q
+    # saturates at int64 max and is clipped to the cap like the scalar
+    # sampler.
+    hopeless = q <= 0.0
+    q_safe = np.where(hopeless, _Q_UNDERFLOW_SUB, q)
+    draws = np.clip(rng.geometric(q_safe, size=(n_runs, q.size)) - 1, 0, cap)
+    if hopeless.any():
+        draws[:, hopeless] = cap
+    return draws

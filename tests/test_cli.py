@@ -5,6 +5,11 @@ import pytest
 from repro.cli import EXPERIMENTS, build_parser, main
 
 
+def _table_lines(out):
+    """Rendered table rows only (drops timing-dependent runtime lines)."""
+    return [l for l in out.splitlines() if l and not l.startswith("runtime:")]
+
+
 class TestParser:
     def test_requires_experiment(self):
         with pytest.raises(SystemExit):
@@ -37,6 +42,11 @@ class TestParser:
         assert args.trials == 200
         assert args.cache_dir == "/tmp/somewhere"
         assert args.progress is True
+
+    def test_reference_kernel_flag(self):
+        assert build_parser().parse_args(["fig5"]).reference_kernel is False
+        args = build_parser().parse_args(["fig6", "--reference-kernel"])
+        assert args.reference_kernel is True
 
 
 class TestMain:
@@ -81,6 +91,28 @@ class TestMain:
         assert main(["wall", "--runs", "10"]) == 0
         out = capsys.readouterr().out
         assert "error-rate wall" in out
+
+    def test_list_advertises_reference_kernel(self, capsys):
+        assert main(["list"]) == 0
+        assert "--reference-kernel" in capsys.readouterr().out
+
+    def test_fig5_reference_kernel_runs(self, capsys):
+        # The Fig. 5 statistic is draw-for-draw identical across kernels,
+        # so the rendered table must not change under --reference-kernel.
+        assert main(["fig5", "--runs", "10", "--no-cache"]) == 0
+        batched = capsys.readouterr().out
+        assert main(
+            ["fig5", "--runs", "10", "--no-cache", "--reference-kernel"]
+        ) == 0
+        scalar = capsys.readouterr().out
+        assert "Fig. 5" in scalar
+        assert _table_lines(batched) == _table_lines(scalar)
+
+    def test_fig6_reference_kernel_runs(self, capsys):
+        assert main(
+            ["fig6", "--runs", "5", "--no-cache", "--reference-kernel"]
+        ) == 0
+        assert "WCET" in capsys.readouterr().out
 
     def test_hdc_runs(self, capsys):
         assert main(["hdc"]) == 0

@@ -1,0 +1,317 @@
+"""Scalar-vs-batched equivalence of the Sec. V Monte Carlo kernels.
+
+The batched numpy kernels (``sample_rollbacks_batch`` /
+``sample_segments_batch`` / ``simulate_runs_batch`` and the
+``MonteCarloStudy`` dispatch) must be
+
+* *exactly* equivalent on analytic quantities,
+* *draw-for-draw* equivalent to the scalar path given the same rollback
+  samples (including the "hopelessly late" early exit), and
+* *distribution*-equivalent on sampled quantities at fixed seeds (the
+  per-policy streams assign draws to runs differently once a scalar run
+  early-exits).
+
+See ``docs/performance.md`` for the contract these tests pin down.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ALL_POLICIES,
+    DS,
+    WCET,
+    AdaptiveBudgetPolicy,
+    BudgetPolicy,
+    CheckpointSystem,
+    MonteCarloStudy,
+    SegmentedWorkload,
+    adpcm_like_workload,
+    expected_rollbacks,
+    sample_rollbacks_batch,
+    simulate_run,
+    simulate_runs_batch,
+)
+
+
+class TestSampleRollbacksBatch:
+    def test_shape_and_dtype(self):
+        rng = np.random.default_rng(0)
+        draws = sample_rollbacks_batch(1e-5, [10_000, 50_000, 90_000], rng, 7)
+        assert draws.shape == (7, 3)
+        assert np.issubdtype(draws.dtype, np.integer)
+        assert (draws >= 0).all()
+
+    def test_error_free_is_all_zero(self):
+        rng = np.random.default_rng(0)
+        draws = sample_rollbacks_batch(0.0, [10_000, 50_000], rng, 5)
+        assert not draws.any()
+
+    def test_hopeless_segments_hit_the_cap(self):
+        # q = (1-p)^n underflows to 0 for this (p, n): the scalar sampler
+        # returns the cap without drawing, and so must every batched entry.
+        rng = np.random.default_rng(0)
+        draws = sample_rollbacks_batch(0.5, [10_000], rng, 4, cap=123)
+        assert (draws == 123).all()
+
+    def test_matches_scalar_stream_run_major(self):
+        # The documented draw-order contract: one geometric call in C
+        # (run-major) order consumes the stream exactly like the nest of
+        # scalar calls, so the two are bit-identical at the same seed.
+        from repro.core import sample_rollbacks
+
+        segments = [40_000, 120_000, 260_000]
+        p = 3e-6
+        batched = sample_rollbacks_batch(
+            p, segments, np.random.default_rng(42), 50
+        )
+        rng = np.random.default_rng(42)
+        scalar = np.array(
+            [[sample_rollbacks(p, c, rng) for c in segments] for _ in range(50)]
+        )
+        assert np.array_equal(batched, scalar)
+
+    def test_sample_mean_tracks_analytic_mean(self):
+        p, n_c = 1e-5, 150_000
+        rng = np.random.default_rng(3)
+        draws = sample_rollbacks_batch(p, [n_c], rng, 20_000)
+        mean = expected_rollbacks(p, n_c)
+        assert abs(draws.mean() - mean) < 0.1 * mean
+
+    def test_needs_at_least_one_run(self):
+        with pytest.raises(ValueError):
+            sample_rollbacks_batch(1e-6, [10_000], np.random.default_rng(0), 0)
+
+
+class TestSampleSegmentsBatch:
+    def test_totals_follow_scalar_formula(self):
+        cp = CheckpointSystem(1e-5, checkpoint_cycles=75, rollback_cycles=31)
+        segments = [40_000, 90_000, 260_000]
+        n_rb, totals = cp.sample_segments_batch(
+            segments, np.random.default_rng(1), 16
+        )
+        assert n_rb.shape == totals.shape == (16, 3)
+        for i in range(16):
+            for j, seg in enumerate(segments):
+                assert totals[i, j] == cp.segment_cycles_with_rollbacks(
+                    seg, int(n_rb[i, j])
+                )
+
+    def test_matches_scalar_sample_segment_stream(self):
+        cp = CheckpointSystem(3e-6)
+        segments = [40_000, 120_000]
+        n_rb, totals = cp.sample_segments_batch(
+            segments, np.random.default_rng(9), 30
+        )
+        rng = np.random.default_rng(9)
+        for i in range(30):
+            for j, seg in enumerate(segments):
+                rb, total = cp.sample_segment(seg, rng)
+                assert n_rb[i, j] == rb
+                assert totals[i, j] == total
+
+
+class _ReplayRNG:
+    """RNG stub replaying prescribed geometric draws to the scalar path."""
+
+    def __init__(self, rollback_row):
+        # sample_rollbacks subtracts 1 from rng.geometric's trial count.
+        self._draws = iter(int(rb) + 1 for rb in rollback_row)
+
+    def geometric(self, q):
+        return next(self._draws)
+
+
+class TestSimulateRunsBatch:
+    """Per-run equivalence: feed the batch's own rollback draws through
+    the scalar ``simulate_run`` and demand identical statistics — this
+    pins the masked early-exit to the scalar break semantics."""
+
+    def _assert_rows_match_scalar(self, workload, cp, policy, batch, n_rb):
+        for i in range(len(batch)):
+            run = simulate_run(workload, cp, policy, _ReplayRNG(n_rb[i]))
+            assert run.deadline == pytest.approx(batch.deadline, rel=1e-12)
+            assert run.finish_time == pytest.approx(
+                batch.finish_times[i], rel=1e-9
+            )
+            assert run.rollbacks_per_segment == pytest.approx(
+                batch.rollbacks_per_segment[i], rel=1e-12
+            )
+            assert run.mean_speed == pytest.approx(
+                batch.mean_speeds[i], rel=1e-9
+            )
+            assert run.energy == pytest.approx(batch.energies[i], rel=1e-9)
+            assert run.deadline_met == batch.deadline_met[i]
+
+    @pytest.mark.parametrize("p", [0.0, 1e-7, 3e-6, 1e-5, 1e-4])
+    @pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: p.name)
+    def test_rows_match_scalar_replay(self, p, policy):
+        workload = adpcm_like_workload(n_segments=12, seed=0)
+        cp = CheckpointSystem(p)
+        rng = np.random.default_rng(17)
+        n_rb, _ = cp.sample_segments_batch(workload.segment_cycles, rng, 40)
+        batch = simulate_runs_batch(
+            workload, cp, policy, np.random.default_rng(17), 40
+        )
+        self._assert_rows_match_scalar(workload, cp, policy, batch, n_rb)
+
+    def test_rows_match_scalar_replay_nondefault_costs(self):
+        workload = adpcm_like_workload(n_segments=6, seed=2)
+        cp = CheckpointSystem(1e-5, checkpoint_cycles=500, rollback_cycles=900)
+        rng = np.random.default_rng(5)
+        n_rb, _ = cp.sample_segments_batch(workload.segment_cycles, rng, 25)
+        batch = simulate_runs_batch(
+            workload, cp, WCET, np.random.default_rng(5), 25
+        )
+        self._assert_rows_match_scalar(workload, cp, WCET, batch, n_rb)
+
+    def test_error_free_runs_all_meet_deadline(self):
+        workload = adpcm_like_workload(seed=0)
+        cp = CheckpointSystem(0.0)
+        for policy in ALL_POLICIES:
+            batch = simulate_runs_batch(
+                workload, cp, policy, np.random.default_rng(0), 10
+            )
+            assert batch.deadline_met.all()
+            assert len(batch) == 10
+
+    def test_stateful_policy_rejected(self):
+        workload = adpcm_like_workload(seed=0)
+        with pytest.raises(TypeError, match="scalar"):
+            simulate_runs_batch(
+                workload,
+                CheckpointSystem(1e-6),
+                AdaptiveBudgetPolicy(),
+                np.random.default_rng(0),
+                4,
+            )
+
+    def test_needs_at_least_one_run(self):
+        with pytest.raises(ValueError):
+            simulate_runs_batch(
+                adpcm_like_workload(seed=0),
+                CheckpointSystem(1e-6),
+                DS,
+                np.random.default_rng(0),
+                0,
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    segments=st.lists(st.integers(1_000, 300_000), min_size=1, max_size=8),
+    log10_p=st.floats(-8.0, -3.0),
+    scale=st.floats(1.0, 3.0),
+    slack=st.floats(0.0, 0.5),
+)
+def test_property_deadline_met_never_contradicts_finish_time(
+    segments, log10_p, scale, slack
+):
+    """``deadline_met`` may never be claimed past the deadline."""
+    workload = SegmentedWorkload("prop", segments, deadline_slack=slack)
+    policy = BudgetPolicy(name="prop", scale=scale)
+    batch = simulate_runs_batch(
+        workload,
+        CheckpointSystem(10.0**log10_p),
+        policy,
+        np.random.default_rng(0),
+        8,
+    )
+    late = batch.finish_times > batch.deadline + 1e-9
+    assert not (batch.deadline_met & late).any()
+    assert (batch.finish_times > 0).all()
+    assert (batch.energies > 0).all()
+    assert (batch.rollbacks_per_segment >= 0).all()
+
+
+class TestMonteCarloDispatch:
+    @pytest.fixture()
+    def workload(self):
+        return adpcm_like_workload(n_segments=12, seed=0)
+
+    def test_default_studies_dispatch_batched(self, workload):
+        study = MonteCarloStudy(workload, n_runs=10, seed=0)
+        assert study._resolved_kernel() == "batched"
+        assert study._fingerprint()["kernel"] == "batched"
+
+    def test_scalar_kernel_forces_reference_path(self, workload):
+        study = MonteCarloStudy(workload, n_runs=10, seed=0, kernel="scalar")
+        assert study._resolved_kernel() == "scalar"
+        assert study._fingerprint()["kernel"] == "scalar"
+
+    def test_unknown_kernel_rejected(self, workload):
+        with pytest.raises(ValueError):
+            MonteCarloStudy(workload, kernel="simd")
+
+    def test_fig5_statistic_bit_identical(self, workload):
+        # The Fig. 5 stream has no early exit, so batched == scalar exactly.
+        batched = MonteCarloStudy(workload, n_runs=50, seed=0)
+        scalar = MonteCarloStudy(workload, n_runs=50, seed=0, kernel="scalar")
+        for p in (1e-7, 1e-6, 1e-5):
+            assert (
+                batched.run_level(p).mean_rollbacks_per_segment
+                == scalar.run_level(p).mean_rollbacks_per_segment
+            )
+
+    def test_hit_rates_within_mc_tolerance(self, workload):
+        batched = MonteCarloStudy(workload, n_runs=200, seed=0)
+        scalar = MonteCarloStudy(workload, n_runs=200, seed=0, kernel="scalar")
+        for p in (1e-8, 1e-6, 3e-6, 1e-4):
+            pb, ps = batched.run_level(p), scalar.run_level(p)
+            for name in pb.hit_rate:
+                assert pb.hit_rate[name] == pytest.approx(
+                    ps.hit_rate[name], abs=0.12
+                )
+                assert pb.mean_energy[name] == pytest.approx(
+                    ps.mean_energy[name], rel=0.15
+                )
+
+    def test_analytic_curves_bit_identical(self, workload):
+        batched = MonteCarloStudy(workload, n_runs=10, seed=0)
+        scalar = MonteCarloStudy(workload, n_runs=10, seed=0, kernel="scalar")
+        probs = [1e-8, 1e-6, 1e-4]
+        assert np.array_equal(
+            batched.analytic_rollbacks(probs), scalar.analytic_rollbacks(probs)
+        )
+
+    def test_stateful_policies_fall_back_to_scalar(self, workload):
+        auto = MonteCarloStudy(
+            workload, policies=(AdaptiveBudgetPolicy(),), n_runs=10, seed=0
+        )
+        forced = MonteCarloStudy(
+            workload,
+            policies=(AdaptiveBudgetPolicy(),),
+            n_runs=10,
+            seed=0,
+            kernel="scalar",
+        )
+        assert auto._resolved_kernel() == "scalar"
+        pa, pf = auto.run_level(3e-6), forced.run_level(3e-6)
+        assert pa.hit_rate == pf.hit_rate
+        assert pa.mean_energy == pf.mean_energy
+        assert pa.mean_rollbacks_per_segment == pf.mean_rollbacks_per_segment
+
+    def test_batched_kernel_demands_stateless_policies(self, workload):
+        study = MonteCarloStudy(
+            workload, policies=(AdaptiveBudgetPolicy(),), kernel="batched"
+        )
+        with pytest.raises(ValueError, match="frozen"):
+            study.run_level(1e-6)
+
+    def test_kernels_use_distinct_cache_fingerprints(self, workload):
+        batched = MonteCarloStudy(workload, n_runs=10, seed=0)
+        scalar = MonteCarloStudy(workload, n_runs=10, seed=0, kernel="scalar")
+        assert batched._fingerprint() != scalar._fingerprint()
+
+    def test_sweep_matches_per_level_runs(self, workload):
+        study = MonteCarloStudy(workload, n_runs=20, seed=0)
+        probs = [1e-7, 3e-6]
+        points = study.sweep(probs, jobs=1, cache=None)
+        for p, pt in zip(probs, points):
+            direct = study.run_level(p)
+            assert pt.hit_rate == direct.hit_rate
+            assert pt.mean_rollbacks_per_segment == (
+                direct.mean_rollbacks_per_segment
+            )

@@ -139,6 +139,37 @@ class TestMonteCarloStudy:
         safe = pts[0]
         assert safe.mean_energy["WCET"] > safe.mean_energy["DS"]
 
+    def test_analytic_rollbacks_uses_configured_costs(self):
+        """Regression: analytic_rollbacks once rebuilt CheckpointSystem with
+        *default* costs, silently ignoring the study's configuration."""
+        wl = adpcm_like_workload(n_segments=6, seed=0)
+        probs = [1e-6, 1e-5]
+        study = MonteCarloStudy(
+            wl,
+            n_runs=2,
+            checkpoint_cycles=5_000,
+            rollback_cycles=2_000,
+            include_routine_errors=True,
+        )
+        got = study.analytic_rollbacks(probs)
+        expected = []
+        for p in probs:
+            cp = CheckpointSystem(
+                p,
+                checkpoint_cycles=5_000,
+                rollback_cycles=2_000,
+                include_routine_errors=True,
+            )
+            expected.append(
+                float(np.mean([cp.expected_segment_rollbacks(c) for c in wl]))
+            )
+        assert np.array_equal(got, np.asarray(expected))
+        # The configured system exposes more cycles per attempt, so its
+        # analytic curve must sit strictly above the default-cost curve
+        # the old code produced.
+        default_curve = MonteCarloStudy(wl, n_runs=2).analytic_rollbacks(probs)
+        assert (got > default_curve).all()
+
     def test_wall_location_stable_across_workloads(self):
         """The error-rate wall is a property of the segment-size scale,
         not of one particular workload draw."""
