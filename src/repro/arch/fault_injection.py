@@ -194,10 +194,16 @@ class FaultInjector:
         }
 
     def _campaign(self, worker, n_trials, seed, key_parts, jobs, cache, progress,
-                  chunk_size):
+                  chunk_size, policy, resume, worker_wrapper=None):
+        if worker_wrapper is not None:
+            # Test hook (e.g. repro.runtime.ChaosWorker): wraps execution
+            # only — cache keys are unchanged, so a wrapper must not alter
+            # what a trial computes, merely how reliably it completes.
+            worker = worker_wrapper(worker)
         runner = CampaignRunner(
             jobs=jobs, cache=cache, progress=progress, chunk_size=chunk_size,
             classify=lambda record: record.outcome.value,
+            policy=policy, resume=resume,
         )
         with obs.span(
             "arch.fault_injection.campaign",
@@ -216,7 +222,8 @@ class FaultInjector:
         )
 
     def run_campaign(self, n_trials=500, seed=0, elements=None, jobs=1,
-                     cache=None, progress=None, chunk_size=32):
+                     cache=None, progress=None, chunk_size=32, policy=None,
+                     resume=False, worker_wrapper=None):
         """Uniformly random (cycle, element, bit) injection campaign.
 
         Trial ``i`` samples its coordinates from the seed stream
@@ -224,19 +231,30 @@ class FaultInjector:
         yields identical records.  ``cache`` (a
         :class:`repro.runtime.ResultCache`) memoizes trial chunks;
         ``progress`` receives :class:`repro.runtime.ProgressEvent`
-        updates.  Runner accounting is left in ``self.last_run_stats``.
+        updates.  ``policy`` (a :class:`repro.runtime.FaultPolicy`)
+        governs per-unit timeouts, retries, and pool respawns;
+        ``resume=True`` replays an interrupted campaign's journal from
+        the cache and finishes it bit-identically.  Runner accounting is
+        left in ``self.last_run_stats``.
+
+        ``worker_wrapper`` is a fault-tolerance test hook: a callable
+        applied to the chunk worker before execution (typically
+        :class:`repro.runtime.ChaosWorker`).  It does not enter the
+        cache key, so wrapped campaigns must produce the same records.
         """
         elements = list(elements or CPU(self.program).state_elements())
         worker = functools.partial(_random_chunk, self, tuple(elements))
         return self._campaign(worker, n_trials, seed, ("random", elements),
-                              jobs, cache, progress, chunk_size)
+                              jobs, cache, progress, chunk_size, policy, resume,
+                              worker_wrapper)
 
     def exhaustive_element_campaign(self, element, n_trials=200, seed=0, jobs=1,
-                                    cache=None, progress=None, chunk_size=32):
+                                    cache=None, progress=None, chunk_size=32,
+                                    policy=None, resume=False):
         """Many injections into a single element (per-element AVF estimation)."""
         worker = functools.partial(_element_chunk, self, element)
         return self._campaign(worker, n_trials, seed, ("element", element),
-                              jobs, cache, progress, chunk_size)
+                              jobs, cache, progress, chunk_size, policy, resume)
 
 
 def _random_chunk(injector, elements, chunk):

@@ -15,7 +15,12 @@ through :mod:`repro.runtime`: ``--jobs N`` fans trial chunks out over N
 processes (results identical to serial), completed chunks are memoized
 on disk so re-runs only execute new points (``--no-cache`` disables,
 ``--cache-dir`` relocates), and ``--progress`` streams trials/sec, an
-ETA, and the outcome histogram to stderr.  ``--record DIR`` wraps each
+ETA, and the outcome histogram to stderr.  Campaigns are fault
+tolerant: failed units retry with backoff (``--max-retries``), hung
+units are detected and retried (``--unit-timeout``), dead worker pools
+respawn, and an interrupted campaign — SIGINT, OOM-killed worker,
+reboot — resumes with ``--resume`` to a bit-identical result (see
+``docs/campaigns.md``, "Fault tolerance & resume").  ``--record DIR`` wraps each
 experiment in a :class:`repro.obs.RunRecorder`: spans, metrics, and
 campaign accounting land in a JSONL run record that ``python -m repro
 report <run-dir>`` renders (see ``docs/observability.md``).  The CLI
@@ -30,14 +35,29 @@ import sys
 
 
 def _runtime_kwargs(args):
-    """jobs/cache/progress keywords shared by all campaign experiments."""
-    from repro.runtime import ResultCache, print_progress
+    """jobs/cache/progress/policy keywords shared by campaign experiments."""
+    from repro.runtime import FaultPolicy, ResultCache, print_progress
 
+    if args.resume and args.no_cache:
+        raise SystemExit(
+            "--resume needs the result cache (it replays journaled units); "
+            "drop --no-cache"
+        )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    policy = None
+    if args.unit_timeout is not None or args.max_retries is not None:
+        defaults = FaultPolicy()
+        policy = FaultPolicy(
+            unit_timeout_s=args.unit_timeout,
+            max_retries=(args.max_retries if args.max_retries is not None
+                         else defaults.max_retries),
+        )
     return {
         "jobs": args.jobs,
         "cache": cache,
         "progress": print_progress if args.progress else None,
+        "policy": policy,
+        "resume": args.resume,
     }
 
 
@@ -120,11 +140,20 @@ def run_fi(args):
 def _print_runtime_stats(stats, unit):
     if stats is None:
         return
-    print(
+    line = (
         f"runtime: {stats.executed_trials} {unit} executed, "
         f"{stats.cached_trials} cached, "
         f"{stats.trials_per_sec:.1f} {unit}/s, jobs={stats.jobs_used}"
     )
+    if stats.resumed:
+        line += f", resumed ({stats.journaled_units} units journaled)"
+    if stats.retries:
+        line += f", {stats.retries} retries"
+    if stats.pool_respawns:
+        line += f", {stats.pool_respawns} pool respawns"
+    if stats.degraded_serial:
+        line += ", degraded to serial"
+    print(line)
 
 
 def run_fig2(args):
@@ -285,6 +314,20 @@ def _jobs_count(value):
     return jobs
 
 
+def _retries_count(value):
+    retries = int(value)
+    if retries < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {retries}")
+    return retries
+
+
+def _timeout_seconds(value):
+    timeout = float(value)
+    if timeout <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0 seconds, got {timeout}")
+    return timeout
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -324,6 +367,21 @@ def build_parser():
     runtime.add_argument(
         "--progress", action="store_true",
         help="stream trials/sec, ETA, and the outcome histogram to stderr",
+    )
+    runtime.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from its journal + result cache "
+             "(bit-identical to an uninterrupted run; needs the cache on)",
+    )
+    runtime.add_argument(
+        "--unit-timeout", type=_timeout_seconds, default=None, metavar="SECONDS",
+        help="wall-clock budget per unit of work on the pool path; a hung "
+             "unit's pool is torn down and the unit retried",
+    )
+    runtime.add_argument(
+        "--max-retries", type=_retries_count, default=None, metavar="N",
+        help="re-executions of a failed unit before its error propagates "
+             "(default 2)",
     )
     runtime.add_argument(
         "--record", default=None, metavar="DIR",
@@ -400,6 +458,9 @@ def _run_recorded(name, args):
         "jobs": args.jobs,
         "cache": not args.no_cache,
         "reference_kernel": args.reference_kernel,
+        "resume": args.resume,
+        "unit_timeout": args.unit_timeout,
+        "max_retries": args.max_retries,
     }
     # Every CLI experiment roots its seed streams at 0 (reproducibility).
     with RunRecorder(args.record, name=name, config=config, seed=0) as recorder:

@@ -248,20 +248,24 @@ class MonteCarloStudy:
         }
 
     def sweep(self, error_probabilities=DEFAULT_ERROR_PROBS, jobs=1, cache=None,
-              progress=None):
+              progress=None, policy=None, resume=False):
         """Fig. 5 + Fig. 6 data: one :class:`SweepPoint` per level.
 
         Levels are independent and internally seeded, so ``jobs > 1``
         fans them out over a process pool with results bit-identical to
         the serial sweep.  ``cache`` memoizes per-level results keyed by
         the study configuration.  Studies with stateful learned policies
-        run serial and uncached (see :meth:`_fingerprint`).  Runner
+        run serial and uncached (see :meth:`_fingerprint`).  ``policy``
+        (a :class:`repro.runtime.FaultPolicy`) governs per-level
+        timeouts, retries, and pool respawns; ``resume=True`` replays an
+        interrupted sweep's journaled levels from the cache.  Runner
         accounting is left in ``self.last_sweep_stats``.
         """
         fingerprint = self._fingerprint()
         if fingerprint is None:
-            jobs, cache = 1, None
-        runner = CampaignRunner(jobs=jobs, cache=cache, progress=progress)
+            jobs, cache, resume = 1, None, False
+        runner = CampaignRunner(jobs=jobs, cache=cache, progress=progress,
+                                policy=policy, resume=resume)
         probs = [float(p) for p in error_probabilities]
         points = runner.map(
             functools.partial(_run_level_worker, self), probs,

@@ -16,9 +16,22 @@ they all share:
 :mod:`repro.runtime.runner`
     :class:`CampaignRunner` — chunked fan-out over a process pool with a
     serial fallback for ``jobs=1`` and non-picklable workloads.
+:mod:`repro.runtime.policy`
+    :class:`FaultPolicy` — per-unit wall-clock timeouts, bounded retries
+    with deterministically jittered exponential backoff, and
+    BrokenProcessPool respawn caps, so the harness survives the faults
+    this repo exists to study.
+:mod:`repro.runtime.manifest`
+    :class:`CampaignManifest` — append-only journal of completed units
+    on top of the result cache; what makes ``--resume`` a first-class,
+    bit-identical continuation of an interrupted campaign.
+:mod:`repro.runtime.chaos`
+    :class:`ChaosWorker` — deterministic injection of worker crashes,
+    deaths, hangs, and slowdowns for tests and the ``chaos-resume`` CI
+    job.
 :mod:`repro.runtime.telemetry`
-    Progress events (trials/sec, ETA, cache hit/miss deltas, outcome
-    histogram so far) and ready-made consumers.
+    Progress events (trials/sec, ETA, cache hit/miss deltas, retry and
+    respawn counts, outcome histogram so far) and ready-made consumers.
 
 The runner is also instrumented against :mod:`repro.obs`: with
 collection enabled it opens a ``runtime.campaign`` span per invocation,
@@ -38,11 +51,19 @@ from repro.runtime.cache import (
     default_cache_dir,
     stable_digest,
 )
+from repro.runtime.chaos import ChaosError, ChaosSpec, ChaosWorker
+from repro.runtime.manifest import CampaignManifest
+from repro.runtime.policy import (
+    DEFAULT_FAULT_POLICY,
+    FAIL_FAST_POLICY,
+    FaultPolicy,
+)
 from repro.runtime.runner import (
     DEFAULT_CHUNK_SIZE,
     CampaignRunner,
     RunStats,
     TrialChunk,
+    UnitTimeoutError,
     chunk_bounds,
 )
 from repro.runtime.seeding import spawn_trial_seeds, trial_rng, trial_seed_sequence
@@ -55,10 +76,18 @@ __all__ = [
     "ResultCache",
     "default_cache_dir",
     "stable_digest",
+    "ChaosError",
+    "ChaosSpec",
+    "ChaosWorker",
+    "CampaignManifest",
+    "DEFAULT_FAULT_POLICY",
+    "FAIL_FAST_POLICY",
+    "FaultPolicy",
     "DEFAULT_CHUNK_SIZE",
     "CampaignRunner",
     "RunStats",
     "TrialChunk",
+    "UnitTimeoutError",
     "chunk_bounds",
     "spawn_trial_seeds",
     "trial_rng",

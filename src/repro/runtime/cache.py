@@ -131,6 +131,14 @@ class ResultCache:
         obs.inc("runtime.cache.hits")
         return value
 
+    def contains(self, digest):
+        """Whether an entry exists on disk, without loading or counting it.
+
+        Used by resume tooling to cross-check a campaign manifest
+        against the cache without disturbing the hit/miss statistics.
+        """
+        return self._entry(digest).exists()
+
     def put(self, digest, value):
         """Store ``value`` atomically; failures are silent (cache-only)."""
         entry = self._entry(digest)

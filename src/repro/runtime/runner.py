@@ -1,16 +1,19 @@
-"""Parallel campaign execution: chunking, process pools, cache, progress.
+"""Parallel campaign execution: chunking, pools, cache, fault tolerance.
 
 :class:`CampaignRunner` is the one execution path for every
 embarrassingly parallel study in this library (fault-injection
 campaigns, the Fig. 5/6 Monte Carlo sweeps, per-element vulnerability
 tables).  It fans units of work out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` and guarantees three
+:class:`~concurrent.futures.ProcessPoolExecutor` and guarantees four
 properties the studies rely on:
 
 **Determinism** — trial ``i`` draws from the seed stream
 ``SeedSequence(entropy=seed, spawn_key=(i,))`` (see
 :mod:`repro.runtime.seeding`), so results are bit-identical for any
-``jobs`` / ``chunk_size`` combination, including the serial path.
+``jobs`` / ``chunk_size`` combination, including the serial path —
+and, because retries never reseed the workload (see
+:mod:`repro.runtime.policy`), including runs that suffered crashes,
+hangs, or resumes.
 
 **Memoization** — with a :class:`~repro.runtime.cache.ResultCache`
 attached, each unit (a :class:`TrialChunk` or a mapped item) is keyed by
@@ -19,10 +22,25 @@ only units not cached yet.  Chunk boundaries depend only on
 ``chunk_size`` (never on ``jobs``), so cached chunks stay valid when the
 worker count changes.
 
+**Fault tolerance** — the paper's own checkpoint/rollback discipline,
+applied to the harness: unit failures are retried with exponential
+backoff under a :class:`~repro.runtime.policy.FaultPolicy`; units
+exceeding their wall-clock budget are declared hung, their pool is torn
+down and they are retried; a :class:`~concurrent.futures.process.
+BrokenProcessPool` (worker segfault/OOM kill) respawns the pool up to a
+cap and then degrades gracefully to serial execution.  Completed units
+are journaled through the cache plus a
+:class:`~repro.runtime.manifest.CampaignManifest`, so an interrupted
+campaign resumes where it left off and finishes bit-identical to an
+undisturbed run.  All of it surfaces as ``runtime.fault.*`` metrics.
+
 **Graceful degradation** — ``jobs=1`` runs inline with no pool; a
-worker or item that cannot be pickled silently falls back to the serial
-path (recorded in :attr:`RunStats.fallback_reason`) instead of failing,
-so closures and learned policy objects keep working.
+worker or item that cannot be pickled falls back to the serial path
+(recorded in :attr:`RunStats.fallback_reason` and counted as
+``runtime.fault.serial_fallback``) instead of failing, so closures and
+learned policy objects keep working.  Genuine workload errors raised
+while probing picklability are **not** swallowed — only pickling
+errors trigger the fallback.
 
 Workers receive one whole unit (chunk or item) per call, which keeps
 inter-process traffic to one task message per chunk rather than per
@@ -31,22 +49,36 @@ trial.
 
 from __future__ import annotations
 
+import heapq
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
-from repro.runtime.cache import MISS
+from repro.runtime.cache import MISS, stable_digest
+from repro.runtime.manifest import CampaignManifest
+from repro.runtime.policy import DEFAULT_FAULT_POLICY, FaultPolicy
 from repro.runtime.seeding import trial_seed_sequence
 from repro.runtime.telemetry import ProgressEvent
 
 #: Trials per chunk.  Fixed (not derived from ``jobs``) so cache entries
 #: remain chunk-aligned across different worker counts.
 DEFAULT_CHUNK_SIZE = 32
+
+#: Exceptions raised by the picklability probe that mean "this workload
+#: cannot travel to a pool worker" (CPython raises all three depending
+#: on the object).  Anything else the probe raises is a real workload
+#: error and propagates.
+PICKLING_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
+
+
+class UnitTimeoutError(TimeoutError):
+    """A campaign unit exceeded its :class:`FaultPolicy` wall-clock budget."""
 
 
 @dataclass(frozen=True)
@@ -101,6 +133,13 @@ class RunStats:
     histogram: dict = field(default_factory=dict)
     cache_hits: int = 0  # ResultCache unit hits during this run
     cache_misses: int = 0  # ResultCache unit misses during this run
+    retries: int = 0  # unit re-executions after failures/timeouts
+    timeouts: int = 0  # units declared hung (pool torn down, unit retried)
+    pool_respawns: int = 0  # worker pools recreated (broken pool / hang kill)
+    degraded_serial: bool = False  # respawn cap hit: remainder ran inline
+    resumed: bool = False  # this run was started with resume=True
+    journaled_units: int = 0  # units replayed from a prior run's journal
+    journaled_trials: int = 0
 
     @property
     def trials_per_sec(self):
@@ -138,17 +177,33 @@ class CampaignRunner:
         constant across runs that should share cache entries.
     cache:
         Optional :class:`~repro.runtime.cache.ResultCache`; ``None``
-        disables memoization.
+        disables memoization (and with it the campaign manifest, so
+        interrupted runs are not resumable).
     progress:
         Optional callback receiving one
-        :class:`~repro.runtime.telemetry.ProgressEvent` per finished unit.
+        :class:`~repro.runtime.telemetry.ProgressEvent` per finished unit
+        (and one per pool respawn, so a stalled-looking campaign still
+        reports what it is recovering from).
     classify:
         Optional ``result -> label`` used to build the running outcome
         histogram exposed through progress events and :attr:`stats`.
+    policy:
+        :class:`~repro.runtime.policy.FaultPolicy` governing timeouts,
+        retries, backoff, and pool respawns.  Defaults to
+        :data:`~repro.runtime.policy.DEFAULT_FAULT_POLICY`.
+    resume:
+        Declare this run a resume of an interrupted campaign: requires
+        ``cache``, replays the campaign manifest, and accounts replayed
+        units in :attr:`RunStats.journaled_units`.  A resume of a
+        campaign that never started (no manifest) simply runs fresh.
+    manifest_dir:
+        Where campaign manifests live; defaults to
+        ``<cache.path>/manifests`` when a cache is attached.
     """
 
     def __init__(self, jobs=1, chunk_size=DEFAULT_CHUNK_SIZE, cache=None,
-                 progress=None, classify=None):
+                 progress=None, classify=None, policy=None, resume=False,
+                 manifest_dir=None):
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -160,6 +215,16 @@ class CampaignRunner:
         self.cache = cache
         self.progress = progress
         self.classify = classify
+        self.policy = policy if policy is not None else DEFAULT_FAULT_POLICY
+        if not isinstance(self.policy, FaultPolicy):
+            raise TypeError("policy must be a FaultPolicy")
+        self.resume = bool(resume)
+        if self.resume and cache is None:
+            raise ValueError(
+                "resume requires a result cache: the cache holds the "
+                "journaled unit results a resumed campaign replays"
+            )
+        self.manifest_dir = manifest_dir
         self.stats = RunStats()
 
     # -- public entry points --------------------------------------------
@@ -201,7 +266,8 @@ class CampaignRunner:
     # -- internals -------------------------------------------------------
     def _execute(self, worker, items, base_key, item_keys, weights, unit_is_batch):
         stats = RunStats(
-            total_trials=sum(weights), units_total=len(items), jobs_used=self.jobs
+            total_trials=sum(weights), units_total=len(items), jobs_used=self.jobs,
+            resumed=self.resume,
         )
         self.stats = stats
         with obs.span(
@@ -225,14 +291,35 @@ class CampaignRunner:
             "histogram": dict(stats.histogram),
             "cache_hits": stats.cache_hits,
             "cache_misses": stats.cache_misses,
+            "retries": stats.retries,
+            "timeouts": stats.timeouts,
+            "pool_respawns": stats.pool_respawns,
+            "degraded_serial": stats.degraded_serial,
+            "resumed": stats.resumed,
+            "journaled_units": stats.journaled_units,
+            "journaled_trials": stats.journaled_trials,
         })
         return results
+
+    def _open_manifest(self, base_key, digests):
+        """The campaign's journal, or ``None`` when no cache is attached."""
+        if self.cache is None:
+            return None
+        directory = self.manifest_dir
+        if directory is None:
+            directory = self.cache.path / "manifests"
+        campaign_digest = stable_digest("campaign", base_key, len(digests))
+        manifest = CampaignManifest.open(directory, campaign_digest, len(digests))
+        if self.resume and manifest.completed:
+            obs.inc("runtime.fault.resumed")
+        return manifest
 
     def _execute_units(self, worker, items, base_key, item_keys, weights,
                        unit_is_batch, stats):
         started = time.perf_counter()
         results = [None] * len(items)
         done_trials = 0
+        attempts = {}  # unit index -> failed attempts so far
         # Cache counter baseline: the attached cache may outlive several
         # runs, so progress events report this run's deltas only.
         cache_hits0 = self.cache.stats.hits if self.cache is not None else 0
@@ -266,19 +353,28 @@ class CampaignRunner:
                     histogram=dict(stats.histogram),
                     cache_hits=stats.cache_hits,
                     cache_misses=stats.cache_misses,
+                    retries=stats.retries,
+                    pool_respawns=stats.pool_respawns,
                 ))
 
-        # Cache scan: satisfy whatever we can without executing.
-        pending = []
+        # Unit digests + campaign journal, then the cache scan: satisfy
+        # whatever a previous (possibly interrupted) run already finished.
         digests = [None] * len(items)
+        if self.cache is not None:
+            for i in range(len(items)):
+                digests[i] = self.cache.key(base_key, item_keys[i])
+        manifest = self._open_manifest(base_key, digests)
+        pending = []
         for i in range(len(items)):
             if self.cache is not None:
-                digests[i] = self.cache.key(base_key, item_keys[i])
                 value = self.cache.get(digests[i])
                 if value is not MISS:
                     observe(i, value)
                     stats.cached_trials += weights[i]
                     stats.units_cached += 1
+                    if manifest is not None and digests[i] in manifest:
+                        stats.journaled_units += 1
+                        stats.journaled_trials += weights[i]
                     continue
             pending.append(i)
         if stats.units_cached:
@@ -290,28 +386,27 @@ class CampaignRunner:
             stats.units_executed += 1
             if self.cache is not None:
                 self.cache.put(digests[i], result)
+            if manifest is not None and digests[i] not in manifest:
+                manifest.mark(digests[i], attempts=attempts.get(i, 0))
             emit()
 
-        if self._use_pool(worker, [items[i] for i in pending], stats):
-            collect = obs.enabled()
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-                futures = {
-                    pool.submit(_invoke, worker, items[i], collect): i
-                    for i in pending
-                }
-                for future in as_completed(futures):
-                    result, telemetry = future.result()
-                    # Re-parent the worker's spans/metrics under the
-                    # current runtime.campaign span before accounting, so
-                    # the merged tree matches what a serial run records.
-                    obs.absorb(telemetry)
-                    finish(futures[future], result)
-        else:
-            for i in pending:
-                finish(i, worker(items[i]))
+        try:
+            if self._use_pool(worker, [items[i] for i in pending], stats):
+                self._run_pool(worker, pending, items, attempts, finish, emit,
+                               stats)
+            else:
+                self._run_serial(worker, pending, items, attempts, finish, stats)
+        except KeyboardInterrupt:
+            if manifest is not None:
+                manifest.note_interrupt()
+            obs.inc("runtime.fault.interrupted")
+            raise
+        finally:
+            if manifest is not None:
+                manifest.close()
+            stats.elapsed_s = time.perf_counter() - started
+            stats.cache_hits, stats.cache_misses = cache_deltas()
 
-        stats.elapsed_s = time.perf_counter() - started
-        stats.cache_hits, stats.cache_misses = cache_deltas()
         obs.inc("runtime.runner.units_executed", stats.units_executed)
         obs.inc("runtime.runner.units_cached", stats.units_cached)
         obs.inc("runtime.runner.trials_executed", stats.executed_trials)
@@ -320,13 +415,198 @@ class CampaignRunner:
             obs.inc("runtime.runner.serial_fallbacks")
         return results
 
+    # -- failure bookkeeping --------------------------------------------
+    def _register_failure(self, i, exc, attempts, stats):
+        """Account one failed attempt; re-raise when retries are spent.
+
+        Returns the backoff delay (seconds) before the next attempt.
+        """
+        attempts[i] = attempts.get(i, 0) + 1
+        if attempts[i] > self.policy.max_retries:
+            obs.inc("runtime.fault.exhausted")
+            raise exc
+        stats.retries += 1
+        obs.inc("runtime.fault.retries")
+        return self.policy.backoff_s(i, attempts[i])
+
+    # -- serial execution ------------------------------------------------
+    def _run_serial(self, worker, indices, items, attempts, finish, stats):
+        """Inline execution with bounded retries (timeouts not enforceable)."""
+        for i in indices:
+            while True:
+                try:
+                    result = worker(items[i])
+                except Exception as exc:
+                    delay = self._register_failure(i, exc, attempts, stats)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                finish(i, result)
+                break
+
+    # -- pool execution --------------------------------------------------
+    def _run_pool(self, worker, pending, items, attempts, finish, emit, stats):
+        """Windowed pool scheduler with timeouts, retries, and respawns.
+
+        At most ``jobs`` units are in flight, so a submitted unit starts
+        (nearly) immediately and its wall-clock deadline is meaningful.
+        Failed units re-enter the ready-queue after their deterministic
+        backoff; a hung unit or broken pool tears the pool down, and the
+        surviving in-flight units are requeued without penalty.
+        """
+        policy = self.policy
+        collect = obs.enabled()
+        max_workers = min(self.jobs, len(pending))
+        waiting = [(0.0, i) for i in pending]  # (ready_at, index) min-heap
+        heapq.heapify(waiting)
+        inflight = {}  # future -> (index, deadline or None)
+        respawns_left = policy.max_pool_respawns
+        pool = None
+
+        def requeue_inflight(now):
+            """Units in flight when a pool dies are casualties, not causes:
+            requeue them with no retry penalty and no backoff."""
+            for j, _ in inflight.values():
+                heapq.heappush(waiting, (now, j))
+            inflight.clear()
+
+        def teardown(hard):
+            nonlocal pool
+            if pool is None:
+                return
+            if hard:
+                # A hung or dead worker never drains its queue; terminate
+                # the processes outright (private attr, guarded) so a
+                # sleeping chaos worker cannot outlive the campaign.
+                processes = getattr(pool, "_processes", None) or {}
+                for proc in list(processes.values()):
+                    try:
+                        proc.terminate()
+                    except (OSError, ValueError):
+                        pass
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True)
+            pool = None
+
+        def note_respawn():
+            stats.pool_respawns += 1
+            obs.inc("runtime.fault.pool_respawns")
+            with obs.span("runtime.fault.respawn"):
+                emit()  # progress still flows during recovery
+
+        def recover_broken_pool(now):
+            """Respawn after a BrokenProcessPool; True if degraded instead."""
+            nonlocal respawns_left
+            requeue_inflight(now)
+            teardown(hard=True)
+            obs.inc("runtime.fault.broken_pools")
+            if respawns_left <= 0:
+                stats.degraded_serial = True
+                obs.inc("runtime.fault.degraded_serial")
+                remaining = [i for _, i in sorted(waiting)]
+                del waiting[:]
+                with obs.span("runtime.fault.degraded_serial",
+                              units=len(remaining)):
+                    self._run_serial(worker, remaining, items, attempts,
+                                     finish, stats)
+                return True
+            respawns_left -= 1
+            note_respawn()
+            return False
+
+        try:
+            while waiting or inflight:
+                now = time.monotonic()
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=max_workers)
+                try:
+                    while (waiting and waiting[0][0] <= now
+                           and len(inflight) < max_workers):
+                        _, i = heapq.heappop(waiting)
+                        deadline = (now + policy.unit_timeout_s
+                                    if policy.unit_timeout_s else None)
+                        future = pool.submit(_invoke, worker, items[i], collect)
+                        inflight[future] = (i, deadline)
+                except BrokenProcessPool:
+                    heapq.heappush(waiting, (now, i))
+                    if recover_broken_pool(now):
+                        return
+                    continue
+                if not inflight:
+                    # Everything is backing off: sleep until the first
+                    # retry is ready (bounded by the scheduler tick).
+                    pause = min(max(waiting[0][0] - now, 0.001),
+                                policy.poll_interval_s)
+                    time.sleep(pause)
+                    continue
+                tick = (policy.poll_interval_s
+                        if (policy.unit_timeout_s or waiting) else None)
+                done, _ = wait(list(inflight), timeout=tick,
+                               return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    i, _ = inflight.pop(future)
+                    try:
+                        result, telemetry = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        delay = self._register_failure(i, exc, attempts, stats)
+                        heapq.heappush(waiting, (time.monotonic() + delay, i))
+                    except Exception as exc:
+                        delay = self._register_failure(i, exc, attempts, stats)
+                        heapq.heappush(waiting, (time.monotonic() + delay, i))
+                    else:
+                        # Re-parent the worker's spans/metrics under the
+                        # current runtime.campaign span before accounting,
+                        # so the merged tree matches a serial run's.
+                        obs.absorb(telemetry)
+                        finish(i, result)
+                if broken:
+                    if recover_broken_pool(time.monotonic()):
+                        return
+                    continue
+                if policy.unit_timeout_s:
+                    now = time.monotonic()
+                    hung = [(future, i) for future, (i, deadline)
+                            in inflight.items()
+                            if deadline is not None and now > deadline]
+                    if hung:
+                        # Hung workers cannot be interrupted individually:
+                        # tear the whole pool down, penalize the hung
+                        # units, requeue the innocent in-flight ones.
+                        for future, i in hung:
+                            inflight.pop(future)
+                            stats.timeouts += 1
+                            obs.inc("runtime.fault.timeouts")
+                            cause = UnitTimeoutError(
+                                f"unit {i} exceeded its "
+                                f"{policy.unit_timeout_s:.3f}s wall-clock "
+                                f"budget"
+                            )
+                            delay = self._register_failure(
+                                i, cause, attempts, stats
+                            )
+                            heapq.heappush(waiting, (now + delay, i))
+                        requeue_inflight(now)
+                        teardown(hard=True)
+                        note_respawn()
+            teardown(hard=False)
+        except BaseException:
+            teardown(hard=True)
+            raise
+
     def _use_pool(self, worker, pending_items, stats):
         if self.jobs == 1 or len(pending_items) < 2:
             return False
         try:
             pickle.dumps((worker, pending_items))
-        except Exception as exc:  # non-picklable workload: serial fallback
+        except PICKLING_ERRORS as exc:
+            # Non-picklable workload: decline the pool, run serial.
+            # Anything *else* the probe raises (a worker __getstate__
+            # hitting a real bug, say) is a workload error and propagates.
             stats.fallback_reason = f"{type(exc).__name__}: {exc}"
             stats.jobs_used = 1
+            obs.inc("runtime.fault.serial_fallback")
             return False
         return True

@@ -36,6 +36,8 @@ class ProgressEvent:
     histogram: dict  # label -> count over all finished trials
     cache_hits: int = 0  # ResultCache unit hits during this run
     cache_misses: int = 0  # ResultCache unit misses during this run
+    retries: int = 0  # unit re-executions after failures/timeouts so far
+    pool_respawns: int = 0  # worker pools recreated so far
 
     @property
     def fraction(self):
@@ -52,7 +54,10 @@ class ProgressEvent:
 
         ``None`` until at least one trial has executed — when everything
         so far came from the cache there is no throughput to extrapolate
-        from.
+        from.  Cached trials include units journaled by a previous
+        (interrupted) run, so a resumed campaign's ETA extrapolates from
+        this run's executed-trial throughput only — replayed units never
+        inflate the rate.
         """
         if self.trials_per_sec <= 0.0 or self.executed <= 0:
             return None
@@ -96,6 +101,10 @@ def print_progress(event, stream=None):
     parts = [rate, f"{event.cached} cached"]
     if event.cache_hits or event.cache_misses:
         parts.append(f"cache {event.cache_hits}h/{event.cache_misses}m")
+    if event.retries:
+        parts.append(f"{event.retries} retries")
+    if event.pool_respawns:
+        parts.append(f"{event.pool_respawns} respawns")
     line = f"[{event.done}/{event.total}] " + ", ".join(parts)
     hist = " ".join(f"{k}={v}" for k, v in sorted(event.histogram.items()))
     if hist:
