@@ -1,25 +1,32 @@
-"""Perf-smoke harness for the Sec. V evaluation kernels.
+"""Perf-smoke harness for the Sec. V kernels and the Sec. III FI engine.
 
-Times the Fig. 5/Fig. 6 Monte Carlo sweep and the wall-ablation
-hit-rate grid on both the batched numpy kernels and the scalar
-reference path (same seeds, ``jobs=1``, no cache), verifies the
-scalar-vs-batched equivalence contract, and appends one entry — machine
-info, wall-clock timings, speedups — to a ``BENCH_sweep.json``
-trajectory record.  See ``docs/performance.md`` for how to read the
-record and why regression checks compare *speedups* (within-run ratios)
-rather than raw wall-clock across machines.
+Two bench groups, each with its own trajectory record:
+
+* **sweep** (``BENCH_sweep.json``) — times the Fig. 5/Fig. 6 Monte
+  Carlo sweep and the wall-ablation hit-rate grid on both the batched
+  numpy kernels and the scalar reference path (same seeds, ``jobs=1``,
+  no cache), verifying the scalar-vs-batched equivalence contract.
+* **fi** (``BENCH_fi.json``) — times a fault-injection campaign on both
+  the checkpoint-and-replay (forked) trial engine and the full-rerun
+  reference engine, verifying the records are bit-identical.
+
+Each run appends one entry — machine info, wall-clock timings,
+speedups — to the group's record.  See ``docs/performance.md`` for how
+to read the records and why regression checks compare *speedups*
+(within-run ratios) rather than raw wall-clock across machines.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py                 # print only
     PYTHONPATH=src python benchmarks/perf_smoke.py --output BENCH_sweep.json
     PYTHONPATH=src python benchmarks/perf_smoke.py \\
-        --check BENCH_sweep.json --min-speedup 5 --output out/BENCH_sweep.json
+        --check BENCH_sweep.json --min-speedup 5 --output out/BENCH_sweep.json \\
+        --fi-check BENCH_fi.json --fi-output out/BENCH_fi.json
 
-Exit status is non-zero when the equivalence contract fails, when any
-bench's speedup is below ``--min-speedup``, or when ``--check`` finds a
-more-than-``--regression-factor`` speedup drop against the baseline
-record's newest entry.
+Exit status is non-zero when an equivalence contract fails, when any
+bench's speedup is below ``--min-speedup``, or when ``--check`` /
+``--fi-check`` finds a more-than-``--regression-factor`` speedup drop
+against the baseline record's newest entry.
 """
 
 from __future__ import annotations
@@ -49,6 +56,14 @@ SCHEMA = 1
 WALL_PROBS = (1e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4)
 WALL_SPEEDS = (2.0, 4.0, 8.0)
 HIT_RATE_TOLERANCE = 0.15
+# FI bench workload: a seed program long enough that per-trial setup is
+# noise, with a 1.5x hang budget — hang trials run to the cycle budget
+# on *both* engines, so a loose budget only measures the hang rate, not
+# the engine (docs/performance.md, "The fault-injection engine").
+FI_HANG_BUDGET_FACTOR = 1.5
+# Scale-determining result keys: regression checks skip a bench when the
+# baseline ran at a different scale (speedups are scale-dependent).
+SCALE_KEYS = ("n_runs", "n_trials")
 
 
 def _timed(fn, rounds):
@@ -170,9 +185,44 @@ def bench_wall_ablation(n_runs, rounds):
     }
 
 
-BENCHES = {
+def bench_fi_campaign(n_trials, rounds):
+    """Forked vs reference trial engine on one seed-program campaign."""
+    from repro.arch import FaultInjector
+    from repro.arch import programs as P
+
+    program = P.matmul(5)
+    forked = FaultInjector(
+        program, engine="forked", max_cycles_factor=FI_HANG_BUDGET_FACTOR
+    )
+    reference = FaultInjector(
+        program, engine="reference", max_cycles_factor=FI_HANG_BUDGET_FACTOR
+    )
+    forked_s, forked_res = _timed(
+        lambda: forked.run_campaign(n_trials=n_trials, seed=0), rounds
+    )
+    reference_s, reference_res = _timed(
+        lambda: reference.run_campaign(n_trials=n_trials, seed=0), rounds
+    )
+    # Equivalence contract: bit-identical records, trial for trial.
+    if forked_res.records != reference_res.records:
+        raise AssertionError("forked engine records diverged from reference")
+    return {
+        "forked_s": forked_s,
+        "reference_s": reference_s,
+        "speedup": reference_s / forked_s,
+        "n_trials": n_trials,
+        "program": program.name,
+        "golden_cycles": forked.golden_cycles,
+        "hang_budget_factor": FI_HANG_BUDGET_FACTOR,
+    }
+
+
+SWEEP_BENCHES = {
     "fig5_fig6_sweep": bench_fig5_fig6_sweep,
     "wall_ablation": bench_wall_ablation,
+}
+FI_BENCHES = {
+    "fi_campaign": bench_fi_campaign,
 }
 
 
@@ -186,17 +236,23 @@ def machine_info():
     }
 
 
-def run_benches(n_runs, rounds):
-    entry = {
+def _new_entry(config):
+    return {
         "schema": SCHEMA,
         "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
         ),
         "machine": machine_info(),
-        "config": {"n_runs": n_runs, "rounds": rounds, "jobs": 1, "cache": False},
+        "config": config,
         "results": {},
     }
-    for name, bench in BENCHES.items():
+
+
+def run_sweep_benches(n_runs, rounds):
+    entry = _new_entry(
+        {"n_runs": n_runs, "rounds": rounds, "jobs": 1, "cache": False}
+    )
+    for name, bench in SWEEP_BENCHES.items():
         result = bench(n_runs, rounds)
         entry["results"][name] = result
         print(
@@ -204,6 +260,22 @@ def run_benches(n_runs, rounds):
             f"scalar {result['scalar_s']*1e3:8.1f} ms   "
             f"speedup {result['speedup']:6.1f}x   "
             f"max hit-rate delta {result['max_hit_rate_delta']:.3f}"
+        )
+    return entry
+
+
+def run_fi_benches(n_trials, rounds):
+    entry = _new_entry(
+        {"n_trials": n_trials, "rounds": rounds, "jobs": 1, "cache": False}
+    )
+    for name, bench in FI_BENCHES.items():
+        result = bench(n_trials, rounds)
+        entry["results"][name] = result
+        print(
+            f"{name}: forked {result['forked_s']*1e3:8.1f} ms   "
+            f"reference {result['reference_s']*1e3:8.1f} ms   "
+            f"speedup {result['speedup']:6.1f}x   "
+            f"({result['program']}, {result['n_trials']} trials)"
         )
     return entry
 
@@ -216,12 +288,12 @@ def load_record(path):
     return record
 
 
-def append_entry(path, entry):
+def append_entry(path, entry, benchmark="sec5-kernels"):
     path = pathlib.Path(path)
     if path.exists():
         record = load_record(path)
     else:
-        record = {"schema": SCHEMA, "benchmark": "sec5-kernels", "entries": []}
+        record = {"schema": SCHEMA, "benchmark": benchmark, "entries": []}
     record["entries"].append(entry)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(record, indent=2) + "\n")
@@ -242,12 +314,15 @@ def check_regression(entry, baseline_path, regression_factor):
         base = baseline["results"].get(name)
         if base is None:
             continue
-        if base.get("n_runs") != result.get("n_runs"):
-            # Speedup scales with the batch size; unlike-for-unlike
-            # comparisons would produce meaningless failures.
+        scale_diff = [
+            k for k in SCALE_KEYS if base.get(k) != result.get(k)
+        ]
+        if scale_diff:
+            # Speedup scales with the batch/campaign size; unlike-for-
+            # unlike comparisons would produce meaningless failures.
             print(
-                f"skip {name}: baseline n_runs={base.get('n_runs')} != "
-                f"current n_runs={result.get('n_runs')}"
+                f"skip {name}: baseline scale differs "
+                f"({', '.join(f'{k}={base.get(k)}' for k in scale_diff)})"
             )
             continue
         if result["speedup"] * regression_factor < base["speedup"]:
@@ -259,26 +334,8 @@ def check_regression(entry, baseline_path, regression_factor):
     return failures
 
 
-def main(argv=None):
-    parser = argparse.ArgumentParser(
-        description="Time the Sec. V Monte Carlo kernels and record BENCH_sweep.json"
-    )
-    parser.add_argument("--runs", type=int, default=100,
-                        help="Monte Carlo runs per level (default 100)")
-    parser.add_argument("--rounds", type=int, default=3,
-                        help="timing rounds per bench; the median is recorded")
-    parser.add_argument("--output", default=None, metavar="FILE",
-                        help="append this run's entry to FILE (trajectory record)")
-    parser.add_argument("--check", default=None, metavar="BASELINE",
-                        help="compare speedups against BASELINE's newest entry")
-    parser.add_argument("--min-speedup", type=float, default=None,
-                        help="fail when any bench's speedup is below this")
-    parser.add_argument("--regression-factor", type=float, default=2.0,
-                        help="allowed speedup drop vs baseline (default 2x)")
-    args = parser.parse_args(argv)
-
-    entry = run_benches(args.runs, args.rounds)
-
+def _gate_entry(entry, args, check_path, output_path, benchmark):
+    """Apply --min-speedup / baseline-check / append to one bench group."""
     status = 0
     if args.min_speedup is not None:
         for name, result in entry["results"].items():
@@ -289,15 +346,53 @@ def main(argv=None):
                     file=sys.stderr,
                 )
                 status = 1
-    if args.check:
-        failures = check_regression(entry, args.check, args.regression_factor)
+    if check_path:
+        failures = check_regression(entry, check_path, args.regression_factor)
         for line in failures:
             print(f"FAIL {line}", file=sys.stderr)
         if failures:
             status = 1
-    if args.output:
-        path = append_entry(args.output, entry)
+    if output_path:
+        path = append_entry(output_path, entry, benchmark=benchmark)
         print(f"recorded entry -> {path}")
+    return status
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Time the Sec. V Monte Carlo kernels and the Sec. III "
+                    "FI engine; record BENCH_sweep.json / BENCH_fi.json"
+    )
+    parser.add_argument("--runs", type=int, default=100,
+                        help="Monte Carlo runs per level (default 100)")
+    parser.add_argument("--trials", type=int, default=400,
+                        help="fault-injection trials for the FI bench "
+                             "(default 400)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per bench; the median is recorded")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="append the sweep entry to FILE (trajectory record)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare sweep speedups against BASELINE's "
+                             "newest entry")
+    parser.add_argument("--fi-output", default=None, metavar="FILE",
+                        help="append the FI-engine entry to FILE")
+    parser.add_argument("--fi-check", default=None, metavar="BASELINE",
+                        help="compare FI-engine speedups against BASELINE's "
+                             "newest entry")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail when any bench's speedup is below this")
+    parser.add_argument("--regression-factor", type=float, default=2.0,
+                        help="allowed speedup drop vs baseline (default 2x)")
+    args = parser.parse_args(argv)
+
+    sweep_entry = run_sweep_benches(args.runs, args.rounds)
+    fi_entry = run_fi_benches(args.trials, args.rounds)
+
+    status = _gate_entry(sweep_entry, args, args.check, args.output,
+                         "sec5-kernels")
+    status |= _gate_entry(fi_entry, args, args.fi_check, args.fi_output,
+                          "sec3-fi-engine")
     return status
 
 

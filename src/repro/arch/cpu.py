@@ -13,6 +13,13 @@ pipeline — are:
 Faults are injected by flipping a chosen bit of a chosen element at a
 chosen cycle, mid-execution.  Outcomes are classified by the caller
 (:mod:`repro.arch.fault_injection`).
+
+Data memory is a copy-on-write overlay over the program's (immutable)
+initial image: stores land in a small per-run overlay dict, loads fall
+through to the initial image.  That makes :meth:`CPU.snapshot` /
+:meth:`CPU.restore` — the primitives behind the checkpoint-and-replay
+fault-injection engine — O(registers + stores so far) instead of
+O(total memory footprint).
 """
 
 from __future__ import annotations
@@ -91,22 +98,117 @@ def unpack_instruction(word):
     )
 
 
+@dataclass(frozen=True)
+class CPUSnapshot:
+    """Full architectural state at a cycle boundary (between steps).
+
+    ``mem_overlay`` holds only the words written since reset — the
+    copy-on-write delta against the program's initial memory image —
+    so snapshots stay cheap for memory-heavy workloads.
+    """
+
+    registers: tuple
+    pc: int
+    cycles: int
+    halted: bool
+    mem_overlay: dict
+    ir_fault: int
+
+
 class CPU:
     """Functional simulator with named, bit-addressable state elements."""
 
     def __init__(self, program, max_cycles=100_000):
         self.program = program
         self.max_cycles = max_cycles
+        # Read-only base image; all writes go to the per-run overlay.
+        self._mem_base = program.initial_memory
         self.reset()
 
     def reset(self):
         self.registers = [0] * N_REGISTERS
         self.pc = 0
-        self.memory = dict(self.program.initial_memory)
+        self._mem_overlay = {}
         self.cycles = 0
         self.halted = False
+        # A pending IR fault set by flip_bit("ir", ...) but never consumed
+        # (e.g. the run crashed before the next fetch) must not leak into
+        # the next run of a reused CPU object.
+        self._ir_fault = 0
         self._reads = {}
         self._writes = {}
+
+    @property
+    def memory(self):
+        """Merged data-memory view (initial image + overlay).
+
+        A fresh dict each access: mutate memory through execution (ST)
+        only, never through this view.
+        """
+        merged = dict(self._mem_base)
+        merged.update(self._mem_overlay)
+        return merged
+
+    def read_memory(self, addr):
+        """Current value of one data-memory word."""
+        overlay = self._mem_overlay
+        if addr in overlay:
+            return overlay[addr]
+        return self._mem_base.get(addr, 0)
+
+    def output(self, output_range):
+        """The program's declared output words in the current state."""
+        start, length = output_range
+        return tuple(self.read_memory(start + i) for i in range(length))
+
+    # -- checkpointing (the forked-engine surface) -----------------------------
+    def snapshot(self):
+        """Capture full architectural state between steps (O(state delta))."""
+        return CPUSnapshot(
+            registers=tuple(self.registers),
+            pc=self.pc,
+            cycles=self.cycles,
+            halted=self.halted,
+            mem_overlay=dict(self._mem_overlay),
+            ir_fault=self._ir_fault,
+        )
+
+    def restore(self, snap):
+        """Rewind to a snapshot taken on a CPU running the same program."""
+        self.registers = list(snap.registers)
+        self.pc = snap.pc
+        self.cycles = snap.cycles
+        self.halted = snap.halted
+        self._mem_overlay = dict(snap.mem_overlay)
+        self._ir_fault = snap.ir_fault
+        self._reads = {}
+        self._writes = {}
+
+    def state_matches(self, snap, reg_indices=None):
+        """Whether current architectural state equals a snapshot's.
+
+        ``reg_indices`` restricts the register comparison to the given
+        indices (a caller-computed liveness set); pc, cycle count, halt
+        flag, pending IR fault, and the memory overlay are always
+        compared in full.
+        """
+        if (
+            self.pc != snap.pc
+            or self.cycles != snap.cycles
+            or self.halted != snap.halted
+            or self._ir_fault != snap.ir_fault
+        ):
+            return False
+        regs = snap.registers
+        if reg_indices is None:
+            if tuple(self.registers) != regs:
+                return False
+        else:
+            mine = self.registers
+            for i in reg_indices:
+                if mine[i] != regs[i]:
+                    return False
+        return self._mem_overlay == snap.mem_overlay
 
     # -- state-element access (the fault-injection surface) -------------------
     def state_elements(self):
@@ -129,7 +231,7 @@ class CPU:
         elif element == "pc":
             self.pc ^= 1 << bit
         elif element == "ir":
-            self._ir_fault = getattr(self, "_ir_fault", 0) ^ (1 << bit)
+            self._ir_fault ^= 1 << bit
         else:
             raise ValueError(f"unknown state element {element!r}")
 
@@ -141,7 +243,7 @@ class CPU:
         if not 0 <= self.pc < len(self.program.instructions):
             raise CrashError(f"pc {self.pc} outside program")
         instr = self.program.instructions[self.pc]
-        ir_fault = getattr(self, "_ir_fault", 0)
+        ir_fault = self._ir_fault
         if ir_fault:
             instr = unpack_instruction(pack_instruction(instr) ^ ir_fault)
             self._ir_fault = 0
@@ -192,12 +294,12 @@ class CPU:
             addr = (self._read(instr.rs1) + instr.imm) & WORD_MASK
             if addr >= MEMORY_LIMIT:
                 raise CrashError(f"load from invalid address {addr}")
-            self._write(instr.rd, self.memory.get(addr, 0))
+            self._write(instr.rd, self.read_memory(addr))
         elif op == Opcode.ST:
             addr = (self._read(instr.rs1) + instr.imm) & WORD_MASK
             if addr >= MEMORY_LIMIT:
                 raise CrashError(f"store to invalid address {addr}")
-            self.memory[addr] = self._read(instr.rs2) & WORD_MASK
+            self._mem_overlay[addr] = self._read(instr.rs2) & WORD_MASK
         elif op == Opcode.BEQ:
             if self._read(instr.rs1) == self._read(instr.rs2):
                 next_pc = self.pc + 1 + instr.imm
@@ -215,6 +317,112 @@ class CPU:
         else:  # pragma: no cover - enum is exhaustive
             raise CrashError(f"unimplemented opcode {op}")
         self.pc = next_pc
+
+    def run_span(self, stop_cycle=None):
+        """Execute until ``cycles == stop_cycle``, halt, crash, or timeout.
+
+        A tight-loop twin of repeated :meth:`step` for the
+        checkpoint-and-replay fault-injection engine: architectural
+        state evolves identically (same crashes, same
+        :class:`TimeoutError` budget, same halt semantics), but the
+        interpreter loop is inlined with cached locals and skips the
+        per-register read/write trace counters — bookkeeping that only
+        :class:`ExecutionResult` consumers (e.g. selective replication)
+        need and that fault-injection records never observe.
+
+        ``stop_cycle=None`` runs to halt or cycle budget.  A pending IR
+        fault is consumed by the first fetch, exactly as in
+        :meth:`step`.
+        """
+        instructions = self.program.instructions
+        n_instr = len(instructions)
+        regs = self.registers
+        overlay = self._mem_overlay
+        base = self._mem_base
+        max_cycles = self.max_cycles
+        arith = ARITH_OPS
+        pc = self.pc
+        cycles = self.cycles
+        halted = self.halted
+        try:
+            while not halted and cycles != stop_cycle:
+                if not 0 <= pc < n_instr:
+                    raise CrashError(f"pc {pc} outside program")
+                instr = instructions[pc]
+                ir_fault = self._ir_fault
+                if ir_fault:
+                    instr = unpack_instruction(pack_instruction(instr) ^ ir_fault)
+                    self._ir_fault = 0
+                op = instr.opcode
+                next_pc = pc + 1
+                # r0 reads as 0 because writes to it are dropped, so the
+                # registers[0] == 0 invariant lets reads skip the check.
+                if op in arith:
+                    a = regs[instr.rs1]
+                    b = regs[instr.rs2]
+                    if op is Opcode.ADD:
+                        value = a + b
+                    elif op is Opcode.SUB:
+                        value = a - b
+                    elif op is Opcode.MUL:
+                        value = a * b
+                    elif op is Opcode.AND:
+                        value = a & b
+                    elif op is Opcode.OR:
+                        value = a | b
+                    elif op is Opcode.XOR:
+                        value = a ^ b
+                    elif op is Opcode.SHL:
+                        value = a << (b & 31)
+                    else:  # SHR
+                        value = a >> (b & 31)
+                    if instr.rd:
+                        regs[instr.rd] = value & WORD_MASK
+                elif op is Opcode.ADDI:
+                    if instr.rd:
+                        regs[instr.rd] = (regs[instr.rs1] + instr.imm) & WORD_MASK
+                elif op is Opcode.LUI:
+                    if instr.rd:
+                        regs[instr.rd] = instr.imm & WORD_MASK
+                elif op is Opcode.LD:
+                    addr = (regs[instr.rs1] + instr.imm) & WORD_MASK
+                    if addr >= MEMORY_LIMIT:
+                        raise CrashError(f"load from invalid address {addr}")
+                    if instr.rd:
+                        value = overlay[addr] if addr in overlay else base.get(addr, 0)
+                        regs[instr.rd] = value & WORD_MASK
+                elif op is Opcode.ST:
+                    addr = (regs[instr.rs1] + instr.imm) & WORD_MASK
+                    if addr >= MEMORY_LIMIT:
+                        raise CrashError(f"store to invalid address {addr}")
+                    overlay[addr] = regs[instr.rs2] & WORD_MASK
+                elif op is Opcode.BEQ:
+                    if regs[instr.rs1] == regs[instr.rs2]:
+                        next_pc = pc + 1 + instr.imm
+                elif op is Opcode.BNE:
+                    if regs[instr.rs1] != regs[instr.rs2]:
+                        next_pc = pc + 1 + instr.imm
+                elif op is Opcode.BLT:
+                    if _signed(regs[instr.rs1]) < _signed(regs[instr.rs2]):
+                        next_pc = pc + 1 + instr.imm
+                elif op is Opcode.JMP:
+                    next_pc = pc + 1 + instr.imm
+                elif op is Opcode.HALT:
+                    halted = True
+                    cycles += 1
+                    break
+                elif op is not Opcode.NOP:  # pragma: no cover - exhaustive
+                    raise CrashError(f"unimplemented opcode {op}")
+                pc = next_pc
+                cycles += 1
+                if cycles >= max_cycles:
+                    raise TimeoutError(f"exceeded {max_cycles} cycles")
+        finally:
+            # Write back on every exit path so a CrashError/TimeoutError
+            # leaves the same state repeated step() calls would.
+            self.pc = pc
+            self.cycles = cycles
+            self.halted = halted
 
     def run(self, fault=None):
         """Run to completion.
@@ -246,7 +454,7 @@ class CPU:
         return ExecutionResult(
             halted=True,
             cycles=self.cycles,
-            memory=dict(self.memory),
+            memory=self.memory,
             registers=list(self.registers),
             trace_reads=dict(self._reads),
             trace_writes=dict(self._writes),

@@ -17,6 +17,23 @@ Campaign execution is delegated to the shared runtime layer
 seed stream, so campaigns can fan out over a process pool (``jobs``),
 memoize chunks on disk (``cache``), and report progress — with results
 bit-identical to the serial path.  See ``docs/campaigns.md``.
+
+Trial execution itself runs on one of two engines (``engine=``):
+
+* ``"forked"`` (the ``"auto"`` default) — checkpoint-and-replay: the
+  single golden run leaves a ladder of architectural snapshots; each
+  trial restores the nearest snapshot at-or-before its injection
+  cycle, replays only the short gap, flips the bit, and executes the
+  post-fault suffix — with an early-exit masking check that classifies
+  the trial without running the rest of the suffix once live state has
+  reconverged with the golden trace at a snapshot boundary.
+* ``"reference"`` — the original full re-execution from cycle 0, kept
+  as the equivalence oracle (CLI: ``--reference-engine``).
+
+Both engines produce bit-identical :class:`InjectionRecord`\\ s; the
+engine is part of :meth:`FaultInjector.fingerprint`, so cached results
+never cross engines.  See ``docs/performance.md``, "The
+fault-injection engine".
 """
 
 from __future__ import annotations
@@ -31,6 +48,17 @@ import numpy as np
 from repro import obs
 from repro.arch.cpu import CPU, CrashError
 from repro.runtime import CampaignRunner
+
+#: Trial-execution engines (``"auto"`` resolves to ``"forked"``).
+ENGINES = ("auto", "forked", "reference")
+
+#: Cycle budget for the golden (fault-free) characterization run.
+GOLDEN_MAX_CYCLES = 1_000_000
+
+#: Snapshot-ladder cap under adaptive intervals: when the golden run
+#: outgrows it, every other snapshot is dropped and the interval
+#: doubles, bounding memory at O(cap) snapshots for any program length.
+MAX_AUTO_SNAPSHOTS = 256
 
 
 class Outcome(enum.Enum):
@@ -116,52 +144,179 @@ class FaultInjector:
     symptom_tolerance:
         Relative cycle-count deviation below which a correct-output run is
         MASKED; above it, SYMPTOM.
+    engine:
+        Trial-execution engine: ``"forked"`` (checkpoint-and-replay),
+        ``"reference"`` (full rerun from cycle 0, the equivalence
+        oracle), or ``"auto"`` (default; resolves to ``"forked"``).
+        Both engines produce bit-identical records.
+    snapshot_interval:
+        Cycles between golden-state snapshots on the forked engine.
+        ``None`` (default) adapts: it starts at 1 and doubles whenever
+        the ladder outgrows :data:`MAX_AUTO_SNAPSHOTS`, so short
+        programs checkpoint densely and long ones stay bounded.
     """
 
-    def __init__(self, program, max_cycles_factor=4.0, symptom_tolerance=0.02):
+    def __init__(self, program, max_cycles_factor=4.0, symptom_tolerance=0.02,
+                 engine="auto", snapshot_interval=None):
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if snapshot_interval is not None and snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be positive")
         self.program = program
-        golden = CPU(program, max_cycles=1_000_000).run()
-        self.golden_output = golden.output(program.output_range)
-        self.golden_cycles = golden.cycles
-        self.max_cycles = max(int(golden.cycles * max_cycles_factor), golden.cycles + 64)
+        self.engine = "forked" if engine == "auto" else engine
         self.symptom_tolerance = symptom_tolerance
         self.last_run_stats = None  # RunStats of the most recent campaign
-        # Golden PC trace: which instruction was executing at each cycle.
-        tracer = CPU(program, max_cycles=1_000_000)
-        self.golden_pc_trace = []
-        while not tracer.halted:
-            self.golden_pc_trace.append(tracer.pc)
-            tracer.step()
 
-    def inject_one(self, cycle, element, bit):
-        """Run with one fault and classify the outcome."""
-        cpu = CPU(self.program, max_cycles=self.max_cycles)
-        # Log-feature context: the instruction the golden run executed at the
-        # injection cycle (pattern mining keys on it).
+        # One golden run produces everything the trials need: the output
+        # words and cycle count, the per-cycle PC trace (which instruction
+        # was in flight at each cycle — pattern mining and the selective
+        # replication flow key on it), and the forked engine's ladder of
+        # architectural snapshots.
+        cpu = CPU(program, max_cycles=GOLDEN_MAX_CYCLES)
+        interval = snapshot_interval or 1
+        adaptive = snapshot_interval is None
+        snapshots = []
+        trace = []
+        while not cpu.halted:
+            if cpu.cycles % interval == 0:
+                snapshots.append(cpu.snapshot())
+                if adaptive and len(snapshots) > MAX_AUTO_SNAPSHOTS:
+                    snapshots = snapshots[::2]
+                    interval *= 2
+            trace.append(cpu.pc)
+            cpu.step()
+        self.golden_output = cpu.output(program.output_range)
+        self.golden_cycles = cpu.cycles
+        self.golden_pc_trace = trace
+        self.max_cycles = max(int(cpu.cycles * max_cycles_factor), cpu.cycles + 64)
+        self.snapshot_interval = interval
+        self._snapshots = snapshots
+        self._live_regs = self._boundary_liveness(trace, interval)
+        # Last snapshot cycle: boundary checks past it are impossible.
+        self._last_boundary = ((self.golden_cycles - 1) // interval) * interval
+        # Trials restore into one reusable CPU instead of building a fresh
+        # simulator per injection.
+        self._trial_cpu = CPU(program, max_cycles=self.max_cycles)
+        obs.inc("arch.fi.engine.snapshots", len(snapshots))
+
+    def _boundary_liveness(self, trace, interval):
+        """Golden live-in register sets at each snapshot boundary.
+
+        A register the golden suffix never reads before overwriting
+        cannot influence anything the outcome classification observes
+        (output words and cycle count) — the ACE/un-ACE distinction of
+        AVF analysis.  The early-exit check therefore compares only the
+        live set: a flipped dead register still reconverges, instead of
+        pinning the trial to a full suffix re-execution.
+        """
+        live = set()
+        live_at = {}
+        instructions = self.program.instructions
+        for cycle in range(len(trace) - 1, -1, -1):
+            instr = instructions[trace[cycle]]
+            written = instr.writes
+            if written is not None:
+                live.discard(written)
+            live.update(instr.reads)
+            if cycle % interval == 0:
+                # r0 is hardwired to zero in every run; never compare it.
+                live_at[cycle] = tuple(sorted(live - {0}))
+        return live_at
+
+    def _injection_context(self, cycle):
+        """Log-feature context: the golden instruction at the injection
+        cycle (pattern mining keys on it)."""
         if 0 <= cycle < len(self.golden_pc_trace):
             pc_at = self.golden_pc_trace[cycle]
-            opcode_at = self.program.instructions[pc_at].opcode.value
+            return pc_at, self.program.instructions[pc_at].opcode.value
+        return -1, ""
+
+    def _classify(self, output, cycles):
+        """The Sec. III taxonomy for a completed (non-crash) run."""
+        if output != self.golden_output:
+            return Outcome.SDC
+        if (
+            abs(cycles - self.golden_cycles)
+            > self.symptom_tolerance * self.golden_cycles
+        ):
+            return Outcome.SYMPTOM
+        return Outcome.MASKED
+
+    def inject_one(self, cycle, element, bit):
+        """Run one trial on the configured engine and classify the outcome."""
+        pc_at, opcode_at = self._injection_context(cycle)
+        if self.engine == "reference":
+            outcome = self._inject_reference(cycle, element, bit)
         else:
-            pc_at = -1
-            opcode_at = ""
+            outcome = self._inject_forked(cycle, element, bit)
+        return self._record(cycle, element, bit, outcome, pc_at, opcode_at)
+
+    def _inject_reference(self, cycle, element, bit):
+        """Full re-execution from cycle 0 (the equivalence oracle)."""
+        cpu = CPU(self.program, max_cycles=self.max_cycles)
         try:
             with obs.span("arch.cpu.run"):
                 result = cpu.run(fault=(cycle, element, bit))
         except CrashError:
-            return self._record(cycle, element, bit, Outcome.CRASH, pc_at, opcode_at)
+            return Outcome.CRASH
         except TimeoutError:
-            return self._record(cycle, element, bit, Outcome.HANG, pc_at, opcode_at)
-        output = result.output(self.program.output_range)
-        if output != self.golden_output:
-            outcome = Outcome.SDC
-        elif (
-            abs(result.cycles - self.golden_cycles)
-            > self.symptom_tolerance * self.golden_cycles
-        ):
-            outcome = Outcome.SYMPTOM
-        else:
-            outcome = Outcome.MASKED
-        return self._record(cycle, element, bit, outcome, pc_at, opcode_at)
+            return Outcome.HANG
+        return self._classify(result.output(self.program.output_range), result.cycles)
+
+    def _inject_forked(self, cycle, element, bit):
+        """Checkpoint-and-replay: restore, replay the gap, flip, run the
+        suffix with an early-exit masking check at snapshot boundaries."""
+        if not 0 <= cycle < self.golden_cycles:
+            # The reference loop halts before ever injecting such a
+            # fault: the trial *is* the golden run.
+            obs.inc("arch.fi.engine.cycles_skipped", self.golden_cycles)
+            return self._classify(self.golden_output, self.golden_cycles)
+        cpu = self._trial_cpu
+        interval = self.snapshot_interval
+        snapshots = self._snapshots
+        snap = snapshots[cycle // interval]
+        cpu.restore(snap)
+        obs.inc("arch.fi.engine.cycles_skipped", snap.cycles)
+        obs.inc("arch.fi.engine.cycles_replayed", cycle - snap.cycles)
+        with obs.span("arch.cpu.replay"):
+            # The pre-fault gap repeats the golden prefix: it cannot
+            # crash, hang, or halt before reaching the injection cycle.
+            cpu.run_span(cycle)
+            cpu.flip_bit(element, bit)
+            live_at = self._live_regs
+            try:
+                # Run boundary-to-boundary through the golden window,
+                # pausing at each snapshot cycle for the early-exit check.
+                boundary = (cycle // interval + 1) * interval
+                while boundary <= self._last_boundary and not cpu.halted:
+                    cpu.run_span(boundary)
+                    if cpu.halted:
+                        break
+                    live = live_at.get(boundary)
+                    if live is not None and cpu.state_matches(
+                        snapshots[boundary // interval], live
+                    ):
+                        # Live state reconverged with the golden run at
+                        # the same cycle: the remaining suffix is the
+                        # golden suffix, so classify without executing it.
+                        obs.inc("arch.fi.engine.early_exits")
+                        obs.inc(
+                            "arch.fi.engine.cycles_pruned",
+                            self.golden_cycles - boundary,
+                        )
+                        return self._classify(
+                            self.golden_output, self.golden_cycles
+                        )
+                    boundary += interval
+                # Past the last boundary no reconvergence check is
+                # possible: run straight to halt or cycle budget.
+                if not cpu.halted:
+                    cpu.run_span()
+            except CrashError:
+                return Outcome.CRASH
+            except TimeoutError:
+                return Outcome.HANG
+        return self._classify(cpu.output(self.program.output_range), cpu.cycles)
 
     def _record(self, cycle, element, bit, outcome, pc_at, opcode_at):
         obs.inc("arch.fault_injection.trials")
@@ -180,8 +335,13 @@ class FaultInjector:
         """Content digest of everything that determines a trial's result.
 
         Namespaces the result cache: any change to the program, the hang
-        budget, or the symptom threshold changes the fingerprint and
-        invalidates prior entries.
+        budget, the symptom threshold, or the resolved trial engine
+        changes the fingerprint and invalidates prior entries.  The two
+        engines are proven bit-identical, but keeping their cache
+        namespaces separate means ``--reference-engine`` always
+        re-executes — an oracle that reads back forked results would
+        verify nothing.  (The snapshot interval is deliberately *not*
+        fingerprinted: records are interval-independent by contract.)
         """
         listing = "\n".join(repr(i) for i in self.program.instructions)
         return {
@@ -191,6 +351,7 @@ class FaultInjector:
             "golden_cycles": self.golden_cycles,
             "max_cycles": self.max_cycles,
             "symptom_tolerance": self.symptom_tolerance,
+            "engine": self.engine,
         }
 
     def _campaign(self, worker, n_trials, seed, key_parts, jobs, cache, progress,

@@ -174,30 +174,7 @@ class StaticTimingAnalysis:
         """Instance names along the worst path, endpoint last."""
         self._require_run()
         end = min(self.endpoint_slacks, key=self.endpoint_slacks.get)
-        path = [end]
-        current = end
-        timing = self.timings[current]
-        if timing.critical_pin == "CLK" and timing.pin_arrivals:
-            # Sequential endpoint: the path arrives at the D pin; hop to the
-            # driver of the latest-arriving input and continue from there.
-            worst_pin = max(timing.pin_arrivals, key=timing.pin_arrivals.get)
-            driver = self.netlist.get(current).fanin[worst_pin]
-            if driver in self.netlist.primary_inputs:
-                path.reverse()
-                return path
-            path.append(driver)
-            current = driver
-        while True:
-            timing = self.timings[current]
-            if timing.critical_pin in ("", "CLK"):
-                break
-            driver = self.netlist.get(current).fanin[timing.critical_pin]
-            if driver in self.netlist.primary_inputs:
-                break
-            path.append(driver)
-            current = driver
-        path.reverse()
-        return path
+        return self._path_to_endpoint(end)
 
     def _path_to_endpoint(self, endpoint):
         """Backtrack the critical path into one endpoint."""
@@ -205,6 +182,8 @@ class StaticTimingAnalysis:
         current = endpoint
         timing = self.timings[current]
         if timing.critical_pin == "CLK" and timing.pin_arrivals:
+            # Sequential endpoint: the path arrives at the D pin; hop to the
+            # driver of the latest-arriving input and continue from there.
             worst_pin = max(timing.pin_arrivals, key=timing.pin_arrivals.get)
             driver = self.netlist.get(current).fanin[worst_pin]
             if driver in self.netlist.primary_inputs:
@@ -310,7 +289,7 @@ def write_sdf(sta, path=None, design_name=None, unit="ps"):
     design = design_name or sta.netlist.name
     lines = [
         "(DELAYFILE",
-        f'  (SDFVERSION "3.0")',
+        '  (SDFVERSION "3.0")',
         f'  (DESIGN "{design}")',
         f'  (TIMESCALE 1{unit})',
     ]

@@ -76,6 +76,11 @@ def _mc_kernel(args):
     return "scalar" if getattr(args, "reference_kernel", False) else "auto"
 
 
+def _fi_engine(args):
+    """Trial-engine selection for the fault-injection experiment (fi)."""
+    return "reference" if getattr(args, "reference_engine", False) else "auto"
+
+
 def run_fig5(args):
     """Fig. 5: rollbacks per segment vs error probability."""
     from repro.core import MonteCarloStudy, adpcm_like_workload
@@ -120,7 +125,7 @@ def run_fi(args):
     from repro.arch import FaultInjector
     from repro.arch import programs as P
 
-    injector = FaultInjector(P.checksum(12))
+    injector = FaultInjector(P.checksum(12), engine=_fi_engine(args))
     campaign = injector.run_campaign(
         n_trials=args.trials, seed=0, **_runtime_kwargs(args)
     )
@@ -396,6 +401,15 @@ def build_parser():
         help="force the scalar reference Monte Carlo kernel instead of the "
              "batched numpy kernels (debugging / equivalence checks)",
     )
+    engines = parser.add_argument_group(
+        "fault-injection engine (fi; see docs/performance.md)"
+    )
+    engines.add_argument(
+        "--reference-engine", action="store_true",
+        help="force the full-rerun reference trial engine instead of the "
+             "checkpoint-and-replay forked engine (debugging / equivalence "
+             "checks; results are bit-identical, only slower)",
+    )
     return parser
 
 
@@ -442,6 +456,11 @@ def run_list(args):
         "--reference-kernel\nto force the scalar reference path "
         "(see docs/performance.md)"
     )
+    print(
+        "fi runs on the checkpoint-and-replay trial engine; pass "
+        "--reference-engine\nto force the full-rerun reference path "
+        "(see docs/performance.md)"
+    )
     return 0
 
 
@@ -458,6 +477,7 @@ def _run_recorded(name, args):
         "jobs": args.jobs,
         "cache": not args.no_cache,
         "reference_kernel": args.reference_kernel,
+        "reference_engine": args.reference_engine,
         "resume": args.resume,
         "unit_timeout": args.unit_timeout,
         "max_retries": args.max_retries,

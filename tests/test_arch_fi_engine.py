@@ -1,0 +1,217 @@
+"""Forked (checkpoint-and-replay) vs reference FI engine equivalence.
+
+The reference engine re-executes every trial from cycle 0 and is kept
+as the oracle; the forked engine restores golden-state snapshots,
+replays the gap, and early-exits on reconvergence.  Every test here
+pins the contract that both engines produce bit-identical
+:class:`InjectionRecord`\\ s — outcomes, injection context, everything.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.arch import FaultInjector, Outcome
+from repro.arch import programs as P
+from repro.arch.cpu import CPU
+
+ELEMENTS = [f"reg{i}" for i in range(16)] + ["pc", "ir"]
+
+
+def _pair(program, **kwargs):
+    """(reference, forked) injectors with identical configuration."""
+    return (
+        FaultInjector(program, engine="reference", **kwargs),
+        FaultInjector(program, engine="forked", **kwargs),
+    )
+
+
+@pytest.fixture(scope="module")
+def checksum_pair():
+    return _pair(P.checksum(24))
+
+
+class TestEngineSelection:
+    def test_auto_resolves_to_forked(self):
+        assert FaultInjector(P.fibonacci(8)).engine == "forked"
+        assert FaultInjector(P.fibonacci(8), engine="auto").engine == "forked"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            FaultInjector(P.fibonacci(8), engine="turbo")
+
+    def test_nonpositive_snapshot_interval_rejected(self):
+        with pytest.raises(ValueError, match="snapshot_interval"):
+            FaultInjector(P.fibonacci(8), snapshot_interval=0)
+
+    def test_engine_namespaces_the_cache_fingerprint(self):
+        ref, fork = _pair(P.fibonacci(8))
+        assert ref.fingerprint()["engine"] == "reference"
+        assert fork.fingerprint()["engine"] == "forked"
+        without_engine = dict(ref.fingerprint())
+        del without_engine["engine"]
+        other = dict(fork.fingerprint())
+        del other["engine"]
+        assert without_engine == other
+
+    def test_snapshot_interval_not_fingerprinted(self):
+        # Records are interval-independent by contract, so the interval
+        # must not split the cache namespace.
+        a = FaultInjector(P.fibonacci(8), snapshot_interval=1)
+        b = FaultInjector(P.fibonacci(8), snapshot_interval=64)
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestCampaignEquivalence:
+    @pytest.mark.parametrize("program", P.all_programs(), ids=lambda p: p.name)
+    def test_bit_identical_records_all_seed_programs(self, program):
+        ref, fork = _pair(program)
+        r = ref.run_campaign(n_trials=60, seed=7)
+        f = fork.run_campaign(n_trials=60, seed=7)
+        assert r.records == f.records
+        assert r.golden_output == f.golden_output
+        assert r.golden_cycles == f.golden_cycles
+
+    def test_identical_under_jobs_and_cache(self, tmp_path):
+        from repro.runtime import ResultCache
+
+        ref, fork = _pair(P.checksum(16))
+        serial = ref.run_campaign(n_trials=48, seed=3)
+        cache = ResultCache(tmp_path / "cache")
+        parallel = fork.run_campaign(n_trials=48, seed=3, jobs=2, cache=cache)
+        assert serial.records == parallel.records
+        # Second run replays from the cache: still identical.
+        cached = fork.run_campaign(n_trials=48, seed=3, jobs=1, cache=cache)
+        assert cached.records == serial.records
+        assert fork.last_run_stats.cached_trials == 48
+
+    def test_exhaustive_element_campaigns_match(self):
+        ref, fork = _pair(P.dot_product(8))
+        for element in ("reg2", "pc", "ir"):
+            r = ref.exhaustive_element_campaign(element, n_trials=40, seed=1)
+            f = fork.exhaustive_element_campaign(element, n_trials=40, seed=1)
+            assert r.records == f.records
+
+
+class TestTrialEquivalence:
+    @pytest.mark.parametrize("element", ["reg0", "reg1", "reg5", "reg15", "pc", "ir"])
+    def test_all_element_kinds_over_cycle_grid(self, checksum_pair, element):
+        ref, fork = checksum_pair
+        step = max(1, ref.golden_cycles // 11)
+        for cycle in range(0, ref.golden_cycles, step):
+            for bit in (0, 7, 19, 31):
+                assert ref.inject_one(cycle, element, bit) == fork.inject_one(
+                    cycle, element, bit
+                )
+
+    @pytest.mark.parametrize("interval", [1, 7, 10**6])
+    def test_snapshot_interval_edge_cases(self, interval):
+        # interval 1 checkpoints every cycle; 10**6 exceeds golden_cycles,
+        # leaving only the cycle-0 snapshot (degenerates to near-full
+        # re-execution) — records must not change.
+        prog = P.bubble_sort(6)
+        ref = FaultInjector(prog, engine="reference")
+        fork = FaultInjector(prog, engine="forked", snapshot_interval=interval)
+        for cycle in (0, 1, ref.golden_cycles // 2, ref.golden_cycles - 1):
+            for element in ("reg3", "pc", "ir"):
+                assert ref.inject_one(cycle, element, 2) == fork.inject_one(
+                    cycle, element, 2
+                )
+
+    def test_fault_at_first_and_last_cycle(self, checksum_pair):
+        ref, fork = checksum_pair
+        for cycle in (0, ref.golden_cycles - 1):
+            for element in ("reg1", "pc", "ir"):
+                for bit in range(0, 32, 5):
+                    assert ref.inject_one(cycle, element, bit) == fork.inject_one(
+                        cycle, element, bit
+                    )
+
+    def test_fault_past_the_golden_run_never_fires(self, checksum_pair):
+        ref, fork = checksum_pair
+        for cycle in (ref.golden_cycles, ref.golden_cycles + 100):
+            r = ref.inject_one(cycle, "reg4", 9)
+            assert r.outcome is Outcome.MASKED
+            assert r == fork.inject_one(cycle, "reg4", 9)
+
+
+_HYPO_PAIR = _pair(P.checksum(24))
+
+
+@given(
+    cycle=st.integers(min_value=0, max_value=_HYPO_PAIR[0].golden_cycles + 3),
+    element=st.sampled_from(ELEMENTS),
+    bit=st.integers(min_value=0, max_value=31),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_any_injection_coordinates_match(cycle, element, bit):
+    ref, fork = _HYPO_PAIR
+    assert ref.inject_one(cycle, element, bit) == fork.inject_one(cycle, element, bit)
+
+
+class TestEngineInternals:
+    def test_run_span_matches_traced_run(self):
+        for prog in P.all_programs():
+            traced = CPU(prog).run()
+            cpu = CPU(prog)
+            cpu.run_span()
+            assert cpu.halted
+            assert cpu.cycles == traced.cycles
+            assert list(cpu.registers) == traced.registers
+            assert cpu.memory == traced.memory
+
+    def test_run_span_stops_at_cycle(self):
+        prog = P.fibonacci(10)
+        cpu = CPU(prog)
+        cpu.run_span(5)
+        assert cpu.cycles == 5 and not cpu.halted
+        stepped = CPU(prog)
+        for _ in range(5):
+            stepped.step()
+        assert cpu.snapshot() == stepped.snapshot()
+
+    def test_reset_clears_pending_ir_fault(self):
+        # A pending IR fault that is never consumed must not leak into
+        # the next run of a reused CPU object.
+        prog = P.checksum(8)
+        golden = CPU(prog).run().output(prog.output_range)
+        cpu = CPU(prog)
+        cpu.flip_bit("ir", 30)
+        assert cpu._ir_fault != 0
+        result = cpu.run()  # run() resets first: golden execution
+        assert result.output(prog.output_range) == golden
+
+    def test_snapshot_restore_round_trip(self):
+        prog = P.vector_add(8)
+        cpu = CPU(prog)
+        for _ in range(10):
+            cpu.step()
+        snap = cpu.snapshot()
+        cpu.run_span()  # run to completion, mutating state
+        cpu.restore(snap)
+        assert cpu.state_matches(snap)
+        assert cpu.cycles == 10
+
+    def test_forked_engine_emits_metrics(self):
+        with obs.collecting():
+            fork = FaultInjector(P.checksum(24), engine="forked")
+            fork.run_campaign(n_trials=80, seed=0)
+            counters = obs.metrics_snapshot()["counters"]
+        assert counters["arch.fi.engine.snapshots"] > 0
+        assert counters["arch.fi.engine.early_exits"] > 0
+        assert counters["arch.fi.engine.cycles_pruned"] > 0
+        assert counters["arch.fi.engine.cycles_skipped"] > 0
+
+    def test_early_exit_prunes_most_masked_work(self):
+        # Dead-register flips reconverge at the first boundary: the
+        # pruned cycles must dominate the replayed ones on a
+        # masked-heavy campaign.
+        with obs.collecting():
+            fork = FaultInjector(P.checksum(24), engine="forked")
+            fork.run_campaign(n_trials=120, seed=1)
+            counters = obs.metrics_snapshot()["counters"]
+        assert (
+            counters["arch.fi.engine.cycles_pruned"]
+            > counters["arch.fi.engine.cycles_replayed"]
+        )
