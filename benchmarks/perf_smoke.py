@@ -6,9 +6,10 @@ Two bench groups, each with its own trajectory record:
   Carlo sweep and the wall-ablation hit-rate grid on both the batched
   numpy kernels and the scalar reference path (same seeds, ``jobs=1``,
   no cache), verifying the scalar-vs-batched equivalence contract.
-* **fi** (``BENCH_fi.json``) — times a fault-injection campaign on both
-  the checkpoint-and-replay (forked) trial engine and the full-rerun
-  reference engine, verifying the records are bit-identical.
+* **fi** (``BENCH_fi.json``) — times a fault-injection campaign on the
+  trial-vectorized (batched), checkpoint-and-replay (forked), and
+  full-rerun (reference) engines, verifying the records are
+  bit-identical across all three (see ``docs/fi-engine.md``).
 
 Each run appends one entry — machine info, wall-clock timings,
 speedups — to the group's record.  See ``docs/performance.md`` for how
@@ -217,12 +218,55 @@ def bench_fi_campaign(n_trials, rounds):
     }
 
 
+def bench_fi_campaign_batched(n_trials, rounds):
+    """Batched (trial-vectorized) engine vs both oracle engines."""
+    from repro.arch import FaultInjector
+    from repro.arch import programs as P
+
+    program = P.matmul(5)
+
+    def make(engine):
+        return FaultInjector(
+            program, engine=engine, max_cycles_factor=FI_HANG_BUDGET_FACTOR
+        )
+
+    batched, forked, reference = (
+        make("batched"), make("forked"), make("reference")
+    )
+    batched_s, batched_res = _timed(
+        lambda: batched.run_campaign(n_trials=n_trials, seed=0), rounds
+    )
+    forked_s, forked_res = _timed(
+        lambda: forked.run_campaign(n_trials=n_trials, seed=0), rounds
+    )
+    reference_s, reference_res = _timed(
+        lambda: reference.run_campaign(n_trials=n_trials, seed=0), rounds
+    )
+    # Equivalence contract: bit-identical records against both oracles.
+    if batched_res.records != reference_res.records:
+        raise AssertionError("batched engine records diverged from reference")
+    if batched_res.records != forked_res.records:
+        raise AssertionError("batched engine records diverged from forked")
+    return {
+        "batched_s": batched_s,
+        "forked_s": forked_s,
+        "reference_s": reference_s,
+        "speedup": reference_s / batched_s,
+        "vs_forked": forked_s / batched_s,
+        "n_trials": n_trials,
+        "program": program.name,
+        "golden_cycles": batched.golden_cycles,
+        "hang_budget_factor": FI_HANG_BUDGET_FACTOR,
+    }
+
+
 SWEEP_BENCHES = {
     "fig5_fig6_sweep": bench_fig5_fig6_sweep,
     "wall_ablation": bench_wall_ablation,
 }
 FI_BENCHES = {
     "fi_campaign": bench_fi_campaign,
+    "fi_campaign_batched": bench_fi_campaign_batched,
 }
 
 
@@ -271,12 +315,16 @@ def run_fi_benches(n_trials, rounds):
     for name, bench in FI_BENCHES.items():
         result = bench(n_trials, rounds)
         entry["results"][name] = result
-        print(
-            f"{name}: forked {result['forked_s']*1e3:8.1f} ms   "
+        fast = "batched" if "batched_s" in result else "forked"
+        line = (
+            f"{name}: {fast} {result[fast + '_s']*1e3:8.1f} ms   "
             f"reference {result['reference_s']*1e3:8.1f} ms   "
-            f"speedup {result['speedup']:6.1f}x   "
-            f"({result['program']}, {result['n_trials']} trials)"
+            f"speedup {result['speedup']:6.1f}x"
         )
+        if "vs_forked" in result:
+            line += f"   vs forked {result['vs_forked']:4.1f}x"
+        line += f"   ({result['program']}, {result['n_trials']} trials)"
+        print(line)
     return entry
 
 

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Fail on markdown references to files or heading anchors that don't exist.
+
+Three classes of reference are checked across ``*.md`` and ``docs/*.md``:
+
+* inline links ``[text](path)`` — the path must exist relative to the
+  linking file or the repo root;
+* bare path mentions like ``docs/campaigns.md`` or ``src/...`` in
+  backticks — same existence rule;
+* anchor fragments ``[text](#heading)`` and ``[text](path#heading)`` —
+  the fragment must match a heading slug in the target file, using
+  GitHub's slugification rules (lowercase, punctuation stripped,
+  spaces to hyphens, ``-N`` suffixes for duplicates).
+
+Run from the repo root: ``python scripts/check_docs_links.py``.
+Exits non-zero listing every broken reference.  CI runs this in the
+docs-links job.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+MENTION = re.compile(r"`((?:docs|benchmarks|examples|src|tests|scripts)/[\w./-]+)`")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE = re.compile(r"^(```|~~~)")
+# GitHub keeps word characters, hyphens, and spaces; everything else is
+# dropped before spaces become hyphens.
+SLUG_DROP = re.compile(r"[^\w\- ]")
+MD_MARKUP = re.compile(r"[`*]|\[([^\]]*)\]\([^)]*\)")
+
+
+def github_slugs(path: pathlib.Path) -> set[str]:
+    """Return the set of anchor slugs GitHub generates for *path*'s headings."""
+    seen: dict[str, int] = {}
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        text = MD_MARKUP.sub(lambda m: m.group(1) or "", match.group(2))
+        slug = SLUG_DROP.sub("", text.lower()).replace(" ", "-")
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def resolve(md: pathlib.Path, repo: pathlib.Path, target: str) -> pathlib.Path | None:
+    """Resolve a relative *target* against the linking file, then the repo root."""
+    for base in (md.parent, repo):
+        candidate = base / target
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def main() -> int:
+    repo = pathlib.Path(".")
+    md_files = list(repo.glob("*.md")) + list(repo.glob("docs/*.md"))
+    slug_cache: dict[pathlib.Path, set[str]] = {}
+    bad = []
+    for md in md_files:
+        text = md.read_text()
+        for target in sorted(set(LINK.findall(text)) | set(MENTION.findall(text))):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = resolve(md, repo, path_part)
+                if resolved is None:
+                    bad.append(f"{md}: broken reference -> {target}")
+                    continue
+            else:
+                resolved = md  # same-file anchor: [text](#heading)
+            if fragment:
+                if resolved.suffix != ".md":
+                    bad.append(f"{md}: anchor on non-markdown target -> {target}")
+                    continue
+                if resolved not in slug_cache:
+                    slug_cache[resolved] = github_slugs(resolved)
+                if fragment not in slug_cache[resolved]:
+                    bad.append(f"{md}: no such anchor -> {target}")
+    if bad:
+        print("\n".join(sorted(bad)))
+        return 1
+    print(f"checked {len(md_files)} markdown files, all references and anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

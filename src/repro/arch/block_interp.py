@@ -1,0 +1,212 @@
+"""Block-compiled suffix interpreter for off-trace fault-injection lanes.
+
+Once a trial's control flow leaves the golden PC trace, the batched
+engine (:mod:`repro.arch.batched_engine`) can no longer step it in
+lockstep with the other lanes — and the scalar interpreter pays ~1 µs
+of Python dispatch per simulated cycle, which makes hang trials (which
+must run to the cycle budget to prove they hang) the dominant cost of a
+campaign.  This module removes most of that dispatch: it compiles a
+program's static control-flow graph into one generated Python function
+whose basic blocks are straight-line code over register *locals*
+(``r1`` … ``r15``; ``r0`` folds to the literal ``0``), re-dispatching
+on the PC only at block boundaries.
+
+Semantics mirror :meth:`repro.arch.cpu.CPU.run_span` exactly — same
+32-bit masking, signed-compare branches, copy-on-write memory overlay,
+:data:`repro.arch.cpu.MEMORY_LIMIT` crashes, and halt behaviour.  Two
+situations are deliberately *not* handled inline and bounce back to the
+scalar CPU instead:
+
+* **near-budget** — within one maximal block length of ``max_cycles``,
+  so the scalar loop delivers the cycle-exact ``TimeoutError``;
+* **off-dispatch entry** — an entry PC that is not a block leader
+  (possible for ``pc``-flip faults; divergent branch directions are
+  always leaders by CFG construction).
+
+The interpreter never checks golden reconvergence: early exits are an
+optimization, not a semantic, so classifying from the final
+architectural state produces bit-identical outcomes.  See
+``docs/fi-engine.md``.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cpu import MEMORY_LIMIT
+from repro.arch.isa import WORD_MASK, Opcode
+
+#: Status codes returned by a compiled runner (first tuple element).
+HALTED, CRASHED, NEAR_BUDGET, OFF_DISPATCH = range(4)
+
+_TERMINATORS = (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.JMP, Opcode.HALT)
+_BRANCHES = (Opcode.BEQ, Opcode.BNE, Opcode.BLT)
+
+_REGS_TUPLE = "(0, " + ", ".join(f"r{i}" for i in range(1, 16)) + ")"
+
+
+def _reg_read(idx):
+    return "0" if idx == 0 else f"r{idx}"
+
+
+class BlockProgram:
+    """A program compiled to a block-dispatch interpreter function.
+
+    Attributes
+    ----------
+    leaders:
+        Frozenset of basic-block entry PCs; :meth:`run` may only be
+        entered at one of these (callers scalar-step to a leader
+        first).
+    source:
+        The generated Python source, kept for debugging.
+    """
+
+    def __init__(self, program):
+        """Build the CFG, generate source, and compile the runner."""
+        instrs = program.instructions
+        n = len(instrs)
+        leaders = {0}
+        for i, ins in enumerate(instrs):
+            if ins.opcode in _TERMINATORS:
+                if i + 1 < n:
+                    leaders.add(i + 1)
+                if ins.opcode is not Opcode.HALT:
+                    target = i + 1 + ins.imm
+                    if 0 <= target < n:
+                        leaders.add(target)
+        self.leaders = frozenset(leaders)
+        ordered = sorted(leaders)
+        blocks = {}
+        max_len = 1
+        for leader in ordered:
+            lines, length = self._emit_block(program, leader, leaders)
+            blocks[leader] = lines
+            max_len = max(max_len, length)
+
+        out = [
+            "def _run(regs, overlay, base, pc, cycles, max_cycles):",
+            "    _, r1, r2, r3, r4, r5, r6, r7, "
+            "r8, r9, r10, r11, r12, r13, r14, r15 = regs",
+            "    ov = overlay",
+            "    bget = base.get",
+            "    while True:",
+            f"        if cycles + {max_len} >= max_cycles:",
+            f"            return ({NEAR_BUDGET}, pc, cycles, {_REGS_TUPLE})",
+        ]
+        self._emit_dispatch(out, ordered, blocks, "        ")
+        self.source = "\n".join(out)
+        namespace = {}
+        exec(self.source, namespace)  # noqa: S102 - static program codegen
+        self.run = namespace["_run"]
+
+    def _emit_dispatch(self, out, ordered, blocks, pad):
+        """Binary if-tree over block leaders; leaves inline the blocks."""
+        if len(ordered) == 1:
+            leader = ordered[0]
+            out.append(f"{pad}if pc == {leader}:")
+            out.extend(pad + "    " + line for line in blocks[leader])
+            out.append(f"{pad}else:")
+            out.append(
+                f"{pad}    return ({OFF_DISPATCH}, pc, cycles, {_REGS_TUPLE})"
+            )
+            return
+        mid = len(ordered) // 2
+        out.append(f"{pad}if pc < {ordered[mid]}:")
+        self._emit_dispatch(out, ordered[:mid], blocks, pad + "    ")
+        out.append(f"{pad}else:")
+        self._emit_dispatch(out, ordered[mid:], blocks, pad + "    ")
+
+    def _emit_block(self, program, leader, leaders):
+        """Generate one basic block; returns (lines, cycle_length)."""
+        instrs = program.instructions
+        n = len(instrs)
+        lines = []
+        i = leader
+        length = 0
+        while True:
+            ins = instrs[i]
+            op = ins.opcode
+            length += 1
+            if op in _TERMINATORS:
+                lines.append(f"cycles += {length}")
+                if op is Opcode.HALT:
+                    lines.append(f"return ({HALTED}, {i}, cycles, None)")
+                elif op is Opcode.JMP:
+                    self._emit_goto(lines, i + 1 + ins.imm, n, "")
+                else:
+                    a = _reg_read(ins.rs1)
+                    b = _reg_read(ins.rs2)
+                    if op is Opcode.BEQ:
+                        cond = f"{a} == {b}"
+                    elif op is Opcode.BNE:
+                        cond = f"{a} != {b}"
+                    else:  # BLT: signed compare via bias trick
+                        cond = f"({a} ^ 2147483648) < ({b} ^ 2147483648)"
+                    lines.append(f"if {cond}:")
+                    self._emit_goto(lines, i + 1 + ins.imm, n, "    ")
+                    lines.append("else:")
+                    self._emit_goto(lines, i + 1, n, "    ")
+                return lines, length
+            self._emit_straight(lines, ins)
+            i += 1
+            if i in leaders:  # fall through into the next block
+                lines.append(f"cycles += {length}")
+                lines.append(f"pc = {i}")
+                lines.append("continue")
+                return lines, length
+
+    def _emit_goto(self, lines, target, n, pad):
+        if 0 <= target < n:
+            lines.append(f"{pad}pc = {target}")
+            lines.append(f"{pad}continue")
+        else:  # the scalar loop would crash on the next fetch
+            lines.append(f"{pad}return ({CRASHED}, {target}, cycles, None)")
+
+    def _emit_straight(self, lines, ins):
+        """Emit one non-terminator instruction as straight-line code."""
+        op = ins.opcode
+        rd = ins.rd
+        a = _reg_read(ins.rs1)
+        b = _reg_read(ins.rs2)
+        mask = WORD_MASK
+        if op is Opcode.NOP:
+            return
+        if op is Opcode.LD:
+            imm = ins.imm & mask
+            lines.append(f"a_ = ({a} + {imm}) & {mask}")
+            lines.append(f"if a_ >= {MEMORY_LIMIT}:")
+            lines.append(f"    return ({CRASHED}, a_, cycles, None)")
+            if rd:
+                lines.append(f"r{rd} = ov[a_] if a_ in ov else bget(a_, 0)")
+            return
+        if op is Opcode.ST:
+            imm = ins.imm & mask
+            lines.append(f"a_ = ({a} + {imm}) & {mask}")
+            lines.append(f"if a_ >= {MEMORY_LIMIT}:")
+            lines.append(f"    return ({CRASHED}, a_, cycles, None)")
+            lines.append(f"ov[a_] = {b}")
+            return
+        if rd == 0:  # writes to r0 are dropped; nothing else can fault
+            return
+        if op is Opcode.ADD:
+            expr = f"({a} + {b}) & {mask}"
+        elif op is Opcode.SUB:
+            expr = f"({a} - {b}) & {mask}"
+        elif op is Opcode.MUL:
+            expr = f"({a} * {b}) & {mask}"
+        elif op is Opcode.AND:
+            expr = f"{a} & {b}"
+        elif op is Opcode.OR:
+            expr = f"{a} | {b}"
+        elif op is Opcode.XOR:
+            expr = f"{a} ^ {b}"
+        elif op is Opcode.SHL:
+            expr = f"({a} << ({b} & 31)) & {mask}"
+        elif op is Opcode.SHR:
+            expr = f"{a} >> ({b} & 31)"
+        elif op is Opcode.ADDI:
+            expr = f"({a} + {ins.imm}) & {mask}"
+        elif op is Opcode.LUI:
+            expr = str(ins.imm & mask)
+        else:  # pragma: no cover - Opcode is exhaustive
+            raise ValueError(f"unexpected opcode {op}")
+        lines.append(f"r{rd} = {expr}")

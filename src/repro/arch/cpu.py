@@ -344,14 +344,20 @@ class CPU:
         pc = self.pc
         cycles = self.cycles
         halted = self.halted
+        # An IR fault is consumed by the first fetch, so keep it in a
+        # local instead of re-reading the attribute every cycle; -1 is an
+        # unreachable cycle count, sparing a per-cycle None compare.
+        ir_fault = self._ir_fault
+        if stop_cycle is None:
+            stop_cycle = -1
         try:
             while not halted and cycles != stop_cycle:
                 if not 0 <= pc < n_instr:
                     raise CrashError(f"pc {pc} outside program")
                 instr = instructions[pc]
-                ir_fault = self._ir_fault
                 if ir_fault:
                     instr = unpack_instruction(pack_instruction(instr) ^ ir_fault)
+                    ir_fault = 0
                     self._ir_fault = 0
                 op = instr.opcode
                 next_pc = pc + 1

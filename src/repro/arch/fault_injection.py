@@ -18,22 +18,29 @@ seed stream, so campaigns can fan out over a process pool (``jobs``),
 memoize chunks on disk (``cache``), and report progress — with results
 bit-identical to the serial path.  See ``docs/campaigns.md``.
 
-Trial execution itself runs on one of two engines (``engine=``):
+Trial execution itself runs on one of three engines (``engine=``):
 
-* ``"forked"`` (the ``"auto"`` default) — checkpoint-and-replay: the
-  single golden run leaves a ladder of architectural snapshots; each
-  trial restores the nearest snapshot at-or-before its injection
-  cycle, replays only the short gap, flips the bit, and executes the
-  post-fault suffix — with an early-exit masking check that classifies
-  the trial without running the rest of the suffix once live state has
-  reconverged with the golden trace at a snapshot boundary.
+* ``"batched"`` (the ``"auto"`` default) — trial-vectorized suffix
+  replay: whole chunks of trials march down the golden PC trace in
+  lockstep as numpy lanes, with per-opcode masked updates and the same
+  reconvergence early-exit as the forked engine; lanes whose control
+  flow diverges from the golden trace fall back to the scalar replay
+  path (:mod:`repro.arch.batched_engine`).
+* ``"forked"`` — scalar checkpoint-and-replay: the single golden run
+  leaves a ladder of architectural snapshots; each trial restores the
+  nearest snapshot at-or-before its injection cycle, replays only the
+  short gap, flips the bit, and executes the post-fault suffix — with
+  an early-exit masking check that classifies the trial without
+  running the rest of the suffix once live state has reconverged with
+  the golden trace at a snapshot boundary.
 * ``"reference"`` — the original full re-execution from cycle 0, kept
   as the equivalence oracle (CLI: ``--reference-engine``).
 
-Both engines produce bit-identical :class:`InjectionRecord`\\ s; the
-engine is part of :meth:`FaultInjector.fingerprint`, so cached results
-never cross engines.  See ``docs/performance.md``, "The
-fault-injection engine".
+All engines produce bit-identical :class:`InjectionRecord`\\ s; the
+resolved engine is part of :meth:`FaultInjector.fingerprint`, so
+cached results never cross engines.  See ``docs/fi-engine.md`` for
+the full design contract and ``docs/performance.md`` for measured
+speedups.
 """
 
 from __future__ import annotations
@@ -49,8 +56,14 @@ from repro import obs
 from repro.arch.cpu import CPU, CrashError
 from repro.runtime import CampaignRunner
 
-#: Trial-execution engines (``"auto"`` resolves to ``"forked"``).
-ENGINES = ("auto", "forked", "reference")
+#: Trial-execution engines (``"auto"`` resolves to ``"batched"``).
+ENGINES = ("auto", "batched", "forked", "reference")
+
+#: Default campaign chunk size per engine.  The batched engine amortizes
+#: its per-sweep overhead over the whole chunk, so it defaults to wider
+#: chunks; records are chunk-size-independent either way.
+DEFAULT_CHUNK_SIZE = 32
+BATCHED_CHUNK_SIZE = 1024
 
 #: Cycle budget for the golden (fault-free) characterization run.
 GOLDEN_MAX_CYCLES = 1_000_000
@@ -62,6 +75,8 @@ MAX_AUTO_SNAPSHOTS = 256
 
 
 class Outcome(enum.Enum):
+    """Sec. III outcome taxonomy for one injection trial."""
+
     MASKED = "masked"
     SDC = "sdc"
     CRASH = "crash"
@@ -145,10 +160,11 @@ class FaultInjector:
         Relative cycle-count deviation below which a correct-output run is
         MASKED; above it, SYMPTOM.
     engine:
-        Trial-execution engine: ``"forked"`` (checkpoint-and-replay),
+        Trial-execution engine: ``"batched"`` (trial-vectorized suffix
+        replay), ``"forked"`` (scalar checkpoint-and-replay),
         ``"reference"`` (full rerun from cycle 0, the equivalence
-        oracle), or ``"auto"`` (default; resolves to ``"forked"``).
-        Both engines produce bit-identical records.
+        oracle), or ``"auto"`` (default; resolves to ``"batched"``).
+        All engines produce bit-identical records.
     snapshot_interval:
         Cycles between golden-state snapshots on the forked engine.
         ``None`` (default) adapts: it starts at 1 and doubles whenever
@@ -163,9 +179,11 @@ class FaultInjector:
         if snapshot_interval is not None and snapshot_interval < 1:
             raise ValueError("snapshot_interval must be positive")
         self.program = program
-        self.engine = "forked" if engine == "auto" else engine
+        self.requested_engine = engine
+        self.engine = "batched" if engine == "auto" else engine
         self.symptom_tolerance = symptom_tolerance
         self.last_run_stats = None  # RunStats of the most recent campaign
+        self._batched = None  # lazy BatchedEngine (per process; unpickled)
 
         # One golden run produces everything the trials need: the output
         # words and cycle count, the per-cycle PC trace (which instruction
@@ -243,13 +261,83 @@ class FaultInjector:
         return Outcome.MASKED
 
     def inject_one(self, cycle, element, bit):
-        """Run one trial on the configured engine and classify the outcome."""
+        """Run one trial on the configured engine and classify the outcome.
+
+        On the batched engine a single trial gains nothing from
+        vectorization, so it runs on the scalar replay path — outcomes
+        are bit-identical by the engine-equivalence contract.  Use
+        :meth:`inject_many` to amortize trials over one batched sweep.
+        """
         pc_at, opcode_at = self._injection_context(cycle)
         if self.engine == "reference":
             outcome = self._inject_reference(cycle, element, bit)
         else:
             outcome = self._inject_forked(cycle, element, bit)
         return self._record(cycle, element, bit, outcome, pc_at, opcode_at)
+
+    def inject_many(self, coords):
+        """Run trials for ``coords`` (``(cycle, element, bit)`` triples).
+
+        Returns one :class:`InjectionRecord` per coordinate, in input
+        order, bit-identical on every engine.  On the batched engine,
+        register trials execute as lanes of one vectorized sweep
+        (:mod:`repro.arch.batched_engine`); ``pc``/``ir`` trials leave
+        the golden trace at the injection cycle itself, so they replay
+        to the injection point and finish on the block-compiled
+        interpreter.
+        """
+        coords = [(cycle, element, bit) for cycle, element, bit in coords]
+        if self.engine != "batched":
+            return [self.inject_one(*coord) for coord in coords]
+        outcomes = [None] * len(coords)
+        lanes = []
+        offtrace = []
+        for i, (cycle, element, bit) in enumerate(coords):
+            if not 0 <= cycle < self.golden_cycles:
+                obs.inc("arch.fi.engine.cycles_skipped", self.golden_cycles)
+                outcomes[i] = self._classify(
+                    self.golden_output, self.golden_cycles
+                )
+            elif element.startswith("reg"):
+                lanes.append((i, cycle, int(element[3:]), bit))
+            else:
+                offtrace.append((i, cycle, element, bit))
+        if offtrace:
+            engine = self._batched_engine()
+            obs.inc("arch.fi.engine.batch.offtrace_trials", len(offtrace))
+            for i, cycle, element, bit in offtrace:
+                outcomes[i] = engine.run_offtrace(cycle, element, bit)
+        if lanes:
+            engine = self._batched_engine()
+            with obs.span("arch.cpu.batch", trials=len(lanes)):
+                for i, outcome in engine.run(lanes):
+                    outcomes[i] = outcome
+        records = []
+        for (cycle, element, bit), outcome in zip(coords, outcomes):
+            pc_at, opcode_at = self._injection_context(cycle)
+            records.append(
+                self._record(cycle, element, bit, outcome, pc_at, opcode_at)
+            )
+        return records
+
+    def _batched_engine(self):
+        """The lazily-built vectorized engine (rebuilt per process)."""
+        if self._batched is None:
+            from repro.arch.batched_engine import BatchedEngine
+
+            self._batched = BatchedEngine(self)
+        return self._batched
+
+    def __getstate__(self):
+        """Pickle without the lazy batched engine.
+
+        Chunk workers re-pickle the injector per submitted unit; the
+        engine's precomputed golden-effect arrays would bloat every
+        submit, and rebuilding them in the worker is cheap.
+        """
+        state = dict(self.__dict__)
+        state["_batched"] = None
+        return state
 
     def _inject_reference(self, cycle, element, bit):
         """Full re-execution from cycle 0 (the equivalence oracle)."""
@@ -283,39 +371,47 @@ class FaultInjector:
             # crash, hang, or halt before reaching the injection cycle.
             cpu.run_span(cycle)
             cpu.flip_bit(element, bit)
-            live_at = self._live_regs
-            try:
-                # Run boundary-to-boundary through the golden window,
-                # pausing at each snapshot cycle for the early-exit check.
-                boundary = (cycle // interval + 1) * interval
-                while boundary <= self._last_boundary and not cpu.halted:
-                    cpu.run_span(boundary)
-                    if cpu.halted:
-                        break
-                    live = live_at.get(boundary)
-                    if live is not None and cpu.state_matches(
-                        snapshots[boundary // interval], live
-                    ):
-                        # Live state reconverged with the golden run at
-                        # the same cycle: the remaining suffix is the
-                        # golden suffix, so classify without executing it.
-                        obs.inc("arch.fi.engine.early_exits")
-                        obs.inc(
-                            "arch.fi.engine.cycles_pruned",
-                            self.golden_cycles - boundary,
-                        )
-                        return self._classify(
-                            self.golden_output, self.golden_cycles
-                        )
-                    boundary += interval
-                # Past the last boundary no reconvergence check is
-                # possible: run straight to halt or cycle budget.
-                if not cpu.halted:
-                    cpu.run_span()
-            except CrashError:
-                return Outcome.CRASH
-            except TimeoutError:
-                return Outcome.HANG
+            return self._run_suffix(cpu, (cycle // interval + 1) * interval)
+
+    def _run_suffix(self, cpu, boundary):
+        """Execute the post-fault suffix and classify the outcome.
+
+        Runs boundary-to-boundary through the golden window, pausing at
+        each snapshot cycle for the early-exit check; shared by the
+        forked engine and the batched engine's divergence fallback.
+        """
+        interval = self.snapshot_interval
+        snapshots = self._snapshots
+        live_at = self._live_regs
+        try:
+            while boundary <= self._last_boundary and not cpu.halted:
+                cpu.run_span(boundary)
+                if cpu.halted:
+                    break
+                live = live_at.get(boundary)
+                if live is not None and cpu.state_matches(
+                    snapshots[boundary // interval], live
+                ):
+                    # Live state reconverged with the golden run at
+                    # the same cycle: the remaining suffix is the
+                    # golden suffix, so classify without executing it.
+                    obs.inc("arch.fi.engine.early_exits")
+                    obs.inc(
+                        "arch.fi.engine.cycles_pruned",
+                        self.golden_cycles - boundary,
+                    )
+                    return self._classify(
+                        self.golden_output, self.golden_cycles
+                    )
+                boundary += interval
+            # Past the last boundary no reconvergence check is
+            # possible: run straight to halt or cycle budget.
+            if not cpu.halted:
+                cpu.run_span()
+        except CrashError:
+            return Outcome.CRASH
+        except TimeoutError:
+            return Outcome.HANG
         return self._classify(cpu.output(self.program.output_range), cpu.cycles)
 
     def _record(self, cycle, element, bit, outcome, pc_at, opcode_at):
@@ -336,11 +432,11 @@ class FaultInjector:
 
         Namespaces the result cache: any change to the program, the hang
         budget, the symptom threshold, or the resolved trial engine
-        changes the fingerprint and invalidates prior entries.  The two
+        changes the fingerprint and invalidates prior entries.  The
         engines are proven bit-identical, but keeping their cache
-        namespaces separate means ``--reference-engine`` always
-        re-executes — an oracle that reads back forked results would
-        verify nothing.  (The snapshot interval is deliberately *not*
+        namespaces separate means an oracle engine always re-executes —
+        an oracle that reads back another engine's results would verify
+        nothing.  (The snapshot interval is deliberately *not*
         fingerprinted: records are interval-independent by contract.)
         """
         listing = "\n".join(repr(i) for i in self.program.instructions)
@@ -354,8 +450,31 @@ class FaultInjector:
             "engine": self.engine,
         }
 
+    def engine_stats(self):
+        """Resolved engine choice plus snapshot-ladder statistics.
+
+        The ``fi`` experiment stores this in its run record so a report
+        can explain where a campaign's time went (which engine actually
+        ran, how dense the checkpoint ladder was) without re-deriving
+        it from the program.
+        """
+        return {
+            "engine": self.engine,
+            "requested_engine": self.requested_engine,
+            "golden_cycles": self.golden_cycles,
+            "max_cycles": self.max_cycles,
+            "snapshots": len(self._snapshots),
+            "snapshot_interval": self.snapshot_interval,
+            "last_boundary": self._last_boundary,
+        }
+
     def _campaign(self, worker, n_trials, seed, key_parts, jobs, cache, progress,
                   chunk_size, policy, resume, worker_wrapper=None):
+        if chunk_size is None:
+            chunk_size = (
+                BATCHED_CHUNK_SIZE if self.engine == "batched"
+                else DEFAULT_CHUNK_SIZE
+            )
         if worker_wrapper is not None:
             # Test hook (e.g. repro.runtime.ChaosWorker): wraps execution
             # only — cache keys are unchanged, so a wrapper must not alter
@@ -383,13 +502,14 @@ class FaultInjector:
         )
 
     def run_campaign(self, n_trials=500, seed=0, elements=None, jobs=1,
-                     cache=None, progress=None, chunk_size=32, policy=None,
+                     cache=None, progress=None, chunk_size=None, policy=None,
                      resume=False, worker_wrapper=None):
         """Uniformly random (cycle, element, bit) injection campaign.
 
         Trial ``i`` samples its coordinates from the seed stream
-        ``(seed, i)`` regardless of chunking, so any ``jobs`` value
-        yields identical records.  ``cache`` (a
+        ``(seed, i)`` regardless of chunking, so any ``jobs`` or
+        ``chunk_size`` value yields identical records
+        (``chunk_size=None`` picks the engine default).  ``cache`` (a
         :class:`repro.runtime.ResultCache`) memoizes trial chunks;
         ``progress`` receives :class:`repro.runtime.ProgressEvent`
         updates.  ``policy`` (a :class:`repro.runtime.FaultPolicy`)
@@ -410,7 +530,7 @@ class FaultInjector:
                               worker_wrapper)
 
     def exhaustive_element_campaign(self, element, n_trials=200, seed=0, jobs=1,
-                                    cache=None, progress=None, chunk_size=32,
+                                    cache=None, progress=None, chunk_size=None,
                                     policy=None, resume=False):
         """Many injections into a single element (per-element AVF estimation)."""
         worker = functools.partial(_element_chunk, self, element)
@@ -419,23 +539,29 @@ class FaultInjector:
 
 
 def _random_chunk(injector, elements, chunk):
-    """Execute one trial chunk of a random campaign (process-pool worker)."""
-    records = []
+    """Execute one trial chunk of a random campaign (process-pool worker).
+
+    Coordinates are drawn per-trial from the chunk's seed streams and
+    then executed together via :meth:`FaultInjector.inject_many`, so
+    the batched engine sees the whole chunk as one sweep while the draw
+    order (hence every record) stays engine- and chunk-independent.
+    """
     with obs.span("arch.fault_injection.chunk", trials=len(chunk)):
+        coords = []
         for rng in chunk.rngs():
             cycle = int(rng.integers(0, injector.golden_cycles))
             element = elements[int(rng.integers(len(elements)))]
             bit = int(rng.integers(0, 32))
-            records.append(injector.inject_one(cycle, element, bit))
-    return records
+            coords.append((cycle, element, bit))
+        return injector.inject_many(coords)
 
 
 def _element_chunk(injector, element, chunk):
     """Execute one trial chunk of a single-element campaign."""
-    records = []
     with obs.span("arch.fault_injection.chunk", trials=len(chunk)):
+        coords = []
         for rng in chunk.rngs():
             cycle = int(rng.integers(0, injector.golden_cycles))
             bit = int(rng.integers(0, 32))
-            records.append(injector.inject_one(cycle, element, bit))
-    return records
+            coords.append((cycle, element, bit))
+        return injector.inject_many(coords)

@@ -78,7 +78,9 @@ def _mc_kernel(args):
 
 def _fi_engine(args):
     """Trial-engine selection for the fault-injection experiment (fi)."""
-    return "reference" if getattr(args, "reference_engine", False) else "auto"
+    if getattr(args, "reference_engine", False):
+        return "reference"  # back-compat alias; wins over --engine
+    return getattr(args, "engine", "auto")
 
 
 def run_fig5(args):
@@ -140,6 +142,14 @@ def run_fi(args):
         rows,
     )
     _print_runtime_stats(injector.last_run_stats, unit="trials")
+    stats = injector.engine_stats()
+    print(
+        f"engine: {stats['engine']} (requested {stats['requested_engine']}), "
+        f"{stats['snapshots']} snapshots @ interval "
+        f"{stats['snapshot_interval']}, golden {stats['golden_cycles']} "
+        f"cycles (budget {stats['max_cycles']})"
+    )
+    return {"fi_engine": stats}
 
 
 def _print_runtime_stats(stats, unit):
@@ -405,10 +415,17 @@ def build_parser():
         "fault-injection engine (fi; see docs/performance.md)"
     )
     engines.add_argument(
+        "--engine", choices=("auto", "batched", "forked", "reference"),
+        default="auto",
+        help="fault-injection trial engine (default: auto, which resolves "
+             "to the trial-vectorized batched engine; forked = scalar "
+             "checkpoint-and-replay, reference = full rerun; records are "
+             "bit-identical on every engine — see docs/fi-engine.md)",
+    )
+    engines.add_argument(
         "--reference-engine", action="store_true",
-        help="force the full-rerun reference trial engine instead of the "
-             "checkpoint-and-replay forked engine (debugging / equivalence "
-             "checks; results are bit-identical, only slower)",
+        help="alias for --engine reference (wins if both are given); kept "
+             "for compatibility with pre-batched-engine run configs",
     )
     return parser
 
@@ -457,9 +474,9 @@ def run_list(args):
         "(see docs/performance.md)"
     )
     print(
-        "fi runs on the checkpoint-and-replay trial engine; pass "
-        "--reference-engine\nto force the full-rerun reference path "
-        "(see docs/performance.md)"
+        "fi runs on the trial-vectorized batched engine; pass "
+        "--engine forked|reference\nto force the scalar replay or "
+        "full-rerun paths (see docs/fi-engine.md)"
     )
     return 0
 
@@ -477,6 +494,7 @@ def _run_recorded(name, args):
         "jobs": args.jobs,
         "cache": not args.no_cache,
         "reference_kernel": args.reference_kernel,
+        "engine": args.engine,
         "reference_engine": args.reference_engine,
         "resume": args.resume,
         "unit_timeout": args.unit_timeout,
@@ -485,7 +503,12 @@ def _run_recorded(name, args):
     # Every CLI experiment roots its seed streams at 0 (reproducibility).
     with RunRecorder(args.record, name=name, config=config, seed=0) as recorder:
         with obs.span(f"cli.{name}"):
-            EXPERIMENTS[name](args)
+            resolved = EXPERIMENTS[name](args)
+        if isinstance(resolved, dict):
+            # Resolved runtime choices (e.g. which fi engine "auto"
+            # picked, snapshot-ladder shape) so `report` can explain
+            # where a campaign's time went.
+            recorder.config["resolved"] = resolved
     print(f"run record: {recorder.path}")
 
 

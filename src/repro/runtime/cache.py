@@ -82,6 +82,7 @@ class CacheStats:
     errors: int = 0
 
     def as_dict(self):
+        """The counters as a plain dict (for run records and tests)."""
         return {
             "hits": self.hits,
             "misses": self.misses,

@@ -146,6 +146,7 @@ class CampaignManifest:
         self._append({"type": "interrupt"})
 
     def close(self):
+        """Close the journal file handle; safe to call more than once."""
         if self._fh is not None:
             try:
                 self._fh.close()
@@ -160,6 +161,7 @@ class CampaignManifest:
 
     @property
     def complete(self):
+        """Whether every unit of the campaign has been journaled done."""
         return len(self.completed) >= self.total_units
 
     def __contains__(self, digest):

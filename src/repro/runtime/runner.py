@@ -94,6 +94,7 @@ class TrialChunk:
 
     @property
     def indices(self):
+        """The trial indices this chunk covers, as a range."""
         return range(self.start, self.stop)
 
     def seed_sequences(self):
@@ -143,6 +144,7 @@ class RunStats:
 
     @property
     def trials_per_sec(self):
+        """Executed-trial throughput; 0.0 before any time has elapsed."""
         if self.elapsed_s <= 0.0:
             return 0.0
         return self.executed_trials / self.elapsed_s
@@ -326,12 +328,14 @@ class CampaignRunner:
         cache_misses0 = self.cache.stats.misses if self.cache is not None else 0
 
         def cache_deltas():
+            """Cache hit/miss counts accumulated by this run alone."""
             if self.cache is None:
                 return 0, 0
             return (self.cache.stats.hits - cache_hits0,
                     self.cache.stats.misses - cache_misses0)
 
         def observe(index, result):
+            """Record unit *index*'s result and fold it into the histogram."""
             nonlocal done_trials
             results[index] = result
             done_trials += weights[index]
@@ -341,6 +345,7 @@ class CampaignRunner:
                     stats.histogram[label] = stats.histogram.get(label, 0) + 1
 
         def emit():
+            """Refresh stats and push a ProgressEvent to the callback."""
             stats.elapsed_s = time.perf_counter() - started
             stats.cache_hits, stats.cache_misses = cache_deltas()
             if self.progress is not None:
@@ -381,6 +386,7 @@ class CampaignRunner:
             emit()
 
         def finish(i, result):
+            """Commit a freshly executed unit: stats, cache, journal."""
             observe(i, result)
             stats.executed_trials += weights[i]
             stats.units_executed += 1
@@ -471,6 +477,7 @@ class CampaignRunner:
             inflight.clear()
 
         def teardown(hard):
+            """Shut the pool down; *hard* terminates workers outright."""
             nonlocal pool
             if pool is None:
                 return
@@ -490,6 +497,7 @@ class CampaignRunner:
             pool = None
 
         def note_respawn():
+            """Count a pool respawn and keep progress flowing through it."""
             stats.pool_respawns += 1
             obs.inc("runtime.fault.pool_respawns")
             with obs.span("runtime.fault.respawn"):

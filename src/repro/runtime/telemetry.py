@@ -41,6 +41,7 @@ class ProgressEvent:
 
     @property
     def fraction(self):
+        """Completed fraction in [0, 1]; an empty campaign counts as done."""
         return self.done / self.total if self.total else 1.0
 
     @property
@@ -75,6 +76,7 @@ class ProgressLog:
 
     @property
     def last(self):
+        """The most recent ProgressEvent, or None before the first one."""
         return self.events[-1] if self.events else None
 
 

@@ -1,10 +1,13 @@
-"""Forked (checkpoint-and-replay) vs reference FI engine equivalence.
+"""Three-way FI engine equivalence: reference vs forked vs batched.
 
 The reference engine re-executes every trial from cycle 0 and is kept
 as the oracle; the forked engine restores golden-state snapshots,
-replays the gap, and early-exits on reconvergence.  Every test here
-pins the contract that both engines produce bit-identical
-:class:`InjectionRecord`\\ s — outcomes, injection context, everything.
+replays the gap, and early-exits on reconvergence; the batched engine
+runs whole chunks of trials in lockstep down the golden trace as numpy
+lanes, falling out to the block-compiled interpreter on divergence.
+Every test here pins the contract that all engines produce
+bit-identical :class:`InjectionRecord`\\ s — outcomes, injection
+context, everything.
 """
 
 import pytest
@@ -27,15 +30,26 @@ def _pair(program, **kwargs):
     )
 
 
+def _trio(program, **kwargs):
+    """(reference, forked, batched) injectors, identically configured."""
+    return _pair(program, **kwargs) + (
+        FaultInjector(program, engine="batched", **kwargs),
+    )
+
+
 @pytest.fixture(scope="module")
 def checksum_pair():
     return _pair(P.checksum(24))
 
 
 class TestEngineSelection:
-    def test_auto_resolves_to_forked(self):
-        assert FaultInjector(P.fibonacci(8)).engine == "forked"
-        assert FaultInjector(P.fibonacci(8), engine="auto").engine == "forked"
+    def test_auto_resolves_to_batched(self):
+        inj = FaultInjector(P.fibonacci(8))
+        assert inj.engine == "batched"
+        assert inj.requested_engine == "auto"
+        assert FaultInjector(P.fibonacci(8), engine="auto").engine == "batched"
+        explicit = FaultInjector(P.fibonacci(8), engine="forked")
+        assert explicit.engine == explicit.requested_engine == "forked"
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="engine"):
@@ -46,14 +60,16 @@ class TestEngineSelection:
             FaultInjector(P.fibonacci(8), snapshot_interval=0)
 
     def test_engine_namespaces_the_cache_fingerprint(self):
-        ref, fork = _pair(P.fibonacci(8))
+        ref, fork, batched = _trio(P.fibonacci(8))
         assert ref.fingerprint()["engine"] == "reference"
         assert fork.fingerprint()["engine"] == "forked"
-        without_engine = dict(ref.fingerprint())
-        del without_engine["engine"]
-        other = dict(fork.fingerprint())
-        del other["engine"]
-        assert without_engine == other
+        assert batched.fingerprint()["engine"] == "batched"
+        stripped = []
+        for inj in (ref, fork, batched):
+            fp = dict(inj.fingerprint())
+            del fp["engine"]
+            stripped.append(fp)
+        assert stripped[0] == stripped[1] == stripped[2]
 
     def test_snapshot_interval_not_fingerprinted(self):
         # Records are interval-independent by contract, so the interval
@@ -66,12 +82,13 @@ class TestEngineSelection:
 class TestCampaignEquivalence:
     @pytest.mark.parametrize("program", P.all_programs(), ids=lambda p: p.name)
     def test_bit_identical_records_all_seed_programs(self, program):
-        ref, fork = _pair(program)
+        ref, fork, batched = _trio(program)
         r = ref.run_campaign(n_trials=60, seed=7)
         f = fork.run_campaign(n_trials=60, seed=7)
-        assert r.records == f.records
-        assert r.golden_output == f.golden_output
-        assert r.golden_cycles == f.golden_cycles
+        b = batched.run_campaign(n_trials=60, seed=7)
+        assert r.records == f.records == b.records
+        assert r.golden_output == f.golden_output == b.golden_output
+        assert r.golden_cycles == f.golden_cycles == b.golden_cycles
 
     def test_identical_under_jobs_and_cache(self, tmp_path):
         from repro.runtime import ResultCache
@@ -150,6 +167,33 @@ def test_property_any_injection_coordinates_match(cycle, element, bit):
     assert ref.inject_one(cycle, element, bit) == fork.inject_one(cycle, element, bit)
 
 
+_HYPO_TRIOS = [_trio(p) for p in P.all_programs()]
+_MAX_GOLDEN = max(t[0].golden_cycles for t in _HYPO_TRIOS)
+
+
+@given(
+    prog_index=st.integers(min_value=0, max_value=len(_HYPO_TRIOS) - 1),
+    coords=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=_MAX_GOLDEN + 3),
+            st.sampled_from(ELEMENTS),
+            st.integers(min_value=0, max_value=31),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_three_engines_match_on_every_program(prog_index, coords):
+    """Random coordinate batches produce bit-identical records on all
+    three engines, for every seed program (batched runs them as one
+    ``inject_many`` call, exercising the lane/offtrace partition)."""
+    ref, fork, batched = _HYPO_TRIOS[prog_index]
+    expected = [ref.inject_one(*c) for c in coords]
+    assert [fork.inject_one(*c) for c in coords] == expected
+    assert batched.inject_many(coords) == expected
+
+
 class TestEngineInternals:
     def test_run_span_matches_traced_run(self):
         for prog in P.all_programs():
@@ -215,3 +259,87 @@ class TestEngineInternals:
             counters["arch.fi.engine.cycles_pruned"]
             > counters["arch.fi.engine.cycles_replayed"]
         )
+
+
+def _find_divergent_coordinate(program):
+    """A (cycle, element, bit) whose trial leaves the golden PC trace."""
+    ref = FaultInjector(program, engine="reference")
+    batched = FaultInjector(program, engine="batched")
+    for cycle in range(0, ref.golden_cycles, 3):
+        for element in ("reg1", "reg2", "reg3", "reg4"):
+            for bit in (0, 3):
+                with obs.collecting():
+                    batched.inject_many([(cycle, element, bit)])
+                    counters = obs.metrics_snapshot()["counters"]
+                if counters.get("arch.fi.engine.batch.divergences", 0):
+                    return cycle, element, bit
+    raise AssertionError("no divergent coordinate found")
+
+
+class TestBatchedEngine:
+    def test_divergence_falls_back_and_classifies_identically(self):
+        # A trial whose branch direction leaves the golden trace must
+        # drop out of the lockstep sweep and still classify exactly as
+        # the oracle engines do.
+        program = P.bubble_sort(6)
+        coord = _find_divergent_coordinate(program)
+        ref, fork, batched = _trio(program)
+        expected = ref.inject_one(*coord)
+        assert fork.inject_one(*coord) == expected
+        with obs.collecting():
+            # inject_many forces the batch path even for one trial
+            assert batched.inject_many([coord]) == [expected]
+            counters = obs.metrics_snapshot()["counters"]
+        assert counters["arch.fi.engine.batch.divergences"] == 1
+
+    def test_single_trial_api_matches_batch_api(self):
+        # inject_one on the batched engine serves per-trial callers via
+        # the scalar replay path; records must match the batch path.
+        batched = FaultInjector(P.dot_product(8), engine="batched")
+        coords = [(c, el, b) for c in (0, 5, 40) for el in ("reg2", "pc")
+                  for b in (1, 30)]
+        assert batched.inject_many(coords) == [
+            batched.inject_one(*c) for c in coords
+        ]
+
+    def test_offtrace_and_out_of_range_partitions(self):
+        ref, _, batched = _trio(P.checksum(16))
+        n = ref.golden_cycles
+        coords = [
+            (0, "ir", 7), (n // 2, "pc", 1), (n + 10, "reg3", 4),
+            (n // 3, "reg5", 12),
+        ]
+        with obs.collecting():
+            records = batched.inject_many(coords)
+            counters = obs.metrics_snapshot()["counters"]
+        assert records == [ref.inject_one(*c) for c in coords]
+        assert counters["arch.fi.engine.batch.offtrace_trials"] == 2
+        assert counters["arch.fi.engine.batch.lanes"] == 1
+        assert records[2].outcome is Outcome.MASKED
+
+    def test_batch_occupancy_metrics(self):
+        with obs.collecting():
+            batched = FaultInjector(P.checksum(24), engine="batched")
+            batched.run_campaign(n_trials=100, seed=2)
+            counters = obs.metrics_snapshot()["counters"]
+        assert counters["arch.fi.engine.batch.groups"] >= 1
+        assert counters["arch.fi.engine.batch.lanes"] > 0
+        assert counters["arch.fi.engine.batch.vector_cycles"] > 0
+        # Occupancy: lane-cycles per vector-cycle is the mean active
+        # width; it can never exceed the lane count.
+        assert (
+            counters["arch.fi.engine.batch.lane_cycles"]
+            <= counters["arch.fi.engine.batch.lanes"]
+            * counters["arch.fi.engine.batch.vector_cycles"]
+        )
+        assert counters["arch.fi.engine.early_exits"] > 0
+
+    def test_engine_stats_reports_resolution_and_ladder(self):
+        inj = FaultInjector(P.fibonacci(10))  # auto -> batched
+        stats = inj.engine_stats()
+        assert stats["engine"] == "batched"
+        assert stats["requested_engine"] == "auto"
+        assert stats["snapshots"] >= 1
+        assert stats["snapshot_interval"] >= 1
+        assert stats["golden_cycles"] == inj.golden_cycles
+        assert stats["max_cycles"] == inj.max_cycles
