@@ -1,6 +1,6 @@
 """Perf-smoke harness for the Sec. V kernels and the Sec. III FI engine.
 
-Two bench groups, each with its own trajectory record:
+Three bench groups, each with its own trajectory record:
 
 * **sweep** (``BENCH_sweep.json``) — times the Fig. 5/Fig. 6 Monte
   Carlo sweep and the wall-ablation hit-rate grid on both the batched
@@ -10,6 +10,10 @@ Two bench groups, each with its own trajectory record:
   trial-vectorized (batched), checkpoint-and-replay (forked), and
   full-rerun (reference) engines, verifying the records are
   bit-identical across all three (see ``docs/fi-engine.md``).
+* **obs** (``BENCH_obs.json``) — times the same campaign with telemetry
+  recording off vs on (spans, metrics, and the flight-recorder event
+  stream); ``--max-obs-overhead 0.05`` gates the observability layer's
+  <5% overhead budget in CI (see ``docs/observability.md``).
 
 Each run appends one entry — machine info, wall-clock timings,
 speedups — to the group's record.  See ``docs/performance.md`` for how
@@ -260,9 +264,67 @@ def bench_fi_campaign_batched(n_trials, rounds):
     }
 
 
+def bench_obs_overhead(n_trials, rounds):
+    """Flight-recorder cost: the same campaign with recording off vs on.
+
+    Each round times one batched-engine campaign bare and one under a
+    :class:`repro.obs.RunRecorder` (spans + metrics + the per-trial
+    ``fi.trials`` event stream, written to a throwaway directory), and
+    keeps the per-round on/off ratio — pairing the measurements cancels
+    machine drift that would swamp a few-percent effect.  The recorded
+    overhead is the median ratio minus one; CI gates it with
+    ``--max-obs-overhead`` (the observability layer's "off by default,
+    cheap when on" contract, docs/observability.md).
+    """
+    import shutil
+    import tempfile
+
+    from repro import obs
+    from repro.arch import FaultInjector
+    from repro.arch import programs as P
+    from repro.obs import RunRecorder
+
+    program = P.matmul(5)
+    injector = FaultInjector(
+        program, engine="batched", max_cycles_factor=FI_HANG_BUDGET_FACTOR
+    )
+    injector.run_campaign(n_trials=n_trials, seed=0)  # warm the engine
+    tmp = tempfile.mkdtemp(prefix="bench-obs-")
+    ratios, off_times, on_times = [], [], []
+    try:
+        for _ in range(rounds):
+            obs.disable()
+            start = time.perf_counter()
+            off_res = injector.run_campaign(n_trials=n_trials, seed=0)
+            off_s = time.perf_counter() - start
+            with RunRecorder(tmp, name="obs-overhead") as recorder:
+                start = time.perf_counter()
+                on_res = injector.run_campaign(n_trials=n_trials, seed=0)
+                on_s = time.perf_counter() - start
+            if off_res.records != on_res.records:
+                raise AssertionError("recording changed campaign records")
+            events = recorder.events_path.read_text().splitlines()
+            ratios.append(on_s / off_s)
+            off_times.append(off_s)
+            on_times.append(on_s)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "off_s": float(np.median(off_times)),
+        "on_s": float(np.median(on_times)),
+        "overhead": float(np.median(ratios)) - 1.0,
+        "events_per_run": len(events),
+        "n_trials": n_trials,
+        "program": program.name,
+    }
+
+
 SWEEP_BENCHES = {
     "fig5_fig6_sweep": bench_fig5_fig6_sweep,
     "wall_ablation": bench_wall_ablation,
+}
+OBS_BENCHES = {
+    "obs_overhead": bench_obs_overhead,
 }
 FI_BENCHES = {
     "fi_campaign": bench_fi_campaign,
@@ -325,6 +387,23 @@ def run_fi_benches(n_trials, rounds):
             line += f"   vs forked {result['vs_forked']:4.1f}x"
         line += f"   ({result['program']}, {result['n_trials']} trials)"
         print(line)
+    return entry
+
+
+def run_obs_benches(n_trials, rounds):
+    entry = _new_entry(
+        {"n_trials": n_trials, "rounds": rounds, "jobs": 1, "cache": False}
+    )
+    for name, bench in OBS_BENCHES.items():
+        result = bench(n_trials, rounds)
+        entry["results"][name] = result
+        print(
+            f"{name}: off {result['off_s']*1e3:8.1f} ms   "
+            f"on {result['on_s']*1e3:8.1f} ms   "
+            f"overhead {result['overhead']*100:+5.1f}%   "
+            f"({result['events_per_run']} events, "
+            f"{result['n_trials']} trials)"
+        )
     return entry
 
 
@@ -428,6 +507,12 @@ def main(argv=None):
     parser.add_argument("--fi-check", default=None, metavar="BASELINE",
                         help="compare FI-engine speedups against BASELINE's "
                              "newest entry")
+    parser.add_argument("--obs-output", default=None, metavar="FILE",
+                        help="append the observability-overhead entry to FILE")
+    parser.add_argument("--max-obs-overhead", type=float, default=None,
+                        metavar="FRACTION",
+                        help="fail when recording overhead exceeds this "
+                             "fraction (CI passes 0.05 for the <5%% gate)")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail when any bench's speedup is below this")
     parser.add_argument("--regression-factor", type=float, default=2.0,
@@ -436,11 +521,27 @@ def main(argv=None):
 
     sweep_entry = run_sweep_benches(args.runs, args.rounds)
     fi_entry = run_fi_benches(args.trials, args.rounds)
+    obs_entry = run_obs_benches(args.trials, args.rounds)
 
     status = _gate_entry(sweep_entry, args, args.check, args.output,
                          "sec5-kernels")
     status |= _gate_entry(fi_entry, args, args.fi_check, args.fi_output,
                           "sec3-fi-engine")
+    # The obs group gates on an absolute overhead budget, not a speedup.
+    if args.max_obs_overhead is not None:
+        for name, result in obs_entry["results"].items():
+            if result["overhead"] > args.max_obs_overhead:
+                print(
+                    f"FAIL {name}: recording overhead "
+                    f"{result['overhead']*100:.1f}% exceeds the "
+                    f"{args.max_obs_overhead*100:.1f}% budget",
+                    file=sys.stderr,
+                )
+                status = 1
+    if args.obs_output:
+        path = append_entry(args.obs_output, obs_entry,
+                            benchmark="obs-overhead")
+        print(f"recorded entry -> {path}")
     return status
 
 

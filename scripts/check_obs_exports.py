@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Validate the observability exporters' output formats.
+
+Two validators, one per exporter, usable as a library (the test suite
+imports them) or as a CLI (CI's observability-smoke job runs both on
+artifacts exported from a freshly recorded run):
+
+* :func:`check_chrome_trace` — the Chrome trace-event JSON contract the
+  Perfetto / ``chrome://tracing`` loaders rely on: a ``traceEvents``
+  list whose entries carry ``name``/``ph``/``pid``/``tid``, a numeric
+  non-negative ``ts`` on every non-metadata event, a ``dur`` on every
+  complete (``"X"``) event, and sane phase codes.
+* :func:`check_prometheus_text` — a line grammar covering the subset of
+  the Prometheus text exposition format the exporter emits: ``# HELP`` /
+  ``# TYPE`` comments with known types, sample lines with a valid metric
+  name, optional well-formed ``{label="value"}`` sets, and a numeric
+  (or ``NaN``) value; every sample must be preceded by its ``# TYPE``.
+
+Run from the repo root::
+
+    python scripts/check_obs_exports.py --trace t.json --prom m.prom
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+
+#: Phase codes the exporter may emit (a subset of the trace-event spec).
+KNOWN_PHASES = {"X", "M", "i", "B", "E", "C"}
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_SET = re.compile(r'^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+                       r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$')
+SAMPLE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+                    r"(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$")
+TYPE_LINE = re.compile(r"^# TYPE (?P<name>\S+) (?P<type>\S+)$")
+HELP_LINE = re.compile(r"^# HELP (?P<name>\S+) .+$")
+KNOWN_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def check_chrome_trace(document):
+    """Return a list of violations of the trace-event JSON contract."""
+    errors = []
+    if not isinstance(document, dict):
+        return [f"top level must be an object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                errors.append(f"{where}: missing required key {key!r}")
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+        if phase != "M":  # metadata events carry no timestamp
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: 'ts' must be a number >= 0, got {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(
+                    f"{where}: complete event needs numeric 'dur' >= 0, "
+                    f"got {dur!r}"
+                )
+    return errors
+
+
+def _valid_value(text):
+    if text in ("NaN", "+Inf", "-Inf"):
+        return True
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def check_prometheus_text(text):
+    """Return a list of violations of the exposition-format line grammar."""
+    errors = []
+    typed = set()  # metric families announced by a preceding # TYPE
+    saw_sample = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            type_match = TYPE_LINE.match(line)
+            if type_match:
+                if type_match.group("type") not in KNOWN_TYPES:
+                    errors.append(
+                        f"line {lineno}: unknown metric type "
+                        f"{type_match.group('type')!r}"
+                    )
+                typed.add(type_match.group("name"))
+                continue
+            if HELP_LINE.match(line):
+                continue
+            errors.append(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        sample = SAMPLE.match(line)
+        if sample is None:
+            errors.append(f"line {lineno}: malformed sample line: {line!r}")
+            continue
+        saw_sample = True
+        name = sample.group("name")
+        if not METRIC_NAME.match(name):
+            errors.append(f"line {lineno}: invalid metric name {name!r}")
+        labels = sample.group("labels")
+        if labels is not None and not LABEL_SET.match(labels):
+            errors.append(f"line {lineno}: malformed label set {labels!r}")
+        if not _valid_value(sample.group("value")):
+            errors.append(
+                f"line {lineno}: non-numeric sample value "
+                f"{sample.group('value')!r}"
+            )
+        # A summary's quantile/_sum/_count lines share their family's TYPE.
+        family = re.sub(r"_(sum|count|bucket|total)$", "", name)
+        if name not in typed and family not in typed and name + "_total" not in typed:
+            errors.append(f"line {lineno}: sample {name!r} has no # TYPE")
+    if not saw_sample:
+        errors.append("no sample lines found")
+    return errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="Chrome trace-event JSON to validate")
+    parser.add_argument("--prom", default=None, metavar="FILE",
+                        help="Prometheus text exposition file to validate")
+    args = parser.parse_args(argv)
+    if not args.trace and not args.prom:
+        parser.error("give at least one of --trace / --prom")
+    failures = []
+    if args.trace:
+        with open(args.trace) as fh:
+            document = json.load(fh)
+        errors = check_chrome_trace(document)
+        failures += [f"{args.trace}: {e}" for e in errors]
+        if not errors:
+            n = len(document["traceEvents"])
+            print(f"{args.trace}: valid chrome trace ({n} events)")
+    if args.prom:
+        with open(args.prom) as fh:
+            text = fh.read()
+        errors = check_prometheus_text(text)
+        failures += [f"{args.prom}: {e}" for e in errors]
+        if not errors:
+            n = sum(1 for ln in text.splitlines()
+                    if ln.strip() and not ln.startswith("#"))
+            print(f"{args.prom}: valid prometheus text ({n} samples)")
+    if failures:
+        print("\n".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

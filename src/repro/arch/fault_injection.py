@@ -216,6 +216,12 @@ class FaultInjector:
         # simulator per injection.
         self._trial_cpu = CPU(program, max_cycles=self.max_cycles)
         obs.inc("arch.fi.engine.snapshots", len(snapshots))
+        obs.emit(
+            "fi.ladder",
+            engine=self.engine, program=program.name,
+            golden_cycles=self.golden_cycles, snapshots=len(snapshots),
+            snapshot_interval=interval,
+        )
 
     def _boundary_liveness(self, trace, interval):
         """Golden live-in register sets at each snapshot boundary.
@@ -288,7 +294,9 @@ class FaultInjector:
         """
         coords = [(cycle, element, bit) for cycle, element, bit in coords]
         if self.engine != "batched":
-            return [self.inject_one(*coord) for coord in coords]
+            records = [self.inject_one(*coord) for coord in coords]
+            self._emit_trials(records)
+            return records
         outcomes = [None] * len(coords)
         lanes = []
         offtrace = []
@@ -318,7 +326,27 @@ class FaultInjector:
             records.append(
                 self._record(cycle, element, bit, outcome, pc_at, opcode_at)
             )
+        self._emit_trials(records)
         return records
+
+    def _emit_trials(self, records):
+        """Flight-recorder rows for one executed batch of trials.
+
+        One ``fi.trials`` event per :meth:`inject_many` call, carrying a
+        compact ``[cycle, element, bit, outcome]`` row per trial — the
+        framing (not one event per trial) is what keeps the per-trial
+        recording overhead inside the perf-smoke budget.  Guarded here
+        so the row list is never even built while recording is off.
+        """
+        if not records or not obs.enabled():
+            return
+        obs.emit(
+            "fi.trials",
+            engine=self.engine,
+            program=self.program.name,
+            items=[[r.cycle, r.element, r.bit, r.outcome.value]
+                   for r in records],
+        )
 
     def _batched_engine(self):
         """The lazily-built vectorized engine (rebuilt per process)."""

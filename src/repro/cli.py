@@ -9,6 +9,10 @@ Usage::
     python -m repro fig2 fig3 hdc            # several in sequence
     python -m repro fi --record runs         # record telemetry to runs/<id>/
     python -m repro report runs/<id>         # render a recorded run
+    python -m repro report runs --list       # one summary line per run
+    python -m repro report --diff A B        # compare two run records
+    python -m repro report runs/<id> --trace-out t.json --prom-out m.prom
+    python -m repro watch runs/<id>          # live view of a running campaign
 
 Campaign experiments (``fig5``/``fig6``/``wall``/``fi``) execute
 through :mod:`repro.runtime`: ``--jobs N`` fans trial chunks out over N
@@ -433,27 +437,155 @@ def build_parser():
 def build_report_parser():
     parser = argparse.ArgumentParser(
         prog="repro report",
-        description="Render a recorded run (see 'python -m repro <exp> --record').",
+        description="Render, list, diff, or export recorded runs "
+                    "(see 'python -m repro <exp> --record').",
     )
     parser.add_argument(
-        "path",
+        "paths", nargs="+", metavar="PATH",
         help="run record: a record.jsonl file, a run directory, or a base "
-             "directory of runs (newest record wins)",
+             "directory of runs (newest record wins — the resolved record "
+             "is printed to stderr); exactly two paths with --diff",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_runs",
+        help="list every run record under PATH (one summary line each) "
+             "instead of rendering one",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="compare two run records: outcome-histogram deltas with a "
+             "chi-square homogeneity flag, per-layer time deltas, counter "
+             "deltas, and the config diff",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also export a Chrome trace-event JSON file (open it in "
+             "Perfetto or chrome://tracing); includes the flight-recorder "
+             "events when the run has an events.jsonl",
+    )
+    parser.add_argument(
+        "--prom-out", default=None, metavar="FILE",
+        help="also export the run's metrics in Prometheus text format",
     )
     return parser
 
 
+def _load_record(path):
+    """Resolve + load one record, noting base-dir resolution on stderr."""
+    from repro.obs import load_run_record, resolve_record_path
+
+    record_path, how = resolve_record_path(path)
+    if how == "base-dir":
+        print(
+            f"resolved newest run record under {path}: {record_path} "
+            f"(use --list to see all runs)",
+            file=sys.stderr,
+        )
+    return load_run_record(record_path)
+
+
 def run_report(argv):
-    """``python -m repro report <path>``: render one run record."""
-    from repro.obs import load_run_record, render_report
+    """``python -m repro report``: render/list/diff/export run records."""
+    from repro.obs import diff_records, list_runs, render_diff, render_report
 
     args = build_report_parser().parse_args(argv)
     try:
-        record = load_run_record(args.path)
+        if args.list_runs:
+            if len(args.paths) != 1:
+                print("--list takes exactly one base directory",
+                      file=sys.stderr)
+                return 2
+            runs = list_runs(args.paths[0])
+            _print_table(
+                f"runs under {args.paths[0]}",
+                ("run id", "experiment", "started", "elapsed", "status",
+                 "trials"),
+                [
+                    (r["run_id"], r["name"], r["started"],
+                     f"{r['elapsed_s']:.2f} s", r["status"], r["trials"])
+                    for r in runs
+                ],
+            )
+            return 0
+        if args.diff:
+            if len(args.paths) != 2:
+                print("--diff takes exactly two run records (A B)",
+                      file=sys.stderr)
+                return 2
+            record_a = _load_record(args.paths[0])
+            record_b = _load_record(args.paths[1])
+            print(render_diff(diff_records(record_a, record_b)), end="")
+            return 0
+        if len(args.paths) != 1:
+            print("report takes exactly one path (or two with --diff)",
+                  file=sys.stderr)
+            return 2
+        record = _load_record(args.paths[0])
     except (FileNotFoundError, ValueError) as exc:
         print(f"cannot load run record: {exc}", file=sys.stderr)
         return 2
     print(render_report(record), end="")
+    _export_record(record, args)
+    return 0
+
+
+def _export_record(record, args):
+    """Write the --trace-out / --prom-out artifacts for a loaded record."""
+    from pathlib import Path
+
+    from repro.obs import EVENTS_FILENAME, read_events
+    from repro.obs.export import write_chrome_trace, write_prometheus_text
+
+    if args.trace_out:
+        events_path = Path(record["path"]).parent / EVENTS_FILENAME
+        events = read_events(events_path) if events_path.is_file() else []
+        write_chrome_trace(record, args.trace_out, events=events)
+        print(f"chrome trace: {args.trace_out}")
+    if args.prom_out:
+        write_prometheus_text(record, args.prom_out)
+        print(f"prometheus metrics: {args.prom_out}")
+
+
+def build_watch_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro watch",
+        description="Tail a recorded run's events.jsonl for a live "
+                    "campaign view (progress, throughput, ETA, stragglers).",
+    )
+    parser.add_argument(
+        "path",
+        help="run directory (or the events.jsonl itself) of a recorded run",
+    )
+    parser.add_argument(
+        "--poll", type=_timeout_seconds, default=0.5, metavar="SECONDS",
+        help="poll interval while following (default 0.5s)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="read what exists, print one status line, and exit "
+             "(works on finished runs)",
+    )
+    return parser
+
+
+def run_watch(argv):
+    """``python -m repro watch <run-dir>``: live campaign view."""
+    from pathlib import Path
+
+    from repro.obs import EVENTS_FILENAME
+    from repro.obs.watch import watch
+
+    args = build_watch_parser().parse_args(argv)
+    path = Path(args.path)
+    events_path = path if path.is_file() else path / EVENTS_FILENAME
+    if not events_path.is_file() and not args.once:
+        # A live run may not have flushed its first events yet; only a
+        # --once read of a missing file is a definite error.
+        print(f"waiting for {events_path} ...", file=sys.stderr)
+    if args.once and not events_path.is_file():
+        print(f"no {EVENTS_FILENAME} at {events_path}", file=sys.stderr)
+        return 2
+    watch(events_path, follow=not args.once, poll_s=args.poll)
     return 0
 
 
@@ -467,7 +599,10 @@ def run_list(args):
     print("available experiments:")
     for name in sorted(EXPERIMENTS):
         print(f"  {name:<10} {_describe(EXPERIMENTS[name])}")
-    print("  report     Render a recorded run (python -m repro report <run-dir>)")
+    print("  report     Render/list/diff/export recorded runs "
+          "(python -m repro report <run-dir>)")
+    print("  watch      Tail a recorded run's event stream live "
+          "(python -m repro watch <run-dir>)")
     print(
         "fig5/fig6/wall run on batched numpy Monte Carlo kernels; pass "
         "--reference-kernel\nto force the scalar reference path "
@@ -517,6 +652,8 @@ def main(argv=None):
         argv = sys.argv[1:]
     if argv and argv[0] == "report":
         return run_report(argv[1:])
+    if argv and argv[0] == "watch":
+        return run_watch(argv[1:])
     args = build_parser().parse_args(argv)
     if "list" in args.experiments:
         return run_list(args)

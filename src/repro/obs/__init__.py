@@ -6,7 +6,7 @@ runtime — is instrumented against this package, so one recorded run
 shows *where* time and work went across abstraction layers instead of
 reporting a single final number.
 
-Three pillars (see ``docs/observability.md`` for the guide):
+Four pillars (see ``docs/observability.md`` for the guide):
 
 :mod:`repro.obs.trace`
     Hierarchical :func:`span`\\ s built on :mod:`contextvars`; aggregated
@@ -17,11 +17,19 @@ Three pillars (see ``docs/observability.md`` for the guide):
     Process-global counters/gauges/histograms named
     ``layer.component.metric`` (:func:`inc`, :func:`set_gauge`,
     :func:`observe`), merged across worker processes.
+:mod:`repro.obs.events`
+    The flight recorder: a sequential structured event stream
+    (:func:`emit`) appended to ``events.jsonl`` beside the run record —
+    per-unit scheduling/fault-tolerance events, per-trial FI
+    coordinate/classification rows, worker heartbeats.  ``python -m
+    repro watch <run-dir>`` tails it live (:mod:`repro.obs.watch`).
 :mod:`repro.obs.record`
     :class:`RunRecorder` writes one JSONL run record per campaign
     (config digest, seed root, span tree, metrics snapshot, outcome
     histogram, cache stats, package version); ``python -m repro report
-    <run-dir>`` renders it (:mod:`repro.obs.report`).
+    <run-dir>`` renders it (:mod:`repro.obs.report`), exports it as a
+    Chrome trace / Prometheus text (:mod:`repro.obs.export`), and
+    compares two runs (:mod:`repro.obs.diff`).
 
 Everything is **off by default**: an instrumented call site costs one
 flag check until :func:`enable` (or a :class:`RunRecorder`) turns
@@ -33,13 +41,15 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.events import EventLog
 from repro.obs.metrics import HistogramStat, MetricsRegistry, layer_of
 from repro.obs.trace import SpanNode, Tracer, span_shape
 
-#: Process-global collectors.  One tracer + one registry per process;
-#: worker processes get fresh state through :func:`capture`.
+#: Process-global collectors.  One tracer + one registry + one event log
+#: per process; worker processes get fresh state through :func:`capture`.
 TRACER = Tracer()
 METRICS = MetricsRegistry()
+EVENTS = EventLog()
 
 #: Campaign summaries noted by the runtime layer during the current run
 #: (one dict per `CampaignRunner` invocation; see ``note_campaign``).
@@ -48,15 +58,17 @@ _CAMPAIGNS = []
 
 # -- switch -------------------------------------------------------------
 def enable():
-    """Turn span/metric collection on (idempotent)."""
+    """Turn span/metric/event collection on (idempotent)."""
     TRACER.enabled = True
     METRICS.enabled = True
+    EVENTS.enabled = True
 
 
 def disable():
     """Turn collection off; instrumented call sites go back to no-ops."""
     TRACER.enabled = False
     METRICS.enabled = False
+    EVENTS.enabled = False
 
 
 def enabled():
@@ -65,9 +77,10 @@ def enabled():
 
 
 def reset():
-    """Drop all collected spans, metrics, and campaign notes."""
+    """Drop all collected spans, metrics, events, and campaign notes."""
     TRACER.reset()
     METRICS.reset()
+    EVENTS.reset()
     del _CAMPAIGNS[:]
 
 
@@ -103,6 +116,11 @@ def set_gauge(name, value):
 def observe(name, value):
     """Feed ``value`` into histogram ``name``."""
     METRICS.observe(name, value)
+
+
+def emit(ev, **fields):
+    """Append one structured event to the flight-recorder stream."""
+    EVENTS.emit(ev, **fields)
 
 
 def span_tree():
@@ -149,6 +167,8 @@ def capture():
     prev_token = TRACER._active.set(None)
     prev_metrics = (METRICS.counters, METRICS.gauges, METRICS.histograms)
     prev_campaigns = list(_CAMPAIGNS)
+    prev_events = EVENTS.drain()
+    prev_sink = EVENTS.detach_sink()  # forked workers inherit the parent's
     TRACER.root = SpanNode(Tracer.ROOT_NAME)
     METRICS.reset()
     del _CAMPAIGNS[:]
@@ -159,11 +179,14 @@ def capture():
             "spans": TRACER.snapshot()["children"],
             "metrics": METRICS.snapshot(),
             "campaigns": campaign_notes(),
+            "events": EVENTS.drain(),
         }
         TRACER.root = prev_root
         TRACER._active.reset(prev_token)
         METRICS.counters, METRICS.gauges, METRICS.histograms = prev_metrics
         _CAMPAIGNS[:] = prev_campaigns
+        EVENTS.reattach_sink(prev_sink)
+        EVENTS._buffer[:0] = prev_events  # restore, don't re-account
 
 
 def absorb(snapshot):
@@ -178,19 +201,43 @@ def absorb(snapshot):
     TRACER.absorb_children(snapshot.get("spans", ()))
     METRICS.merge(snapshot.get("metrics", {}))
     _CAMPAIGNS.extend(dict(c) for c in snapshot.get("campaigns", ()))
+    EVENTS.absorb(snapshot.get("events", ()))
 
 
 from repro.obs.record import (  # noqa: E402  (needs the state above)
     RUN_RECORD_SCHEMA,
     RunRecorder,
     config_digest,
+    list_runs,
     load_run_record,
+    resolve_record_path,
 )
 from repro.obs.report import layer_breakdown, render_report  # noqa: E402
+from repro.obs.diff import diff_records, render_diff  # noqa: E402
+from repro.obs.export import chrome_trace, prometheus_text  # noqa: E402
+from repro.obs.events import (  # noqa: E402
+    EVENTS_FILENAME,
+    iter_events,
+    read_events,
+    trial_rows,
+)
 
 __all__ = [
     "TRACER",
     "METRICS",
+    "EVENTS",
+    "EVENTS_FILENAME",
+    "EventLog",
+    "emit",
+    "iter_events",
+    "read_events",
+    "trial_rows",
+    "chrome_trace",
+    "prometheus_text",
+    "diff_records",
+    "render_diff",
+    "list_runs",
+    "resolve_record_path",
     "enable",
     "disable",
     "enabled",

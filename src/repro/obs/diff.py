@@ -1,0 +1,228 @@
+"""Run-record diff analytics: what changed between run A and run B.
+
+The "compare two corners" shape from the roadmap, applied to recorded
+runs: load two run records and render where they diverge —
+
+* **outcome histograms**, with a chi-square-style homogeneity flag so a
+  shifted outcome mix (e.g. a new FI engine changing the SDC rate) is
+  called out instead of eyeballed;
+* **metrics** (counter deltas, largest relative movers first);
+* **per-layer time breakdown** deltas (where the wall time moved);
+* **config** differences (what was actually run differently).
+
+Backed by plain dict math over :func:`repro.obs.load_run_record`
+output; rendered by :func:`render_diff` for ``python -m repro report
+--diff A B``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.report import _table, layer_breakdown
+
+#: Upper-tail chi-square critical values at alpha = 0.05, by degrees of
+#: freedom.  Hard-coded so the flag needs no scipy at report time; df
+#: beyond the table falls back to the Wilson-Hilferty approximation.
+CHI2_CRIT_05 = {
+    1: 3.841, 2: 5.991, 3: 7.815, 4: 9.488, 5: 11.070,
+    6: 12.592, 7: 14.067, 8: 15.507, 9: 16.919, 10: 18.307,
+}
+
+
+def chi2_critical(df, alpha=0.05):
+    """Approximate chi-square critical value at ``alpha`` (upper tail)."""
+    if df in CHI2_CRIT_05 and alpha == 0.05:
+        return CHI2_CRIT_05[df]
+    # Wilson-Hilferty: chi2_q(df) ~ df * (1 - 2/(9 df) + z_q sqrt(2/(9 df)))^3
+    z = 1.645 if alpha == 0.05 else 2.326  # 95% / 99% normal quantiles
+    h = 2.0 / (9.0 * df)
+    return df * (1.0 - h + z * (h ** 0.5)) ** 3
+
+
+def outcome_chi2(hist_a, hist_b):
+    """Chi-square homogeneity statistic over two outcome histograms.
+
+    Treats the two runs as rows of a 2xK contingency table (K = union of
+    outcome labels) and returns ``(statistic, df, critical, flagged)``
+    where ``flagged`` means the outcome mixes differ at the 5% level.
+    Degenerate tables (an empty run, a single shared label) return a
+    zero statistic and no flag.
+    """
+    labels = sorted(set(hist_a) | set(hist_b))
+    n_a = sum(hist_a.values())
+    n_b = sum(hist_b.values())
+    total = n_a + n_b
+    df = max(len(labels) - 1, 0)
+    if not n_a or not n_b or df == 0:
+        return 0.0, df, 0.0, False
+    stat = 0.0
+    for label in labels:
+        pooled = (hist_a.get(label, 0) + hist_b.get(label, 0)) / total
+        for hist, n in ((hist_a, n_a), (hist_b, n_b)):
+            expected = n * pooled
+            if expected > 0:
+                stat += (hist.get(label, 0) - expected) ** 2 / expected
+    critical = chi2_critical(df)
+    return stat, df, critical, stat > critical
+
+
+def _config_diff(config_a, config_b):
+    """Flat config comparison: changed / only-in-A / only-in-B keys."""
+    changed = {}
+    for key in sorted(set(config_a) | set(config_b)):
+        in_a, in_b = key in config_a, key in config_b
+        if in_a and in_b:
+            if config_a[key] != config_b[key]:
+                changed[key] = (config_a[key], config_b[key])
+        elif in_a:
+            changed[key] = (config_a[key], "<absent>")
+        else:
+            changed[key] = ("<absent>", config_b[key])
+    return changed
+
+
+def diff_records(record_a, record_b):
+    """Structured comparison of two loaded run records.
+
+    Returns a dict with ``runs`` (identity of both sides), ``outcomes``
+    (per-label counts/rates/deltas + the chi-square flag), ``counters``
+    (value deltas over the union of counter names), ``layers``
+    (per-layer exclusive-time deltas), and ``config`` (changed keys).
+    """
+    meta_a = record_a.get("meta", {})
+    meta_b = record_b.get("meta", {})
+    hist_a = record_a.get("outcomes", {}).get("histogram", {})
+    hist_b = record_b.get("outcomes", {}).get("histogram", {})
+    n_a = sum(hist_a.values()) or 1
+    n_b = sum(hist_b.values()) or 1
+    stat, df, critical, flagged = outcome_chi2(hist_a, hist_b)
+    outcomes = {
+        label: {
+            "count_a": hist_a.get(label, 0),
+            "count_b": hist_b.get(label, 0),
+            "rate_a": hist_a.get(label, 0) / n_a,
+            "rate_b": hist_b.get(label, 0) / n_b,
+            "rate_delta": hist_b.get(label, 0) / n_b - hist_a.get(label, 0) / n_a,
+        }
+        for label in sorted(set(hist_a) | set(hist_b))
+    }
+    counters_a = record_a.get("metrics", {}).get("counters", {})
+    counters_b = record_b.get("metrics", {}).get("counters", {})
+    counters = {
+        name: {
+            "a": counters_a.get(name, 0),
+            "b": counters_b.get(name, 0),
+            "delta": counters_b.get(name, 0) - counters_a.get(name, 0),
+        }
+        for name in sorted(set(counters_a) | set(counters_b))
+        if counters_a.get(name, 0) != counters_b.get(name, 0)
+    }
+    layers_a = layer_breakdown(
+        record_a.get("spans", {}).get("root", {"name": "run", "children": []})
+    )
+    layers_b = layer_breakdown(
+        record_b.get("spans", {}).get("root", {"name": "run", "children": []})
+    )
+    layers = {
+        layer: {
+            "self_s_a": layers_a.get(layer, {}).get("self_s", 0.0),
+            "self_s_b": layers_b.get(layer, {}).get("self_s", 0.0),
+            "delta_s": (layers_b.get(layer, {}).get("self_s", 0.0)
+                        - layers_a.get(layer, {}).get("self_s", 0.0)),
+        }
+        for layer in sorted(set(layers_a) | set(layers_b))
+    }
+    return {
+        "runs": {
+            "a": {"run_id": meta_a.get("run_id", "?"),
+                  "name": meta_a.get("name", "?"),
+                  "elapsed_s": meta_a.get("elapsed_s", 0.0),
+                  "trials": sum(hist_a.values())},
+            "b": {"run_id": meta_b.get("run_id", "?"),
+                  "name": meta_b.get("name", "?"),
+                  "elapsed_s": meta_b.get("elapsed_s", 0.0),
+                  "trials": sum(hist_b.values())},
+        },
+        "outcomes": outcomes,
+        "outcome_chi2": {
+            "statistic": stat, "df": df, "critical_05": critical,
+            "flagged": flagged,
+        },
+        "counters": counters,
+        "layers": layers,
+        "config": _config_diff(meta_a.get("config", {}),
+                               meta_b.get("config", {})),
+    }
+
+
+def render_diff(diff):
+    """Multi-section text rendering of a :func:`diff_records` result."""
+    runs = diff["runs"]
+    lines = [
+        f"== run diff: {runs['a']['run_id']} (A) vs {runs['b']['run_id']} (B) =="
+    ]
+    lines += _table(
+        ("side", "experiment", "trials", "elapsed"),
+        [
+            ("A", runs["a"]["name"], runs["a"]["trials"],
+             f"{runs['a']['elapsed_s']:.2f} s"),
+            ("B", runs["b"]["name"], runs["b"]["trials"],
+             f"{runs['b']['elapsed_s']:.2f} s"),
+        ],
+    )
+
+    if diff["outcomes"]:
+        lines += ["", "== outcome deltas =="]
+        lines += _table(
+            ("outcome", "A", "B", "rate A", "rate B", "delta"),
+            [
+                (label, o["count_a"], o["count_b"], f"{o['rate_a']:.3f}",
+                 f"{o['rate_b']:.3f}", f"{o['rate_delta']:+.3f}")
+                for label, o in diff["outcomes"].items()
+            ],
+        )
+        chi2 = diff["outcome_chi2"]
+        verdict = (
+            "DIFFERENT outcome mixes" if chi2["flagged"]
+            else "no significant outcome shift"
+        )
+        lines.append(
+            f"chi-square {chi2['statistic']:.2f} (df={chi2['df']}, "
+            f"5% critical {chi2['critical_05']:.2f}): {verdict}"
+        )
+
+    if diff["layers"]:
+        lines += ["", "== per-layer time deltas =="]
+        lines += _table(
+            ("layer", "A self (s)", "B self (s)", "delta (s)"),
+            [
+                (layer, f"{e['self_s_a']:.3f}", f"{e['self_s_b']:.3f}",
+                 f"{e['delta_s']:+.3f}")
+                for layer, e in sorted(
+                    diff["layers"].items(),
+                    key=lambda kv: -abs(kv[1]["delta_s"]),
+                )
+            ],
+        )
+
+    if diff["counters"]:
+        lines += ["", "== counter deltas (changed only) =="]
+        lines += _table(
+            ("counter", "A", "B", "delta"),
+            [
+                (name, c["a"], c["b"], f"{c['delta']:+}")
+                for name, c in sorted(
+                    diff["counters"].items(),
+                    key=lambda kv: -abs(kv[1]["delta"]),
+                )
+            ],
+        )
+
+    lines += ["", "== config diff =="]
+    if diff["config"]:
+        lines += _table(
+            ("key", "A", "B"),
+            [(key, a, b) for key, (a, b) in diff["config"].items()],
+        )
+    else:
+        lines.append("(identical configs)")
+    return "\n".join(lines) + "\n"

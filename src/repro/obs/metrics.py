@@ -11,8 +11,10 @@ across process boundaries:
 * **counter** — monotonically increasing total (:meth:`MetricsRegistry.inc`);
 * **gauge** — last-written value (:meth:`MetricsRegistry.set_gauge`);
 * **histogram** — running ``count/total/min/max`` summary of observed
-  values (:meth:`MetricsRegistry.observe`); no reservoir, so memory is
-  O(1) per metric and worker snapshots merge exactly.
+  values (:meth:`MetricsRegistry.observe`) plus p50/p95/p99 quantiles
+  that are exact while the stream fits the bounded reservoir
+  (:data:`RESERVOIR_SIZE` values) and reservoir-approximate beyond it,
+  so memory stays O(1) per metric and worker snapshots still merge.
 
 While disabled (the default) every instrument call is a single flag
 check — instrumented library code pays effectively nothing.
@@ -21,16 +23,27 @@ check — instrumented library code pays effectively nothing.
 from __future__ import annotations
 
 
-class HistogramStat:
-    """O(1) summary of an observed value stream."""
+#: Values retained per histogram for quantile estimation.  Quantiles are
+#: exact up to this many observations; beyond it the first
+#: ``RESERVOIR_SIZE`` values stand in for the stream (deterministic, and
+#: good enough for the skew questions a report answers).
+RESERVOIR_SIZE = 512
 
-    __slots__ = ("count", "total", "min", "max")
+#: Quantiles surfaced by :meth:`HistogramStat.to_dict` and the report.
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class HistogramStat:
+    """Bounded summary of an observed value stream."""
+
+    __slots__ = ("count", "total", "min", "max", "reservoir")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.min = None
         self.max = None
+        self.reservoir = []
 
     def observe(self, value):
         value = float(value)
@@ -38,19 +51,33 @@ class HistogramStat:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if len(self.reservoir) < RESERVOIR_SIZE:
+            self.reservoir.append(value)
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q):
+        """Nearest-rank quantile over the reservoir (None when empty)."""
+        if not self.reservoir:
+            return None
+        ordered = sorted(self.reservoir)
+        rank = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[rank]
+
     def to_dict(self):
-        return {
+        d = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "reservoir": list(self.reservoir),
         }
+        for name, q in QUANTILES:
+            d[name] = self.quantile(q)
+        return d
 
     def absorb(self, d):
         if not d.get("count"):
@@ -59,6 +86,9 @@ class HistogramStat:
         self.total += d["total"]
         self.min = d["min"] if self.min is None else min(self.min, d["min"])
         self.max = d["max"] if self.max is None else max(self.max, d["max"])
+        space = RESERVOIR_SIZE - len(self.reservoir)
+        if space > 0:
+            self.reservoir.extend(d.get("reservoir", ())[:space])
 
 
 class MetricsRegistry:

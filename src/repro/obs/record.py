@@ -27,9 +27,11 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 
 import repro.obs as obs
+from repro.obs.events import EVENTS_FILENAME, EVENTS_SCHEMA
 
 #: Bump when a record line's fields change incompatibly.
 RUN_RECORD_SCHEMA = 1
@@ -51,8 +53,11 @@ def config_digest(config):
 class RunRecorder:
     """Record one run's telemetry to ``<base_dir>/<run_id>/record.jsonl``.
 
-    Entering the recorder resets and enables :mod:`repro.obs` collection;
-    leaving it writes the record and restores the previous on/off state.
+    Entering the recorder resets and enables :mod:`repro.obs` collection
+    and binds the flight-recorder event stream to ``events.jsonl`` in the
+    same run directory (so events land on disk *while* the run executes —
+    ``python -m repro watch <run-dir>`` tails them); leaving it writes
+    the record and restores the previous on/off state.
 
     Parameters
     ----------
@@ -76,9 +81,17 @@ class RunRecorder:
         if run_id is None:
             stamp = time.strftime("%Y%m%d-%H%M%S")
             run_id = f"{name}-{stamp}-{os.getpid()}"
+            # Back-to-back runs in the same second (and process) would
+            # collide and append into one run directory; uniquify.
+            base = run_id
+            n = 2
+            while (Path(base_dir) / run_id).exists():
+                run_id = f"{base}-{n}"
+                n += 1
         self.run_id = run_id
         self.run_dir = Path(base_dir) / run_id
         self.path = self.run_dir / RECORD_FILENAME
+        self.events_path = self.run_dir / EVENTS_FILENAME
         self._was_enabled = False
         self._t0 = None
         self._started = None
@@ -90,11 +103,17 @@ class RunRecorder:
         obs.enable()
         self._started = time.strftime("%Y-%m-%dT%H:%M:%S")
         self._t0 = time.perf_counter()
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        obs.EVENTS.bind(self.events_path)
+        obs.emit("stream.open", schema=EVENTS_SCHEMA, run_id=self.run_id,
+                 name=self.name)
         return self
 
     def __exit__(self, exc_type, exc, tb):
         try:
             status = "ok" if exc_type is None else f"error: {exc_type.__name__}"
+            obs.emit("stream.close", status=status)
+            obs.EVENTS.unbind()
             self.write(elapsed_s=time.perf_counter() - self._t0, status=status)
         finally:
             if not self._was_enabled:
@@ -122,6 +141,9 @@ class RunRecorder:
             "started": self._started,
             "elapsed_s": elapsed_s,
             "status": status,
+            "events_file": EVENTS_FILENAME,
+            "events_emitted": obs.EVENTS.emitted,
+            "events_dropped": obs.EVENTS.dropped,
         }
         yield {"type": "spans", "root": obs.span_tree()}
         yield {"type": "metrics", **obs.metrics_snapshot()}
@@ -139,19 +161,25 @@ class RunRecorder:
         return self.path
 
 
-def _resolve_record_path(path):
-    """Accept a record file, a run dir, or a base dir of run dirs."""
+def resolve_record_path(path):
+    """Resolve a record file, run dir, or base dir to ``(path, how)``.
+
+    ``how`` says what kind of argument was given: ``"file"`` (the
+    ``record.jsonl`` itself), ``"run-dir"`` (a directory holding one),
+    or ``"base-dir"`` (a directory of run directories — the newest
+    record wins, so callers should tell the user which one was picked).
+    """
     path = Path(path)
     if path.is_file():
-        return path
+        return path, "file"
     direct = path / RECORD_FILENAME
     if direct.is_file():
-        return direct
+        return direct, "run-dir"
     candidates = sorted(
         path.glob(f"*/{RECORD_FILENAME}"), key=lambda p: p.stat().st_mtime
     )
     if candidates:
-        return candidates[-1]  # newest run under a base directory
+        return candidates[-1], "base-dir"  # newest run under the base
     raise FileNotFoundError(f"no {RECORD_FILENAME} found under {path}")
 
 
@@ -161,16 +189,65 @@ def load_run_record(path):
     ``path`` may be the ``record.jsonl`` file itself, a run directory, or
     a base directory holding several run directories (the newest record
     wins — handy for ``repro report runs/`` right after a recorded run).
+
+    A torn tail — a truncated final JSONL line left by a killed or
+    out-of-disk writer — is tolerated with a warning, mirroring the
+    campaign manifest's rule: every line that parsed is kept, reading
+    stops at the first line that does not.
     """
-    record_path = _resolve_record_path(path)
+    record_path, _ = resolve_record_path(path)
     record = {"path": str(record_path)}
     with open(record_path) as fh:
         for raw in fh:
             raw = raw.strip()
             if not raw:
                 continue
-            line = json.loads(raw)
+            try:
+                line = json.loads(raw)
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"{record_path}: torn trailing line (killed writer?); "
+                    f"keeping the {len(record) - 1} sections that parsed",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
             kind = line.pop("type", None)
             if kind:
                 record[kind] = line
     return record
+
+
+def list_runs(base_dir):
+    """One summary dict per run record under ``base_dir``, oldest first.
+
+    Accepts a base directory of run directories (the layout ``--record``
+    produces) or a single run directory.  Each summary carries the keys
+    the ``repro report --list`` table prints: ``run_id``, ``name``,
+    ``started``, ``elapsed_s``, ``status``, ``trials`` (total outcome
+    count), and ``path``.
+    """
+    base = Path(base_dir)
+    candidates = sorted(
+        base.glob(f"*/{RECORD_FILENAME}"), key=lambda p: p.stat().st_mtime
+    )
+    direct = base / RECORD_FILENAME
+    if direct.is_file():
+        candidates.insert(0, direct)
+    if not candidates:
+        raise FileNotFoundError(f"no {RECORD_FILENAME} found under {base}")
+    summaries = []
+    for path in candidates:
+        record = load_run_record(path)
+        meta = record.get("meta", {})
+        outcomes = record.get("outcomes", {}).get("histogram", {})
+        summaries.append({
+            "run_id": meta.get("run_id", path.parent.name),
+            "name": meta.get("name", "?"),
+            "started": meta.get("started", "?"),
+            "elapsed_s": meta.get("elapsed_s", 0.0),
+            "status": meta.get("status", "?"),
+            "trials": sum(outcomes.values()),
+            "path": str(path),
+        })
+    return summaries

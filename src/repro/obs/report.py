@@ -161,4 +161,25 @@ def render_report(record):
             ("counter", "value"), [(k, v) for k, v in sorted(counters.items())]
         )
 
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        def _q(stat, key):
+            value = stat.get(key)
+            return f"{value:.6g}" if value is not None else "-"
+
+        lines += ["", "== histograms =="]
+        lines += _table(
+            ("histogram", "count", "mean", "p50", "p95", "p99", "max"),
+            [
+                (
+                    name,
+                    stat.get("count", 0),
+                    f"{stat.get('mean', 0.0):.6g}",
+                    _q(stat, "p50"), _q(stat, "p95"), _q(stat, "p99"),
+                    f"{stat.get('max', 0.0):.6g}",
+                )
+                for name, stat in sorted(histograms.items())
+            ],
+        )
+
     return "\n".join(lines) + "\n"

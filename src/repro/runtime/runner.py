@@ -162,6 +162,7 @@ def _invoke(worker, item, collect=False):  # module-level so it pickles by refer
         return worker(item), None
     obs.enable()
     with obs.capture() as cap:
+        obs.emit("worker.heartbeat")
         worker_result = worker(item)
     return worker_result, cap.snapshot
 
@@ -272,6 +273,11 @@ class CampaignRunner:
             resumed=self.resume,
         )
         self.stats = stats
+        obs.emit(
+            "campaign.begin",
+            units=len(items), trials=stats.total_trials, jobs=self.jobs,
+            resumed=stats.resumed,
+        )
         with obs.span(
             "runtime.campaign",
             units=len(items), trials=stats.total_trials, jobs=self.jobs,
@@ -279,6 +285,16 @@ class CampaignRunner:
             results = self._execute_units(
                 worker, items, base_key, item_keys, weights, unit_is_batch, stats
             )
+        obs.emit(
+            "campaign.end",
+            executed_trials=stats.executed_trials,
+            cached_trials=stats.cached_trials,
+            elapsed_s=stats.elapsed_s,
+            retries=stats.retries,
+            timeouts=stats.timeouts,
+            pool_respawns=stats.pool_respawns,
+            histogram=dict(stats.histogram),
+        )
         obs.note_campaign({
             "total_trials": stats.total_trials,
             "executed_trials": stats.executed_trials,
@@ -374,6 +390,9 @@ class CampaignRunner:
             if self.cache is not None:
                 value = self.cache.get(digests[i])
                 if value is not MISS:
+                    obs.emit("cache.hit", unit=i, trials=weights[i],
+                             journaled=bool(manifest is not None
+                                            and digests[i] in manifest))
                     observe(i, value)
                     stats.cached_trials += weights[i]
                     stats.units_cached += 1
@@ -381,12 +400,14 @@ class CampaignRunner:
                         stats.journaled_units += 1
                         stats.journaled_trials += weights[i]
                     continue
+                obs.emit("cache.miss", unit=i, trials=weights[i])
             pending.append(i)
         if stats.units_cached:
             emit()
 
         def finish(i, result):
             """Commit a freshly executed unit: stats, cache, journal."""
+            obs.emit("unit.finish", unit=i, trials=weights[i])
             observe(i, result)
             stats.executed_trials += weights[i]
             stats.units_executed += 1
@@ -430,16 +451,22 @@ class CampaignRunner:
         attempts[i] = attempts.get(i, 0) + 1
         if attempts[i] > self.policy.max_retries:
             obs.inc("runtime.fault.exhausted")
+            obs.emit("unit.exhausted", unit=i, attempts=attempts[i],
+                     error=type(exc).__name__)
             raise exc
         stats.retries += 1
         obs.inc("runtime.fault.retries")
-        return self.policy.backoff_s(i, attempts[i])
+        delay = self.policy.backoff_s(i, attempts[i])
+        obs.emit("unit.retry", unit=i, attempt=attempts[i],
+                 backoff_s=delay, error=type(exc).__name__)
+        return delay
 
     # -- serial execution ------------------------------------------------
     def _run_serial(self, worker, indices, items, attempts, finish, stats):
         """Inline execution with bounded retries (timeouts not enforceable)."""
         for i in indices:
             while True:
+                obs.emit("unit.submit", unit=i, mode="serial")
                 try:
                     result = worker(items[i])
                 except Exception as exc:
@@ -500,6 +527,7 @@ class CampaignRunner:
             """Count a pool respawn and keep progress flowing through it."""
             stats.pool_respawns += 1
             obs.inc("runtime.fault.pool_respawns")
+            obs.emit("worker.respawn", respawns=stats.pool_respawns)
             with obs.span("runtime.fault.respawn"):
                 emit()  # progress still flows during recovery
 
@@ -528,6 +556,7 @@ class CampaignRunner:
                 now = time.monotonic()
                 if pool is None:
                     pool = ProcessPoolExecutor(max_workers=max_workers)
+                    obs.emit("worker.spawn", workers=max_workers)
                 try:
                     while (waiting and waiting[0][0] <= now
                            and len(inflight) < max_workers):
@@ -536,6 +565,7 @@ class CampaignRunner:
                                     if policy.unit_timeout_s else None)
                         future = pool.submit(_invoke, worker, items[i], collect)
                         inflight[future] = (i, deadline)
+                        obs.emit("unit.submit", unit=i, mode="pool")
                 except BrokenProcessPool:
                     heapq.heappush(waiting, (now, i))
                     if recover_broken_pool(now):
@@ -587,6 +617,8 @@ class CampaignRunner:
                             inflight.pop(future)
                             stats.timeouts += 1
                             obs.inc("runtime.fault.timeouts")
+                            obs.emit("unit.timeout", unit=i,
+                                     budget_s=policy.unit_timeout_s)
                             cause = UnitTimeoutError(
                                 f"unit {i} exceeded its "
                                 f"{policy.unit_timeout_s:.3f}s wall-clock "

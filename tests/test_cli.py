@@ -172,3 +172,124 @@ class TestMain:
         err = capsys.readouterr().err
         assert "all from cache" in err
         assert "trials/s" not in err
+
+
+class TestReportAndWatchCLI:
+    """The flight-recorder surface: report --list/--diff/exports, watch."""
+
+    def _record_runs(self, tmp_path, monkeypatch, capsys, n=1):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        runs = tmp_path / "runs"
+        for i in range(n):
+            assert main(["fi", "--trials", str(32 + 16 * i), "--no-cache",
+                         "--record", str(runs)]) == 0
+        capsys.readouterr()
+        return runs
+
+    def test_report_parser_flags(self):
+        from repro.cli import build_report_parser
+
+        args = build_report_parser().parse_args(
+            ["runs", "--list", "--trace-out", "t.json", "--prom-out", "m.prom"]
+        )
+        assert args.paths == ["runs"]
+        assert args.list_runs and not args.diff
+        assert args.trace_out == "t.json"
+        assert args.prom_out == "m.prom"
+
+    def test_report_list_prints_one_line_per_run(self, capsys, tmp_path,
+                                                 monkeypatch):
+        runs = self._record_runs(tmp_path, monkeypatch, capsys, n=2)
+        assert main(["report", str(runs), "--list"]) == 0
+        out = capsys.readouterr().out
+        assert f"runs under {runs}" in out
+        assert "run id" in out and "experiment" in out
+        body = [l for l in out.splitlines()
+                if l.strip() and "==" not in l and "run id" not in l]
+        assert len(body) == 2
+        assert all(" fi " in l or l.rstrip().endswith("fi") or " ok " in l
+                   for l in body)
+
+    def test_report_list_rejects_multiple_paths(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path), str(tmp_path), "--list"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_report_base_dir_resolution_is_announced(self, capsys, tmp_path,
+                                                     monkeypatch):
+        runs = self._record_runs(tmp_path, monkeypatch, capsys)
+        assert main(["report", str(runs)]) == 0
+        captured = capsys.readouterr()
+        assert "resolved newest run record under" in captured.err
+        assert "use --list to see all runs" in captured.err
+        assert "== run record:" in captured.out
+
+    def test_report_run_dir_needs_no_notice(self, capsys, tmp_path,
+                                            monkeypatch):
+        runs = self._record_runs(tmp_path, monkeypatch, capsys)
+        (run_dir,) = runs.iterdir()
+        assert main(["report", str(run_dir)]) == 0
+        assert "resolved newest" not in capsys.readouterr().err
+
+    def test_report_diff_renders_all_sections(self, capsys, tmp_path,
+                                              monkeypatch):
+        runs = self._record_runs(tmp_path, monkeypatch, capsys, n=2)
+        a, b = sorted(str(p) for p in runs.iterdir())
+        assert main(["report", "--diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "== run diff:" in out
+        assert "== outcome deltas ==" in out
+        assert "chi-square" in out
+        assert "== config diff ==" in out
+        assert "trials" in out  # 32 vs 48 shows up in the config diff
+
+    def test_report_diff_requires_two_paths(self, capsys, tmp_path,
+                                            monkeypatch):
+        runs = self._record_runs(tmp_path, monkeypatch, capsys)
+        assert main(["report", "--diff", str(runs)]) == 2
+        assert "exactly two" in capsys.readouterr().err
+
+    def test_report_exports_trace_and_prom(self, capsys, tmp_path,
+                                           monkeypatch):
+        import json
+
+        runs = self._record_runs(tmp_path, monkeypatch, capsys)
+        trace = tmp_path / "trace.json"
+        prom = tmp_path / "metrics.prom"
+        assert main(["report", str(runs), "--trace-out", str(trace),
+                     "--prom-out", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert f"chrome trace: {trace}" in out
+        assert f"prometheus metrics: {prom}" in out
+        document = json.loads(trace.read_text())
+        assert document["traceEvents"]
+        # The recorded run has an events.jsonl, so instants ride along.
+        assert any(e["ph"] == "i" for e in document["traceEvents"])
+        text = prom.read_text()
+        assert "repro_run_info" in text
+        assert "_total" in text
+
+    def test_watch_once_summarizes_finished_run(self, capsys, tmp_path,
+                                                monkeypatch):
+        runs = self._record_runs(tmp_path, monkeypatch, capsys)
+        (run_dir,) = runs.iterdir()
+        assert main(["watch", str(run_dir), "--once"]) == 0
+        err = capsys.readouterr().err  # status goes to stderr, like progress
+        assert "[32/32]" in err
+        assert "run finished" in err
+
+    def test_watch_once_missing_events_exits_2(self, capsys, tmp_path):
+        assert main(["watch", str(tmp_path), "--once"]) == 2
+        assert "no events.jsonl" in capsys.readouterr().err
+
+    def test_watch_accepts_events_file_path(self, capsys, tmp_path,
+                                            monkeypatch):
+        runs = self._record_runs(tmp_path, monkeypatch, capsys)
+        (run_dir,) = runs.iterdir()
+        assert main(["watch", str(run_dir / "events.jsonl"), "--once"]) == 0
+        assert "trials/s" in capsys.readouterr().err
+
+    def test_list_advertises_report_and_watch(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "report" in out and "diff" in out
+        assert "watch" in out

@@ -1,6 +1,9 @@
 """Tests for the cross-layer observability subsystem (repro.obs)."""
 
 import json
+import re
+import warnings
+from pathlib import Path
 
 import pytest
 
@@ -502,3 +505,128 @@ class TestCLIIntegration:
         assert main(["fi", "--trials", "32", "--no-cache"]) == 0
         assert obs.span_tree()["children"] == []
         assert obs.metrics_snapshot()["counters"] == {}
+
+
+class TestTornTailRunRecord:
+    """A killed writer leaves a truncated final record line; tolerate it."""
+
+    def _torn_record(self, tmp_path):
+        path = tmp_path / "record.jsonl"
+        lines = [
+            json.dumps({"type": "meta", "run_id": "torn", "schema": 1,
+                        "name": "fi", "status": "ok"}),
+            json.dumps({"type": "spans",
+                        "root": {"name": "run", "count": 0, "total_s": 0.0,
+                                 "children": []}}),
+            json.dumps({"type": "metrics", "counters": {}, "gauges": {},
+                        "histograms": {}}),
+        ]
+        path.write_text("\n".join(lines) + '\n{"type": "outcomes", "hist')
+        return path
+
+    def test_torn_tail_warns_and_keeps_parsed_sections(self, tmp_path):
+        path = self._torn_record(tmp_path)
+        with pytest.warns(RuntimeWarning, match="torn trailing line"):
+            record = load_run_record(path)
+        assert record["meta"]["run_id"] == "torn"
+        assert "spans" in record and "metrics" in record
+        assert "outcomes" not in record  # the torn line is dropped
+
+    def test_intact_record_loads_without_warning(self, tmp_path):
+        path = tmp_path / "record.jsonl"
+        path.write_text(
+            json.dumps({"type": "meta", "run_id": "ok", "schema": 1}) + "\n"
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            record = load_run_record(path)
+        assert record["meta"]["run_id"] == "ok"
+
+
+class TestHistogramQuantiles:
+    def test_nearest_rank_percentiles(self):
+        stat = HistogramStat()
+        for v in range(1, 101):
+            stat.observe(float(v))
+        d = stat.to_dict()
+        assert d["p50"] == 51.0
+        assert d["p95"] == 96.0
+        assert d["p99"] == 100.0
+        assert d["reservoir"][:3] == [1.0, 2.0, 3.0]
+
+    def test_empty_histogram_has_none_quantiles(self):
+        d = HistogramStat().to_dict()
+        assert d["p50"] is None and d["p95"] is None and d["p99"] is None
+
+    def test_reservoir_is_bounded(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        stat = HistogramStat()
+        for v in range(RESERVOIR_SIZE + 100):
+            stat.observe(float(v))
+        assert stat.count == RESERVOIR_SIZE + 100
+        assert len(stat.reservoir) == RESERVOIR_SIZE
+        assert stat.max == float(RESERVOIR_SIZE + 99)  # summary stays exact
+
+    def test_absorb_merges_reservoirs_up_to_the_cap(self):
+        from repro.obs.metrics import RESERVOIR_SIZE
+
+        a, b = HistogramStat(), HistogramStat()
+        a.observe(1.0)
+        b.observe(9.0)
+        b.observe(5.0)
+        a.absorb(b.to_dict())
+        assert sorted(a.reservoir) == [1.0, 5.0, 9.0]
+        assert a.quantile(0.5) == 5.0
+        full = HistogramStat()
+        for v in range(RESERVOIR_SIZE):
+            full.observe(float(v))
+        full.absorb(b.to_dict())
+        assert len(full.reservoir) == RESERVOIR_SIZE
+        assert full.count == RESERVOIR_SIZE + 2
+
+    def test_render_report_surfaces_quantiles(self, tmp_path):
+        with RunRecorder(tmp_path, name="hist") as recorder:
+            for v in (1.0, 2.0, 3.0, 10.0):
+                obs.observe("runtime.unit.seconds", v)
+        text = render_report(load_run_record(recorder.run_dir))
+        assert "== histograms ==" in text
+        assert "p50" in text and "p95" in text and "p99" in text
+        assert "runtime.unit.seconds" in text
+
+
+class TestMetricNamespace:
+    """Every metric the library emits must map onto a known layer."""
+
+    _SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+    _METRIC_CALL = re.compile(
+        r"obs\.(?:inc|set_gauge|observe)\(\s*f?[\"']([^\"']+)[\"']"
+    )
+
+    def _emitted_names(self):
+        names = set()
+        for path in self._SRC.rglob("*.py"):
+            names.update(self._METRIC_CALL.findall(path.read_text()))
+        return names
+
+    def test_every_emitted_family_has_a_known_layer(self):
+        known = {"transistor", "circuit", "arch", "core", "runtime",
+                 "system", "cli"}
+        names = self._emitted_names()
+        assert len(names) >= 20  # the instrumented seams exist
+        for name in sorted(names):
+            assert layer_of(name) in known, f"unknown layer: {name}"
+            assert name.count(".") >= 2, f"not layer.component.metric: {name}"
+
+    def test_known_seams_are_still_instrumented(self):
+        names = self._emitted_names()
+        for expected in (
+            "arch.fault_injection.trials",
+            "runtime.cache.hits",
+            "runtime.fault.retries",
+            "runtime.runner.trials_executed",
+            "transistor.aging.nbti_evals",
+            "circuit.sta.runs",
+            "system.scheduler.placements",
+        ):
+            assert expected in names, f"seam lost: {expected}"
