@@ -14,6 +14,15 @@ Three bench groups, each with its own trajectory record:
   recording off vs on (spans, metrics, and the flight-recorder event
   stream); ``--max-obs-overhead 0.05`` gates the observability layer's
   <5% overhead budget in CI (see ``docs/observability.md``).
+* **dist** (``BENCH_dist.json``) — times a latency-bound campaign
+  (:class:`repro.runtime.loadgen.LatencyWorker`) over the ``fqueue``
+  and ``pool`` transports at increasing worker counts, verifying every
+  run bit-identical to the inline reference, plus the scheduler's own
+  per-unit overhead on the inline fast path.  ``--min-dist-speedup``
+  gates the 1→4-worker fqueue throughput gain and
+  ``--max-sched-overhead-us`` the bookkeeping budget; this group is
+  *not* gated by ``--min-speedup`` (the fabric pipelines waiting, it
+  does not vectorize math — see ``docs/distributed.md``).
 
 Each run appends one entry — machine info, wall-clock timings,
 speedups — to the group's record.  See ``docs/performance.md`` for how
@@ -68,7 +77,14 @@ HIT_RATE_TOLERANCE = 0.15
 FI_HANG_BUDGET_FACTOR = 1.5
 # Scale-determining result keys: regression checks skip a bench when the
 # baseline ran at a different scale (speedups are scale-dependent).
-SCALE_KEYS = ("n_runs", "n_trials")
+SCALE_KEYS = ("n_runs", "n_trials", "n_units")
+# Dist-fabric bench shape: worker counts to sweep, the simulated unit
+# latency (docs/distributed.md: latency-bound units pipeline across
+# workers even on one core, which is what the fabric — not the CPU —
+# provides), and the unit count of the scheduler-overhead measurement.
+DIST_WORKER_COUNTS = (1, 2, 4)
+DIST_UNIT_LATENCY_S = 0.02
+SCHED_OVERHEAD_UNITS = 512
 
 
 def _timed(fn, rounds):
@@ -319,6 +335,121 @@ def bench_obs_overhead(n_trials, rounds):
     }
 
 
+def bench_dist_scaling(n_units, rounds):
+    """Fabric scaling: fqueue/pool throughput vs worker count, one core.
+
+    Each configuration runs the same latency-bound campaign
+    (one-trial units, each sleeping ``DIST_UNIT_LATENCY_S``) after a
+    warm-up run that spawns its workers, and every measured run is
+    checked bit-identical against the inline reference for its seed.
+    The recorded ``speedup`` is the fqueue throughput gain from one
+    worker to ``DIST_WORKER_COUNTS[-1]`` — the fabric's pipelining
+    factor, deliberately independent of CPU count.
+    """
+    import shutil
+    import tempfile
+
+    from repro.runtime import CampaignRunner, FaultPolicy, ResultCache
+    from repro.runtime.loadgen import LatencyWorker
+    from repro.runtime.transports import FileQueueTransport, PoolTransport
+
+    worker = LatencyWorker(DIST_UNIT_LATENCY_S)
+    # One unit per task keeps the fabric busy with fine-grained claims;
+    # tight polls keep the scheduler tick out of the measurement.
+    policy = FaultPolicy(max_units_per_task=1, poll_interval_s=0.005,
+                         backoff_base_s=0.001)
+    seeds = list(range(1, rounds + 1))
+
+    def runner(transport=None, cache=None, jobs=1):
+        return CampaignRunner(jobs=jobs, chunk_size=1, policy=policy,
+                              cache=cache, transport=transport)
+
+    references, inline_times = {}, []
+    for seed in seeds:
+        start = time.perf_counter()
+        references[seed] = runner().run_trials(worker, n_units, seed=seed)
+        inline_times.append(time.perf_counter() - start)
+    inline_s = float(np.median(inline_times))
+
+    def timed_config(label, transport, cache, jobs=1):
+        # Warm-up on its own seed spawns workers/pools so the measured
+        # rounds see a steady-state fabric, not python start-up.
+        runner(transport, cache, jobs).run_trials(worker, n_units, seed=0)
+        times = []
+        for seed in seeds:
+            start = time.perf_counter()
+            out = runner(transport, cache, jobs).run_trials(
+                worker, n_units, seed=seed
+            )
+            times.append(time.perf_counter() - start)
+            if out != references[seed]:
+                raise AssertionError(f"{label} diverged from inline")
+        return float(np.median(times))
+
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench-dist-"))
+    result = {
+        "inline_tput": n_units / inline_s,
+        "n_units": n_units,
+        "unit_latency_s": DIST_UNIT_LATENCY_S,
+        "worker_counts": list(DIST_WORKER_COUNTS),
+    }
+    try:
+        for w in DIST_WORKER_COUNTS:
+            transport = FileQueueTransport(
+                tmp / f"fqueue-{w}", workers=w, poll_s=0.005,
+                worker_poll_s=0.005,
+            )
+            try:
+                elapsed = timed_config(
+                    f"fqueue x{w}", transport, ResultCache(tmp / f"cache-{w}")
+                )
+            finally:
+                transport.shutdown()
+            result[f"fqueue_{w}_tput"] = n_units / elapsed
+        for w in (1, DIST_WORKER_COUNTS[-1]):
+            transport = PoolTransport()
+            try:
+                elapsed = timed_config(f"pool x{w}", transport, None, jobs=w)
+            finally:
+                transport.shutdown()
+            result[f"pool_{w}_tput"] = n_units / elapsed
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    top = DIST_WORKER_COUNTS[-1]
+    result["speedup"] = result[f"fqueue_{top}_tput"] / result["fqueue_1_tput"]
+    return result
+
+
+def bench_sched_overhead(n_units, rounds):
+    """Scheduler bookkeeping cost per unit on the inline fast path.
+
+    Zero-latency one-trial units make the workload a few microseconds,
+    so an inline run of ``SCHED_OVERHEAD_UNITS`` units measures what the
+    scheduler itself charges per unit (admission, journal, telemetry).
+    ``--max-sched-overhead-us`` turns the figure into a CI budget.
+    """
+    del n_units  # fixed scale: the budget is a per-unit absolute
+    from repro.runtime import CampaignRunner, FaultPolicy
+    from repro.runtime.loadgen import LatencyWorker
+
+    worker = LatencyWorker(0.0)
+    policy = FaultPolicy(max_units_per_task=1)
+
+    def run():
+        return CampaignRunner(jobs=1, chunk_size=1, policy=policy).run_trials(
+            worker, SCHED_OVERHEAD_UNITS, seed=0
+        )
+
+    elapsed_s, out = _timed(run, rounds)
+    if len(out) != SCHED_OVERHEAD_UNITS:
+        raise AssertionError("scheduler-overhead campaign lost trials")
+    return {
+        "inline_s": elapsed_s,
+        "overhead_us_per_unit": elapsed_s / SCHED_OVERHEAD_UNITS * 1e6,
+        "n_units": SCHED_OVERHEAD_UNITS,
+    }
+
+
 SWEEP_BENCHES = {
     "fig5_fig6_sweep": bench_fig5_fig6_sweep,
     "wall_ablation": bench_wall_ablation,
@@ -329,6 +460,10 @@ OBS_BENCHES = {
 FI_BENCHES = {
     "fi_campaign": bench_fi_campaign,
     "fi_campaign_batched": bench_fi_campaign_batched,
+}
+DIST_BENCHES = {
+    "dist_scaling": bench_dist_scaling,
+    "sched_overhead": bench_sched_overhead,
 }
 
 
@@ -407,6 +542,33 @@ def run_obs_benches(n_trials, rounds):
     return entry
 
 
+def run_dist_benches(n_units, rounds):
+    entry = _new_entry(
+        {"n_units": n_units, "rounds": rounds,
+         "unit_latency_s": DIST_UNIT_LATENCY_S, "cache": True}
+    )
+    for name, bench in DIST_BENCHES.items():
+        result = bench(n_units, rounds)
+        entry["results"][name] = result
+        if name == "dist_scaling":
+            tputs = "   ".join(
+                f"fqueue x{w} {result[f'fqueue_{w}_tput']:6.1f}/s"
+                for w in DIST_WORKER_COUNTS
+            )
+            print(
+                f"{name}: inline {result['inline_tput']:6.1f}/s   {tputs}   "
+                f"scaling {result['speedup']:4.1f}x   "
+                f"({result['n_units']} units of "
+                f"{result['unit_latency_s']*1e3:.0f} ms)"
+            )
+        else:
+            print(
+                f"{name}: {result['overhead_us_per_unit']:8.1f} us/unit   "
+                f"({result['n_units']} inline zero-latency units)"
+            )
+    return entry
+
+
 def load_record(path):
     with open(path) as fh:
         record = json.load(fh)
@@ -439,8 +601,8 @@ def check_regression(entry, baseline_path, regression_factor):
     failures = []
     for name, result in entry["results"].items():
         base = baseline["results"].get(name)
-        if base is None:
-            continue
+        if base is None or "speedup" not in result:
+            continue  # new bench, or gated by an absolute budget instead
         scale_diff = [
             k for k in SCALE_KEYS if base.get(k) != result.get(k)
         ]
@@ -509,6 +671,21 @@ def main(argv=None):
                              "newest entry")
     parser.add_argument("--obs-output", default=None, metavar="FILE",
                         help="append the observability-overhead entry to FILE")
+    parser.add_argument("--dist-units", type=int, default=48,
+                        help="latency-bound units per dist-fabric run "
+                             "(default 48)")
+    parser.add_argument("--dist-output", default=None, metavar="FILE",
+                        help="append the dist-fabric entry to FILE")
+    parser.add_argument("--dist-check", default=None, metavar="BASELINE",
+                        help="compare the fqueue scaling factor against "
+                             "BASELINE's newest entry")
+    parser.add_argument("--min-dist-speedup", type=float, default=None,
+                        help="fail when the 1-to-max-worker fqueue "
+                             "throughput gain is below this (CI passes 2)")
+    parser.add_argument("--max-sched-overhead-us", type=float, default=None,
+                        metavar="US",
+                        help="fail when inline scheduler overhead exceeds "
+                             "this many microseconds per unit")
     parser.add_argument("--max-obs-overhead", type=float, default=None,
                         metavar="FRACTION",
                         help="fail when recording overhead exceeds this "
@@ -522,6 +699,7 @@ def main(argv=None):
     sweep_entry = run_sweep_benches(args.runs, args.rounds)
     fi_entry = run_fi_benches(args.trials, args.rounds)
     obs_entry = run_obs_benches(args.trials, args.rounds)
+    dist_entry = run_dist_benches(args.dist_units, args.rounds)
 
     status = _gate_entry(sweep_entry, args, args.check, args.output,
                          "sec5-kernels")
@@ -541,6 +719,40 @@ def main(argv=None):
     if args.obs_output:
         path = append_entry(args.obs_output, obs_entry,
                             benchmark="obs-overhead")
+        print(f"recorded entry -> {path}")
+    # The dist group has its own floors: the fqueue scaling factor and
+    # an absolute scheduler-overhead budget.  It deliberately bypasses
+    # --min-speedup, which gates vectorization ratios an order of
+    # magnitude above what worker pipelining can (or should) reach.
+    scaling = dist_entry["results"]["dist_scaling"]
+    overhead = dist_entry["results"]["sched_overhead"]
+    if (args.min_dist_speedup is not None
+            and scaling["speedup"] < args.min_dist_speedup):
+        print(
+            f"FAIL dist_scaling: fqueue throughput gain "
+            f"{scaling['speedup']:.1f}x < required "
+            f"{args.min_dist_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        status = 1
+    if (args.max_sched_overhead_us is not None
+            and overhead["overhead_us_per_unit"] > args.max_sched_overhead_us):
+        print(
+            f"FAIL sched_overhead: {overhead['overhead_us_per_unit']:.1f} "
+            f"us/unit exceeds the {args.max_sched_overhead_us:.1f} us budget",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.dist_check:
+        failures = check_regression(dist_entry, args.dist_check,
+                                    args.regression_factor)
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        if failures:
+            status = 1
+    if args.dist_output:
+        path = append_entry(args.dist_output, dist_entry,
+                            benchmark="dist-fabric")
         print(f"recorded entry -> {path}")
     return status
 

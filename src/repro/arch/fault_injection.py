@@ -54,7 +54,7 @@ import numpy as np
 
 from repro import obs
 from repro.arch.cpu import CPU, CrashError
-from repro.runtime import CampaignRunner
+from repro.runtime import CampaignRunner, stable_digest
 
 #: Trial-execution engines (``"auto"`` resolves to ``"batched"``).
 ENGINES = ("auto", "batched", "forked", "reference")
@@ -72,6 +72,18 @@ GOLDEN_MAX_CYCLES = 1_000_000
 #: outgrows it, every other snapshot is dropped and the interval
 #: doubles, bounding memory at O(cap) snapshots for any program length.
 MAX_AUTO_SNAPSHOTS = 256
+
+#: Per-process cache of built batched engines, keyed by injector
+#: fingerprint.  Transports re-pickle the injector per submitted task
+#: (``__getstate__`` drops the engine to keep submissions small), so
+#: without this every task landing in a worker process would rebuild
+#: the golden-effect arrays and snapshot ladder from scratch; with it,
+#: the first task in a process pays the build and every later task for
+#: a fingerprint-identical injector reuses it (counted by the
+#: ``arch.fi.engine.ladder_reuse`` metric).  Bounded to a handful of
+#: entries — one per distinct program/engine config a worker serves.
+_ENGINE_CACHE_SLOTS = 4
+_ENGINE_CACHE = {}
 
 
 class Outcome(enum.Enum):
@@ -349,11 +361,28 @@ class FaultInjector:
         )
 
     def _batched_engine(self):
-        """The lazily-built vectorized engine (rebuilt per process)."""
-        if self._batched is None:
-            from repro.arch.batched_engine import BatchedEngine
+        """The lazily-built vectorized engine, shared per process.
 
-            self._batched = BatchedEngine(self)
+        Looked up in (and inserted into) the module-level
+        :data:`_ENGINE_CACHE` by fingerprint digest, so the unpickled
+        injector copies that arrive with each transport task reuse the
+        engine a previous task already built in this worker process.
+        The fingerprint covers everything that determines a trial's
+        result, which is exactly the reuse-safety contract.
+        """
+        if self._batched is None:
+            key = stable_digest("fi-engine", self.fingerprint())
+            engine = _ENGINE_CACHE.get(key)
+            if engine is None:
+                from repro.arch.batched_engine import BatchedEngine
+
+                engine = BatchedEngine(self)
+                while len(_ENGINE_CACHE) >= _ENGINE_CACHE_SLOTS:
+                    _ENGINE_CACHE.pop(next(iter(_ENGINE_CACHE)))
+                _ENGINE_CACHE[key] = engine
+            else:
+                obs.inc("arch.fi.engine.ladder_reuse")
+            self._batched = engine
         return self._batched
 
     def __getstate__(self):
@@ -497,7 +526,8 @@ class FaultInjector:
         }
 
     def _campaign(self, worker, n_trials, seed, key_parts, jobs, cache, progress,
-                  chunk_size, policy, resume, worker_wrapper=None):
+                  chunk_size, policy, resume, worker_wrapper=None,
+                  transport=None, transport_options=None):
         if chunk_size is None:
             chunk_size = (
                 BATCHED_CHUNK_SIZE if self.engine == "batched"
@@ -512,6 +542,7 @@ class FaultInjector:
             jobs=jobs, cache=cache, progress=progress, chunk_size=chunk_size,
             classify=lambda record: record.outcome.value,
             policy=policy, resume=resume,
+            transport=transport, transport_options=transport_options,
         )
         with obs.span(
             "arch.fault_injection.campaign",
@@ -531,7 +562,8 @@ class FaultInjector:
 
     def run_campaign(self, n_trials=500, seed=0, elements=None, jobs=1,
                      cache=None, progress=None, chunk_size=None, policy=None,
-                     resume=False, worker_wrapper=None):
+                     resume=False, worker_wrapper=None, transport=None,
+                     transport_options=None):
         """Uniformly random (cycle, element, bit) injection campaign.
 
         Trial ``i`` samples its coordinates from the seed stream
@@ -550,20 +582,28 @@ class FaultInjector:
         applied to the chunk worker before execution (typically
         :class:`repro.runtime.ChaosWorker`).  It does not enter the
         cache key, so wrapped campaigns must produce the same records.
+
+        ``transport``/``transport_options`` select the execution
+        backend (``"inline"``, ``"pool"``, ``"fqueue"``, or a
+        :class:`repro.runtime.Transport` instance); every backend
+        yields bit-identical records.  See ``docs/distributed.md``.
         """
         elements = list(elements or CPU(self.program).state_elements())
         worker = functools.partial(_random_chunk, self, tuple(elements))
         return self._campaign(worker, n_trials, seed, ("random", elements),
                               jobs, cache, progress, chunk_size, policy, resume,
-                              worker_wrapper)
+                              worker_wrapper, transport, transport_options)
 
     def exhaustive_element_campaign(self, element, n_trials=200, seed=0, jobs=1,
                                     cache=None, progress=None, chunk_size=None,
-                                    policy=None, resume=False):
+                                    policy=None, resume=False, transport=None,
+                                    transport_options=None):
         """Many injections into a single element (per-element AVF estimation)."""
         worker = functools.partial(_element_chunk, self, element)
         return self._campaign(worker, n_trials, seed, ("element", element),
-                              jobs, cache, progress, chunk_size, policy, resume)
+                              jobs, cache, progress, chunk_size, policy, resume,
+                              transport=transport,
+                              transport_options=transport_options)
 
 
 def _random_chunk(injector, elements, chunk):

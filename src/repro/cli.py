@@ -13,6 +13,8 @@ Usage::
     python -m repro report --diff A B        # compare two run records
     python -m repro report runs/<id> --trace-out t.json --prom-out m.prom
     python -m repro watch runs/<id>          # live view of a running campaign
+    python -m repro worker /shared/q         # file-queue campaign worker
+    python -m repro fi --transport fqueue --queue-dir /shared/q --workers 4
 
 Campaign experiments (``fig5``/``fig6``/``wall``/``fi``) execute
 through :mod:`repro.runtime`: ``--jobs N`` fans trial chunks out over N
@@ -27,7 +29,12 @@ reboot — resumes with ``--resume`` to a bit-identical result (see
 ``docs/campaigns.md``, "Fault tolerance & resume").  ``--record DIR`` wraps each
 experiment in a :class:`repro.obs.RunRecorder`: spans, metrics, and
 campaign accounting land in a JSONL run record that ``python -m repro
-report <run-dir>`` renders (see ``docs/observability.md``).  The CLI
+report <run-dir>`` renders (see ``docs/observability.md``).
+``--transport`` selects the execution backend (``inline``/``pool``/
+``fqueue``); with ``fqueue``, ``python -m repro worker <queue-dir>``
+processes — spawned by ``--workers N`` or launched by hand on any host
+sharing the filesystem — claim and execute the campaign's tasks (see
+``docs/distributed.md``).  The CLI
 prints the same series the benchmark harness checks; the full
 statistical versions live under ``benchmarks/``.
 """
@@ -56,13 +63,30 @@ def _runtime_kwargs(args):
             max_retries=(args.max_retries if args.max_retries is not None
                          else defaults.max_retries),
         )
-    return {
+    kwargs = {
         "jobs": args.jobs,
         "cache": cache,
         "progress": print_progress if args.progress else None,
         "policy": policy,
         "resume": args.resume,
     }
+    transport = getattr(args, "transport", "auto")
+    if transport == "fqueue":
+        if args.queue_dir is None:
+            raise SystemExit("--transport fqueue needs --queue-dir")
+        if args.no_cache:
+            raise SystemExit(
+                "the fqueue transport needs the result cache (workers hand "
+                "results back through it); drop --no-cache"
+            )
+        kwargs["transport"] = "fqueue"
+        kwargs["transport_options"] = {
+            "queue_dir": args.queue_dir,
+            "workers": args.workers,
+        }
+    elif transport != "auto":
+        kwargs["transport"] = transport
+    return kwargs
 
 
 def _print_table(title, header, rows):
@@ -403,6 +427,23 @@ def build_parser():
              "(default 2)",
     )
     runtime.add_argument(
+        "--transport", choices=("auto", "inline", "pool", "fqueue"),
+        default="auto",
+        help="campaign execution backend (default auto: inline for --jobs 1, "
+             "process pool otherwise; fqueue needs --queue-dir and the "
+             "result cache — see docs/distributed.md)",
+    )
+    runtime.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help="shared queue directory for --transport fqueue ('python -m "
+             "repro worker DIR' processes claim tasks from it)",
+    )
+    runtime.add_argument(
+        "--workers", type=_jobs_count, default=1, metavar="N",
+        help="fqueue workers to spawn and babysit (0 = rely on externally "
+             "launched 'repro worker' processes; default 1)",
+    )
+    runtime.add_argument(
         "--record", default=None, metavar="DIR",
         help="record spans/metrics/outcomes to DIR/<run-id>/record.jsonl "
              "(render with 'python -m repro report DIR/<run-id>')",
@@ -546,6 +587,45 @@ def _export_record(record, args):
         print(f"prometheus metrics: {args.prom_out}")
 
 
+def build_worker_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro worker",
+        description="Run one file-queue campaign worker: claim task files "
+                    "from a shared queue directory, execute them, and write "
+                    "results into the shared result cache "
+                    "(see docs/distributed.md).",
+    )
+    parser.add_argument(
+        "queue_dir", metavar="QUEUE_DIR",
+        help="the shared queue directory a scheduler publishes tasks into "
+             "(--transport fqueue --queue-dir QUEUE_DIR)",
+    )
+    parser.add_argument(
+        "--id", default=None, metavar="WORKER_ID",
+        help="stable worker id used in claims, heartbeats, and straggler "
+             "attribution (default: w<pid>)",
+    )
+    parser.add_argument(
+        "--poll", type=_timeout_seconds, default=0.05, metavar="SECONDS",
+        help="idle-poll interval while the queue is empty (default 0.05s)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="drain the queue and exit instead of waiting for more work",
+    )
+    return parser
+
+
+def run_worker(argv):
+    """``python -m repro worker <queue-dir>``: file-queue campaign worker."""
+    from repro.runtime import worker_main
+
+    args = build_worker_parser().parse_args(argv)
+    return worker_main(
+        args.queue_dir, worker_id=args.id, poll_s=args.poll, once=args.once
+    )
+
+
 def build_watch_parser():
     parser = argparse.ArgumentParser(
         prog="repro watch",
@@ -603,6 +683,8 @@ def run_list(args):
           "(python -m repro report <run-dir>)")
     print("  watch      Tail a recorded run's event stream live "
           "(python -m repro watch <run-dir>)")
+    print("  worker     Run a file-queue campaign worker "
+          "(python -m repro worker <queue-dir>)")
     print(
         "fig5/fig6/wall run on batched numpy Monte Carlo kernels; pass "
         "--reference-kernel\nto force the scalar reference path "
@@ -634,6 +716,9 @@ def _run_recorded(name, args):
         "resume": args.resume,
         "unit_timeout": args.unit_timeout,
         "max_retries": args.max_retries,
+        "transport": args.transport,
+        "queue_dir": args.queue_dir,
+        "workers": args.workers,
     }
     # Every CLI experiment roots its seed streams at 0 (reproducibility).
     with RunRecorder(args.record, name=name, config=config, seed=0) as recorder:
@@ -654,6 +739,8 @@ def main(argv=None):
         return run_report(argv[1:])
     if argv and argv[0] == "watch":
         return run_watch(argv[1:])
+    if argv and argv[0] == "worker":
+        return run_worker(argv[1:])
     args = build_parser().parse_args(argv)
     if "list" in args.experiments:
         return run_list(args)

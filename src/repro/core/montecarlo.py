@@ -248,7 +248,8 @@ class MonteCarloStudy:
         }
 
     def sweep(self, error_probabilities=DEFAULT_ERROR_PROBS, jobs=1, cache=None,
-              progress=None, policy=None, resume=False):
+              progress=None, policy=None, resume=False, transport=None,
+              transport_options=None):
         """Fig. 5 + Fig. 6 data: one :class:`SweepPoint` per level.
 
         Levels are independent and internally seeded, so ``jobs > 1``
@@ -258,14 +259,21 @@ class MonteCarloStudy:
         run serial and uncached (see :meth:`_fingerprint`).  ``policy``
         (a :class:`repro.runtime.FaultPolicy`) governs per-level
         timeouts, retries, and pool respawns; ``resume=True`` replays an
-        interrupted sweep's journaled levels from the cache.  Runner
-        accounting is left in ``self.last_sweep_stats``.
+        interrupted sweep's journaled levels from the cache.
+        ``transport``/``transport_options`` select the execution backend
+        (see ``docs/distributed.md``); every backend yields bit-identical
+        points.  Runner accounting is left in ``self.last_sweep_stats``.
         """
         fingerprint = self._fingerprint()
         if fingerprint is None:
+            # Stateful studies are order-dependent: no fan-out, no cache,
+            # and no distributed backend either.
             jobs, cache, resume = 1, None, False
+            transport, transport_options = None, None
         runner = CampaignRunner(jobs=jobs, cache=cache, progress=progress,
-                                policy=policy, resume=resume)
+                                policy=policy, resume=resume,
+                                transport=transport,
+                                transport_options=transport_options)
         probs = [float(p) for p in error_probabilities]
         points = runner.map(
             functools.partial(_run_level_worker, self), probs,

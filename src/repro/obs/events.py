@@ -33,10 +33,17 @@ Emitted event types (see ``docs/observability.md`` for the full table):
 ``campaign.begin/end``    one campaign invocation (units, trials, jobs;
                           executed/cached splits and histogram at the end)
 ``unit.submit/finish``    one unit of work entered / left execution
+                          (``finish`` carries ``worker``, the executing
+                          worker id, for straggler attribution)
+``unit.claim``            a file-queue worker leased a unit (``worker``
+                          names the claimant; starts its lease clock)
 ``unit.retry/timeout``    fault-tolerance activity on a unit
 ``cache.hit/miss``        unit-level result-cache traffic during the scan
-``worker.spawn/respawn``  pool lifecycle
-``worker.heartbeat``      a pool worker executed a unit (liveness signal)
+``worker.spawn/respawn``  execution-backend lifecycle (pool or queue)
+``worker.heartbeat``      worker liveness, attributed by ``worker`` id —
+                          emitted per executed unit in-process, and
+                          relayed from queue workers' heartbeat files
+                          with their reporting lag (``lag_s``)
 ``fi.ladder``             snapshot-ladder stats of a FI engine build
 ``fi.trials``             per-trial FI rows: ``items`` is a list of
                           ``[cycle, element, bit, outcome]`` coordinates +

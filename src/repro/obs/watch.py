@@ -4,7 +4,8 @@
 a :class:`~repro.obs.record.RunRecorder` writes and keeps one status
 line per update: progress, executed-trial throughput, ETA, cache and
 fault-tolerance activity, the outcome histogram so far, and stragglers
-(units in flight far longer than the finished median).  The math is the
+(units in flight far longer than the finished median, named with the
+worker executing them when claim/heartbeat events identify it).  The math is the
 runner's own :class:`~repro.runtime.telemetry.ProgressEvent` — the
 watcher just reconstructs the runner's accounting from the event stream
 instead of a callback, which is what makes it work from *any* process,
@@ -86,7 +87,9 @@ class WatchState:
         self.run_id = None
         self.t_first = None
         self.t_last = None
+        self.workers = {}  # worker id -> {"last_t": t, "units_done": n}
         self._inflight = {}  # unit index -> submit time
+        self._unit_worker = {}  # unit index -> executing worker id
         self._unit_durations = []
 
     def consume(self, events):
@@ -109,10 +112,15 @@ class WatchState:
             self.total_trials += event.get("trials", 0)
         elif ev == "unit.submit":
             self._inflight[event.get("unit")] = t
+        elif ev == "unit.claim":
+            self._attribute(event.get("unit"), event.get("worker"), t)
         elif ev == "unit.finish":
-            started = self._inflight.pop(event.get("unit"), None)
+            unit = event.get("unit")
+            started = self._inflight.pop(unit, None)
             if started is not None and t is not None:
                 self._unit_durations.append(t - started)
+            self._attribute(unit, event.get("worker"), t, finished=True)
+            self._unit_worker.pop(unit, None)
             self.done_trials += event.get("trials", 0)
             self.executed_trials += event.get("trials", 0)
         elif ev == "cache.hit":
@@ -127,10 +135,24 @@ class WatchState:
             self.timeouts += 1
         elif ev == "worker.respawn":
             self.respawns += 1
+        elif ev == "worker.heartbeat":
+            self._attribute(event.get("unit"), event.get("worker"), t)
         elif ev == "fi.trials":
             for item in event.get("items", ()):
                 label = item[3] if len(item) > 3 else "?"
                 self.histogram[label] = self.histogram.get(label, 0) + 1
+
+    def _attribute(self, unit, worker, t, finished=False):
+        """Record which worker touched which unit (straggler naming)."""
+        if worker is None:
+            return
+        info = self.workers.setdefault(worker, {"last_t": t, "units_done": 0})
+        if t is not None:
+            info["last_t"] = t
+        if finished:
+            info["units_done"] += 1
+        elif unit is not None:
+            self._unit_worker[unit] = worker
 
     @property
     def elapsed_s(self):
@@ -153,6 +175,7 @@ class WatchState:
             cache_misses=self.cache_misses,
             retries=self.retries,
             pool_respawns=self.respawns,
+            workers={w: dict(info) for w, info in self.workers.items()},
         )
 
     def stragglers(self, now=None):
@@ -167,6 +190,11 @@ class WatchState:
             unit for unit, started in self._inflight.items()
             if started is not None and now - started > limit
         )
+
+    def straggler_label(self, unit):
+        """``"<unit>@<worker>"`` when the executing worker is known."""
+        worker = self._unit_worker.get(unit)
+        return f"{unit}@{worker}" if worker is not None else str(unit)
 
     def status_line(self, now=None):
         """One human-readable status line for the current state."""
@@ -186,9 +214,11 @@ class WatchState:
             parts.append(f"{self.timeouts} timeouts")
         if event.pool_respawns:
             parts.append(f"{event.pool_respawns} respawns")
+        if len(self.workers) > 1:
+            parts.append(f"{len(self.workers)} workers")
         stragglers = self.stragglers(now)
         if stragglers:
-            shown = ",".join(str(u) for u in stragglers[:4])
+            shown = ",".join(self.straggler_label(u) for u in stragglers[:4])
             parts.append(f"stragglers: unit {shown}")
         line = " ".join(parts)
         hist = " ".join(f"{k}={v}" for k, v in sorted(self.histogram.items()))

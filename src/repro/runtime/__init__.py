@@ -14,8 +14,17 @@ they all share:
     Digest-addressed on-disk result cache so re-running a sweep only
     executes new points.
 :mod:`repro.runtime.runner`
-    :class:`CampaignRunner` — chunked fan-out over a process pool with a
-    serial fallback for ``jobs=1`` and non-picklable workloads.
+    :class:`CampaignRunner` — the public campaign API: chunked fan-out
+    with a serial fallback for ``jobs=1`` and non-picklable workloads.
+:mod:`repro.runtime.scheduler`
+    :class:`CampaignScheduler` — the async control loop behind the
+    runner: lazy unit admission, adaptive task sizing, retries, leases,
+    and the manifest journal, over a pluggable transport.
+:mod:`repro.runtime.transports`
+    The execution backends: ``inline`` (serial reference), ``pool``
+    (local process pool), ``fqueue`` (shared-filesystem queue claimed by
+    independent ``repro worker`` processes).  See
+    ``docs/distributed.md``.
 :mod:`repro.runtime.policy`
     :class:`FaultPolicy` — per-unit wall-clock timeouts, bounded retries
     with deterministically jittered exponential backoff, and
@@ -66,8 +75,17 @@ from repro.runtime.runner import (
     UnitTimeoutError,
     chunk_bounds,
 )
+from repro.runtime.scheduler import CampaignScheduler, ChunkSource, ListSource
 from repro.runtime.seeding import spawn_trial_seeds, trial_rng, trial_seed_sequence
 from repro.runtime.telemetry import ProgressEvent, ProgressLog, print_progress
+from repro.runtime.transports import (
+    FileQueueTransport,
+    InlineTransport,
+    PoolTransport,
+    Transport,
+    create_transport,
+    worker_main,
+)
 
 __all__ = [
     "CACHE_VERSION",
@@ -85,10 +103,19 @@ __all__ = [
     "FaultPolicy",
     "DEFAULT_CHUNK_SIZE",
     "CampaignRunner",
+    "CampaignScheduler",
+    "ChunkSource",
+    "ListSource",
     "RunStats",
     "TrialChunk",
     "UnitTimeoutError",
     "chunk_bounds",
+    "Transport",
+    "InlineTransport",
+    "PoolTransport",
+    "FileQueueTransport",
+    "create_transport",
+    "worker_main",
     "spawn_trial_seeds",
     "trial_rng",
     "trial_seed_sequence",

@@ -132,6 +132,20 @@ class ResultCache:
         obs.inc("runtime.cache.hits")
         return value
 
+    def peek(self, digest):
+        """The stored value, or :data:`MISS` — without counting hit/miss.
+
+        The distributed transports use the cache as their data channel
+        (a queue worker persists the value, the scheduler reads it
+        back); those reads must not inflate the campaign's cache-hit
+        accounting, which reports memoization only.
+        """
+        try:
+            with open(self._entry(digest), "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return MISS
+
     def contains(self, digest):
         """Whether an entry exists on disk, without loading or counting it.
 
@@ -141,7 +155,16 @@ class ResultCache:
         return self._entry(digest).exists()
 
     def put(self, digest, value):
-        """Store ``value`` atomically; failures are silent (cache-only)."""
+        """Store ``value`` atomically; failures are silent (cache-only).
+
+        Safe under concurrent multi-process writers (the distributed
+        transports share one cache directory): each writer stages into
+        its own ``mkstemp`` file and publishes with :func:`os.replace`,
+        so readers only ever see complete entries.  Entries are
+        digest-addressed — two writers racing on one digest are writing
+        equivalent values — so losing the race to a winner that already
+        published still counts as a successful write.
+        """
         entry = self._entry(digest)
         try:
             self.path.mkdir(parents=True, exist_ok=True)
@@ -151,9 +174,17 @@ class ResultCache:
                     pickle.dump(value, fh)
                 os.replace(tmp, entry)
             finally:
-                if os.path.exists(tmp):
+                try:
                     os.unlink(tmp)
+                except FileNotFoundError:
+                    pass
         except OSError:
+            if entry.exists():
+                # A concurrent writer won the race with an equivalent
+                # value; the cache holds what we meant to store.
+                self.stats.writes += 1
+                obs.inc("runtime.cache.writes")
+                return
             self.stats.errors += 1
             obs.inc("runtime.cache.errors")
             return

@@ -80,6 +80,25 @@ class FaultPolicy:
     poll_interval_s:
         Scheduler tick used to check in-flight units against their
         deadlines; only relevant when ``unit_timeout_s`` is set.
+    target_task_s:
+        Adaptive task-sizing goal: the scheduler groups units into one
+        transport task until the group's estimated wall time (from the
+        observed per-unit latency EMA) reaches this budget.  Grouping
+        amortizes per-task transport overhead without affecting seeds,
+        digests, or results.
+    max_units_per_task:
+        Hard cap on adaptive grouping; also the scale factor of the
+        scheduler's admission window.  When ``unit_timeout_s`` is set,
+        grouping is pinned to one unit per task so the per-unit deadline
+        stays meaningful.
+    lease_timeout_s:
+        File-queue lease budget per unit: once a worker claims a task,
+        it must report within ``lease_timeout_s * len(task)`` seconds or
+        the scheduler voids the lease and re-dispatches the units (the
+        timeout counts against each unit's retry budget).  ``None``
+        falls back to ``unit_timeout_s``; if both are ``None``, leases
+        never expire (a lost worker is then only recovered by
+        killing + resuming the campaign).
     """
 
     unit_timeout_s: float = None
@@ -90,6 +109,9 @@ class FaultPolicy:
     jitter_seed: int = 0
     max_pool_respawns: int = 2
     poll_interval_s: float = 0.1
+    target_task_s: float = 0.2
+    max_units_per_task: int = 64
+    lease_timeout_s: float = None
 
     def __post_init__(self):
         if self.unit_timeout_s is not None and self.unit_timeout_s <= 0:
@@ -106,6 +128,12 @@ class FaultPolicy:
             raise ValueError("max_pool_respawns must be non-negative")
         if self.poll_interval_s <= 0:
             raise ValueError("poll_interval_s must be positive")
+        if self.target_task_s <= 0:
+            raise ValueError("target_task_s must be positive")
+        if self.max_units_per_task < 1:
+            raise ValueError("max_units_per_task must be positive")
+        if self.lease_timeout_s is not None and self.lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive (or None)")
 
     def jitter_factor(self, unit_index, attempt):
         """The deterministic jitter multiplier for one (unit, attempt)."""

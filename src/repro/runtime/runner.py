@@ -1,19 +1,21 @@
-"""Parallel campaign execution: chunking, pools, cache, fault tolerance.
+"""Parallel campaign execution: chunking, transports, cache, fault tolerance.
 
 :class:`CampaignRunner` is the one execution path for every
 embarrassingly parallel study in this library (fault-injection
 campaigns, the Fig. 5/6 Monte Carlo sweeps, per-element vulnerability
-tables).  It fans units of work out over a
-:class:`~concurrent.futures.ProcessPoolExecutor` and guarantees four
-properties the studies rely on:
+tables).  It feeds units of work to a
+:class:`~repro.runtime.scheduler.CampaignScheduler` driving a pluggable
+:class:`~repro.runtime.transports.base.Transport` (``inline`` serial
+reference, ``pool`` process pool, ``fqueue`` shared-filesystem worker
+queue) and guarantees four properties the studies rely on:
 
 **Determinism** — trial ``i`` draws from the seed stream
 ``SeedSequence(entropy=seed, spawn_key=(i,))`` (see
 :mod:`repro.runtime.seeding`), so results are bit-identical for any
-``jobs`` / ``chunk_size`` combination, including the serial path —
-and, because retries never reseed the workload (see
+``jobs`` / ``chunk_size`` / transport combination, including the serial
+path — and, because retries never reseed the workload (see
 :mod:`repro.runtime.policy`), including runs that suffered crashes,
-hangs, or resumes.
+hangs, worker churn, or resumes.
 
 **Memoization** — with a :class:`~repro.runtime.cache.ResultCache`
 attached, each unit (a :class:`TrialChunk` or a mapped item) is keyed by
@@ -25,97 +27,53 @@ worker count changes.
 **Fault tolerance** — the paper's own checkpoint/rollback discipline,
 applied to the harness: unit failures are retried with exponential
 backoff under a :class:`~repro.runtime.policy.FaultPolicy`; units
-exceeding their wall-clock budget are declared hung, their pool is torn
-down and they are retried; a :class:`~concurrent.futures.process.
+exceeding their wall-clock budget (or file-queue lease) are declared
+hung and retried; a :class:`~concurrent.futures.process.
 BrokenProcessPool` (worker segfault/OOM kill) respawns the pool up to a
-cap and then degrades gracefully to serial execution.  Completed units
+cap and then degrades gracefully to inline execution.  Completed units
 are journaled through the cache plus a
-:class:`~repro.runtime.manifest.CampaignManifest`, so an interrupted
-campaign resumes where it left off and finishes bit-identical to an
-undisturbed run.  All of it surfaces as ``runtime.fault.*`` metrics.
+:class:`~repro.runtime.manifest.CampaignManifest` owned by the
+scheduler — the single source of truth — so an interrupted campaign
+resumes where it left off and finishes bit-identical to an undisturbed
+run, no matter how many workers died underneath it.  All of it surfaces
+as ``runtime.fault.*`` metrics.
 
 **Graceful degradation** — ``jobs=1`` runs inline with no pool; a
-worker or item that cannot be pickled falls back to the serial path
+worker or item that cannot be pickled falls back to the inline path
 (recorded in :attr:`RunStats.fallback_reason` and counted as
 ``runtime.fault.serial_fallback``) instead of failing, so closures and
 learned policy objects keep working.  Genuine workload errors raised
 while probing picklability are **not** swallowed — only pickling
 errors trigger the fallback.
 
-Workers receive one whole unit (chunk or item) per call, which keeps
-inter-process traffic to one task message per chunk rather than per
-trial.
+Workers receive one task of whole units (chunks or items) per call —
+sized adaptively from observed unit latency — which keeps transport
+traffic to one message per task rather than per trial.
 """
 
 from __future__ import annotations
 
-import heapq
 import os
-import pickle
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro import obs
-from repro.runtime.cache import MISS, stable_digest
-from repro.runtime.manifest import CampaignManifest
 from repro.runtime.policy import DEFAULT_FAULT_POLICY, FaultPolicy
-from repro.runtime.seeding import trial_seed_sequence
-from repro.runtime.telemetry import ProgressEvent
-
-#: Trials per chunk.  Fixed (not derived from ``jobs``) so cache entries
-#: remain chunk-aligned across different worker counts.
-DEFAULT_CHUNK_SIZE = 32
-
-#: Exceptions raised by the picklability probe that mean "this workload
-#: cannot travel to a pool worker" (CPython raises all three depending
-#: on the object).  Anything else the probe raises is a real workload
-#: error and propagates.
-PICKLING_ERRORS = (pickle.PicklingError, TypeError, AttributeError)
-
-
-class UnitTimeoutError(TimeoutError):
-    """A campaign unit exceeded its :class:`FaultPolicy` wall-clock budget."""
-
-
-@dataclass(frozen=True)
-class TrialChunk:
-    """A contiguous range of trials of a campaign rooted at ``seed``."""
-
-    seed: int
-    start: int
-    stop: int
-
-    def __len__(self):
-        return self.stop - self.start
-
-    @property
-    def indices(self):
-        """The trial indices this chunk covers, as a range."""
-        return range(self.start, self.stop)
-
-    def seed_sequences(self):
-        """One independent seed stream per trial in the chunk."""
-        return [trial_seed_sequence(self.seed, i) for i in self.indices]
-
-    def rngs(self):
-        """One independent :class:`numpy.random.Generator` per trial."""
-        return [np.random.default_rng(ss) for ss in self.seed_sequences()]
-
-
-def chunk_bounds(n_trials, chunk_size=DEFAULT_CHUNK_SIZE):
-    """Split ``range(n_trials)`` into ``[start, stop)`` chunk bounds."""
-    if n_trials < 0:
-        raise ValueError("n_trials must be non-negative")
-    if chunk_size < 1:
-        raise ValueError("chunk_size must be positive")
-    return [
-        (start, min(start + chunk_size, n_trials))
-        for start in range(0, n_trials, chunk_size)
-    ]
+from repro.runtime.scheduler import (  # noqa: F401  (re-exported API)
+    DEFAULT_CHUNK_SIZE,
+    PICKLING_ERRORS,
+    CampaignScheduler,
+    ChunkSource,
+    ListSource,
+    TrialChunk,
+    UnitTimeoutError,
+    chunk_bounds,
+)
+from repro.runtime.transports import (
+    InlineTransport,
+    PoolTransport,
+    Transport,
+    create_transport,
+)
 
 
 @dataclass
@@ -135,12 +93,15 @@ class RunStats:
     cache_hits: int = 0  # ResultCache unit hits during this run
     cache_misses: int = 0  # ResultCache unit misses during this run
     retries: int = 0  # unit re-executions after failures/timeouts
-    timeouts: int = 0  # units declared hung (pool torn down, unit retried)
-    pool_respawns: int = 0  # worker pools recreated (broken pool / hang kill)
+    timeouts: int = 0  # units declared hung (lease/budget expired, retried)
+    requeues: int = 0  # units re-dispatched after a voided claim (dead worker)
+    pool_respawns: int = 0  # worker pools/processes recreated
     degraded_serial: bool = False  # respawn cap hit: remainder ran inline
     resumed: bool = False  # this run was started with resume=True
     journaled_units: int = 0  # units replayed from a prior run's journal
     journaled_trials: int = 0
+    transport: str = "inline"  # transport backend the run started on
+    workers: dict = field(default_factory=dict)  # worker id -> heartbeat info
 
     @property
     def trials_per_sec(self):
@@ -150,38 +111,24 @@ class RunStats:
         return self.executed_trials / self.elapsed_s
 
 
-def _invoke(worker, item, collect=False):  # module-level so it pickles by reference
-    """Run one unit; optionally capture its spans/metrics for the parent.
-
-    ``collect`` is baked in at submit time from the parent's
-    :mod:`repro.obs` state, so worker processes collect telemetry exactly
-    when the parent is collecting — including under spawn-based pools
-    where the parent's module globals are not inherited.
-    """
-    if not collect:
-        return worker(item), None
-    obs.enable()
-    with obs.capture() as cap:
-        obs.emit("worker.heartbeat")
-        worker_result = worker(item)
-    return worker_result, cap.snapshot
-
-
 class CampaignRunner:
-    """Runs campaign units serially or over a process pool.
+    """Runs campaign units over a pluggable execution transport.
 
     Parameters
     ----------
     jobs:
         Worker processes.  ``1`` (default) runs inline; ``0`` or ``None``
-        means one per CPU.
+        means one per CPU.  Ignored by transports that manage their own
+        capacity (``fqueue`` scales with its workers, not ``jobs``).
     chunk_size:
         Trials per :class:`TrialChunk` in :meth:`run_trials`.  Keep it
         constant across runs that should share cache entries.
     cache:
         Optional :class:`~repro.runtime.cache.ResultCache`; ``None``
         disables memoization (and with it the campaign manifest, so
-        interrupted runs are not resumable).
+        interrupted runs are not resumable).  The ``fqueue`` transport
+        requires a cache — it doubles as the worker→scheduler data
+        channel.
     progress:
         Optional callback receiving one
         :class:`~repro.runtime.telemetry.ProgressEvent` per finished unit
@@ -192,8 +139,8 @@ class CampaignRunner:
         histogram exposed through progress events and :attr:`stats`.
     policy:
         :class:`~repro.runtime.policy.FaultPolicy` governing timeouts,
-        retries, backoff, and pool respawns.  Defaults to
-        :data:`~repro.runtime.policy.DEFAULT_FAULT_POLICY`.
+        retries, backoff, leases, task sizing, and pool respawns.
+        Defaults to :data:`~repro.runtime.policy.DEFAULT_FAULT_POLICY`.
     resume:
         Declare this run a resume of an interrupted campaign: requires
         ``cache``, replays the campaign manifest, and accounts replayed
@@ -202,11 +149,20 @@ class CampaignRunner:
     manifest_dir:
         Where campaign manifests live; defaults to
         ``<cache.path>/manifests`` when a cache is attached.
+    transport:
+        Execution backend: a registry name (``"inline"``, ``"pool"``,
+        ``"fqueue"``), a :class:`~repro.runtime.transports.base.
+        Transport` instance (reused across runs; the caller owns its
+        :meth:`shutdown`), or ``None`` to pick automatically from
+        ``jobs`` (the historical behaviour).
+    transport_options:
+        Constructor kwargs when ``transport`` is a registry name — e.g.
+        ``{"queue_dir": ..., "workers": 4}`` for ``fqueue``.
     """
 
     def __init__(self, jobs=1, chunk_size=DEFAULT_CHUNK_SIZE, cache=None,
                  progress=None, classify=None, policy=None, resume=False,
-                 manifest_dir=None):
+                 manifest_dir=None, transport=None, transport_options=None):
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
         if jobs < 1:
@@ -228,6 +184,15 @@ class CampaignRunner:
                 "journaled unit results a resumed campaign replays"
             )
         self.manifest_dir = manifest_dir
+        if transport_options and not isinstance(transport, str):
+            raise ValueError(
+                "transport_options apply only when transport is a registry "
+                "name; configure a Transport instance directly instead"
+            )
+        if (transport is not None and not isinstance(transport, (str, Transport))):
+            raise TypeError("transport must be a name, a Transport, or None")
+        self.transport = transport
+        self.transport_options = dict(transport_options or {})
         self.stats = RunStats()
 
     # -- public entry points --------------------------------------------
@@ -237,16 +202,11 @@ class CampaignRunner:
         Returns the flat, trial-ordered concatenation of all chunk
         results.  ``key`` must fingerprint everything (besides seed and
         trial range) that determines a trial's result; it namespaces the
-        cache entries.
+        cache entries.  Chunks are generated lazily — a 10M-trial
+        campaign never materializes its unit list.
         """
-        chunks = [
-            TrialChunk(seed, a, b) for a, b in chunk_bounds(n_trials, self.chunk_size)
-        ]
-        item_keys = [("trials", chunk.seed, chunk.start, chunk.stop) for chunk in chunks]
-        per_chunk = self._execute(
-            worker, chunks, key, item_keys,
-            weights=[len(c) for c in chunks], unit_is_batch=True,
-        )
+        source = ChunkSource(seed, n_trials, self.chunk_size)
+        per_chunk = self._execute(worker, source, key, unit_is_batch=True)
         return [result for chunk_results in per_chunk for result in chunk_results]
 
     def map(self, worker, items, key=(), item_keys=None):
@@ -261,30 +221,47 @@ class CampaignRunner:
             item_keys = [("item", it) for it in items]
         elif len(item_keys) != len(items):
             raise ValueError("item_keys must match items one-to-one")
-        return self._execute(
-            worker, items, key, list(item_keys),
-            weights=[1] * len(items), unit_is_batch=False,
-        )
+        source = ListSource(items, list(item_keys))
+        return self._execute(worker, source, key, unit_is_batch=False)
 
     # -- internals -------------------------------------------------------
-    def _execute(self, worker, items, base_key, item_keys, weights, unit_is_batch):
+    def _build_transport(self, source):
+        """Resolve the transport for one run; ``owns`` marks ours to stop."""
+        if isinstance(self.transport, Transport):
+            return self.transport, False
+        if isinstance(self.transport, str):
+            return create_transport(self.transport, **self.transport_options), True
+        # Automatic selection, preserving the historical rule: one job or
+        # fewer than two units never pays for a pool.
+        if self.jobs == 1 or len(source) < 2:
+            return InlineTransport(), True
+        return PoolTransport(), True
+
+    def _execute(self, worker, source, base_key, unit_is_batch):
         stats = RunStats(
-            total_trials=sum(weights), units_total=len(items), jobs_used=self.jobs,
-            resumed=self.resume,
+            total_trials=source.total_weight, units_total=len(source),
+            jobs_used=self.jobs, resumed=self.resume,
         )
         self.stats = stats
+        transport, owns = self._build_transport(source)
+        scheduler = CampaignScheduler(
+            worker=worker, source=source, base_key=base_key,
+            unit_is_batch=unit_is_batch, jobs=self.jobs, cache=self.cache,
+            progress=self.progress, classify=self.classify,
+            policy=self.policy, resume=self.resume,
+            manifest_dir=self.manifest_dir, transport=transport,
+            owns_transport=owns, stats=stats,
+        )
         obs.emit(
             "campaign.begin",
-            units=len(items), trials=stats.total_trials, jobs=self.jobs,
+            units=len(source), trials=stats.total_trials, jobs=self.jobs,
             resumed=stats.resumed,
         )
         with obs.span(
             "runtime.campaign",
-            units=len(items), trials=stats.total_trials, jobs=self.jobs,
+            units=len(source), trials=stats.total_trials, jobs=self.jobs,
         ):
-            results = self._execute_units(
-                worker, items, base_key, item_keys, weights, unit_is_batch, stats
-            )
+            results = scheduler.run()
         obs.emit(
             "campaign.end",
             executed_trials=stats.executed_trials,
@@ -311,342 +288,12 @@ class CampaignRunner:
             "cache_misses": stats.cache_misses,
             "retries": stats.retries,
             "timeouts": stats.timeouts,
+            "requeues": stats.requeues,
             "pool_respawns": stats.pool_respawns,
             "degraded_serial": stats.degraded_serial,
             "resumed": stats.resumed,
             "journaled_units": stats.journaled_units,
             "journaled_trials": stats.journaled_trials,
+            "transport": stats.transport,
         })
         return results
-
-    def _open_manifest(self, base_key, digests):
-        """The campaign's journal, or ``None`` when no cache is attached."""
-        if self.cache is None:
-            return None
-        directory = self.manifest_dir
-        if directory is None:
-            directory = self.cache.path / "manifests"
-        campaign_digest = stable_digest("campaign", base_key, len(digests))
-        manifest = CampaignManifest.open(directory, campaign_digest, len(digests))
-        if self.resume and manifest.completed:
-            obs.inc("runtime.fault.resumed")
-        return manifest
-
-    def _execute_units(self, worker, items, base_key, item_keys, weights,
-                       unit_is_batch, stats):
-        started = time.perf_counter()
-        results = [None] * len(items)
-        done_trials = 0
-        attempts = {}  # unit index -> failed attempts so far
-        # Cache counter baseline: the attached cache may outlive several
-        # runs, so progress events report this run's deltas only.
-        cache_hits0 = self.cache.stats.hits if self.cache is not None else 0
-        cache_misses0 = self.cache.stats.misses if self.cache is not None else 0
-
-        def cache_deltas():
-            """Cache hit/miss counts accumulated by this run alone."""
-            if self.cache is None:
-                return 0, 0
-            return (self.cache.stats.hits - cache_hits0,
-                    self.cache.stats.misses - cache_misses0)
-
-        def observe(index, result):
-            """Record unit *index*'s result and fold it into the histogram."""
-            nonlocal done_trials
-            results[index] = result
-            done_trials += weights[index]
-            if self.classify is not None:
-                for r in result if unit_is_batch else (result,):
-                    label = self.classify(r)
-                    stats.histogram[label] = stats.histogram.get(label, 0) + 1
-
-        def emit():
-            """Refresh stats and push a ProgressEvent to the callback."""
-            stats.elapsed_s = time.perf_counter() - started
-            stats.cache_hits, stats.cache_misses = cache_deltas()
-            if self.progress is not None:
-                self.progress(ProgressEvent(
-                    done=done_trials,
-                    total=stats.total_trials,
-                    cached=stats.cached_trials,
-                    elapsed_s=stats.elapsed_s,
-                    trials_per_sec=stats.trials_per_sec,
-                    histogram=dict(stats.histogram),
-                    cache_hits=stats.cache_hits,
-                    cache_misses=stats.cache_misses,
-                    retries=stats.retries,
-                    pool_respawns=stats.pool_respawns,
-                ))
-
-        # Unit digests + campaign journal, then the cache scan: satisfy
-        # whatever a previous (possibly interrupted) run already finished.
-        digests = [None] * len(items)
-        if self.cache is not None:
-            for i in range(len(items)):
-                digests[i] = self.cache.key(base_key, item_keys[i])
-        manifest = self._open_manifest(base_key, digests)
-        pending = []
-        for i in range(len(items)):
-            if self.cache is not None:
-                value = self.cache.get(digests[i])
-                if value is not MISS:
-                    obs.emit("cache.hit", unit=i, trials=weights[i],
-                             journaled=bool(manifest is not None
-                                            and digests[i] in manifest))
-                    observe(i, value)
-                    stats.cached_trials += weights[i]
-                    stats.units_cached += 1
-                    if manifest is not None and digests[i] in manifest:
-                        stats.journaled_units += 1
-                        stats.journaled_trials += weights[i]
-                    continue
-                obs.emit("cache.miss", unit=i, trials=weights[i])
-            pending.append(i)
-        if stats.units_cached:
-            emit()
-
-        def finish(i, result):
-            """Commit a freshly executed unit: stats, cache, journal."""
-            obs.emit("unit.finish", unit=i, trials=weights[i])
-            observe(i, result)
-            stats.executed_trials += weights[i]
-            stats.units_executed += 1
-            if self.cache is not None:
-                self.cache.put(digests[i], result)
-            if manifest is not None and digests[i] not in manifest:
-                manifest.mark(digests[i], attempts=attempts.get(i, 0))
-            emit()
-
-        try:
-            if self._use_pool(worker, [items[i] for i in pending], stats):
-                self._run_pool(worker, pending, items, attempts, finish, emit,
-                               stats)
-            else:
-                self._run_serial(worker, pending, items, attempts, finish, stats)
-        except KeyboardInterrupt:
-            if manifest is not None:
-                manifest.note_interrupt()
-            obs.inc("runtime.fault.interrupted")
-            raise
-        finally:
-            if manifest is not None:
-                manifest.close()
-            stats.elapsed_s = time.perf_counter() - started
-            stats.cache_hits, stats.cache_misses = cache_deltas()
-
-        obs.inc("runtime.runner.units_executed", stats.units_executed)
-        obs.inc("runtime.runner.units_cached", stats.units_cached)
-        obs.inc("runtime.runner.trials_executed", stats.executed_trials)
-        obs.inc("runtime.runner.trials_cached", stats.cached_trials)
-        if stats.fallback_reason is not None:
-            obs.inc("runtime.runner.serial_fallbacks")
-        return results
-
-    # -- failure bookkeeping --------------------------------------------
-    def _register_failure(self, i, exc, attempts, stats):
-        """Account one failed attempt; re-raise when retries are spent.
-
-        Returns the backoff delay (seconds) before the next attempt.
-        """
-        attempts[i] = attempts.get(i, 0) + 1
-        if attempts[i] > self.policy.max_retries:
-            obs.inc("runtime.fault.exhausted")
-            obs.emit("unit.exhausted", unit=i, attempts=attempts[i],
-                     error=type(exc).__name__)
-            raise exc
-        stats.retries += 1
-        obs.inc("runtime.fault.retries")
-        delay = self.policy.backoff_s(i, attempts[i])
-        obs.emit("unit.retry", unit=i, attempt=attempts[i],
-                 backoff_s=delay, error=type(exc).__name__)
-        return delay
-
-    # -- serial execution ------------------------------------------------
-    def _run_serial(self, worker, indices, items, attempts, finish, stats):
-        """Inline execution with bounded retries (timeouts not enforceable)."""
-        for i in indices:
-            while True:
-                obs.emit("unit.submit", unit=i, mode="serial")
-                try:
-                    result = worker(items[i])
-                except Exception as exc:
-                    delay = self._register_failure(i, exc, attempts, stats)
-                    if delay > 0:
-                        time.sleep(delay)
-                    continue
-                finish(i, result)
-                break
-
-    # -- pool execution --------------------------------------------------
-    def _run_pool(self, worker, pending, items, attempts, finish, emit, stats):
-        """Windowed pool scheduler with timeouts, retries, and respawns.
-
-        At most ``jobs`` units are in flight, so a submitted unit starts
-        (nearly) immediately and its wall-clock deadline is meaningful.
-        Failed units re-enter the ready-queue after their deterministic
-        backoff; a hung unit or broken pool tears the pool down, and the
-        surviving in-flight units are requeued without penalty.
-        """
-        policy = self.policy
-        collect = obs.enabled()
-        max_workers = min(self.jobs, len(pending))
-        waiting = [(0.0, i) for i in pending]  # (ready_at, index) min-heap
-        heapq.heapify(waiting)
-        inflight = {}  # future -> (index, deadline or None)
-        respawns_left = policy.max_pool_respawns
-        pool = None
-
-        def requeue_inflight(now):
-            """Units in flight when a pool dies are casualties, not causes:
-            requeue them with no retry penalty and no backoff."""
-            for j, _ in inflight.values():
-                heapq.heappush(waiting, (now, j))
-            inflight.clear()
-
-        def teardown(hard):
-            """Shut the pool down; *hard* terminates workers outright."""
-            nonlocal pool
-            if pool is None:
-                return
-            if hard:
-                # A hung or dead worker never drains its queue; terminate
-                # the processes outright (private attr, guarded) so a
-                # sleeping chaos worker cannot outlive the campaign.
-                processes = getattr(pool, "_processes", None) or {}
-                for proc in list(processes.values()):
-                    try:
-                        proc.terminate()
-                    except (OSError, ValueError):
-                        pass
-                pool.shutdown(wait=False, cancel_futures=True)
-            else:
-                pool.shutdown(wait=True)
-            pool = None
-
-        def note_respawn():
-            """Count a pool respawn and keep progress flowing through it."""
-            stats.pool_respawns += 1
-            obs.inc("runtime.fault.pool_respawns")
-            obs.emit("worker.respawn", respawns=stats.pool_respawns)
-            with obs.span("runtime.fault.respawn"):
-                emit()  # progress still flows during recovery
-
-        def recover_broken_pool(now):
-            """Respawn after a BrokenProcessPool; True if degraded instead."""
-            nonlocal respawns_left
-            requeue_inflight(now)
-            teardown(hard=True)
-            obs.inc("runtime.fault.broken_pools")
-            if respawns_left <= 0:
-                stats.degraded_serial = True
-                obs.inc("runtime.fault.degraded_serial")
-                remaining = [i for _, i in sorted(waiting)]
-                del waiting[:]
-                with obs.span("runtime.fault.degraded_serial",
-                              units=len(remaining)):
-                    self._run_serial(worker, remaining, items, attempts,
-                                     finish, stats)
-                return True
-            respawns_left -= 1
-            note_respawn()
-            return False
-
-        try:
-            while waiting or inflight:
-                now = time.monotonic()
-                if pool is None:
-                    pool = ProcessPoolExecutor(max_workers=max_workers)
-                    obs.emit("worker.spawn", workers=max_workers)
-                try:
-                    while (waiting and waiting[0][0] <= now
-                           and len(inflight) < max_workers):
-                        _, i = heapq.heappop(waiting)
-                        deadline = (now + policy.unit_timeout_s
-                                    if policy.unit_timeout_s else None)
-                        future = pool.submit(_invoke, worker, items[i], collect)
-                        inflight[future] = (i, deadline)
-                        obs.emit("unit.submit", unit=i, mode="pool")
-                except BrokenProcessPool:
-                    heapq.heappush(waiting, (now, i))
-                    if recover_broken_pool(now):
-                        return
-                    continue
-                if not inflight:
-                    # Everything is backing off: sleep until the first
-                    # retry is ready (bounded by the scheduler tick).
-                    pause = min(max(waiting[0][0] - now, 0.001),
-                                policy.poll_interval_s)
-                    time.sleep(pause)
-                    continue
-                tick = (policy.poll_interval_s
-                        if (policy.unit_timeout_s or waiting) else None)
-                done, _ = wait(list(inflight), timeout=tick,
-                               return_when=FIRST_COMPLETED)
-                broken = False
-                for future in done:
-                    i, _ = inflight.pop(future)
-                    try:
-                        result, telemetry = future.result()
-                    except BrokenProcessPool as exc:
-                        broken = True
-                        delay = self._register_failure(i, exc, attempts, stats)
-                        heapq.heappush(waiting, (time.monotonic() + delay, i))
-                    except Exception as exc:
-                        delay = self._register_failure(i, exc, attempts, stats)
-                        heapq.heappush(waiting, (time.monotonic() + delay, i))
-                    else:
-                        # Re-parent the worker's spans/metrics under the
-                        # current runtime.campaign span before accounting,
-                        # so the merged tree matches a serial run's.
-                        obs.absorb(telemetry)
-                        finish(i, result)
-                if broken:
-                    if recover_broken_pool(time.monotonic()):
-                        return
-                    continue
-                if policy.unit_timeout_s:
-                    now = time.monotonic()
-                    hung = [(future, i) for future, (i, deadline)
-                            in inflight.items()
-                            if deadline is not None and now > deadline]
-                    if hung:
-                        # Hung workers cannot be interrupted individually:
-                        # tear the whole pool down, penalize the hung
-                        # units, requeue the innocent in-flight ones.
-                        for future, i in hung:
-                            inflight.pop(future)
-                            stats.timeouts += 1
-                            obs.inc("runtime.fault.timeouts")
-                            obs.emit("unit.timeout", unit=i,
-                                     budget_s=policy.unit_timeout_s)
-                            cause = UnitTimeoutError(
-                                f"unit {i} exceeded its "
-                                f"{policy.unit_timeout_s:.3f}s wall-clock "
-                                f"budget"
-                            )
-                            delay = self._register_failure(
-                                i, cause, attempts, stats
-                            )
-                            heapq.heappush(waiting, (now + delay, i))
-                        requeue_inflight(now)
-                        teardown(hard=True)
-                        note_respawn()
-            teardown(hard=False)
-        except BaseException:
-            teardown(hard=True)
-            raise
-
-    def _use_pool(self, worker, pending_items, stats):
-        if self.jobs == 1 or len(pending_items) < 2:
-            return False
-        try:
-            pickle.dumps((worker, pending_items))
-        except PICKLING_ERRORS as exc:
-            # Non-picklable workload: decline the pool, run serial.
-            # Anything *else* the probe raises (a worker __getstate__
-            # hitting a real bug, say) is a workload error and propagates.
-            stats.fallback_reason = f"{type(exc).__name__}: {exc}"
-            stats.jobs_used = 1
-            obs.inc("runtime.fault.serial_fallback")
-            return False
-        return True

@@ -38,6 +38,7 @@ class ProgressEvent:
     cache_misses: int = 0  # ResultCache unit misses during this run
     retries: int = 0  # unit re-executions after failures/timeouts so far
     pool_respawns: int = 0  # worker pools recreated so far
+    workers: dict = field(default_factory=dict)  # worker id -> last heartbeat info
 
     @property
     def fraction(self):
@@ -107,6 +108,8 @@ def print_progress(event, stream=None):
         parts.append(f"{event.retries} retries")
     if event.pool_respawns:
         parts.append(f"{event.pool_respawns} respawns")
+    if event.workers:
+        parts.append(f"{len(event.workers)} workers")
     line = f"[{event.done}/{event.total}] " + ", ".join(parts)
     hist = " ".join(f"{k}={v}" for k, v in sorted(event.histogram.items()))
     if hist:

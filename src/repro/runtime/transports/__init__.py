@@ -1,0 +1,63 @@
+"""Pluggable campaign transports (see :mod:`repro.runtime.transports.base`).
+
+The :func:`create_transport` registry maps the CLI's ``--transport``
+names to backends:
+
+========  ==========================================================
+name      backend
+========  ==========================================================
+inline    synchronous in-process execution (the serial reference)
+pool      local :class:`~concurrent.futures.ProcessPoolExecutor`
+fqueue    shared-filesystem queue claimed by ``repro worker`` processes
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from repro.runtime.transports.base import (
+    Task,
+    Transport,
+    TransportContext,
+    UnitOutcome,
+    execute_task_units,
+)
+from repro.runtime.transports.fqueue import FileQueueTransport, worker_main
+from repro.runtime.transports.inline import LOCAL_WORKER, InlineTransport
+from repro.runtime.transports.pool import PoolTransport
+
+#: Registry of constructable transports by CLI/config name.
+TRANSPORTS = {
+    "inline": InlineTransport,
+    "pool": PoolTransport,
+    "fqueue": FileQueueTransport,
+}
+
+
+def create_transport(name, **kwargs):
+    """Build a transport by registry name (``inline``/``pool``/``fqueue``).
+
+    ``kwargs`` go to the backend constructor — e.g.
+    ``create_transport("fqueue", queue_dir=..., workers=4)``.
+    """
+    try:
+        factory = TRANSPORTS[name]
+    except KeyError:
+        known = ", ".join(sorted(TRANSPORTS))
+        raise ValueError(f"unknown transport {name!r} (choose from: {known})")
+    return factory(**kwargs)
+
+
+__all__ = [
+    "Task",
+    "Transport",
+    "TransportContext",
+    "UnitOutcome",
+    "execute_task_units",
+    "InlineTransport",
+    "LOCAL_WORKER",
+    "PoolTransport",
+    "FileQueueTransport",
+    "worker_main",
+    "TRANSPORTS",
+    "create_transport",
+]

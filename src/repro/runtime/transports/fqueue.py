@@ -1,0 +1,696 @@
+"""File-queue transport: campaign tasks claimed by independent workers.
+
+A queue directory on a shared filesystem is the whole coordination
+fabric — no sockets, no broker.  The scheduler publishes task files;
+``python -m repro worker <queue-dir>`` processes (spawned by the
+transport, by hand, or by a cluster launcher on another host mounting
+the same filesystem) claim them atomically, execute, and write their
+results into the shared digest-addressed
+:class:`~repro.runtime.cache.ResultCache`.  Layout::
+
+    <queue-dir>/
+      todo/<task>.task           published task specs (pickled)
+      claimed/<task>@<worker>.task   a worker leased this task
+      done/<task>.done           worker report (status; values in cache)
+      workers/<worker>.json      per-worker heartbeat files
+      payload-<token>.pkl        the campaign payload (worker callable)
+      STOP                       workers drain and exit when present
+
+Claim/lease protocol (see ``docs/distributed.md``):
+
+* **claim** — ``os.rename(todo/T.task, claimed/T@W.task)``: atomic on
+  POSIX, so exactly one worker wins a task; the loser's rename raises
+  and it moves on.
+* **lease** — the scheduler starts a lease clock when it observes the
+  claim; a worker that dies or hangs never writes ``done/T.done``, the
+  lease expires, and the scheduler re-publishes the units under a fresh
+  task id.  A zombie's late report is recognized as stale (unknown task
+  id) and discarded — and since results are digest-addressed and
+  deterministic, even its cache writes are bit-identical to the
+  retry's, so a racing winner is harmless.
+* **result** — values travel through the cache (``put`` then verified
+  with ``contains``); the ``done`` file carries only per-unit status,
+  timing, worker id, and captured telemetry.
+
+The manifest journal stays with the scheduler, which is what makes the
+campaign survive worker churn: kill any subset of workers mid-run and
+the survivors (or a ``--resume`` after killing the scheduler too)
+complete bit-identically to the inline reference.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.runtime.cache import MISS
+from repro.runtime.transports.base import (
+    Task,
+    Transport,
+    UnitOutcome,
+    _OutcomeBuffer,
+    execute_task_units,
+)
+
+#: Seconds between a worker's heartbeat-file refreshes.
+HEARTBEAT_INTERVAL_S = 1.0
+
+#: A heartbeat older than this no longer counts toward live capacity.
+HEARTBEAT_STALE_S = 5.0
+
+#: Environment flag set inside queue workers (``runtime.chaos`` uses it
+#: to tell "safe to hard-exit" apart from "would kill the scheduler").
+WORKER_ENV_FLAG = "REPRO_WORKER"
+
+
+def _queue_layout(queue_dir):
+    """The queue's subdirectories, created on demand."""
+    queue_dir = Path(queue_dir)
+    dirs = {
+        "todo": queue_dir / "todo",
+        "claimed": queue_dir / "claimed",
+        "done": queue_dir / "done",
+        "workers": queue_dir / "workers",
+    }
+    for path in dirs.values():
+        path.mkdir(parents=True, exist_ok=True)
+    return dirs
+
+
+def _atomic_write(path, data):
+    """Write ``data`` bytes to ``path`` via temp file + ``os.replace``."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _safe_pickle(obj, fallback_builder):
+    """Pickle ``obj``; on failure, pickle ``fallback_builder()`` instead."""
+    try:
+        return pickle.dumps(obj)
+    except Exception:
+        return pickle.dumps(fallback_builder())
+
+
+class FileQueueTransport(Transport):
+    """Scheduler-side endpoint of the queue directory protocol.
+
+    Parameters
+    ----------
+    queue_dir:
+        The shared queue directory (created if missing).
+    workers:
+        Worker processes to spawn and babysit (``python -m repro worker``
+        children of this process).  ``0`` relies entirely on externally
+        launched workers.  Spawned workers that die are respawned (the
+        unit retry budget still bounds a crash-looping workload).
+    queue_depth:
+        Tasks published per live worker ahead of demand — the
+        backpressure knob that keeps workers busy without flooding the
+        directory (and what makes single-worker throughput latency-bound
+        rather than queue-bound).
+    poll_s:
+        Scheduler-side sleep granularity while waiting for results.
+    worker_poll_s:
+        Idle-poll interval passed to spawned workers.
+    stale_s:
+        Heartbeat age past which a claimant is presumed dead and its
+        claimed tasks are requeued (must exceed the workers' heartbeat
+        interval; the default is :data:`HEARTBEAT_STALE_S`).
+    """
+
+    name = "fqueue"
+    requires_pickling = True
+    deadline_mode = "claim"
+    needs_poll_tick = True
+
+    def __init__(self, queue_dir, workers=0, queue_depth=2, poll_s=0.02,
+                 worker_poll_s=0.05, stale_s=HEARTBEAT_STALE_S):
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        if stale_s <= 0:
+            raise ValueError("stale_s must be positive")
+        self.queue_dir = Path(queue_dir)
+        self.workers = int(workers)
+        self.queue_depth = int(queue_depth)
+        self.poll_s = float(poll_s)
+        self.worker_poll_s = float(worker_poll_s)
+        self.stale_s = float(stale_s)
+        self._ctx = None
+        self._dirs = None
+        self._token = None
+        self._payload_path = None
+        self._inflight = {}  # task_id -> Task
+        self._claims = {}  # task_id -> worker id
+        self._claim_t = {}  # task_id -> when the claim was observed
+        self._procs = []  # spawned worker Popen handles
+        self._spawn_seq = 0
+        self._hb_seen = {}  # worker id -> last heartbeat timestamp seen
+        self._hb_checked = 0.0
+        self._buffer = _OutcomeBuffer()
+
+    # -- lifecycle ---------------------------------------------------------
+    def open(self, ctx):
+        """Publish the campaign payload and bring capacity up."""
+        if ctx.cache is None:
+            raise ValueError(
+                "the fqueue transport requires a result cache: workers "
+                "hand results back through the shared cache directory"
+            )
+        self._ctx = ctx
+        self._dirs = _queue_layout(self.queue_dir)
+        self._inflight = {}
+        self._claims = {}
+        self._claim_t = {}
+        self._hb_seen = {}
+        self._hb_checked = 0.0
+        self._buffer = _OutcomeBuffer()
+        self._sweep_stale()
+        self._token = f"{os.getpid():x}-{time.time_ns():x}"
+        self._payload_path = self.queue_dir / f"payload-{self._token}.pkl"
+        try:
+            data = pickle.dumps({
+                "worker": ctx.worker,
+                "collect": ctx.collect,
+                "cache_dir": str(ctx.cache.path),
+            })
+        except Exception:
+            # The campaign callable will not pickle at all.  Publish
+            # nothing: the scheduler's picklability probe hits the same
+            # failure before the first submission and falls back to
+            # inline execution, exactly as the pool transport does.
+            data = None
+        if data is not None:
+            _atomic_write(self._payload_path, data)
+        while len(self._procs) < self.workers:
+            self._spawn_worker()
+        if self._procs:
+            self._buffer.signals.append(
+                {"kind": "spawn", "workers": len(self._procs)}
+            )
+
+    def _sweep_stale(self):
+        """Drop queue state no live campaign owns (dead scheduler runs).
+
+        ``todo`` and ``done`` files belong to the publishing scheduler —
+        a fresh open owns the queue, so leftovers are noise.  ``claimed``
+        files are left alone: a live worker may still be executing one,
+        and its (stale) report will simply be ignored while its cache
+        writes remain valid for the resume scan.
+        """
+        for name in ("todo", "done"):
+            for path in self._dirs[name].glob("*"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        for path in self.queue_dir.glob("payload-*.pkl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _spawn_worker(self):
+        """Launch one ``python -m repro worker`` child on this queue."""
+        self._spawn_seq += 1
+        worker_id = f"w{os.getpid()}-{self._spawn_seq}"
+        env = dict(os.environ)
+        env[WORKER_ENV_FLAG] = "1"
+        # Make the repro package importable in the child no matter how
+        # the parent found it (tests, editable installs, bare checkouts).
+        package_root = str(Path(__file__).resolve().parents[3])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root + os.pathsep + existing if existing else package_root
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker", str(self.queue_dir),
+                "--id", worker_id, "--poll", str(self.worker_poll_s),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+        )
+        self._procs.append(proc)
+        return proc
+
+    def worker_pids(self):
+        """PIDs of the spawned workers (chaos tooling kills these)."""
+        return [proc.pid for proc in self._procs if proc.poll() is None]
+
+    # -- capacity ----------------------------------------------------------
+    def _live_workers(self):
+        now = time.time()
+        fresh = sum(
+            1 for t in self._hb_seen.values() if now - t <= self.stale_s
+        )
+        alive = sum(1 for proc in self._procs if proc.poll() is None)
+        return max(fresh, alive, 1)
+
+    def slots(self):
+        """Bounded by ``queue_depth`` tasks per live worker."""
+        return max(self._live_workers() * self.queue_depth
+                   - len(self._inflight), 0)
+
+    # -- protocol ----------------------------------------------------------
+    def submit(self, task):
+        """Publish one task file for any worker to claim."""
+        spec = pickle.dumps({
+            "token": self._token,
+            "task": task.task_id,
+            "indices": list(task.indices),
+            "items": list(task.items),
+            "digests": list(task.digests),
+        })
+        _atomic_write(self._dirs["todo"] / f"{task.task_id}.task", spec)
+        self._inflight[task.task_id] = task
+
+    def poll(self, timeout):
+        """Scan for reports, claims, heartbeats, and dead spawned workers."""
+        deadline = time.monotonic() + max(timeout or 0.0, 0.0)
+        while True:
+            self._scan_done()
+            self._scan_claims()
+            self._scan_heartbeats()
+            self._scan_dead_claims()
+            self._respawn_dead_workers()
+            if self._buffer:
+                return self._buffer.drain()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return [], []
+            time.sleep(min(self.poll_s, remaining))
+
+    def _scan_done(self):
+        for path in sorted(self._dirs["done"].glob("*.done")):
+            task_id = path.stem
+            task = self._inflight.pop(task_id, None)
+            try:
+                report = pickle.loads(path.read_bytes())
+            except Exception:
+                report = None
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._drop_claim_file(task_id)
+            self._claims.pop(task_id, None)
+            self._claim_t.pop(task_id, None)
+            if task is None or report is None:
+                continue  # stale zombie report (or torn write): ignore
+            self._buffer.outcomes.extend(self._report_outcomes(task, report))
+
+    def _report_outcomes(self, task, report):
+        digest_of = dict(zip(task.indices, task.digests))
+        worker = report.get("worker")
+        for entry in report.get("units", ()):
+            index = entry["index"]
+            if not entry.get("ok"):
+                error = entry.get("error") or RuntimeError(
+                    f"queue worker {worker} failed unit {index}"
+                )
+                yield UnitOutcome(
+                    index=index, kind="error", error=error, worker=worker,
+                    elapsed_s=entry.get("elapsed_s"),
+                )
+                continue
+            value = self._ctx.cache.peek(digest_of[index])
+            if value is MISS:
+                yield UnitOutcome(
+                    index=index, kind="error", worker=worker,
+                    error=RuntimeError(
+                        f"queue worker {worker} reported unit {index} done "
+                        f"but its result never reached the shared cache"
+                    ),
+                )
+                continue
+            yield UnitOutcome(
+                index=index, kind="ok", value=value, worker=worker,
+                elapsed_s=entry.get("elapsed_s"),
+                telemetry=entry.get("telemetry"), stored=True,
+            )
+
+    def _scan_claims(self):
+        for path in self._dirs["claimed"].glob("*.task"):
+            stem = path.stem
+            if "@" not in stem:
+                continue
+            task_id, worker = stem.split("@", 1)
+            if task_id in self._inflight and task_id not in self._claims:
+                self._claims[task_id] = worker
+                self._claim_t[task_id] = time.time()
+                self._buffer.signals.append(
+                    {"kind": "claim", "task_id": task_id, "worker": worker}
+                )
+
+    def _scan_heartbeats(self):
+        now = time.time()
+        if now - self._hb_checked < HEARTBEAT_INTERVAL_S / 2:
+            return
+        self._hb_checked = now
+        for path in self._dirs["workers"].glob("*.json"):
+            try:
+                beat = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            worker = beat.get("worker") or path.stem
+            t = float(beat.get("t", 0.0))
+            if t <= self._hb_seen.get(worker, 0.0):
+                continue
+            self._hb_seen[worker] = t
+            self._buffer.signals.append({
+                "kind": "heartbeat",
+                "worker": worker,
+                "lag_s": max(now - t, 0.0),
+                "pid": beat.get("pid"),
+                "units_done": beat.get("units_done", 0),
+            })
+
+    def _scan_dead_claims(self):
+        """Requeue tasks whose claimant stopped heartbeating (died/hung).
+
+        A worker that is killed (or wedged) after claiming never writes
+        its ``done`` report; once its heartbeat goes stale the task's
+        units come back as ``requeue`` outcomes — no retry penalty, the
+        worker died around them — and the scheduler re-publishes them
+        under a fresh task id for the survivors.  If the claimant was
+        merely slow and reports later, its report carries the old task
+        id and is dropped as stale; its cache writes are digest-
+        addressed and deterministic, so they match the retry's
+        bit-for-bit.
+        """
+        now = time.time()
+        for task_id, worker in list(self._claims.items()):
+            task = self._inflight.get(task_id)
+            if task is None:
+                self._claims.pop(task_id, None)
+                self._claim_t.pop(task_id, None)
+                continue
+            last = max(self._hb_seen.get(worker, 0.0),
+                       self._claim_t.get(task_id, 0.0))
+            if now - last <= self.stale_s:
+                continue
+            if (self._dirs["done"] / f"{task_id}.done").exists():
+                continue  # report just landed; the next scan collects it
+            self._inflight.pop(task_id, None)
+            self._claims.pop(task_id, None)
+            self._claim_t.pop(task_id, None)
+            self._drop_claim_file(task_id)
+            self._buffer.outcomes.extend(
+                UnitOutcome(index=i, kind="requeue") for i in task.indices
+            )
+
+    def _respawn_dead_workers(self):
+        for proc in list(self._procs):
+            if proc.poll() is None:
+                continue
+            self._procs.remove(proc)
+            if len(self._procs) < self.workers:
+                self._spawn_worker()
+                self._buffer.signals.append({"kind": "respawn"})
+
+    def expire(self, task_ids):
+        """Void dead leases: forget the tasks, drop their queue files."""
+        for task_id in task_ids:
+            self._inflight.pop(task_id, None)
+            self._claims.pop(task_id, None)
+            self._claim_t.pop(task_id, None)
+            todo = self._dirs["todo"] / f"{task_id}.task"
+            try:
+                todo.unlink()
+            except OSError:
+                pass
+            self._drop_claim_file(task_id)
+        return self._buffer.drain()
+
+    def _drop_claim_file(self, task_id):
+        for path in self._dirs["claimed"].glob(f"{task_id}@*.task"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def close(self, hard=False):
+        """End this campaign run; spawned workers stay up for the next.
+
+        Outstanding task files are withdrawn (a worker mid-claim simply
+        finds the payload gone and drops the task); killing the workers
+        themselves is :meth:`shutdown`'s job so a transport instance can
+        be reused across runs — including a ``--resume`` of this one.
+        """
+        for task_id in list(self._inflight):
+            todo = self._dirs["todo"] / f"{task_id}.task"
+            try:
+                todo.unlink()
+            except OSError:
+                pass
+        self._inflight.clear()
+        self._claims.clear()
+        self._claim_t.clear()
+        if self._payload_path is not None:
+            try:
+                self._payload_path.unlink()
+            except OSError:
+                pass
+            self._payload_path = None
+        self._buffer = _OutcomeBuffer()
+
+    def shutdown(self):
+        """Stop spawned workers (STOP marker, then terminate stragglers)."""
+        self.close(hard=True)
+        if not self._procs:
+            return
+        try:
+            (self.queue_dir / "STOP").write_text("stop\n")
+        except OSError:
+            pass
+        for proc in self._procs:
+            try:
+                proc.terminate()
+                proc.wait(timeout=5.0)
+            except (OSError, subprocess.TimeoutExpired):
+                proc.kill()
+        self._procs = []
+        try:
+            (self.queue_dir / "STOP").unlink()
+        except OSError:
+            pass
+
+    def describe(self):
+        """Backend description for run records."""
+        return {
+            "transport": self.name,
+            "queue_dir": str(self.queue_dir),
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+        }
+
+
+# -- worker side ---------------------------------------------------------
+def _write_heartbeat(dirs, worker_id, units_done, tasks_done):
+    payload = json.dumps({
+        "worker": worker_id,
+        "pid": os.getpid(),
+        "t": time.time(),
+        "units_done": units_done,
+        "tasks_done": tasks_done,
+    }).encode()
+    try:
+        _atomic_write(dirs["workers"] / f"{worker_id}.json", payload)
+    except OSError:
+        pass
+
+
+def _claim_next(dirs, worker_id):
+    """Atomically claim the oldest published task; ``None`` when idle."""
+    for path in sorted(dirs["todo"].glob("*.task")):
+        target = dirs["claimed"] / f"{path.stem}@{worker_id}.task"
+        try:
+            os.rename(path, target)
+        except OSError:
+            continue  # lost the claim race (or the task was withdrawn)
+        return target
+    return None
+
+
+def _load_payload(queue_dir, token, cache):
+    """Load (and memoize) one campaign payload; ``None`` when withdrawn.
+
+    A payload file that is *present* but will not load (most commonly a
+    campaign callable defined in the scheduler's ``__main__``, which
+    only exists in that process) raises — the caller reports the units
+    as failed instead of silently dropping a claimed task, which would
+    strand the scheduler.
+    """
+    if token in cache:
+        return cache[token]
+    path = Path(queue_dir) / f"payload-{token}.pkl"
+    if not path.exists():
+        return None
+    payload = pickle.loads(path.read_bytes())
+    cache[token] = payload
+    return payload
+
+
+def _report_failure(dirs, spec, worker_id, message):
+    """Write a done report failing every unit of ``spec`` with ``message``."""
+    data = pickle.dumps({
+        "task": spec["task"],
+        "worker": worker_id,
+        "units": [
+            {"index": index, "ok": False, "elapsed_s": 0.0,
+             "error": RuntimeError(message)}
+            for index in spec["indices"]
+        ],
+    })
+    try:
+        _atomic_write(dirs["done"] / f"{spec['task']}.done", data)
+    except OSError:
+        pass
+
+
+def worker_main(queue_dir, worker_id=None, poll_s=0.05, once=False):
+    """Run one queue worker until STOP (or, with ``once``, until idle).
+
+    The loop: heartbeat, claim, execute, persist values into the shared
+    result cache, report status, repeat.  Values are verified to be in
+    the cache before the unit is reported ok — the cache *is* the data
+    channel, so a worker that cannot write it reports the failure
+    honestly instead of acknowledging work it cannot deliver.
+    """
+    prior = os.environ.get(WORKER_ENV_FLAG)
+    os.environ[WORKER_ENV_FLAG] = "1"
+    try:
+        return _worker_loop(queue_dir, worker_id, poll_s, once)
+    finally:
+        # Restore the caller's environment: worker_main also runs
+        # in-process (``once=True`` drains, tests), where a leaked
+        # worker flag would let chaos exit fates kill the host process.
+        if prior is None:
+            os.environ.pop(WORKER_ENV_FLAG, None)
+        else:
+            os.environ[WORKER_ENV_FLAG] = prior
+
+
+def _worker_loop(queue_dir, worker_id, poll_s, once):
+    """The claim/execute/report loop behind :func:`worker_main`."""
+    from repro.runtime.cache import ResultCache
+
+    worker_id = worker_id or f"w{os.getpid()}"
+    queue_dir = Path(queue_dir)
+    dirs = _queue_layout(queue_dir)
+    payloads = {}
+    caches = {}
+    units_done = 0
+    tasks_done = 0
+    last_beat = 0.0
+    while True:
+        now = time.time()
+        if now - last_beat >= HEARTBEAT_INTERVAL_S:
+            _write_heartbeat(dirs, worker_id, units_done, tasks_done)
+            last_beat = now
+        if (queue_dir / "STOP").exists():
+            break
+        claim = _claim_next(dirs, worker_id)
+        if claim is None:
+            if once:
+                break
+            time.sleep(poll_s)
+            continue
+        try:
+            spec = pickle.loads(claim.read_bytes())
+        except Exception:
+            claim.unlink(missing_ok=True)
+            continue
+        try:
+            payload = _load_payload(queue_dir, spec["token"], payloads)
+        except Exception as exc:
+            # The payload exists but cannot be loaded in this process
+            # (e.g. the campaign callable lives in the scheduler's
+            # ``__main__``).  Report every unit failed so the scheduler
+            # surfaces the error instead of waiting on a vanished task.
+            _report_failure(
+                dirs, spec, worker_id,
+                f"worker {worker_id} could not load the campaign "
+                f"payload: {exc!r}",
+            )
+            claim.unlink(missing_ok=True)
+            continue
+        if payload is None:
+            # The campaign was withdrawn under us; drop the orphan task.
+            claim.unlink(missing_ok=True)
+            continue
+        cache_dir = payload["cache_dir"]
+        if cache_dir not in caches:
+            caches[cache_dir] = ResultCache(cache_dir)
+        cache = caches[cache_dir]
+        task = Task(
+            task_id=spec["task"],
+            indices=tuple(spec["indices"]),
+            items=tuple(spec["items"]),
+            digests=tuple(spec["digests"]),
+        )
+        outcomes = execute_task_units(
+            payload["worker"], task, payload["collect"], worker_id
+        )
+        digest_of = dict(zip(task.indices, task.digests))
+        entries = []
+        for outcome in outcomes:
+            entry = {
+                "index": outcome.index,
+                "ok": outcome.kind == "ok",
+                "elapsed_s": outcome.elapsed_s,
+            }
+            if outcome.kind == "ok":
+                cache.put(digest_of[outcome.index], outcome.value)
+                if not cache.contains(digest_of[outcome.index]):
+                    entry["ok"] = False
+                    entry["error"] = RuntimeError(
+                        f"worker {worker_id} could not persist unit "
+                        f"{outcome.index} into the shared cache"
+                    )
+                else:
+                    entry["telemetry"] = outcome.telemetry
+            else:
+                entry["error"] = outcome.error
+            entries.append(entry)
+        report = {"task": task.task_id, "worker": worker_id, "units": entries}
+        data = _safe_pickle(report, lambda: {
+            "task": task.task_id,
+            "worker": worker_id,
+            "units": [
+                {
+                    "index": e["index"],
+                    "ok": e["ok"],
+                    "elapsed_s": e["elapsed_s"],
+                    "error": (RuntimeError(repr(e.get("error")))
+                              if not e["ok"] else None),
+                }
+                for e in entries
+            ],
+        })
+        try:
+            _atomic_write(dirs["done"] / f"{task.task_id}.done", data)
+        except OSError:
+            pass  # the lease will expire and the units will be retried
+        claim.unlink(missing_ok=True)
+        units_done += len(task)
+        tasks_done += 1
+        _write_heartbeat(dirs, worker_id, units_done, tasks_done)
+        last_beat = time.time()
+    _write_heartbeat(dirs, worker_id, units_done, tasks_done)
+    return 0

@@ -1,0 +1,198 @@
+"""Pool transport: task fan-out over a local ``ProcessPoolExecutor``.
+
+The historical ``CampaignRunner`` pool path, rebuilt behind the
+:class:`~repro.runtime.transports.base.Transport` protocol.  All
+fault-tolerance *decisions* stay in the scheduler; this backend only
+reports facts:
+
+* a worker exception rides back as an ``error`` outcome for its unit
+  (the shared worker loop catches per-unit failures, so one bad unit
+  never voids its task-mates);
+* a :class:`~concurrent.futures.process.BrokenProcessPool` (segfault,
+  OOM kill) penalizes the units whose task observed the breakage,
+  requeues every other in-flight unit without penalty, and — within the
+  policy's respawn budget — signals ``respawn`` so capacity returns;
+  past the budget it signals ``degraded`` and the scheduler falls back
+  to inline execution;
+* a hung task cannot be killed individually (pool workers share their
+  queue), so :meth:`PoolTransport.expire` tears the whole pool down,
+  requeues the innocent in-flight tasks, and signals a budget-free
+  ``respawn`` — the historical hang semantics.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.runtime.transports.base import (
+    Transport,
+    UnitOutcome,
+    _OutcomeBuffer,
+    execute_task_units,
+)
+
+
+def _pool_run(worker, task, collect):  # module-level so it pickles by reference
+    """Execute one task inside a pool worker process."""
+    return execute_task_units(worker, task, collect, f"w{os.getpid()}")
+
+
+class PoolTransport(Transport):
+    """Process-pool backend with respawn-on-breakage semantics."""
+
+    name = "pool"
+    requires_pickling = True
+    deadline_mode = "submit"
+
+    def __init__(self, max_workers=None):
+        self._max_workers = max_workers
+        self._ctx = None
+        self._pool = None
+        self._workers = 1
+        self._inflight = {}  # future -> Task
+        self._respawns_left = 0
+        self._degraded = False
+        self._buffer = _OutcomeBuffer()
+
+    def open(self, ctx):
+        """Bind to one campaign run; the pool itself spawns lazily."""
+        self._ctx = ctx
+        self._pool = None
+        self._workers = int(self._max_workers or ctx.jobs or 1)
+        self._inflight = {}
+        self._respawns_left = ctx.policy.max_pool_respawns
+        self._degraded = False
+        self._buffer = _OutcomeBuffer()
+
+    def slots(self):
+        """Free worker slots (0 once degraded: nothing runs here anymore)."""
+        if self._degraded:
+            return 0
+        return max(self._workers - len(self._inflight), 0)
+
+    # -- lifecycle helpers -----------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._workers)
+            self._buffer.signals.append(
+                {"kind": "spawn", "workers": self._workers}
+            )
+
+    def _teardown(self, hard):
+        if self._pool is None:
+            return
+        if hard:
+            # A hung or dead worker never drains its queue; terminate
+            # the processes outright (private attr, guarded) so a
+            # sleeping chaos worker cannot outlive the campaign.
+            processes = getattr(self._pool, "_processes", None) or {}
+            for proc in list(processes.values()):
+                try:
+                    proc.terminate()
+                except (OSError, ValueError):
+                    pass
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            self._pool.shutdown(wait=True)
+        self._pool = None
+
+    def _requeue_inflight(self):
+        """Units in flight when a pool dies are casualties, not causes."""
+        for task in self._inflight.values():
+            self._buffer.outcomes.extend(
+                UnitOutcome(index=i, kind="requeue") for i in task.indices
+            )
+        self._inflight.clear()
+
+    def _handle_broken(self, bounced=None):
+        """Recover from a BrokenProcessPool; may degrade past the budget."""
+        if bounced is not None:
+            self._buffer.outcomes.extend(
+                UnitOutcome(index=i, kind="requeue") for i in bounced.indices
+            )
+        self._requeue_inflight()
+        self._teardown(hard=True)
+        self._buffer.signals.append({"kind": "broken"})
+        if self._respawns_left <= 0:
+            self._degraded = True
+            self._buffer.signals.append({"kind": "degraded"})
+        else:
+            self._respawns_left -= 1
+            self._buffer.signals.append({"kind": "respawn"})
+
+    # -- protocol ----------------------------------------------------------
+    def submit(self, task):
+        """Queue one task on the pool (spawning it on first use)."""
+        self._ensure_pool()
+        try:
+            future = self._pool.submit(
+                _pool_run, self._ctx.worker, task, self._ctx.collect
+            )
+        except BrokenProcessPool:
+            # Broke before the task ever ran: bounce it back unpenalized.
+            self._handle_broken(bounced=task)
+            return
+        self._inflight[future] = task
+
+    def poll(self, timeout):
+        """Harvest finished futures; translate breakage into outcomes."""
+        if self._buffer:
+            return self._buffer.drain()
+        if not self._inflight:
+            return [], []
+        done, _ = wait(
+            list(self._inflight), timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        broken = False
+        for future in done:
+            task = self._inflight.pop(future)
+            try:
+                self._buffer.outcomes.extend(future.result())
+            except BrokenProcessPool as exc:
+                # This task's units were in the dying worker: penalized.
+                broken = True
+                self._buffer.outcomes.extend(
+                    UnitOutcome(index=i, kind="error", error=exc)
+                    for i in task.indices
+                )
+            except Exception as exc:
+                # Task-level failure (e.g. the payload would not
+                # unpickle in the worker): penalize every unit with it.
+                self._buffer.outcomes.extend(
+                    UnitOutcome(index=i, kind="error", error=exc)
+                    for i in task.indices
+                )
+        if broken:
+            self._handle_broken()
+        return self._buffer.drain()
+
+    def expire(self, task_ids):
+        """Kill hung tasks the only way a pool can: full hard teardown.
+
+        The hung units were already penalized by the scheduler; the
+        innocent in-flight tasks come back as ``requeue`` outcomes and
+        the mandatory pool recreation is signalled as a ``respawn`` that
+        does **not** consume the breakage budget (hangs are workload
+        behaviour, not worker death).
+        """
+        expired = set(task_ids)
+        self._inflight = {
+            future: task for future, task in self._inflight.items()
+            if task.task_id not in expired
+        }
+        self._requeue_inflight()
+        self._teardown(hard=True)
+        self._buffer.signals.append({"kind": "respawn"})
+        return self._buffer.drain()
+
+    def close(self, hard=False):
+        """Shut the pool down (gracefully unless ``hard``)."""
+        self._inflight.clear()
+        self._teardown(hard=hard)
+        self._buffer = _OutcomeBuffer()
+
+    def describe(self):
+        """Backend description for run records."""
+        return {"transport": self.name, "workers": self._workers}

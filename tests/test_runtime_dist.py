@@ -1,0 +1,483 @@
+"""Distributed campaign fabric: transport parity, file-queue chaos and
+worker churn, concurrent cache writers, engine-ladder reuse, and
+per-worker attribution (repro.runtime.{scheduler,transports} et al.)."""
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.runtime import (
+    CampaignRunner,
+    ChaosSpec,
+    ChaosWorker,
+    FaultPolicy,
+    FileQueueTransport,
+    InlineTransport,
+    PoolTransport,
+    ResultCache,
+    create_transport,
+)
+from repro.runtime.cache import MISS
+from repro.runtime.transports.fqueue import worker_main
+
+from tests.test_runtime import _draw_chunk, _square
+
+#: Fast-retry policy for tests: no real backoff waiting.
+FAST = dict(backoff_base_s=0.001, poll_interval_s=0.02)
+
+#: Short heartbeat-staleness so dead-worker detection fits a test budget.
+STALE = 2.0
+
+
+def _reference(n_trials=60, seed=5, chunk_size=6):
+    return CampaignRunner(jobs=1, chunk_size=chunk_size).run_trials(
+        _draw_chunk, n_trials, seed=seed
+    )
+
+
+def _fqueue_options(tmp_path, workers, **extra):
+    options = {
+        "queue_dir": str(tmp_path / "queue"),
+        "workers": workers,
+        "stale_s": STALE,
+    }
+    options.update(extra)
+    return options
+
+
+class TestTransportRegistry:
+    def test_create_transport_by_name(self, tmp_path):
+        assert isinstance(create_transport("inline"), InlineTransport)
+        assert isinstance(create_transport("pool"), PoolTransport)
+        assert isinstance(
+            create_transport("fqueue", queue_dir=str(tmp_path / "q")),
+            FileQueueTransport,
+        )
+
+    def test_unknown_transport_name_lists_known(self):
+        with pytest.raises(ValueError, match="inline"):
+            create_transport("carrier-pigeon")
+
+    def test_runner_rejects_bad_transport_types(self):
+        with pytest.raises(TypeError, match="transport"):
+            CampaignRunner(transport=42)
+        with pytest.raises(ValueError, match="transport_options"):
+            CampaignRunner(transport_options={"workers": 2})
+
+    def test_fqueue_requires_cache(self, tmp_path):
+        runner = CampaignRunner(
+            jobs=2, transport="fqueue",
+            transport_options={"queue_dir": str(tmp_path / "q")},
+        )
+        with pytest.raises(ValueError, match="cache"):
+            runner.run_trials(_draw_chunk, 12, seed=5)
+
+
+class TestTransportParity:
+    """Every backend must reproduce the inline reference bit-for-bit."""
+
+    def test_pool_matches_inline(self):
+        reference = _reference()
+        runner = CampaignRunner(jobs=2, chunk_size=6, transport="pool")
+        assert runner.run_trials(_draw_chunk, 60, seed=5) == reference
+        assert runner.stats.transport == "pool"
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_fqueue_matches_inline(self, tmp_path, workers):
+        reference = _reference()
+        runner = CampaignRunner(
+            jobs=workers, chunk_size=6, cache=ResultCache(tmp_path / "cache"),
+            transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, workers),
+        )
+        assert runner.run_trials(_draw_chunk, 60, seed=5) == reference
+        assert runner.stats.transport == "fqueue"
+        assert runner.stats.workers  # outcomes attribute their executor
+
+    def test_fqueue_map_matches_inline(self, tmp_path):
+        items = [float(i) for i in range(18)]
+        keys = [("i", i) for i in range(18)]
+        reference = CampaignRunner(jobs=1).map(
+            _square, items, key=("sq",), item_keys=keys
+        )
+        runner = CampaignRunner(
+            jobs=2, cache=ResultCache(tmp_path / "cache"),
+            transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, 2),
+        )
+        assert runner.map(_square, items, key=("sq",), item_keys=keys) == reference
+
+    def test_explicit_transport_instance_is_not_shut_down(self, tmp_path):
+        transport = FileQueueTransport(
+            tmp_path / "queue", workers=1, stale_s=STALE
+        )
+        try:
+            runner = CampaignRunner(
+                jobs=1, chunk_size=6, cache=ResultCache(tmp_path / "cache"),
+                transport=transport,
+            )
+            first = runner.run_trials(_draw_chunk, 30, seed=5)
+            # The spawned worker survives close() for reuse by a second run.
+            assert transport.worker_pids()
+            second = CampaignRunner(
+                jobs=1, chunk_size=6, cache=ResultCache(tmp_path / "cache2"),
+                transport=transport,
+            ).run_trials(_draw_chunk, 30, seed=6)
+            assert first == _reference(n_trials=30)
+            assert second == _reference(n_trials=30, seed=6)
+        finally:
+            transport.shutdown()
+        assert not transport.worker_pids()
+
+
+class TestFqueueChaos:
+    """Deterministic worker kill/hang fates via runtime.chaos: the
+    surviving campaign must match the clean inline reference exactly."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_chaos_fates_bit_identical(self, tmp_path, workers):
+        reference = _reference(n_trials=40, chunk_size=5)
+        spec = ChaosSpec(
+            raise_rate=0.2, exit_rate=0.1, hang_rate=0.1, slow_rate=0.1,
+            hang_s=0.2, slow_s=0.01, fail_attempts=1, seed=7,
+        )
+        worker = ChaosWorker(_draw_chunk, spec, tmp_path / "chaos")
+        runner = CampaignRunner(
+            jobs=workers, chunk_size=5, cache=ResultCache(tmp_path / "cache"),
+            policy=FaultPolicy(max_retries=6, **FAST),
+            transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, workers),
+        )
+        assert runner.run_trials(worker, 40, seed=5) == reference
+        assert runner.stats.transport == "fqueue"
+
+    def test_worker_death_requeues_without_retry_penalty(self, tmp_path):
+        """A killed claimant's units come back as requeues, not errors:
+        a zero-retry policy still completes the campaign."""
+        reference = _reference(n_trials=20, chunk_size=4)
+        spec = ChaosSpec(exit_rate=0.15, fail_attempts=1, seed=3)
+        worker = ChaosWorker(_draw_chunk, spec, tmp_path / "chaos")
+        runner = CampaignRunner(
+            jobs=2, chunk_size=4, cache=ResultCache(tmp_path / "cache"),
+            policy=FaultPolicy(max_retries=0, **FAST),
+            transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, 2),
+        )
+        assert runner.run_trials(worker, 20, seed=5) == reference
+
+
+class TestWorkerChurn:
+    """Kill any subset of fqueue workers mid-run: survivors (or a
+    --resume) complete bit-identically to the inline reference."""
+
+    def _external_worker(self, queue_dir, worker_id):
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker", str(queue_dir),
+                "--id", worker_id, "--poll", "0.02",
+            ],
+            stdout=subprocess.DEVNULL,
+        )
+
+    def test_survivors_complete_after_midrun_kill(self, tmp_path):
+        reference = _reference(n_trials=60, chunk_size=3)
+        queue_dir = tmp_path / "queue"
+        # Slow every unit down so the kill lands mid-run.
+        spec = ChaosSpec(slow_rate=1.0, slow_s=0.05, fail_attempts=10 ** 6)
+        worker = ChaosWorker(_draw_chunk, spec, tmp_path / "chaos")
+        transport = FileQueueTransport(queue_dir, workers=0, stale_s=STALE)
+        procs = [
+            self._external_worker(queue_dir, wid) for wid in ("ext1", "ext2")
+        ]
+        out = {}
+
+        def run():
+            runner = CampaignRunner(
+                jobs=2, chunk_size=3, cache=ResultCache(tmp_path / "cache"),
+                policy=FaultPolicy(**FAST), transport=transport,
+            )
+            out["records"] = runner.run_trials(worker, 60, seed=5)
+            out["stats"] = runner.stats
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        try:
+            # Wait until the victim has claimed work, then kill it cold.
+            deadline = time.monotonic() + 20
+            claimed = queue_dir / "claimed"
+            while time.monotonic() < deadline:
+                if claimed.is_dir() and any(claimed.glob("*@ext1.task")):
+                    break
+                time.sleep(0.02)
+            os.kill(procs[0].pid, signal.SIGKILL)
+            procs[0].wait()
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+                    proc.wait()
+            transport.shutdown()
+        assert out["records"] == reference
+        assert "ext2" in out["stats"].workers
+
+    def test_midrun_interrupt_then_resume_is_bit_identical(self, tmp_path):
+        reference = _reference(n_trials=60, chunk_size=4)
+        cache = ResultCache(tmp_path / "cache")
+
+        progressed = []
+
+        def interrupt_after(event):
+            progressed.append(event)
+            if len(progressed) >= 4:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(
+                jobs=2, chunk_size=4, cache=cache, progress=interrupt_after,
+                policy=FaultPolicy(**FAST), transport="fqueue",
+                transport_options=_fqueue_options(tmp_path, 2),
+            ).run_trials(_draw_chunk, 60, seed=5)
+        resumed = CampaignRunner(
+            jobs=2, chunk_size=4, cache=cache, resume=True,
+            policy=FaultPolicy(**FAST), transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, 2),
+        )
+        assert resumed.run_trials(_draw_chunk, 60, seed=5) == reference
+        assert resumed.stats.resumed
+
+
+class TestQueueProtocol:
+    """Worker-side mechanics of the queue directory."""
+
+    def test_worker_once_drains_published_tasks(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        transport = FileQueueTransport(tmp_path / "queue", workers=0)
+        runner = CampaignRunner(
+            jobs=1, chunk_size=6, cache=cache, transport=transport,
+        )
+        out = {}
+        thread = threading.Thread(
+            target=lambda: out.update(
+                records=runner.run_trials(_draw_chunk, 12, seed=5)
+            )
+        )
+        thread.start()
+        deadline = time.monotonic() + 20
+        todo = tmp_path / "queue" / "todo"
+        while time.monotonic() < deadline and not (
+            todo.is_dir() and any(todo.glob("*.task"))
+        ):
+            time.sleep(0.01)
+        while thread.is_alive():
+            worker_main(tmp_path / "queue", worker_id="wonce", once=True)
+            thread.join(timeout=0.05)
+        assert out["records"] == _reference(n_trials=12)
+
+    def test_unpicklable_worker_falls_back_to_inline(self, tmp_path):
+        """A callable that will not pickle at all trips the scheduler's
+        probe, and the campaign completes inline (the pool contract)."""
+
+        def local_worker(chunk):  # closures never pickle
+            return [float(i) for i in chunk.indices]
+
+        runner = CampaignRunner(
+            jobs=1, chunk_size=6, cache=ResultCache(tmp_path / "cache"),
+            transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, 1),
+        )
+        records = runner.run_trials(local_worker, 12, seed=5)
+        assert records == [float(i) for i in range(12)]
+        assert runner.stats.fallback_reason is not None
+
+    def test_unloadable_payload_reports_failure_not_hang(self, tmp_path):
+        """A payload that pickles in the scheduler but will not rebuild
+        in a worker process must fail the campaign loudly, not hang."""
+        runner = CampaignRunner(
+            jobs=1, chunk_size=6, cache=ResultCache(tmp_path / "cache"),
+            policy=FaultPolicy(max_retries=1, **FAST),
+            transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, 1),
+        )
+        with pytest.raises(RuntimeError, match="payload"):
+            runner.run_trials(_RemotelyUnloadable(), 12, seed=5)
+
+    def test_stale_done_report_is_ignored(self, tmp_path):
+        transport = FileQueueTransport(tmp_path / "queue", workers=0)
+
+        class _Ctx:
+            worker = _square
+            collect = False
+            policy = FaultPolicy()
+            cache = ResultCache(tmp_path / "cache")
+            jobs = 1
+
+        transport.open(_Ctx())
+        done = tmp_path / "queue" / "done"
+        (done / "zombie-000001.done").write_bytes(pickle.dumps({
+            "task": "zombie-000001", "worker": "wz",
+            "units": [{"index": 0, "ok": True, "elapsed_s": 0.0}],
+        }))
+        outcomes, _ = transport.poll(timeout=0.0)
+        assert outcomes == []
+        assert not any(done.glob("*.done"))
+        transport.shutdown()
+
+
+class TestCacheConcurrency:
+    """Atomic multi-writer semantics of the shared ResultCache."""
+
+    def test_concurrent_writers_leave_only_complete_entries(self, tmp_path):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer_cache, args=(tmp_path / "cache",))
+            for _ in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        cache = ResultCache(tmp_path / "cache")
+        for i in range(25):
+            assert cache.peek(f"digest-{i:02d}") == [i, i * i]
+        assert not list((tmp_path / "cache").glob("*.tmp"))
+
+    def test_losing_the_race_to_a_winner_counts_as_write(self, tmp_path,
+                                                         monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("d0", "value")  # the racing winner already published
+        real_replace = os.replace
+
+        def losing_replace(src, dst):
+            if str(dst).endswith("d0.pkl"):
+                raise OSError("simulated rename race")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", losing_replace)
+        before = cache.stats.as_dict()
+        cache.put("d0", "value")
+        after = cache.stats.as_dict()
+        assert after["writes"] == before["writes"] + 1
+        assert after["errors"] == before["errors"]
+        assert cache.peek("d0") == "value"
+
+    def test_peek_and_contains_do_not_count(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("d1", 123)
+        before = cache.stats.as_dict()
+        assert cache.peek("d1") == 123
+        assert cache.peek("missing") is MISS
+        assert cache.contains("d1")
+        assert cache.stats.as_dict() == before
+
+
+class TestLadderReuse:
+    """The FI engine (golden arrays + snapshot ladder) is cached per
+    process, so re-pickled injectors stop rebuilding it per task."""
+
+    def test_unpickled_injector_reuses_engine(self):
+        from repro.arch import FaultInjector
+        from repro.arch import programs as P
+
+        injector = FaultInjector(P.checksum(8))
+        engine = injector._batched_engine()
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone._batched is None  # the engine never travels
+        obs.enable()
+        obs.reset()
+        try:
+            assert clone._batched_engine() is engine
+            counters = obs.metrics_snapshot()["counters"]
+            assert counters["arch.fi.engine.ladder_reuse"] == 1
+            # Same records either way.
+            a = injector.inject_many([(3, "reg1", 2), (5, "reg2", 7)])
+            b = clone.inject_many([(3, "reg1", 2), (5, "reg2", 7)])
+            assert [r.outcome for r in a] == [r.outcome for r in b]
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_fi_campaign_over_fqueue_matches_inline(self, tmp_path):
+        from repro.arch import FaultInjector
+        from repro.arch import programs as P
+
+        injector = FaultInjector(P.checksum(8))
+        reference = injector.run_campaign(n_trials=48, seed=0, chunk_size=8)
+        result = injector.run_campaign(
+            n_trials=48, seed=0, chunk_size=8, jobs=2,
+            cache=ResultCache(tmp_path / "cache"),
+            policy=FaultPolicy(**FAST),
+            transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, 2),
+        )
+        assert result.records == reference.records
+        assert injector.last_run_stats.transport == "fqueue"
+
+
+class TestWorkerAttribution:
+    """watch names the worker behind every straggler and heartbeat."""
+
+    def test_watch_attributes_stragglers_to_workers(self):
+        from repro.obs.watch import WatchState
+
+        state = WatchState()
+        state.consume([
+            {"ev": "campaign.begin", "t": 0.0, "trials": 3},
+            {"ev": "unit.submit", "t": 0.0, "unit": 0},
+            {"ev": "unit.claim", "t": 0.0, "unit": 0, "worker": "w-slow"},
+            {"ev": "unit.submit", "t": 0.0, "unit": 1},
+            {"ev": "unit.finish", "t": 0.1, "unit": 1, "trials": 1,
+             "worker": "w-fast"},
+            {"ev": "unit.submit", "t": 0.1, "unit": 2},
+            {"ev": "unit.finish", "t": 0.2, "unit": 2, "trials": 1,
+             "worker": "w-fast"},
+            {"ev": "worker.heartbeat", "t": 0.2, "worker": "w-slow",
+             "lag_s": 0.0, "units_done": 0},
+        ])
+        assert state.stragglers(now=10.0) == [0]
+        assert state.straggler_label(0) == "0@w-slow"
+        line = state.status_line(now=10.0)
+        assert "0@w-slow" in line
+        assert set(state.workers) == {"w-slow", "w-fast"}
+        event = state.progress_event()
+        assert event.workers["w-fast"]["units_done"] == 2
+
+    def test_runner_stats_name_pool_workers(self):
+        runner = CampaignRunner(jobs=2, chunk_size=6, transport="pool")
+        runner.run_trials(_draw_chunk, 36, seed=5)
+        assert runner.stats.workers
+        assert all(w.startswith("w") for w in runner.stats.workers)
+
+
+def _refuse_rebuild():
+    raise RuntimeError("this callable only exists in the scheduler process")
+
+
+class _RemotelyUnloadable:
+    """Pickles by reference fine; explodes when a *worker* rebuilds it."""
+
+    def __reduce__(self):
+        return (_refuse_rebuild, ())
+
+    def __call__(self, chunk):
+        return [float(i) for i in chunk.indices]
+
+
+def _hammer_cache(cache_dir):
+    """Concurrent-writer body (module-level: forked children import it)."""
+    cache = ResultCache(cache_dir)
+    for _ in range(20):
+        for i in range(25):
+            cache.put(f"digest-{i:02d}", [i, i * i])
+    raise SystemExit(0)
