@@ -77,6 +77,17 @@ class FaultPolicy:
     max_pool_respawns:
         BrokenProcessPool recoveries before degrading to serial
         execution for the remaining units.
+    max_requeues:
+        Times one unit may be *requeued* (lost through no fault of its
+        own: its pool died around it, its queue claimant stopped
+        heartbeating) before the loss is treated as a failure and
+        charged against the retry budget.  Innocent losses normally
+        carry no penalty, but a unit that deterministically kills its
+        worker produces requeues, not errors — without a cap it would
+        requeue-and-respawn forever.  The default is generous (ordinary
+        worker churn requeues each unit once or twice); repeated
+        requeues of one unit also back off like retries do.  ``None``
+        disables the cap.
     poll_interval_s:
         Scheduler tick used to check in-flight units against their
         deadlines; only relevant when ``unit_timeout_s`` is set.
@@ -108,6 +119,7 @@ class FaultPolicy:
     backoff_jitter: float = 0.1
     jitter_seed: int = 0
     max_pool_respawns: int = 2
+    max_requeues: int = 16
     poll_interval_s: float = 0.1
     target_task_s: float = 0.2
     max_units_per_task: int = 64
@@ -126,6 +138,8 @@ class FaultPolicy:
             raise ValueError("backoff_jitter must be in [0, 1)")
         if self.max_pool_respawns < 0:
             raise ValueError("max_pool_respawns must be non-negative")
+        if self.max_requeues is not None and self.max_requeues < 1:
+            raise ValueError("max_requeues must be positive (or None)")
         if self.poll_interval_s <= 0:
             raise ValueError("poll_interval_s must be positive")
         if self.target_task_s <= 0:

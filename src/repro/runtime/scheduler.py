@@ -226,6 +226,7 @@ class CampaignScheduler:
         self._ready = []  # (ready_at, seq, unit) min-heap
         self._seq = itertools.count()
         self._attempts = {}  # unit -> failed attempts so far
+        self._requeues = {}  # unit -> times its worker was lost around it
         self._items = {}  # unit -> payload, while outstanding
         self._digests = {}  # unit -> cache digest, while outstanding
         self._tasks = {}  # task_id -> _TaskState
@@ -481,11 +482,36 @@ class CampaignScheduler:
                         (time.monotonic() + delay, next(self._seq), i),
                     )
             else:  # requeue: lost through no fault of its own
-                self.stats.requeues += 1
-                obs.inc("runtime.fault.requeues")
-                heapq.heappush(
-                    self._ready, (time.monotonic(), next(self._seq), i)
-                )
+                self._requeue(i)
+
+    def _requeue(self, i):
+        """Re-dispatch a unit whose worker was lost around it.
+
+        Requeues are innocent and normally free, but they are counted:
+        a unit that deterministically kills its worker (OOM, segfault,
+        a chaos ``exit`` fate that never stops) produces an unbounded
+        requeue/respawn loop, not errors, so past
+        ``policy.max_requeues`` the loss is converted into a failure
+        and charged against the retry budget.  Repeated requeues of the
+        same unit back off like retries do — without consuming retries —
+        so a flapping worker cannot hot-loop the scheduler.
+        """
+        self.stats.requeues += 1
+        obs.inc("runtime.fault.requeues")
+        count = self._requeues[i] = self._requeues.get(i, 0) + 1
+        cap = self.policy.max_requeues
+        if cap is not None and count > cap:
+            cause = RuntimeError(
+                f"unit {i} was requeued {count} times "
+                f"(max_requeues={cap}): its workers keep dying around it"
+            )
+            delay = self._register_failure(i, cause)  # raises when spent
+        else:
+            delay = self.policy.backoff_s(i, count - 1) if count > 1 else 0.0
+            obs.emit("unit.requeue", unit=i, count=count, backoff_s=delay)
+        heapq.heappush(
+            self._ready, (time.monotonic() + delay, next(self._seq), i)
+        )
 
     def _note_latency(self, elapsed_s):
         if self._ema_unit_s is None:

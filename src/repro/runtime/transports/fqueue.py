@@ -28,6 +28,14 @@ Claim/lease protocol (see ``docs/distributed.md``):
   id) and discarded — and since results are digest-addressed and
   deterministic, even its cache writes are bit-identical to the
   retry's, so a racing winner is harmless.
+* **liveness** — each worker refreshes its heartbeat file from a
+  background thread, so liveness is decoupled from task length: a unit
+  that computes for minutes still heartbeats every second, while a
+  killed worker (the thread dies with the process) goes stale within
+  ``stale_s`` and its claims are voided.  Staleness is judged by the
+  *scheduler-local arrival time* of each new heartbeat value, never by
+  comparing the worker's wall clock against the scheduler's — workers
+  on another host may disagree with us about what time it is.
 * **result** — values travel through the cache (``put`` then verified
   with ``contains``); the ``done`` file carries only per-unit status,
   timing, worker id, and captured telemetry.
@@ -46,6 +54,7 @@ import pickle
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -114,8 +123,10 @@ class FileQueueTransport(Transport):
     workers:
         Worker processes to spawn and babysit (``python -m repro worker``
         children of this process).  ``0`` relies entirely on externally
-        launched workers.  Spawned workers that die are respawned (the
-        unit retry budget still bounds a crash-looping workload).
+        launched workers.  Spawned workers that die are respawned
+        (``policy.max_requeues`` bounds a workload that keeps killing
+        its workers — past the cap the unit fails loudly instead of
+        requeue-respawning forever).
     queue_depth:
         Tasks published per live worker ahead of demand — the
         backpressure knob that keeps workers busy without flooding the
@@ -128,7 +139,11 @@ class FileQueueTransport(Transport):
     stale_s:
         Heartbeat age past which a claimant is presumed dead and its
         claimed tasks are requeued (must exceed the workers' heartbeat
-        interval; the default is :data:`HEARTBEAT_STALE_S`).
+        interval; the default is :data:`HEARTBEAT_STALE_S`).  Age is
+        measured from the scheduler-local arrival of the last new
+        heartbeat value, and workers heartbeat from a background thread,
+        so neither cross-host clock skew nor a long-running unit can
+        make a live claimant look stale.
     """
 
     name = "fqueue"
@@ -159,7 +174,8 @@ class FileQueueTransport(Transport):
         self._claim_t = {}  # task_id -> when the claim was observed
         self._procs = []  # spawned worker Popen handles
         self._spawn_seq = 0
-        self._hb_seen = {}  # worker id -> last heartbeat timestamp seen
+        self._hb_seen = {}  # worker id -> last heartbeat value (worker clock)
+        self._hb_fresh = {}  # worker id -> local monotonic arrival of that value
         self._hb_checked = 0.0
         self._buffer = _OutcomeBuffer()
 
@@ -177,6 +193,7 @@ class FileQueueTransport(Transport):
         self._claims = {}
         self._claim_t = {}
         self._hb_seen = {}
+        self._hb_fresh = {}
         self._hb_checked = 0.0
         self._buffer = _OutcomeBuffer()
         self._sweep_stale()
@@ -210,7 +227,10 @@ class FileQueueTransport(Transport):
         a fresh open owns the queue, so leftovers are noise.  ``claimed``
         files are left alone: a live worker may still be executing one,
         and its (stale) report will simply be ignored while its cache
-        writes remain valid for the resume scan.
+        writes remain valid for the resume scan.  A leftover ``STOP``
+        marker (a prior scheduler killed mid-:meth:`shutdown`) is also
+        cleared — otherwise every worker this campaign spawns would see
+        it, drain, and exit immediately, forever.
         """
         for name in ("todo", "done"):
             for path in self._dirs[name].glob("*"):
@@ -223,6 +243,10 @@ class FileQueueTransport(Transport):
                 path.unlink()
             except OSError:
                 pass
+        try:
+            (self.queue_dir / "STOP").unlink()
+        except OSError:
+            pass
 
     def _spawn_worker(self):
         """Launch one ``python -m repro worker`` child on this queue."""
@@ -254,9 +278,9 @@ class FileQueueTransport(Transport):
 
     # -- capacity ----------------------------------------------------------
     def _live_workers(self):
-        now = time.time()
+        now = time.monotonic()
         fresh = sum(
-            1 for t in self._hb_seen.values() if now - t <= self.stale_s
+            1 for t in self._hb_fresh.values() if now - t <= self.stale_s
         )
         alive = sum(1 for proc in self._procs if proc.poll() is None)
         return max(fresh, alive, 1)
@@ -352,7 +376,7 @@ class FileQueueTransport(Transport):
             task_id, worker = stem.split("@", 1)
             if task_id in self._inflight and task_id not in self._claims:
                 self._claims[task_id] = worker
-                self._claim_t[task_id] = time.time()
+                self._claim_t[task_id] = time.monotonic()
                 self._buffer.signals.append(
                     {"kind": "claim", "task_id": task_id, "worker": worker}
                 )
@@ -372,6 +396,10 @@ class FileQueueTransport(Transport):
             if t <= self._hb_seen.get(worker, 0.0):
                 continue
             self._hb_seen[worker] = t
+            # Staleness is judged by when *we* saw a new value, not by
+            # the worker's wall clock: a skewed clock on another host
+            # must not make a live claim look dead (or vice versa).
+            self._hb_fresh[worker] = time.monotonic()
             self._buffer.signals.append({
                 "kind": "heartbeat",
                 "worker": worker,
@@ -381,26 +409,30 @@ class FileQueueTransport(Transport):
             })
 
     def _scan_dead_claims(self):
-        """Requeue tasks whose claimant stopped heartbeating (died/hung).
+        """Requeue tasks whose claimant stopped heartbeating (died).
 
-        A worker that is killed (or wedged) after claiming never writes
-        its ``done`` report; once its heartbeat goes stale the task's
-        units come back as ``requeue`` outcomes — no retry penalty, the
-        worker died around them — and the scheduler re-publishes them
-        under a fresh task id for the survivors.  If the claimant was
-        merely slow and reports later, its report carries the old task
-        id and is dropped as stale; its cache writes are digest-
-        addressed and deterministic, so they match the retry's
-        bit-for-bit.
+        A worker that is killed after claiming never writes its ``done``
+        report; its background heartbeat thread dies with it, so once
+        the heartbeat goes stale the task's units come back as
+        ``requeue`` outcomes — no retry penalty, the worker died around
+        them — and the scheduler re-publishes them under a fresh task id
+        for the survivors.  A claimant that is merely *slow* keeps
+        heartbeating from its background thread no matter how long one
+        unit takes, so it is never mistaken for dead; a claimant that is
+        alive but *wedged* also keeps heartbeating — hangs are the
+        scheduler lease's job (``policy.lease_timeout_s``), not ours.
+        Staleness compares scheduler-local arrival times only (see
+        :meth:`_scan_heartbeats`), so cross-host clock skew cannot void
+        a live claim.
         """
-        now = time.time()
+        now = time.monotonic()
         for task_id, worker in list(self._claims.items()):
             task = self._inflight.get(task_id)
             if task is None:
                 self._claims.pop(task_id, None)
                 self._claim_t.pop(task_id, None)
                 continue
-            last = max(self._hb_seen.get(worker, 0.0),
+            last = max(self._hb_fresh.get(worker, 0.0),
                        self._claim_t.get(task_id, 0.0))
             if now - last <= self.stale_s:
                 continue
@@ -515,6 +547,49 @@ def _write_heartbeat(dirs, worker_id, units_done, tasks_done):
         pass
 
 
+class _Heartbeat:
+    """Background heartbeat writer: liveness decoupled from task length.
+
+    Beating only between tasks would make any unit slower than the
+    scheduler's ``stale_s`` look dead — its claim voided and requeued,
+    re-executed from scratch, voided again, forever.  A daemon thread
+    refreshing the heartbeat file every :data:`HEARTBEAT_INTERVAL_S`
+    keeps a busy worker visibly alive no matter how long one unit runs,
+    while hard death (``SIGKILL``, an ``os._exit`` chaos fate) kills the
+    thread with the process so staleness detection still fires.
+    """
+
+    def __init__(self, dirs, worker_id):
+        self._dirs = dirs
+        self._worker_id = worker_id
+        self.units_done = 0
+        self.tasks_done = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{worker_id}", daemon=True
+        )
+
+    def beat(self):
+        """Write the heartbeat file now (progress counters included)."""
+        _write_heartbeat(
+            self._dirs, self._worker_id, self.units_done, self.tasks_done
+        )
+
+    def _run(self):
+        while not self._stop.wait(HEARTBEAT_INTERVAL_S):
+            self.beat()
+
+    def __enter__(self):
+        self.beat()
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=HEARTBEAT_INTERVAL_S)
+        self.beat()  # final beat publishes the closing counters
+
+
 def _claim_next(dirs, worker_id):
     """Atomically claim the oldest published task; ``None`` when idle."""
     for path in sorted(dirs["todo"].glob("*.task")):
@@ -588,21 +663,23 @@ def worker_main(queue_dir, worker_id=None, poll_s=0.05, once=False):
 
 def _worker_loop(queue_dir, worker_id, poll_s, once):
     """The claim/execute/report loop behind :func:`worker_main`."""
-    from repro.runtime.cache import ResultCache
-
     worker_id = worker_id or f"w{os.getpid()}"
     queue_dir = Path(queue_dir)
     dirs = _queue_layout(queue_dir)
     payloads = {}
     caches = {}
-    units_done = 0
-    tasks_done = 0
-    last_beat = 0.0
+    with _Heartbeat(dirs, worker_id) as hb:
+        _worker_claim_loop(queue_dir, dirs, worker_id, poll_s, once,
+                           payloads, caches, hb)
+    return 0
+
+
+def _worker_claim_loop(queue_dir, dirs, worker_id, poll_s, once,
+                       payloads, caches, hb):
+    """Claim/execute/report until STOP (heartbeats run in background)."""
+    from repro.runtime.cache import ResultCache
+
     while True:
-        now = time.time()
-        if now - last_beat >= HEARTBEAT_INTERVAL_S:
-            _write_heartbeat(dirs, worker_id, units_done, tasks_done)
-            last_beat = now
         if (queue_dir / "STOP").exists():
             break
         claim = _claim_next(dirs, worker_id)
@@ -688,9 +765,6 @@ def _worker_loop(queue_dir, worker_id, poll_s, once):
         except OSError:
             pass  # the lease will expire and the units will be retried
         claim.unlink(missing_ok=True)
-        units_done += len(task)
-        tasks_done += 1
-        _write_heartbeat(dirs, worker_id, units_done, tasks_done)
-        last_beat = time.time()
-    _write_heartbeat(dirs, worker_id, units_done, tasks_done)
-    return 0
+        hb.units_done += len(task)
+        hb.tasks_done += 1
+        hb.beat()  # publish fresh counters without waiting for the tick

@@ -2,6 +2,7 @@
 worker churn, concurrent cache writers, engine-ladder reuse, and
 per-worker attribution (repro.runtime.{scheduler,transports} et al.)."""
 
+import json
 import os
 import pickle
 import signal
@@ -25,6 +26,7 @@ from repro.runtime import (
     create_transport,
 )
 from repro.runtime.cache import MISS
+from repro.runtime.transports import Task
 from repro.runtime.transports.fqueue import worker_main
 
 from tests.test_runtime import _draw_chunk, _square
@@ -253,6 +255,107 @@ class TestWorkerChurn:
         )
         assert resumed.run_trials(_draw_chunk, 60, seed=5) == reference
         assert resumed.stats.resumed
+
+
+def _slow_chunk(chunk):
+    """A unit that outlives the heartbeat-staleness budget by itself."""
+    time.sleep(2.5)
+    return _draw_chunk(chunk)
+
+
+class TestLivenessProtocol:
+    """Heartbeat liveness must not depend on task length, worker-host
+    clocks, leftover STOP markers, or a worker-killing unit's patience."""
+
+    def test_unit_slower_than_stale_budget_is_not_requeued(self, tmp_path):
+        """The background heartbeat thread keeps a busy worker alive:
+        one unit longer than stale_s must execute exactly once, not be
+        presumed dead and requeued forever."""
+        reference = _reference(n_trials=6, chunk_size=6)
+        runner = CampaignRunner(
+            jobs=1, chunk_size=6, cache=ResultCache(tmp_path / "cache"),
+            policy=FaultPolicy(**FAST), transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, 1, stale_s=1.5),
+        )
+        assert runner.run_trials(_slow_chunk, 6, seed=5) == reference
+        assert runner.stats.requeues == 0
+
+    def test_leftover_stop_marker_is_swept_on_open(self, tmp_path):
+        """A STOP file surviving a killed shutdown() must not drain
+        every worker of the next campaign into a respawn hot loop."""
+        queue_dir = tmp_path / "queue"
+        queue_dir.mkdir()
+        (queue_dir / "STOP").write_text("stop\n")
+        runner = CampaignRunner(
+            jobs=1, chunk_size=6, cache=ResultCache(tmp_path / "cache"),
+            policy=FaultPolicy(**FAST), transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, 1),
+        )
+        assert runner.run_trials(_draw_chunk, 12, seed=5) == _reference(12)
+        assert not (queue_dir / "STOP").exists()
+
+    def test_skewed_worker_clock_does_not_void_claims(self, tmp_path):
+        """Staleness uses scheduler-local heartbeat arrival times: a
+        worker whose wall clock is an hour behind must stay live as
+        long as it keeps producing new heartbeat values."""
+        queue_dir = tmp_path / "queue"
+        transport = FileQueueTransport(queue_dir, workers=0, stale_s=0.3)
+
+        class _Ctx:
+            worker = _square
+            collect = False
+            policy = FaultPolicy()
+            cache = ResultCache(tmp_path / "cache")
+            jobs = 1
+
+        def skewed_beat(seq):
+            (queue_dir / "workers" / "wskew.json").write_text(json.dumps({
+                "worker": "wskew", "pid": 12345,
+                "t": time.time() - 3600.0 + seq,  # an hour behind, ticking
+                "units_done": seq,
+            }))
+
+        transport.open(_Ctx())
+        try:
+            task = Task(task_id="t-skew", indices=(0,), items=(2.0,),
+                        digests=("d-skew",))
+            transport.submit(task)
+            todo = queue_dir / "todo" / "t-skew.task"
+            todo.rename(queue_dir / "claimed" / "t-skew@wskew.task")
+            skewed_beat(0)
+            transport.poll(timeout=0.0)  # observe claim + first heartbeat
+            for seq in (1, 2):
+                # Longer than stale_s AND the heartbeat-scan throttle
+                # (HEARTBEAT_INTERVAL_S / 2), so each poll really does
+                # re-read the skewed heartbeat before judging the claim.
+                time.sleep(0.6)
+                skewed_beat(seq)
+                outcomes, _ = transport.poll(timeout=0.0)
+                assert not any(o.kind == "requeue" for o in outcomes)
+            assert "t-skew" in transport._claims
+        finally:
+            transport.shutdown()
+
+    def test_worker_killing_unit_exhausts_requeue_budget(self, tmp_path):
+        """A unit that deterministically kills its claimant produces
+        requeues, not errors; past max_requeues the loss must convert
+        into a loud failure instead of a silent respawn loop."""
+        spec = ChaosSpec(exit_rate=1.0, fail_attempts=10 ** 6, seed=3)
+        worker = ChaosWorker(_draw_chunk, spec, tmp_path / "chaos")
+        runner = CampaignRunner(
+            jobs=1, chunk_size=4, cache=ResultCache(tmp_path / "cache"),
+            policy=FaultPolicy(max_retries=0, max_requeues=1, **FAST),
+            transport="fqueue",
+            transport_options=_fqueue_options(tmp_path, 1, stale_s=1.5),
+        )
+        with pytest.raises(RuntimeError, match="requeued"):
+            runner.run_trials(worker, 4, seed=5)
+        assert runner.stats.requeues == 2  # the cap + the fatal voiding
+
+    def test_policy_rejects_bad_max_requeues(self):
+        with pytest.raises(ValueError, match="max_requeues"):
+            FaultPolicy(max_requeues=0)
+        assert FaultPolicy(max_requeues=None).max_requeues is None
 
 
 class TestQueueProtocol:
