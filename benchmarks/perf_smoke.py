@@ -15,14 +15,15 @@ Three bench groups, each with its own trajectory record:
   stream); ``--max-obs-overhead 0.05`` gates the observability layer's
   <5% overhead budget in CI (see ``docs/observability.md``).
 * **dist** (``BENCH_dist.json``) — times a latency-bound campaign
-  (:class:`repro.runtime.loadgen.LatencyWorker`) over the ``fqueue``
-  and ``pool`` transports at increasing worker counts, verifying every
-  run bit-identical to the inline reference, plus the scheduler's own
-  per-unit overhead on the inline fast path.  ``--min-dist-speedup``
-  gates the 1→4-worker fqueue throughput gain and
-  ``--max-sched-overhead-us`` the bookkeeping budget; this group is
-  *not* gated by ``--min-speedup`` (the fabric pipelines waiting, it
-  does not vectorize math — see ``docs/distributed.md``).
+  (:class:`repro.runtime.loadgen.LatencyWorker`) over the ``fqueue``,
+  ``tcp``, and ``pool`` transports at increasing worker counts,
+  verifying every run bit-identical to the inline reference, plus the
+  scheduler's own per-unit overhead on the inline fast path.
+  ``--min-dist-speedup`` gates the 1→4-worker fqueue *and* tcp
+  throughput gains and ``--max-sched-overhead-us`` the bookkeeping
+  budget; this group is *not* gated by ``--min-speedup`` (the fabric
+  pipelines waiting, it does not vectorize math — see
+  ``docs/distributed.md``).
 
 Each run appends one entry — machine info, wall-clock timings,
 speedups — to the group's record.  See ``docs/performance.md`` for how
@@ -336,7 +337,7 @@ def bench_obs_overhead(n_trials, rounds):
 
 
 def bench_dist_scaling(n_units, rounds):
-    """Fabric scaling: fqueue/pool throughput vs worker count, one core.
+    """Fabric scaling: fqueue/tcp/pool throughput vs workers, one core.
 
     Each configuration runs the same latency-bound campaign
     (one-trial units, each sleeping ``DIST_UNIT_LATENCY_S``) after a
@@ -344,14 +345,20 @@ def bench_dist_scaling(n_units, rounds):
     checked bit-identical against the inline reference for its seed.
     The recorded ``speedup`` is the fqueue throughput gain from one
     worker to ``DIST_WORKER_COUNTS[-1]`` — the fabric's pipelining
-    factor, deliberately independent of CPU count.
+    factor, deliberately independent of CPU count — and
+    ``tcp_speedup`` is the same factor over the socket transport,
+    measured cache-less so result values really cross the wire.
     """
     import shutil
     import tempfile
 
     from repro.runtime import CampaignRunner, FaultPolicy, ResultCache
     from repro.runtime.loadgen import LatencyWorker
-    from repro.runtime.transports import FileQueueTransport, PoolTransport
+    from repro.runtime.transports import (
+        FileQueueTransport,
+        PoolTransport,
+        TcpTransport,
+    )
 
     worker = LatencyWorker(DIST_UNIT_LATENCY_S)
     # One unit per task keeps the fabric busy with fine-grained claims;
@@ -407,6 +414,16 @@ def bench_dist_scaling(n_units, rounds):
                 transport.shutdown()
             result[f"fqueue_{w}_tput"] = n_units / elapsed
         for w in (1, DIST_WORKER_COUNTS[-1]):
+            # cache=None: results stream back over the socket, so the
+            # row times the wire path, not the shared-filesystem one.
+            transport = TcpTransport(workers=w, poll_s=0.005,
+                                     worker_poll_s=0.005)
+            try:
+                elapsed = timed_config(f"tcp x{w}", transport, None)
+            finally:
+                transport.shutdown()
+            result[f"tcp_{w}_tput"] = n_units / elapsed
+        for w in (1, DIST_WORKER_COUNTS[-1]):
             transport = PoolTransport()
             try:
                 elapsed = timed_config(f"pool x{w}", transport, None, jobs=w)
@@ -417,6 +434,7 @@ def bench_dist_scaling(n_units, rounds):
         shutil.rmtree(tmp, ignore_errors=True)
     top = DIST_WORKER_COUNTS[-1]
     result["speedup"] = result[f"fqueue_{top}_tput"] / result["fqueue_1_tput"]
+    result["tcp_speedup"] = result[f"tcp_{top}_tput"] / result["tcp_1_tput"]
     return result
 
 
@@ -555,9 +573,12 @@ def run_dist_benches(n_units, rounds):
                 f"fqueue x{w} {result[f'fqueue_{w}_tput']:6.1f}/s"
                 for w in DIST_WORKER_COUNTS
             )
+            top = DIST_WORKER_COUNTS[-1]
             print(
                 f"{name}: inline {result['inline_tput']:6.1f}/s   {tputs}   "
                 f"scaling {result['speedup']:4.1f}x   "
+                f"tcp x{top} {result[f'tcp_{top}_tput']:6.1f}/s "
+                f"({result['tcp_speedup']:4.1f}x)   "
                 f"({result['n_units']} units of "
                 f"{result['unit_latency_s']*1e3:.0f} ms)"
             )
@@ -680,7 +701,7 @@ def main(argv=None):
                         help="compare the fqueue scaling factor against "
                              "BASELINE's newest entry")
     parser.add_argument("--min-dist-speedup", type=float, default=None,
-                        help="fail when the 1-to-max-worker fqueue "
+                        help="fail when the 1-to-max-worker fqueue or tcp "
                              "throughput gain is below this (CI passes 2)")
     parser.add_argument("--max-sched-overhead-us", type=float, default=None,
                         metavar="US",
@@ -726,15 +747,16 @@ def main(argv=None):
     # magnitude above what worker pipelining can (or should) reach.
     scaling = dist_entry["results"]["dist_scaling"]
     overhead = dist_entry["results"]["sched_overhead"]
-    if (args.min_dist_speedup is not None
-            and scaling["speedup"] < args.min_dist_speedup):
-        print(
-            f"FAIL dist_scaling: fqueue throughput gain "
-            f"{scaling['speedup']:.1f}x < required "
-            f"{args.min_dist_speedup:.1f}x",
-            file=sys.stderr,
-        )
-        status = 1
+    if args.min_dist_speedup is not None:
+        for fabric, key in (("fqueue", "speedup"), ("tcp", "tcp_speedup")):
+            if scaling[key] < args.min_dist_speedup:
+                print(
+                    f"FAIL dist_scaling: {fabric} throughput gain "
+                    f"{scaling[key]:.1f}x < required "
+                    f"{args.min_dist_speedup:.1f}x",
+                    file=sys.stderr,
+                )
+                status = 1
     if (args.max_sched_overhead_us is not None
             and overhead["overhead_us_per_unit"] > args.max_sched_overhead_us):
         print(

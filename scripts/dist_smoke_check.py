@@ -1,16 +1,18 @@
 #!/usr/bin/env python
 """Distributed-fabric acceptance check: worker murder + ``--resume``.
 
-Runs the same small fault-injection campaign four ways:
+Runs the same small fault-injection campaign four ways, over the
+distributed transport named by ``--transport`` (``fqueue`` or ``tcp``):
 
 1. **reference** — serial, inline transport, its own cache directory;
-2. **worker-kill** — over the ``fqueue`` transport with two
+2. **worker-kill** — over the selected transport with two
    *independently spawned* ``python -m repro worker`` processes
    (``workers=0``: the transport babysits nothing).  One worker gets a
-   real ``SIGKILL`` the moment it holds a claim; the stale-heartbeat
-   scan voids its lease and the survivor finishes the campaign, which
-   must match the reference **bit for bit**;
-3. **interrupt** — a fresh ``fqueue`` campaign is cut down by a real
+   real ``SIGKILL`` the moment it holds a claim; the claim is voided —
+   by the stale-heartbeat scan (fqueue) or the dropped connection
+   (tcp) — and the survivor finishes the campaign, which must match
+   the reference **bit for bit**;
+3. **interrupt** — a fresh distributed campaign is cut down by a real
    ``SIGINT`` partway through, leaving a partial manifest behind;
 4. **resume** — the interrupted campaign is re-launched with
    ``resume=True`` on the same cache, replays the journal, finishes the
@@ -22,11 +24,11 @@ already finished (the check proved nothing), if the survivor did no
 work, or if the resume replayed no journaled units.  This is the
 executable form of the worker-churn contract in ``docs/distributed.md``
 ("Surviving worker churn"); the ``dist-smoke`` CI job runs it on every
-push.
+push, once per transport.
 
 Run locally with::
 
-    PYTHONPATH=src python scripts/dist_smoke_check.py
+    PYTHONPATH=src python scripts/dist_smoke_check.py --transport tcp
 """
 
 from __future__ import annotations
@@ -53,6 +55,7 @@ from repro.runtime import (  # noqa: E402
     FaultPolicy,
     FileQueueTransport,
     ResultCache,
+    TcpTransport,
 )
 
 # Tight backoff/poll so the check stays fast; a generous retry budget so
@@ -121,22 +124,42 @@ def _run(trials, cache, *, transport=None, resume=False, progress=None,
     return result, injector.last_run_stats
 
 
-def _spawn_external_worker(queue_dir, worker_id):
+def _make_transport(kind, workdir, tag, workers):
+    """Build the distributed transport under test for one leg."""
+    if kind == "tcp":
+        return TcpTransport(workers=workers, poll_s=POLL_S,
+                            worker_poll_s=POLL_S, stale_s=STALE_S)
+    return FileQueueTransport(workdir / f"queue-{tag}", workers=workers,
+                              poll_s=POLL_S, stale_s=STALE_S)
+
+
+def _spawn_external_worker(kind, transport, worker_id):
     """Launch an independent ``python -m repro worker`` process."""
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parent.parent / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    if kind == "tcp":
+        host, port = transport.ensure_listening()
+        target = ["--connect", f"{host}:{port}"]
+    else:
+        target = [str(transport.queue_dir)]
     return subprocess.Popen(
-        [sys.executable, "-m", "repro", "worker", str(queue_dir),
+        [sys.executable, "-m", "repro", "worker", *target,
          "--id", worker_id, "--poll", str(POLL_S)],
         env=env,
     )
 
 
-def _wait_for_claim(queue_dir, worker_id, alive, timeout_s=30.0):
+def _wait_for_claim(kind, transport, worker_id, alive, timeout_s=30.0):
     """Block until ``worker_id`` holds a claim; False if the run ends first."""
-    claimed = Path(queue_dir) / "claimed"
     deadline = time.time() + timeout_s
+    if kind == "tcp":
+        while time.time() < deadline and alive():
+            if worker_id in transport.claim_holders():
+                return True
+            time.sleep(0.005)
+        return False
+    claimed = Path(transport.queue_dir) / "claimed"
     marker = f"@{worker_id}."
     while time.time() < deadline and alive():
         if claimed.is_dir() and any(
@@ -147,14 +170,12 @@ def _wait_for_claim(queue_dir, worker_id, alive, timeout_s=30.0):
     return False
 
 
-def _worker_kill_leg(trials, workdir, ref_digest):
+def _worker_kill_leg(kind, trials, workdir, ref_digest):
     """Leg 2: SIGKILL a claiming external worker; survivors must finish."""
-    queue_dir = workdir / "queue-kill"
     cache = ResultCache(workdir / "cache-kill")
-    victim = _spawn_external_worker(queue_dir, "victim")
-    survivor = _spawn_external_worker(queue_dir, "survivor")
-    transport = FileQueueTransport(queue_dir, workers=0, poll_s=POLL_S,
-                                   stale_s=STALE_S)
+    transport = _make_transport(kind, workdir, "kill", workers=0)
+    victim = _spawn_external_worker(kind, transport, "victim")
+    survivor = _spawn_external_worker(kind, transport, "survivor")
     outcome = {}
 
     def drive():
@@ -169,7 +190,7 @@ def _worker_kill_leg(trials, workdir, ref_digest):
     thread = threading.Thread(target=drive)
     try:
         thread.start()
-        claimed = _wait_for_claim(queue_dir, "victim", thread.is_alive)
+        claimed = _wait_for_claim(kind, transport, "victim", thread.is_alive)
         if not claimed:
             print("FAIL: victim worker never held a claim mid-run",
                   file=sys.stderr)
@@ -215,12 +236,11 @@ def _worker_kill_leg(trials, workdir, ref_digest):
         transport.shutdown()
 
 
-def _resume_leg(trials, workdir, ref_digest):
-    """Legs 3+4: SIGINT an fqueue campaign, resume it, compare digests."""
+def _resume_leg(kind, trials, workdir, ref_digest):
+    """Legs 3+4: SIGINT a distributed campaign, resume it, compare."""
     cache = ResultCache(workdir / "cache-resume")
     interrupted = False
-    transport = FileQueueTransport(workdir / "queue-int", workers=2,
-                                   poll_s=POLL_S, stale_s=STALE_S)
+    transport = _make_transport(kind, workdir, "int", workers=2)
     try:
         _run(trials, cache, transport=transport, progress=_SigintAfter(3))
     except KeyboardInterrupt:
@@ -228,7 +248,7 @@ def _resume_leg(trials, workdir, ref_digest):
     finally:
         transport.shutdown()
     if not interrupted:
-        print("FAIL: SIGINT did not interrupt the fqueue campaign",
+        print(f"FAIL: SIGINT did not interrupt the {kind} campaign",
               file=sys.stderr)
         return 1
     manifests = list((cache.path / "manifests").glob("*.jsonl"))
@@ -238,8 +258,7 @@ def _resume_leg(trials, workdir, ref_digest):
         return 1
     print(f"  interrupted after SIGINT; manifest: {manifests[0].name}")
 
-    transport = FileQueueTransport(workdir / "queue-resume", workers=2,
-                                   poll_s=POLL_S, stale_s=STALE_S)
+    transport = _make_transport(kind, workdir, "resume", workers=2)
     try:
         resumed, stats = _run(trials, cache, transport=transport,
                               resume=True)
@@ -253,26 +272,29 @@ def _resume_leg(trials, workdir, ref_digest):
               "before any unit completed?)", file=sys.stderr)
         return 1
     if digest != ref_digest:
-        print("FAIL: resumed fqueue campaign is not bit-identical to the "
+        print(f"FAIL: resumed {kind} campaign is not bit-identical to the "
               "serial reference", file=sys.stderr)
         return 1
-    print("  OK: SIGINT + --resume over fqueue is bit-identical")
+    print(f"  OK: SIGINT + --resume over {kind} is bit-identical")
     return 0
 
 
-def check(trials, workdir):
+def check(kind, trials, workdir):
     workdir = Path(workdir)
-    print(f"[dist-smoke] trials={trials}")
+    print(f"[dist-smoke] transport={kind} trials={trials}")
     reference, _ = _run(trials, ResultCache(workdir / "cache-reference"))
     ref_digest = campaign_digest(reference)
     print(f"  reference digest: {ref_digest}")
-    status = _worker_kill_leg(trials, workdir, ref_digest)
-    status |= _resume_leg(trials, workdir, ref_digest)
+    status = _worker_kill_leg(kind, trials, workdir, ref_digest)
+    status |= _resume_leg(kind, trials, workdir, ref_digest)
     return status
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--transport", choices=("fqueue", "tcp"),
+                        default="fqueue",
+                        help="distributed transport under test")
     parser.add_argument("--trials", type=int, default=320,
                         help="campaign size (default 320; 20 units of 16)")
     parser.add_argument("--workdir", default=None,
@@ -281,9 +303,9 @@ def main(argv=None):
 
     if args.workdir is not None:
         Path(args.workdir).mkdir(parents=True, exist_ok=True)
-        return check(args.trials, args.workdir)
+        return check(args.transport, args.trials, args.workdir)
     with tempfile.TemporaryDirectory(prefix="dist-smoke-") as workdir:
-        return check(args.trials, workdir)
+        return check(args.transport, args.trials, workdir)
 
 
 if __name__ == "__main__":

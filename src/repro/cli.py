@@ -31,10 +31,13 @@ experiment in a :class:`repro.obs.RunRecorder`: spans, metrics, and
 campaign accounting land in a JSONL run record that ``python -m repro
 report <run-dir>`` renders (see ``docs/observability.md``).
 ``--transport`` selects the execution backend (``inline``/``pool``/
-``fqueue``); with ``fqueue``, ``python -m repro worker <queue-dir>``
-processes — spawned by ``--workers N`` or launched by hand on any host
-sharing the filesystem — claim and execute the campaign's tasks (see
-``docs/distributed.md``).  The CLI
+``fqueue``/``tcp``); with ``fqueue``, ``python -m repro worker
+<queue-dir>`` processes — spawned by ``--workers N`` or launched by
+hand on any host sharing the filesystem — claim and execute the
+campaign's tasks; with ``tcp``, the scheduler listens on ``--listen
+HOST:PORT`` and ``python -m repro worker --connect HOST:PORT``
+processes dial in from anywhere with a route (no shared filesystem
+needed — see ``docs/distributed.md``).  The CLI
 prints the same series the benchmark harness checks; the full
 statistical versions live under ``benchmarks/``.
 """
@@ -82,6 +85,19 @@ def _runtime_kwargs(args):
         kwargs["transport"] = "fqueue"
         kwargs["transport_options"] = {
             "queue_dir": args.queue_dir,
+            "workers": args.workers,
+        }
+    elif transport == "tcp":
+        from repro.runtime.transports.tcp import parse_address
+
+        try:
+            host, port = parse_address(args.listen or "127.0.0.1:0")
+        except ValueError as exc:
+            raise SystemExit(f"--listen: {exc}") from None
+        kwargs["transport"] = "tcp"
+        kwargs["transport_options"] = {
+            "host": host,
+            "port": port,
             "workers": args.workers,
         }
     elif transport != "auto":
@@ -427,11 +443,12 @@ def build_parser():
              "(default 2)",
     )
     runtime.add_argument(
-        "--transport", choices=("auto", "inline", "pool", "fqueue"),
+        "--transport", choices=("auto", "inline", "pool", "fqueue", "tcp"),
         default="auto",
         help="campaign execution backend (default auto: inline for --jobs 1, "
              "process pool otherwise; fqueue needs --queue-dir and the "
-             "result cache — see docs/distributed.md)",
+             "result cache; tcp listens on --listen for 'repro worker "
+             "--connect' processes — see docs/distributed.md)",
     )
     runtime.add_argument(
         "--queue-dir", default=None, metavar="DIR",
@@ -439,9 +456,15 @@ def build_parser():
              "repro worker DIR' processes claim tasks from it)",
     )
     runtime.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="listen address for --transport tcp ('python -m repro worker "
+             "--connect HOST:PORT' processes dial in; default 127.0.0.1:0, "
+             "an ephemeral localhost port)",
+    )
+    runtime.add_argument(
         "--workers", type=_jobs_count, default=1, metavar="N",
-        help="fqueue workers to spawn and babysit (0 = rely on externally "
-             "launched 'repro worker' processes; default 1)",
+        help="fqueue/tcp workers to spawn and babysit (0 = rely on "
+             "externally launched 'repro worker' processes; default 1)",
     )
     runtime.add_argument(
         "--record", default=None, metavar="DIR",
@@ -590,15 +613,21 @@ def _export_record(record, args):
 def build_worker_parser():
     parser = argparse.ArgumentParser(
         prog="repro worker",
-        description="Run one file-queue campaign worker: claim task files "
-                    "from a shared queue directory, execute them, and write "
-                    "results into the shared result cache "
-                    "(see docs/distributed.md).",
+        description="Run one campaign worker: either claim task files from "
+                    "a shared queue directory (QUEUE_DIR) or dial a tcp "
+                    "scheduler (--connect HOST:PORT) and execute the tasks "
+                    "it streams down (see docs/distributed.md).",
     )
     parser.add_argument(
-        "queue_dir", metavar="QUEUE_DIR",
+        "queue_dir", nargs="?", default=None, metavar="QUEUE_DIR",
         help="the shared queue directory a scheduler publishes tasks into "
-             "(--transport fqueue --queue-dir QUEUE_DIR)",
+             "(--transport fqueue --queue-dir QUEUE_DIR); omit when using "
+             "--connect",
+    )
+    parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="dial a tcp-transport scheduler instead of claiming from a "
+             "queue directory (--transport tcp --listen HOST:PORT side)",
     )
     parser.add_argument(
         "--id", default=None, metavar="WORKER_ID",
@@ -607,20 +636,40 @@ def build_worker_parser():
     )
     parser.add_argument(
         "--poll", type=_timeout_seconds, default=0.05, metavar="SECONDS",
-        help="idle-poll interval while the queue is empty (default 0.05s)",
+        help="idle-poll interval while there is no work (default 0.05s)",
     )
     parser.add_argument(
         "--once", action="store_true",
-        help="drain the queue and exit instead of waiting for more work",
+        help="drain the queue and exit instead of waiting for more work "
+             "(queue-directory mode only)",
     )
     return parser
 
 
 def run_worker(argv):
-    """``python -m repro worker <queue-dir>``: file-queue campaign worker."""
+    """``python -m repro worker``: file-queue or tcp campaign worker."""
+    args = build_worker_parser().parse_args(argv)
+    if (args.queue_dir is None) == (args.connect is None):
+        print("worker needs exactly one of QUEUE_DIR or --connect HOST:PORT",
+              file=sys.stderr)
+        return 2
+    if args.connect is not None:
+        if args.once:
+            print("--once applies only to queue-directory workers",
+                  file=sys.stderr)
+            return 2
+        from repro.runtime.transports.tcp import parse_address, tcp_worker_main
+
+        try:
+            parse_address(args.connect)
+        except ValueError as exc:
+            print(f"--connect: {exc}", file=sys.stderr)
+            return 2
+        return tcp_worker_main(
+            args.connect, worker_id=args.id, poll_s=args.poll
+        )
     from repro.runtime import worker_main
 
-    args = build_worker_parser().parse_args(argv)
     return worker_main(
         args.queue_dir, worker_id=args.id, poll_s=args.poll, once=args.once
     )
@@ -683,8 +732,8 @@ def run_list(args):
           "(python -m repro report <run-dir>)")
     print("  watch      Tail a recorded run's event stream live "
           "(python -m repro watch <run-dir>)")
-    print("  worker     Run a file-queue campaign worker "
-          "(python -m repro worker <queue-dir>)")
+    print("  worker     Run a campaign worker (python -m repro worker "
+          "<queue-dir> | --connect HOST:PORT)")
     print(
         "fig5/fig6/wall run on batched numpy Monte Carlo kernels; pass "
         "--reference-kernel\nto force the scalar reference path "
@@ -718,6 +767,7 @@ def _run_recorded(name, args):
         "max_retries": args.max_retries,
         "transport": args.transport,
         "queue_dir": args.queue_dir,
+        "listen": args.listen,
         "workers": args.workers,
     }
     # Every CLI experiment roots its seed streams at 0 (reproducibility).

@@ -82,8 +82,10 @@ from repro.runtime.transports import (
     FileQueueTransport,
     InlineTransport,
     PoolTransport,
+    TcpTransport,
     Transport,
     create_transport,
+    tcp_worker_main,
     worker_main,
 )
 
@@ -114,8 +116,10 @@ __all__ = [
     "InlineTransport",
     "PoolTransport",
     "FileQueueTransport",
+    "TcpTransport",
     "create_transport",
     "worker_main",
+    "tcp_worker_main",
     "spawn_trial_seeds",
     "trial_rng",
     "trial_seed_sequence",

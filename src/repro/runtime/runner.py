@@ -7,7 +7,8 @@ tables).  It feeds units of work to a
 :class:`~repro.runtime.scheduler.CampaignScheduler` driving a pluggable
 :class:`~repro.runtime.transports.base.Transport` (``inline`` serial
 reference, ``pool`` process pool, ``fqueue`` shared-filesystem worker
-queue) and guarantees four properties the studies rely on:
+queue, ``tcp`` socket stream for shared-nothing hosts) and guarantees
+four properties the studies rely on:
 
 **Determinism** — trial ``i`` draws from the seed stream
 ``SeedSequence(entropy=seed, spawn_key=(i,))`` (see
@@ -101,6 +102,7 @@ class RunStats:
     journaled_units: int = 0  # units replayed from a prior run's journal
     journaled_trials: int = 0
     transport: str = "inline"  # transport backend the run started on
+    transport_info: dict = field(default_factory=dict)  # its describe() record
     workers: dict = field(default_factory=dict)  # worker id -> heartbeat info
 
     @property
@@ -151,7 +153,7 @@ class CampaignRunner:
         ``<cache.path>/manifests`` when a cache is attached.
     transport:
         Execution backend: a registry name (``"inline"``, ``"pool"``,
-        ``"fqueue"``), a :class:`~repro.runtime.transports.base.
+        ``"fqueue"``, ``"tcp"``), a :class:`~repro.runtime.transports.base.
         Transport` instance (reused across runs; the caller owns its
         :meth:`shutdown`), or ``None`` to pick automatically from
         ``jobs`` (the historical behaviour).
@@ -295,5 +297,6 @@ class CampaignRunner:
             "journaled_units": stats.journaled_units,
             "journaled_trials": stats.journaled_trials,
             "transport": stats.transport,
+            "transport_info": dict(stats.transport_info),
         })
         return results

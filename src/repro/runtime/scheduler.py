@@ -68,6 +68,13 @@ LATENCY_EMA_ALPHA = 0.2
 #: flight before unit generation pauses.
 MIN_ADMISSION_WINDOW = 256
 
+#: Per-process run counter folded into task ids.  Stale-report immunity
+#: rests on task ids never recurring: a worker that outlives one run
+#: (tcp connections and fqueue claimants survive a resume) must not see
+#: a later run reuse ``<pid>-000001``, or its zombie report would be
+#: mistaken for the new task's.
+_RUN_SEQ = itertools.count()
+
 
 class UnitTimeoutError(TimeoutError):
     """A campaign unit exceeded its :class:`FaultPolicy` wall-clock budget."""
@@ -231,6 +238,7 @@ class CampaignScheduler:
         self._digests = {}  # unit -> cache digest, while outstanding
         self._tasks = {}  # task_id -> _TaskState
         self._unit_task = {}  # unit -> task_id
+        self._task_prefix = f"{os.getpid():x}-{next(_RUN_SEQ):x}"
         self._task_seq = 0
         self._ema_unit_s = None
         self._probed = False
@@ -362,7 +370,7 @@ class CampaignScheduler:
 
     def _next_task_id(self):
         self._task_seq += 1
-        return f"{os.getpid():x}-{self._task_seq:06x}"
+        return f"{self._task_prefix}-{self._task_seq:06x}"
 
     def _probe_picklability(self, task):
         """Decline process transports for workloads that cannot travel.
@@ -652,6 +660,9 @@ class CampaignScheduler:
         stats.transport = self.transport.name
         try:
             self.transport.open(self._ctx)
+            # Described after open so backends report bound resources
+            # (e.g. the tcp transport's actual listen port).
+            stats.transport_info = self.transport.describe()
             while True:
                 self._admit()
                 if not self._ready and not self._unit_task:

@@ -9,6 +9,7 @@ name      backend
 inline    synchronous in-process execution (the serial reference)
 pool      local :class:`~concurrent.futures.ProcessPoolExecutor`
 fqueue    shared-filesystem queue claimed by ``repro worker`` processes
+tcp       socket stream served to ``repro worker --connect`` processes
 ========  ==========================================================
 """
 
@@ -24,27 +25,38 @@ from repro.runtime.transports.base import (
 from repro.runtime.transports.fqueue import FileQueueTransport, worker_main
 from repro.runtime.transports.inline import LOCAL_WORKER, InlineTransport
 from repro.runtime.transports.pool import PoolTransport
+from repro.runtime.transports.tcp import TcpTransport, tcp_worker_main
 
 #: Registry of constructable transports by CLI/config name.
 TRANSPORTS = {
     "inline": InlineTransport,
     "pool": PoolTransport,
     "fqueue": FileQueueTransport,
+    "tcp": TcpTransport,
 }
 
 
 def create_transport(name, **kwargs):
-    """Build a transport by registry name (``inline``/``pool``/``fqueue``).
+    """Build a transport by registry name (see :data:`TRANSPORTS`).
 
     ``kwargs`` go to the backend constructor — e.g.
-    ``create_transport("fqueue", queue_dir=..., workers=4)``.
+    ``create_transport("fqueue", queue_dir=..., workers=4)`` or
+    ``create_transport("tcp", host="0.0.0.0", port=7777)``.  Options the
+    backend does not accept raise :class:`ValueError` naming the backend
+    (not a bare ``TypeError``), so a typo in ``transport_options``
+    surfaces as a configuration error.
     """
     try:
         factory = TRANSPORTS[name]
     except KeyError:
         known = ", ".join(sorted(TRANSPORTS))
         raise ValueError(f"unknown transport {name!r} (choose from: {known})")
-    return factory(**kwargs)
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise ValueError(
+            f"transport {name!r} rejected its options: {exc}"
+        ) from exc
 
 
 __all__ = [
@@ -58,6 +70,8 @@ __all__ = [
     "PoolTransport",
     "FileQueueTransport",
     "worker_main",
+    "TcpTransport",
+    "tcp_worker_main",
     "TRANSPORTS",
     "create_transport",
 ]

@@ -17,6 +17,12 @@ execution backends stay swappable:
     :class:`~repro.runtime.transports.fqueue.FileQueueTransport` — a
     shared-filesystem queue directory claimed by independently spawned
     ``python -m repro worker <queue-dir>`` processes.
+``tcp``
+    :class:`~repro.runtime.transports.tcp.TcpTransport` — a listening
+    socket served to ``python -m repro worker --connect HOST:PORT``
+    processes over length-prefixed, checksummed pickle frames; the
+    backend for hosts that share no filesystem (results stream over
+    the wire unless a shared cache is configured).
 
 The protocol is deliberately small.  A transport accepts
 :class:`Task`\\ s (one or more units grouped by the scheduler), reports

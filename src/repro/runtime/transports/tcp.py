@@ -1,0 +1,978 @@
+"""TCP socket transport: campaign tasks over a stream, no shared disk.
+
+The :class:`~repro.runtime.transports.fqueue.FileQueueTransport` needs a
+filesystem in common; this transport needs only a route.  The scheduler
+listens on a ``host:port``, independently launched
+``python -m repro worker --connect HOST:PORT`` processes dial in, and
+everything — tasks, claims, results, heartbeats, stop — travels as
+length-prefixed, versioned, CRC-checked pickle frames (see
+:mod:`~repro.runtime.transports.wire`).
+
+The claim/lease protocol is the fqueue one, translated from renames to
+messages, so the scheduler's fault machinery is reused unchanged:
+
+* **hello** — a connecting worker introduces itself; the scheduler
+  answers with the campaign payload (the pickled unit callable) and
+  counts the worker as capacity (``worker.connect`` event).
+* **claim** — the worker announces a task the moment it starts
+  executing it; the scheduler arms the same per-unit lease it arms for
+  a file-queue claim (``deadline_mode="claim"``).
+* **result streaming** — with no shared :class:`ResultCache`, unit
+  values ride the wire inside the result message, chunk-framed when
+  large.  With ``shared_cache=True`` the fqueue contract applies
+  instead: values go ``put``/verify into the cache and the message
+  carries only ``stored=True`` digest references.
+* **liveness** — each worker heartbeats from a background thread
+  (independent of task length).  A dropped connection requeues the
+  worker's outstanding tasks immediately — the stream's advantage over
+  the queue directory, where only staleness can prove death — while
+  heartbeat staleness still covers half-open connections that never
+  deliver an EOF.  Staleness is judged by scheduler-local arrival of
+  new heartbeat values, never by comparing clocks across hosts.
+* **stale-report immunity** — requeued units travel under fresh task
+  ids, so a zombie's late result names an unknown task and is dropped.
+
+Workers reconnect with jittered exponential backoff when the scheduler
+goes away (a ``--resume`` reuses them), drain gracefully on ``stop``,
+and discard their local task queue on disconnect — the scheduler has
+already requeued everything they held.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import selectors
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from repro import obs
+from repro.runtime.cache import MISS
+from repro.runtime.transports.base import (
+    Task,
+    Transport,
+    UnitOutcome,
+    _OutcomeBuffer,
+    execute_task_units,
+)
+from repro.runtime.transports.fqueue import (
+    HEARTBEAT_INTERVAL_S,
+    HEARTBEAT_STALE_S,
+    WORKER_ENV_FLAG,
+)
+from repro.runtime.transports.wire import MessageStream, WireError, encode_message
+
+#: Ceiling on one blocking send before the peer is presumed gone.
+SEND_TIMEOUT_S = 30.0
+
+#: Worker-side connect timeout per dial attempt.
+CONNECT_TIMEOUT_S = 5.0
+
+#: Worker reconnect backoff: base * 2**attempt, jittered, capped.
+BACKOFF_BASE_S = 0.1
+BACKOFF_CAP_S = 5.0
+
+#: Bytes pulled per ``recv`` when a socket is readable.
+RECV_BYTES = 65536
+
+
+def parse_address(address):
+    """Split ``"host:port"`` into ``(host, port)`` (port validated)."""
+    text = str(address).strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"address {address!r} is not HOST:PORT (e.g. 127.0.0.1:7777)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"address {address!r} has a non-numeric port")
+    if not 0 <= port <= 65535:
+        raise ValueError(f"address {address!r} port is out of range")
+    return host, port
+
+
+def _worker_env():
+    """Environment for a spawned worker: flag set, package importable."""
+    env = dict(os.environ)
+    env[WORKER_ENV_FLAG] = "1"
+    package_root = str(Path(__file__).resolve().parents[3])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        package_root + os.pathsep + existing if existing else package_root
+    )
+    return env
+
+
+class _Conn:
+    """Scheduler-side state of one worker connection."""
+
+    def __init__(self, sock, addr):
+        self.sock = sock
+        self.addr = addr
+        self.stream = MessageStream()
+        self.worker_id = None  # set by hello
+        self.pid = None  # set by hello
+        self.assigned = set()  # task ids sent down this connection
+        self.connected_at = time.monotonic()
+
+
+class TcpTransport(Transport):
+    """Scheduler-side endpoint of the socket protocol.
+
+    Parameters
+    ----------
+    host, port:
+        The listen address.  ``port=0`` binds an ephemeral port;
+        :meth:`ensure_listening` / :attr:`address` report the bound one
+        so externally launched workers know where to dial.
+    workers:
+        Worker processes to spawn locally and babysit
+        (``python -m repro worker --connect``).  ``0`` relies entirely
+        on workers launched elsewhere; dead spawned workers are
+        respawned, and ``policy.max_requeues`` bounds a workload that
+        keeps killing them.
+    queue_depth:
+        Tasks outstanding per live worker — the same backpressure knob
+        as fqueue's.
+    poll_s:
+        Scheduler-side select granularity while waiting for traffic.
+    worker_poll_s:
+        Idle receive tick passed to spawned workers.
+    stale_s:
+        Heartbeat age past which a connection is presumed half-open and
+        dropped (its tasks requeue).  Judged from scheduler-local
+        arrival of new heartbeat values, exactly as fqueue does.
+    shared_cache:
+        When true, workers write values into the campaign's shared
+        :class:`ResultCache` and results carry ``stored=True`` digest
+        references (requires a cache and a filesystem in common); when
+        false — the default, and the point of this transport — values
+        stream back over the wire.
+    """
+
+    name = "tcp"
+    requires_pickling = True
+    deadline_mode = "claim"
+    needs_poll_tick = True
+
+    def __init__(self, host="127.0.0.1", port=0, workers=0, queue_depth=2,
+                 poll_s=0.02, worker_poll_s=0.05, stale_s=HEARTBEAT_STALE_S,
+                 shared_cache=False):
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        if stale_s <= 0:
+            raise ValueError("stale_s must be positive")
+        if not 0 <= int(port) <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        self.host = str(host)
+        self.port = int(port)
+        self.workers = int(workers)
+        self.queue_depth = int(queue_depth)
+        self.poll_s = float(poll_s)
+        self.worker_poll_s = float(worker_poll_s)
+        self.stale_s = float(stale_s)
+        self.shared_cache = bool(shared_cache)
+        self._ctx = None
+        self._selector = None
+        self._listener = None
+        self._bound = None  # (host, port) actually bound
+        self._token = None
+        self._payload_msg = None
+        self._conns = []
+        self._inflight = {}  # task_id -> Task
+        self._claims = {}  # task_id -> worker id
+        self._pending = deque()  # submitted tasks not yet sent to a worker
+        self._procs = []
+        self._spawn_seq = 0
+        self._hb_seen = {}  # worker id -> last heartbeat value (worker clock)
+        self._hb_fresh = {}  # worker id -> local monotonic arrival of that value
+        self._buffer = _OutcomeBuffer()
+
+    # -- listening ---------------------------------------------------------
+    def ensure_listening(self):
+        """Bind and listen (idempotent); returns the bound ``(host, port)``.
+
+        Exposed so launchers can learn an ephemeral port *before* the
+        campaign starts and hand it to externally started workers.
+        """
+        if self._listener is None:
+            if self._selector is None:
+                self._selector = selectors.DefaultSelector()
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(64)
+            listener.settimeout(1.0)
+            self._listener = listener
+            self._bound = listener.getsockname()[:2]
+            self._selector.register(listener, selectors.EVENT_READ, None)
+        return self._bound
+
+    @property
+    def address(self):
+        """The bound ``"host:port"`` string (binds on first use)."""
+        host, port = self.ensure_listening()
+        return f"{host}:{port}"
+
+    # -- lifecycle ---------------------------------------------------------
+    def open(self, ctx):
+        """Start (or rejoin) a campaign run: publish payload, bring capacity."""
+        if self.shared_cache and ctx.cache is None:
+            raise ValueError(
+                "shared_cache=True needs a result cache: without one, "
+                "leave it off and let values stream over the wire"
+            )
+        self._ctx = ctx
+        self.ensure_listening()
+        self._inflight = {}
+        self._claims = {}
+        self._pending = deque()
+        self._buffer = _OutcomeBuffer()
+        self._token = f"{os.getpid():x}-{time.time_ns():x}"
+        try:
+            payload_pickle = pickle.dumps(ctx.worker)
+        except Exception:
+            # The callable cannot travel; publish an empty payload.  The
+            # scheduler's picklability probe hits the same failure before
+            # the first submission and swaps to inline, as fqueue does.
+            payload_pickle = None
+        cache_dir = None
+        if self.shared_cache and ctx.cache is not None:
+            cache_dir = str(ctx.cache.path)
+        self._payload_msg = encode_message({
+            "kind": "payload",
+            "token": self._token,
+            "payload_pickle": payload_pickle,
+            "collect": ctx.collect,
+            "cache_dir": cache_dir,
+        })
+        # A reused transport may still hold live connections from the
+        # previous run (close() keeps them warm for --resume): hand each
+        # the fresh payload so their next tasks run this campaign.
+        for conn in list(self._conns):
+            if conn.worker_id is not None:
+                self._send(conn, self._payload_msg)
+        self._reap_procs()
+        while len(self._procs) < self.workers:
+            self._spawn_worker()
+        capacity = len(self._procs) + sum(
+            1 for conn in self._conns if conn.worker_id is not None
+        )
+        if capacity:
+            self._buffer.signals.append({"kind": "spawn", "workers": capacity})
+
+    def _spawn_worker(self):
+        """Launch one ``python -m repro worker --connect`` child."""
+        self._spawn_seq += 1
+        worker_id = f"w{os.getpid()}-{self._spawn_seq}"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--connect", self.address, "--id", worker_id,
+                "--poll", str(self.worker_poll_s),
+            ],
+            env=_worker_env(),
+            stdout=subprocess.DEVNULL,
+        )
+        self._procs.append(proc)
+        return proc
+
+    def _reap_procs(self):
+        self._procs = [proc for proc in self._procs if proc.poll() is None]
+
+    def worker_pids(self):
+        """PIDs of the spawned workers (chaos tooling kills these)."""
+        return [proc.pid for proc in self._procs if proc.poll() is None]
+
+    def claim_holders(self):
+        """Worker ids currently holding a claimed task (smoke tooling).
+
+        Safe to call from another thread while a campaign drives the
+        transport: a concurrent mutation just reads as "no claims yet".
+        """
+        try:
+            return set(self._claims.values())
+        except RuntimeError:  # dict mutated mid-iteration by the poll loop
+            return set()
+
+    def connected_pids(self):
+        """``worker_id -> pid`` for every connection past its hello."""
+        return {
+            conn.worker_id: conn.pid
+            for conn in self._conns
+            if conn.worker_id is not None and conn.pid
+        }
+
+    # -- capacity ----------------------------------------------------------
+    def _live_workers(self):
+        connected = sum(1 for conn in self._conns if conn.worker_id is not None)
+        alive = sum(1 for proc in self._procs if proc.poll() is None)
+        return max(connected, alive, 1)
+
+    def slots(self):
+        """Bounded by ``queue_depth`` tasks per live worker."""
+        return max(self._live_workers() * self.queue_depth
+                   - len(self._inflight), 0)
+
+    # -- sending -----------------------------------------------------------
+    def _send(self, conn, data):
+        """Send bytes down one connection; drop the peer on failure."""
+        try:
+            conn.sock.settimeout(SEND_TIMEOUT_S)
+            conn.sock.sendall(data)
+            conn.sock.settimeout(0.0)
+            return True
+        except OSError:
+            self._drop_conn(conn, reason="send failed")
+            return False
+
+    def _pick_conn(self):
+        """The least-loaded hello'd connection with queue room, or None."""
+        best = None
+        for conn in self._conns:
+            if conn.worker_id is None:
+                continue
+            if len(conn.assigned) >= self.queue_depth:
+                continue
+            if best is None or len(conn.assigned) < len(best.assigned):
+                best = conn
+        return best
+
+    def _flush_pending(self):
+        """Assign parked tasks to connections as capacity allows."""
+        while self._pending:
+            conn = self._pick_conn()
+            if conn is None:
+                return
+            task = self._pending.popleft()
+            if task.task_id not in self._inflight:
+                continue  # expired while parked
+            spec = encode_message({
+                "kind": "task",
+                "token": self._token,
+                "task": task.task_id,
+                "indices": list(task.indices),
+                "items": list(task.items),
+                "digests": list(task.digests),
+            })
+            conn.assigned.add(task.task_id)
+            # A failed send drops the connection, which requeues this
+            # task (and the conn's others) for re-dispatch under fresh
+            # ids — never re-park it here, or it would run twice.
+            self._send(conn, spec)
+
+    # -- protocol ----------------------------------------------------------
+    def submit(self, task):
+        """Queue one task; it flows to a worker as soon as one has room."""
+        self._inflight[task.task_id] = task
+        self._pending.append(task)
+        self._flush_pending()
+
+    def poll(self, timeout):
+        """Service the sockets; collect outcomes, claims, heartbeats."""
+        deadline = time.monotonic() + max(timeout or 0.0, 0.0)
+        while True:
+            remaining = max(deadline - time.monotonic(), 0.0)
+            self._service(min(self.poll_s, remaining))
+            self._check_stale()
+            self._reap_and_respawn()
+            self._flush_pending()
+            if self._buffer:
+                return self._buffer.drain()
+            if time.monotonic() >= deadline:
+                return [], []
+
+    def _service(self, wait):
+        if self._selector is None:
+            time.sleep(wait)
+            return
+        for key, _ in self._selector.select(wait):
+            if key.data is None:
+                self._accept()
+            else:
+                self._read_conn(key.data)
+
+    def _accept(self):
+        try:
+            sock, addr = self._listener.accept()
+        except OSError:
+            return
+        sock.settimeout(0.0)
+        conn = _Conn(sock, addr)
+        self._conns.append(conn)
+        self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _read_conn(self, conn):
+        try:
+            data = conn.sock.recv(RECV_BYTES)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop_conn(conn, reason="read failed")
+            return
+        if not data:
+            self._drop_conn(conn, reason="disconnected")
+            return
+        try:
+            messages = conn.stream.feed(data)
+        except WireError as exc:
+            self._drop_conn(conn, reason=f"protocol error: {exc}")
+            return
+        for message in messages:
+            self._handle_message(conn, message)
+
+    def _handle_message(self, conn, message):
+        kind = message.get("kind") if isinstance(message, dict) else None
+        if kind == "hello":
+            self._on_hello(conn, message)
+        elif kind == "claim":
+            self._on_claim_msg(conn, message)
+        elif kind == "heartbeat":
+            self._on_heartbeat_msg(message)
+        elif kind == "result":
+            self._on_result(conn, message)
+        # unknown kinds are ignored (forward compatibility)
+
+    def _on_hello(self, conn, message):
+        conn.worker_id = str(message.get("worker") or f"conn{id(conn):x}")
+        conn.pid = message.get("pid")
+        self._hb_fresh[conn.worker_id] = time.monotonic()
+        obs.emit("worker.connect", worker=conn.worker_id,
+                 addr=f"{conn.addr[0]}:{conn.addr[1]}")
+        if self._payload_msg is not None:
+            if not self._send(conn, self._payload_msg):
+                return
+        self._buffer.signals.append({"kind": "spawn", "workers": 1})
+        self._flush_pending()
+
+    def _on_claim_msg(self, conn, message):
+        if message.get("token") != self._token:
+            return  # claim from a run this transport no longer serves
+        task_id = message.get("task")
+        if task_id in self._inflight and task_id not in self._claims:
+            self._claims[task_id] = conn.worker_id
+            self._buffer.signals.append({
+                "kind": "claim", "task_id": task_id, "worker": conn.worker_id,
+            })
+
+    def _on_heartbeat_msg(self, message):
+        worker = message.get("worker")
+        if worker is None:
+            return
+        t = float(message.get("t", 0.0))
+        if t <= self._hb_seen.get(worker, 0.0):
+            return
+        self._hb_seen[worker] = t
+        # Staleness is judged by when *we* saw a new value, not by the
+        # worker's wall clock (cross-host skew must not void live claims).
+        self._hb_fresh[worker] = time.monotonic()
+        self._buffer.signals.append({
+            "kind": "heartbeat",
+            "worker": worker,
+            "lag_s": max(time.time() - t, 0.0),
+            "pid": message.get("pid"),
+            "units_done": message.get("units_done", 0),
+        })
+
+    def _on_result(self, conn, message):
+        if message.get("token") != self._token:
+            return  # zombie report from a prior run: drop it unprocessed
+        task_id = message.get("task")
+        conn.assigned.discard(task_id)
+        task = self._inflight.pop(task_id, None)
+        self._claims.pop(task_id, None)
+        if task is None:
+            return  # stale report from a requeued task: ignore
+        self._buffer.outcomes.extend(self._report_outcomes(task, message))
+
+    def _report_outcomes(self, task, report):
+        digest_of = dict(zip(task.indices, task.digests))
+        worker = report.get("worker")
+        for entry in report.get("units", ()):
+            index = entry["index"]
+            if not entry.get("ok"):
+                error = entry.get("error") or RuntimeError(
+                    f"tcp worker {worker} failed unit {index}"
+                )
+                yield UnitOutcome(
+                    index=index, kind="error", error=error, worker=worker,
+                    elapsed_s=entry.get("elapsed_s"),
+                )
+                continue
+            if entry.get("stored"):
+                value = self._ctx.cache.peek(digest_of[index])
+                if value is MISS:
+                    yield UnitOutcome(
+                        index=index, kind="error", worker=worker,
+                        error=RuntimeError(
+                            f"tcp worker {worker} reported unit {index} "
+                            f"stored but its result never reached the "
+                            f"shared cache"
+                        ),
+                    )
+                    continue
+            else:
+                try:
+                    value = pickle.loads(entry["value_pickle"])
+                except Exception as exc:
+                    yield UnitOutcome(
+                        index=index, kind="error", worker=worker,
+                        error=RuntimeError(
+                            f"unit {index} result from worker {worker} "
+                            f"did not survive the wire: {exc!r}"
+                        ),
+                    )
+                    continue
+            yield UnitOutcome(
+                index=index, kind="ok", value=value, worker=worker,
+                elapsed_s=entry.get("elapsed_s"),
+                telemetry=entry.get("telemetry"),
+                stored=bool(entry.get("stored")),
+            )
+
+    # -- failure detection -------------------------------------------------
+    def _drop_conn(self, conn, reason):
+        """Forget a connection and requeue everything it was holding.
+
+        A closed stream is proof of death the queue directory never
+        gets: the tasks come back as ``requeue`` outcomes immediately,
+        with no staleness wait, and are re-dispatched under fresh ids —
+        so a late result from a zombie (it reconnected, or the kernel
+        delivered its last write) names an unknown task and is dropped.
+        """
+        if conn not in self._conns:
+            return
+        self._conns.remove(conn)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        if conn.worker_id is not None:
+            self._hb_fresh.pop(conn.worker_id, None)
+            obs.emit("worker.disconnect", worker=conn.worker_id, reason=reason)
+        for task_id in conn.assigned:
+            task = self._inflight.pop(task_id, None)
+            self._claims.pop(task_id, None)
+            if task is None:
+                continue
+            self._buffer.outcomes.extend(
+                UnitOutcome(index=i, kind="requeue") for i in task.indices
+            )
+        conn.assigned = set()
+
+    def _check_stale(self):
+        """Drop half-open connections whose heartbeats went stale.
+
+        SIGKILL closes the socket and arrives as EOF; this guards the
+        cases that never EOF (network partition, a wedged peer whose
+        kernel keeps the connection open).  Workers heartbeat from a
+        background thread, so a long unit cannot look stale.
+        """
+        now = time.monotonic()
+        for conn in list(self._conns):
+            if conn.worker_id is None:
+                continue
+            last = max(self._hb_fresh.get(conn.worker_id, 0.0),
+                       conn.connected_at)
+            if now - last > self.stale_s:
+                self._drop_conn(conn, reason="heartbeat stale")
+
+    def _reap_and_respawn(self):
+        for proc in list(self._procs):
+            if proc.poll() is None:
+                continue
+            self._procs.remove(proc)
+            if len(self._procs) < self.workers:
+                self._spawn_worker()
+                self._buffer.signals.append({"kind": "respawn"})
+
+    def expire(self, task_ids):
+        """Void dead leases: forget the tasks, tell their holders."""
+        cancelled = {}
+        expired = set(task_ids)
+        for task_id in task_ids:
+            self._inflight.pop(task_id, None)
+            self._claims.pop(task_id, None)
+            for conn in self._conns:
+                if task_id in conn.assigned:
+                    conn.assigned.discard(task_id)
+                    cancelled.setdefault(id(conn), (conn, []))[1].append(task_id)
+        self._pending = deque(
+            task for task in self._pending if task.task_id not in expired
+        )
+        for conn, ids in cancelled.values():
+            self._send(conn, encode_message({"kind": "cancel", "tasks": ids}))
+        return self._buffer.drain()
+
+    def close(self, hard=False):
+        """End this campaign run; connections stay warm for the next.
+
+        Outstanding tasks are withdrawn (workers get a ``cancel`` for
+        anything still queued on their side); dropping the workers and
+        the listener is :meth:`shutdown`'s job so a transport instance
+        can be reused across runs — including a ``--resume``.
+        """
+        for conn in list(self._conns):
+            if conn.assigned:
+                self._send(conn, encode_message({
+                    "kind": "cancel", "tasks": sorted(conn.assigned),
+                }))
+                conn.assigned = set()
+        self._inflight.clear()
+        self._claims.clear()
+        self._pending = deque()
+        self._payload_msg = None
+        self._buffer = _OutcomeBuffer()
+
+    def shutdown(self):
+        """Drain workers (``stop`` message), close sockets, reap children."""
+        self.close(hard=True)
+        stop = encode_message({"kind": "stop"})
+        for conn in list(self._conns):
+            self._send(conn, stop)
+        for conn in list(self._conns):
+            self._drop_conn(conn, reason="shutdown")
+        if self._listener is not None:
+            try:
+                self._selector.unregister(self._listener)
+            except (KeyError, ValueError, OSError):
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+            self._bound = None
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        for proc in self._procs:
+            try:
+                proc.terminate()
+                proc.wait(timeout=5.0)
+            except (OSError, subprocess.TimeoutExpired):
+                proc.kill()
+        self._procs = []
+
+    def describe(self):
+        """Backend description for run records."""
+        return {
+            "transport": self.name,
+            "address": f"{self.host}:{self.port}" if self._bound is None
+            else f"{self._bound[0]}:{self._bound[1]}",
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "shared_cache": self.shared_cache,
+        }
+
+
+# -- worker side ---------------------------------------------------------
+class _WireHeartbeat:
+    """Background heartbeat sender: liveness decoupled from task length.
+
+    The mirror of fqueue's heartbeat file thread: a daemon thread sends
+    a heartbeat message every :data:`HEARTBEAT_INTERVAL_S` under the
+    connection's send lock, so a unit that computes for minutes still
+    proves its worker alive, while hard death kills the thread with the
+    process and the scheduler sees EOF (or staleness).  Send failures
+    are swallowed — the main loop notices the broken stream itself.
+    """
+
+    def __init__(self, sock, lock, worker_id):
+        self._sock = sock
+        self._lock = lock
+        self._worker_id = worker_id
+        self.units_done = 0
+        self.tasks_done = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{worker_id}", daemon=True
+        )
+
+    def beat(self):
+        """Send one heartbeat now (progress counters included)."""
+        message = encode_message({
+            "kind": "heartbeat",
+            "worker": self._worker_id,
+            "pid": os.getpid(),
+            "t": time.time(),
+            "units_done": self.units_done,
+            "tasks_done": self.tasks_done,
+        })
+        try:
+            with self._lock:
+                self._sock.settimeout(SEND_TIMEOUT_S)
+                self._sock.sendall(message)
+        except OSError:
+            pass
+
+    def _run(self):
+        while not self._stop.wait(HEARTBEAT_INTERVAL_S):
+            self.beat()
+
+    def __enter__(self):
+        self.beat()
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=HEARTBEAT_INTERVAL_S)
+
+
+class _Campaign:
+    """Worker-side view of the currently published campaign payload."""
+
+    def __init__(self, message):
+        self.token = message.get("token")
+        self.collect = bool(message.get("collect"))
+        self.cache = None
+        self.worker_fn = None
+        self.error = None
+        cache_dir = message.get("cache_dir")
+        payload_pickle = message.get("payload_pickle")
+        if payload_pickle is None:
+            self.error = "the campaign payload was withheld (unpicklable)"
+            return
+        try:
+            self.worker_fn = pickle.loads(payload_pickle)
+        except Exception as exc:
+            # Mirror fqueue: a payload that cannot load here must fail
+            # loudly per task, not strand the scheduler.
+            self.error = (
+                f"worker could not load the campaign payload: {exc!r}"
+            )
+            return
+        if cache_dir is not None:
+            from repro.runtime.cache import ResultCache
+
+            self.cache = ResultCache(cache_dir)
+
+
+def _result_entries(outcomes, digest_of, campaign, worker_id):
+    """Build result-message unit entries (cache refs or wire values)."""
+    entries = []
+    for outcome in outcomes:
+        entry = {
+            "index": outcome.index,
+            "ok": outcome.kind == "ok",
+            "elapsed_s": outcome.elapsed_s,
+        }
+        if outcome.kind != "ok":
+            entry["error"] = outcome.error
+            entries.append(entry)
+            continue
+        if campaign.cache is not None:
+            digest = digest_of[outcome.index]
+            campaign.cache.put(digest, outcome.value)
+            if not campaign.cache.contains(digest):
+                entry["ok"] = False
+                entry["error"] = RuntimeError(
+                    f"worker {worker_id} could not persist unit "
+                    f"{outcome.index} into the shared cache"
+                )
+            else:
+                entry["stored"] = True
+                entry["telemetry"] = outcome.telemetry
+            entries.append(entry)
+            continue
+        try:
+            entry["value_pickle"] = pickle.dumps(outcome.value)
+        except Exception as exc:
+            entry["ok"] = False
+            entry["error"] = RuntimeError(
+                f"unit {outcome.index} result could not be pickled "
+                f"for the wire: {exc!r}"
+            )
+        else:
+            entry["telemetry"] = outcome.telemetry
+        entries.append(entry)
+    return entries
+
+
+def _encode_result(token, task_id, worker_id, entries):
+    """Encode a result message, sanitizing anything that won't pickle."""
+    message = {"kind": "result", "token": token, "task": task_id,
+               "worker": worker_id, "units": entries}
+    try:
+        return encode_message(message)
+    except Exception:
+        safe = [
+            {
+                "index": e["index"],
+                "ok": bool(e.get("ok")) and "error" not in e,
+                "elapsed_s": e.get("elapsed_s"),
+                **({"stored": True} if e.get("stored") else {}),
+                **({"value_pickle": e["value_pickle"]}
+                   if "value_pickle" in e else {}),
+                **({"error": RuntimeError(repr(e.get("error")))}
+                   if not e.get("ok") else {}),
+            }
+            for e in entries
+        ]
+        return encode_message({"kind": "result", "token": token,
+                               "task": task_id, "worker": worker_id,
+                               "units": safe})
+
+
+class _ConnectionLost(Exception):
+    """The stream to the scheduler broke; reconnect and start over."""
+
+
+def _locked_send(sock, lock, data):
+    """Send under the connection lock; broken stream raises."""
+    try:
+        with lock:
+            sock.settimeout(SEND_TIMEOUT_S)
+            sock.sendall(data)
+    except OSError:
+        raise _ConnectionLost
+
+
+def _run_task(sock, lock, spec, campaign, worker_id, hb):
+    """Claim, execute, and report one task message."""
+    task_id = spec.get("task")
+    if campaign is None or spec.get("token") != campaign.token:
+        return  # a stale task from a withdrawn run: drop it
+    if campaign.error is not None:
+        entries = [
+            {"index": index, "ok": False, "elapsed_s": 0.0,
+             "error": RuntimeError(campaign.error)}
+            for index in spec["indices"]
+        ]
+        _locked_send(sock, lock, _encode_result(
+            campaign.token, task_id, worker_id, entries,
+        ))
+        return
+    _locked_send(sock, lock, encode_message({
+        "kind": "claim", "token": campaign.token, "task": task_id,
+        "worker": worker_id,
+    }))
+    task = Task(
+        task_id=task_id,
+        indices=tuple(spec["indices"]),
+        items=tuple(spec["items"]),
+        digests=tuple(spec["digests"]),
+    )
+    outcomes = execute_task_units(
+        campaign.worker_fn, task, campaign.collect, worker_id
+    )
+    digest_of = dict(zip(task.indices, task.digests))
+    entries = _result_entries(outcomes, digest_of, campaign, worker_id)
+    _locked_send(sock, lock, _encode_result(
+        campaign.token, task_id, worker_id, entries,
+    ))
+    hb.units_done += len(task)
+    hb.tasks_done += 1
+    hb.beat()  # publish fresh counters without waiting for the tick
+
+
+def _serve_connection(sock, worker_id, poll_s):
+    """One connected session; returns True on graceful stop."""
+    stream = MessageStream()
+    lock = threading.Lock()
+    campaign = None
+    queue = deque()
+    draining = False
+    try:
+        _locked_send(sock, lock, encode_message({
+            "kind": "hello", "worker": worker_id, "pid": os.getpid(),
+        }))
+        with _WireHeartbeat(sock, lock, worker_id) as hb:
+            while True:
+                if queue:
+                    _run_task(sock, lock, queue.popleft(), campaign,
+                              worker_id, hb)
+                    continue
+                if draining:
+                    return True
+                try:
+                    sock.settimeout(poll_s)
+                    data = sock.recv(RECV_BYTES)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return False
+                if not data:
+                    return False
+                try:
+                    messages = stream.feed(data)
+                except WireError:
+                    return False
+                for message in messages:
+                    kind = message.get("kind")
+                    if kind == "payload":
+                        campaign = _Campaign(message)
+                    elif kind == "task":
+                        queue.append(message)
+                    elif kind == "cancel":
+                        dropped = set(message.get("tasks") or ())
+                        queue = deque(
+                            spec for spec in queue
+                            if spec.get("task") not in dropped
+                        )
+                    elif kind == "stop":
+                        draining = True
+    except _ConnectionLost:
+        return False
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def tcp_worker_main(address, worker_id=None, poll_s=0.05):
+    """Run one socket worker until the scheduler says stop.
+
+    Dials ``address`` (``"host:port"``), introduces itself, and serves
+    the claim/execute/report loop.  A lost connection — the scheduler
+    restarted, the network hiccuped — is retried forever with jittered
+    exponential backoff (the scheduler requeued everything this worker
+    held, and discarding the local queue on reconnect keeps the two
+    views consistent); a ``stop`` message drains gracefully and exits.
+    """
+    host, port = parse_address(address)
+    worker_id = worker_id or f"w{os.getpid()}"
+    prior = os.environ.get(WORKER_ENV_FLAG)
+    os.environ[WORKER_ENV_FLAG] = "1"
+    rng = random.Random(os.getpid() ^ time.time_ns())
+    failures = 0
+    try:
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=CONNECT_TIMEOUT_S
+                )
+            except OSError:
+                failures += 1
+                delay = min(BACKOFF_CAP_S, BACKOFF_BASE_S * 2 ** (failures - 1))
+                time.sleep(delay * (0.5 + rng.random() / 2))
+                continue
+            failures = 0
+            if _serve_connection(sock, worker_id, poll_s):
+                return 0
+            # Disconnected mid-campaign: brief jittered pause, then dial
+            # again — the scheduler may just be restarting for a resume.
+            time.sleep(BACKOFF_BASE_S * (0.5 + rng.random() / 2))
+    finally:
+        # Restore the caller's environment (worker_main parity): a
+        # leaked worker flag would let chaos exit fates kill the host.
+        if prior is None:
+            os.environ.pop(WORKER_ENV_FLAG, None)
+        else:
+            os.environ[WORKER_ENV_FLAG] = prior

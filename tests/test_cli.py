@@ -174,6 +174,39 @@ class TestMain:
         assert "trials/s" not in err
 
 
+class TestWorkerCLI:
+    """``repro worker`` argument validation (both queue-dir and tcp modes)."""
+
+    def test_needs_exactly_one_mode(self, capsys):
+        from repro.cli import run_worker
+
+        assert run_worker([]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+        assert run_worker(["/tmp/q", "--connect", "h:1"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_once_rejected_for_tcp_workers(self, capsys):
+        from repro.cli import run_worker
+
+        assert run_worker(["--connect", "h:1", "--once"]) == 2
+        assert "--once applies only" in capsys.readouterr().err
+
+    def test_malformed_connect_address_is_a_clean_error(self, capsys):
+        from repro.cli import run_worker
+
+        assert run_worker(["--connect", "nohost"]) == 2
+        assert "not HOST:PORT" in capsys.readouterr().err
+        assert run_worker(["--connect", "h:notaport"]) == 2
+        assert "non-numeric port" in capsys.readouterr().err
+
+    def test_malformed_listen_address_is_a_clean_error(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        with pytest.raises(SystemExit, match="--listen.*non-numeric port"):
+            main(["fi", "--trials", "8", "--no-cache",
+                  "--transport", "tcp", "--listen", "127.0.0.1:bad"])
+
+
 class TestReportAndWatchCLI:
     """The flight-recorder surface: report --list/--diff/exports, watch."""
 

@@ -1,6 +1,7 @@
-"""Distributed campaign fabric: transport parity, file-queue chaos and
-worker churn, concurrent cache writers, engine-ladder reuse, and
-per-worker attribution (repro.runtime.{scheduler,transports} et al.)."""
+"""Distributed campaign fabric: transport parity, file-queue and tcp
+chaos and worker churn, concurrent cache writers, engine-ladder reuse,
+and per-worker attribution (repro.runtime.{scheduler,transports} et
+al.)."""
 
 import json
 import os
@@ -23,6 +24,7 @@ from repro.runtime import (
     InlineTransport,
     PoolTransport,
     ResultCache,
+    TcpTransport,
     create_transport,
 )
 from repro.runtime.cache import MISS
@@ -80,6 +82,84 @@ class TestTransportRegistry:
         )
         with pytest.raises(ValueError, match="cache"):
             runner.run_trials(_draw_chunk, 12, seed=5)
+
+    def test_create_tcp_by_name(self):
+        transport = create_transport("tcp", workers=1)
+        assert isinstance(transport, TcpTransport)
+        transport.shutdown()
+
+    @pytest.mark.parametrize("name,kwargs", [
+        ("inline", {"workers": 2}),
+        ("pool", {"queue_dir": "/nope"}),
+        ("fqueue", {"queue_dir": "/tmp/q", "listen": "host:1"}),
+        ("tcp", {"queue_dir": "/nope"}),
+    ])
+    def test_bad_options_name_the_backend(self, name, kwargs):
+        """A kwarg the backend's constructor rejects surfaces as a
+        ValueError naming the backend, not a bare TypeError."""
+        with pytest.raises(ValueError, match=f"transport {name!r} rejected"):
+            create_transport(name, **kwargs)
+
+    def test_tcp_shared_cache_requires_cache(self):
+        runner = CampaignRunner(
+            jobs=2, transport="tcp",
+            transport_options={"workers": 1, "shared_cache": True},
+        )
+        with pytest.raises(ValueError, match="cache"):
+            runner.run_trials(_draw_chunk, 12, seed=5)
+
+    def test_tcp_rejects_malformed_listen_address(self):
+        from repro.runtime.transports.tcp import parse_address
+
+        for bad in ("nohost", "host:notaport", "host:-1", ":"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+        assert parse_address("0.0.0.0:9100") == ("0.0.0.0", 9100)
+
+
+class TestDescribeRoundTrip:
+    """Every backend's describe() record lands in the campaign notes
+    (and from there in recorded run documents) with its live config."""
+
+    def _last_note(self):
+        notes = obs.campaign_notes()
+        assert notes
+        return notes[-1]["transport_info"]
+
+    def test_inline_and_pool(self):
+        with obs.collecting():
+            CampaignRunner(jobs=1).run_trials(_draw_chunk, 6, seed=5)
+            assert self._last_note() == {"transport": "inline"}
+            CampaignRunner(jobs=2, transport="pool").run_trials(
+                _draw_chunk, 12, seed=5
+            )
+            assert self._last_note() == {"transport": "pool", "workers": 2}
+
+    def test_fqueue(self, tmp_path):
+        with obs.collecting():
+            CampaignRunner(
+                jobs=1, cache=ResultCache(tmp_path / "cache"),
+                transport="fqueue",
+                transport_options=_fqueue_options(tmp_path, 1),
+            ).run_trials(_draw_chunk, 12, seed=5)
+            info = self._last_note()
+        assert info["transport"] == "fqueue"
+        assert info["queue_dir"] == str(tmp_path / "queue")
+        assert info["workers"] == 1
+
+    def test_tcp_reports_bound_address(self):
+        """The recorded address is the *bound* port, not the 0 the
+        transport was configured with."""
+        with obs.collecting():
+            CampaignRunner(
+                jobs=1, policy=FaultPolicy(**FAST), transport="tcp",
+                transport_options={"workers": 1},
+            ).run_trials(_draw_chunk, 12, seed=5)
+            info = self._last_note()
+        assert info["transport"] == "tcp"
+        host, port = info["address"].rsplit(":", 1)
+        assert int(port) > 0
+        assert info["workers"] == 1
 
 
 class TestTransportParity:
@@ -561,6 +641,242 @@ class TestWorkerAttribution:
         runner.run_trials(_draw_chunk, 36, seed=5)
         assert runner.stats.workers
         assert all(w.startswith("w") for w in runner.stats.workers)
+
+
+def _big_chunk(chunk):
+    """Worker whose per-unit result pickle exceeds one wire chunk."""
+    return [b"\xa5" * (300 * 1024) + i.to_bytes(4, "big") for i in chunk.indices]
+
+
+class TestTcpParity:
+    """The socket transport must reproduce the inline reference exactly,
+    with and without a shared cache (the two result channels)."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_tcp_matches_inline_without_cache(self, workers):
+        """No cache in common: values stream over the wire."""
+        reference = _reference()
+        runner = CampaignRunner(
+            jobs=workers, chunk_size=6, policy=FaultPolicy(**FAST),
+            transport="tcp", transport_options={"workers": workers},
+        )
+        assert runner.run_trials(_draw_chunk, 60, seed=5) == reference
+        assert runner.stats.transport == "tcp"
+        assert runner.stats.workers  # outcomes attribute their executor
+
+    def test_tcp_matches_inline_with_shared_cache(self, tmp_path):
+        """Shared cache: workers publish values, stored refs on the wire."""
+        reference = _reference()
+        runner = CampaignRunner(
+            jobs=2, chunk_size=6, cache=ResultCache(tmp_path / "cache"),
+            policy=FaultPolicy(**FAST), transport="tcp",
+            transport_options={"workers": 2, "shared_cache": True},
+        )
+        assert runner.run_trials(_draw_chunk, 60, seed=5) == reference
+
+    def test_tcp_map_matches_inline(self):
+        items = [float(i) for i in range(18)]
+        reference = CampaignRunner(jobs=1).map(_square, items, key=("sq",))
+        runner = CampaignRunner(
+            jobs=2, policy=FaultPolicy(**FAST), transport="tcp",
+            transport_options={"workers": 2},
+        )
+        assert runner.map(_square, items, key=("sq",)) == reference
+
+    def test_large_values_stream_in_chunked_frames(self):
+        """Result pickles past DEFAULT_CHUNK_BYTES travel chunked and
+        reassemble bit-identically."""
+        reference = CampaignRunner(jobs=1, chunk_size=3).run_trials(
+            _big_chunk, 9, seed=5
+        )
+        runner = CampaignRunner(
+            jobs=2, chunk_size=3, policy=FaultPolicy(**FAST),
+            transport="tcp", transport_options={"workers": 2},
+        )
+        assert runner.run_trials(_big_chunk, 9, seed=5) == reference
+
+    def test_explicit_tcp_instance_is_reused_across_runs(self):
+        """close() keeps workers connected; a second campaign reuses
+        them without respawning or re-listening."""
+        transport = TcpTransport(workers=2)
+        try:
+            first = CampaignRunner(
+                jobs=2, chunk_size=6, policy=FaultPolicy(**FAST),
+                transport=transport,
+            ).run_trials(_draw_chunk, 30, seed=5)
+            pids = transport.worker_pids()
+            assert pids
+            second = CampaignRunner(
+                jobs=2, chunk_size=6, policy=FaultPolicy(**FAST),
+                transport=transport,
+            ).run_trials(_draw_chunk, 30, seed=6)
+            assert transport.worker_pids() == pids
+            assert first == _reference(n_trials=30)
+            assert second == _reference(n_trials=30, seed=6)
+        finally:
+            transport.shutdown()
+        assert not transport.worker_pids()
+
+    def test_unpicklable_worker_falls_back_to_inline(self):
+        runner = CampaignRunner(
+            jobs=2, policy=FaultPolicy(**FAST), transport="tcp",
+            transport_options={"workers": 2},
+        )
+        offsets = iter(range(100))  # closure over a generator: not picklable
+        records = runner.run_trials(
+            lambda chunk: [float(i + next(offsets) * 0) for i in chunk.indices],
+            12, seed=5,
+        )
+        assert records == [float(i) for i in range(12)]
+        assert runner.stats.fallback_reason is not None
+        assert runner.stats.transport == "tcp"  # the run started on tcp
+
+
+class TestTcpFaults:
+    """Worker death, chaos fates, and interrupt/resume over sockets."""
+
+    def test_chaos_fates_bit_identical(self, tmp_path):
+        reference = _reference(n_trials=40, chunk_size=5)
+        spec = ChaosSpec(
+            raise_rate=0.2, exit_rate=0.1, slow_rate=0.1,
+            slow_s=0.01, fail_attempts=1, seed=7,
+        )
+        worker = ChaosWorker(_draw_chunk, spec, tmp_path / "chaos")
+        runner = CampaignRunner(
+            jobs=4, chunk_size=5, cache=ResultCache(tmp_path / "cache"),
+            policy=FaultPolicy(max_retries=6, **FAST),
+            transport="tcp", transport_options={"workers": 4},
+        )
+        assert runner.run_trials(worker, 40, seed=5) == reference
+
+    def test_sigkilled_claimant_requeues_without_retry_penalty(self, tmp_path):
+        """SIGKILL a connected worker holding a claim: the disconnect
+        voids the claim immediately, survivors finish bit-identically,
+        and a zero-retry policy is untouched (requeue, not error)."""
+        reference = _reference(n_trials=60, chunk_size=4)
+        spec = ChaosSpec(slow_rate=1.0, slow_s=0.03, fail_attempts=10 ** 6)
+        worker = ChaosWorker(_draw_chunk, spec, tmp_path / "chaos")
+        transport = TcpTransport(workers=2, queue_depth=1)
+        killed = []
+
+        def kill_first_claimant():
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline and not killed:
+                holders = transport.claim_holders()
+                if holders:
+                    victim = sorted(holders)[0]
+                    pid = transport.connected_pids().get(victim)
+                    if pid:
+                        os.kill(pid, signal.SIGKILL)
+                        killed.append(victim)
+                        return
+                time.sleep(0.005)
+
+        killer = threading.Thread(target=kill_first_claimant)
+        killer.start()
+        try:
+            runner = CampaignRunner(
+                jobs=2, chunk_size=4,
+                policy=FaultPolicy(max_retries=0, **FAST),
+                transport=transport,
+            )
+            records = runner.run_trials(worker, 60, seed=5)
+        finally:
+            killer.join()
+            transport.shutdown()
+        assert killed, "no claim was ever observed to kill"
+        assert records == reference
+        assert runner.stats.requeues >= 1
+        assert runner.stats.retries == 0
+
+    def test_midrun_interrupt_then_resume_is_bit_identical(self, tmp_path):
+        """SIGINT mid-campaign, then --resume semantics over the SAME
+        still-connected transport: the continuation is exact."""
+        reference = _reference(n_trials=40, chunk_size=4)
+        cache = ResultCache(tmp_path / "cache")
+        spec = ChaosSpec(slow_rate=1.0, slow_s=0.02, fail_attempts=10 ** 6)
+        worker = ChaosWorker(_draw_chunk, spec, tmp_path / "chaos")
+        transport = TcpTransport(workers=2)
+        progressed = []
+
+        def interrupt_after(event):
+            progressed.append(event)
+            if len(progressed) >= 3:
+                raise KeyboardInterrupt
+
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                CampaignRunner(
+                    jobs=2, chunk_size=4, cache=cache,
+                    progress=interrupt_after, policy=FaultPolicy(**FAST),
+                    transport=transport,
+                ).run_trials(worker, 40, seed=5)
+            resumed = CampaignRunner(
+                jobs=2, chunk_size=4, cache=cache, resume=True,
+                policy=FaultPolicy(**FAST), transport=transport,
+            )
+            assert resumed.run_trials(worker, 40, seed=5) == reference
+            assert resumed.stats.resumed
+        finally:
+            transport.shutdown()
+
+    def test_connect_and_disconnect_events_are_emitted(self):
+        with obs.collecting():
+            CampaignRunner(
+                jobs=1, chunk_size=6, policy=FaultPolicy(**FAST),
+                transport="tcp", transport_options={"workers": 1},
+            ).run_trials(_draw_chunk, 12, seed=5)
+            events = obs.EVENTS.drain()
+        kinds = [e["ev"] for e in events]
+        assert "worker.connect" in kinds
+        assert "worker.disconnect" in kinds  # shutdown() drops the conn
+        connect = next(e for e in events if e["ev"] == "worker.connect")
+        assert connect["worker"]
+
+
+class TestTcpExternalWorkers:
+    """Independently launched ``repro worker --connect`` processes."""
+
+    def _external_worker(self, address, worker_id):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--connect", address, "--id", worker_id, "--poll", "0.02",
+            ],
+            env=env, stdout=subprocess.DEVNULL,
+        )
+
+    def test_dialed_in_workers_run_the_campaign_then_drain(self):
+        """workers=0 scheduler + two external dialers: parity holds and
+        a STOP drains both gracefully (exit code 0)."""
+        reference = _reference(n_trials=30, chunk_size=3)
+        transport = TcpTransport(workers=0)
+        host, port = transport.ensure_listening()
+        procs = [
+            self._external_worker(f"{host}:{port}", wid)
+            for wid in ("ext1", "ext2")
+        ]
+        try:
+            runner = CampaignRunner(
+                jobs=2, chunk_size=3, policy=FaultPolicy(**FAST),
+                transport=transport,
+            )
+            records = runner.run_trials(_draw_chunk, 30, seed=5)
+            assert records == reference
+            assert set(runner.stats.workers) & {"ext1", "ext2"}
+        finally:
+            transport.shutdown()
+            codes = []
+            for proc in procs:
+                try:
+                    codes.append(proc.wait(timeout=20))
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    codes.append("killed")
+        assert codes == [0, 0]  # STOP drained both workers cleanly
 
 
 def _refuse_rebuild():
