@@ -57,6 +57,7 @@ from repro.runtime import (  # noqa: E402
     ResultCache,
     TcpTransport,
 )
+from repro.runtime.transports.tcp import AUTH_ENV  # noqa: E402
 
 # Tight backoff/poll so the check stays fast; a generous retry budget so
 # a voided lease (the murdered worker's units) never exhausts a unit.
@@ -140,6 +141,7 @@ def _spawn_external_worker(kind, transport, worker_id):
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     if kind == "tcp":
         host, port = transport.ensure_listening()
+        env[AUTH_ENV] = transport.auth  # the handshake secret
         target = ["--connect", f"{host}:{port}"]
     else:
         target = [str(transport.queue_dir)]

@@ -99,6 +99,7 @@ def _runtime_kwargs(args):
             "host": host,
             "port": port,
             "workers": args.workers,
+            "auth": args.auth,
         }
     elif transport != "auto":
         kwargs["transport"] = transport
@@ -462,6 +463,13 @@ def build_parser():
              "an ephemeral localhost port)",
     )
     runtime.add_argument(
+        "--auth", default=None, metavar="SECRET",
+        help="shared secret for --transport tcp's connection handshake "
+             "(default: $REPRO_TCP_AUTH, else a random secret only "
+             "spawned workers inherit); externally launched workers must "
+             "be given the same secret — see docs/distributed.md",
+    )
+    runtime.add_argument(
         "--workers", type=_jobs_count, default=1, metavar="N",
         help="fqueue/tcp workers to spawn and babysit (0 = rely on "
              "externally launched 'repro worker' processes; default 1)",
@@ -643,6 +651,11 @@ def build_worker_parser():
         help="drain the queue and exit instead of waiting for more work "
              "(queue-directory mode only)",
     )
+    parser.add_argument(
+        "--auth", default=None, metavar="SECRET",
+        help="shared handshake secret of the scheduler being dialed "
+             "(--connect mode only; default $REPRO_TCP_AUTH)",
+    )
     return parser
 
 
@@ -666,8 +679,12 @@ def run_worker(argv):
             print(f"--connect: {exc}", file=sys.stderr)
             return 2
         return tcp_worker_main(
-            args.connect, worker_id=args.id, poll_s=args.poll
+            args.connect, worker_id=args.id, poll_s=args.poll,
+            auth=args.auth,
         )
+    if args.auth is not None:
+        print("--auth applies only to --connect workers", file=sys.stderr)
+        return 2
     from repro.runtime import worker_main
 
     return worker_main(

@@ -11,6 +11,17 @@ length-prefixed, versioned, CRC-checked pickle frames (see
 The claim/lease protocol is the fqueue one, translated from renames to
 messages, so the scheduler's fault machinery is reused unchanged:
 
+* **authentication** — the messages are pickles, and unpickling bytes
+  from an unauthenticated socket would hand arbitrary code execution to
+  anyone who can reach the port.  Every connection therefore starts
+  with the wire layer's mutual HMAC challenge/response over a shared
+  secret (``--auth`` / ``$REPRO_TCP_AUTH``; auto-generated and passed
+  to spawned workers through their environment when not configured):
+  the scheduler deserializes nothing from a peer that has not answered
+  its challenge, and the worker unpickles no payload from a scheduler
+  that has not answered *its* counter-challenge.  The handshake
+  authenticates but does not encrypt — on untrusted networks, tunnel
+  the port (see ``docs/distributed.md``).
 * **hello** — a connecting worker introduces itself; the scheduler
   answers with the campaign payload (the pickled unit callable) and
   counts the worker as capacity (``worker.connect`` event).
@@ -43,6 +54,7 @@ from __future__ import annotations
 import os
 import pickle
 import random
+import secrets
 import selectors
 import socket
 import subprocess
@@ -66,7 +78,25 @@ from repro.runtime.transports.fqueue import (
     HEARTBEAT_STALE_S,
     WORKER_ENV_FLAG,
 )
-from repro.runtime.transports.wire import MessageStream, WireError, encode_message
+from repro.runtime.transports.wire import (
+    AUTH_NONCE_BYTES,
+    KIND_AUTH,
+    PENDING,
+    FrameDecoder,
+    MessageAssembler,
+    MessageStream,
+    WireError,
+    client_handshake,
+    encode_auth_challenge,
+    encode_auth_welcome,
+    encode_message,
+    verify_auth_response,
+)
+
+#: Environment variable carrying the shared handshake secret to workers
+#: (spawned workers inherit it automatically; external ones must be
+#: given it, via this variable or ``repro worker --auth``).
+AUTH_ENV = "REPRO_TCP_AUTH"
 
 #: Ceiling on one blocking send before the peer is presumed gone.
 SEND_TIMEOUT_S = 30.0
@@ -99,10 +129,11 @@ def parse_address(address):
     return host, port
 
 
-def _worker_env():
-    """Environment for a spawned worker: flag set, package importable."""
+def _worker_env(auth):
+    """Environment for a spawned worker: flag, secret, package importable."""
     env = dict(os.environ)
     env[WORKER_ENV_FLAG] = "1"
+    env[AUTH_ENV] = auth
     package_root = str(Path(__file__).resolve().parents[3])
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = (
@@ -117,7 +148,14 @@ class _Conn:
     def __init__(self, sock, addr):
         self.sock = sock
         self.addr = addr
-        self.stream = MessageStream()
+        # Frames and messages are decoded separately: until ``authed``
+        # flips, incoming frames get frame-level parsing only (struct +
+        # CRC, no pickle) and anything but a valid auth response drops
+        # the connection.
+        self.decoder = FrameDecoder()
+        self.assembler = MessageAssembler()
+        self.authed = False
+        self.nonce = secrets.token_bytes(AUTH_NONCE_BYTES)
         self.worker_id = None  # set by hello
         self.pid = None  # set by hello
         self.assigned = set()  # task ids sent down this connection
@@ -156,6 +194,14 @@ class TcpTransport(Transport):
         references (requires a cache and a filesystem in common); when
         false — the default, and the point of this transport — values
         stream back over the wire.
+    auth:
+        Shared secret for the connection handshake.  Defaults to
+        ``$REPRO_TCP_AUTH``, else a random per-transport secret that
+        only spawned workers (who inherit it through their environment)
+        can answer — externally launched workers then need the secret
+        handed to them (``repro worker --auth`` / ``$REPRO_TCP_AUTH``;
+        read it from :attr:`auth`).  A peer that cannot answer the
+        challenge is dropped before any of its bytes are deserialized.
     """
 
     name = "tcp"
@@ -165,7 +211,7 @@ class TcpTransport(Transport):
 
     def __init__(self, host="127.0.0.1", port=0, workers=0, queue_depth=2,
                  poll_s=0.02, worker_poll_s=0.05, stale_s=HEARTBEAT_STALE_S,
-                 shared_cache=False):
+                 shared_cache=False, auth=None):
         if workers < 0:
             raise ValueError("workers must be non-negative")
         if queue_depth < 1:
@@ -174,6 +220,14 @@ class TcpTransport(Transport):
             raise ValueError("stale_s must be positive")
         if not 0 <= int(port) <= 65535:
             raise ValueError("port must be in [0, 65535]")
+        if auth is None:
+            auth = os.environ.get(AUTH_ENV) or secrets.token_hex(32)
+        if isinstance(auth, bytes):
+            auth = auth.decode("utf-8")
+        if not auth:
+            raise ValueError("auth secret must be non-empty")
+        self.auth = str(auth)
+        self._auth_secret = self.auth.encode("utf-8")
         self.host = str(host)
         self.port = int(port)
         self.workers = int(workers)
@@ -281,7 +335,7 @@ class TcpTransport(Transport):
                 "--connect", self.address, "--id", worker_id,
                 "--poll", str(self.worker_poll_s),
             ],
-            env=_worker_env(),
+            env=_worker_env(self.auth),
             stdout=subprocess.DEVNULL,
         )
         self._procs.append(proc)
@@ -411,6 +465,9 @@ class TcpTransport(Transport):
         conn = _Conn(sock, addr)
         self._conns.append(conn)
         self._selector.register(sock, selectors.EVENT_READ, conn)
+        # Challenge immediately: nothing this peer sends is deserialized
+        # until it answers with the right HMAC.
+        self._send(conn, encode_auth_challenge(conn.nonce))
 
     def _read_conn(self, conn):
         try:
@@ -424,12 +481,47 @@ class TcpTransport(Transport):
             self._drop_conn(conn, reason="disconnected")
             return
         try:
-            messages = conn.stream.feed(data)
+            frames = conn.decoder.feed(data)
         except WireError as exc:
             self._drop_conn(conn, reason=f"protocol error: {exc}")
             return
-        for message in messages:
-            self._handle_message(conn, message)
+        for kind, payload in frames:
+            if conn not in self._conns:
+                return  # dropped mid-batch (auth or send failure)
+            try:
+                if not conn.authed:
+                    self._auth_conn(conn, kind, payload)
+                    continue
+                message = conn.assembler.feed(kind, payload)
+                if message is PENDING:
+                    continue
+                self._handle_message(conn, message)
+            except WireError as exc:
+                self._drop_conn(conn, reason=f"protocol error: {exc}")
+                return
+            except Exception as exc:
+                # A buggy or version-skewed peer must not take the
+                # scheduler down: malformed field shapes are treated
+                # exactly like wire corruption — the connection dies and
+                # its tasks requeue.
+                self._drop_conn(conn, reason=f"malformed message: {exc!r}")
+                return
+
+    def _auth_conn(self, conn, kind, payload):
+        """Admit a peer that answered the challenge; drop anything else.
+
+        Until this succeeds, a connection's bytes get frame-level
+        parsing only — the pickle layer is unreachable, so a port
+        scanner (or an attacker with a crafted payload) cannot execute
+        anything here.
+        """
+        if kind != KIND_AUTH:
+            raise WireError("frame before authentication")
+        peer_nonce = verify_auth_response(
+            self._auth_secret, conn.nonce, payload
+        )
+        conn.authed = True
+        self._send(conn, encode_auth_welcome(self._auth_secret, peer_nonce))
 
     def _handle_message(self, conn, message):
         kind = message.get("kind") if isinstance(message, dict) else None
@@ -488,18 +580,30 @@ class TcpTransport(Transport):
         if message.get("token") != self._token:
             return  # zombie report from a prior run: drop it unprocessed
         task_id = message.get("task")
-        conn.assigned.discard(task_id)
-        task = self._inflight.pop(task_id, None)
-        self._claims.pop(task_id, None)
+        task = self._inflight.get(task_id)
         if task is None:
+            conn.assigned.discard(task_id)
             return  # stale report from a requeued task: ignore
-        self._buffer.outcomes.extend(self._report_outcomes(task, message))
+        # Build every outcome before committing anything: a malformed
+        # report raises out to _read_conn, which drops the connection —
+        # and the task, still inflight and still assigned, requeues like
+        # any other loss instead of leaving units forever outstanding.
+        outcomes = list(self._report_outcomes(task, message))
+        del self._inflight[task_id]
+        self._claims.pop(task_id, None)
+        conn.assigned.discard(task_id)
+        self._buffer.outcomes.extend(outcomes)
 
     def _report_outcomes(self, task, report):
         digest_of = dict(zip(task.indices, task.digests))
         worker = report.get("worker")
         for entry in report.get("units", ()):
             index = entry["index"]
+            if index not in digest_of:
+                raise WireError(
+                    f"result from worker {worker} names unknown unit "
+                    f"index {index!r}"
+                )
             if not entry.get("ok"):
                 error = entry.get("error") or RuntimeError(
                     f"tcp worker {worker} failed unit {index}"
@@ -510,7 +614,13 @@ class TcpTransport(Transport):
                 )
                 continue
             if entry.get("stored"):
-                value = self._ctx.cache.peek(digest_of[index])
+                cache = self._ctx.cache if self._ctx is not None else None
+                if cache is None:
+                    raise WireError(
+                        f"worker {worker} reported a stored result but "
+                        f"this campaign has no shared cache"
+                    )
+                value = cache.peek(digest_of[index])
                 if value is MISS:
                     yield UnitOutcome(
                         index=index, kind="error", worker=worker,
@@ -580,16 +690,20 @@ class TcpTransport(Transport):
         SIGKILL closes the socket and arrives as EOF; this guards the
         cases that never EOF (network partition, a wedged peer whose
         kernel keeps the connection open).  Workers heartbeat from a
-        background thread, so a long unit cannot look stale.
+        background thread, so a long unit cannot look stale.  The same
+        horizon reaps connections that never finished the handshake or
+        the hello — a port scanner, a half-opened client — so a
+        long-lived listener cannot accumulate dead sockets.
         """
         now = time.monotonic()
         for conn in list(self._conns):
-            if conn.worker_id is None:
-                continue
-            last = max(self._hb_fresh.get(conn.worker_id, 0.0),
-                       conn.connected_at)
+            last = conn.connected_at
+            if conn.worker_id is not None:
+                last = max(self._hb_fresh.get(conn.worker_id, 0.0), last)
             if now - last > self.stale_s:
-                self._drop_conn(conn, reason="heartbeat stale")
+                reason = ("heartbeat stale" if conn.worker_id is not None
+                          else "no hello within the staleness horizon")
+                self._drop_conn(conn, reason=reason)
 
     def _reap_and_respawn(self):
         for proc in list(self._procs):
@@ -688,8 +802,12 @@ class _WireHeartbeat:
     a heartbeat message every :data:`HEARTBEAT_INTERVAL_S` under the
     connection's send lock, so a unit that computes for minutes still
     proves its worker alive, while hard death kills the thread with the
-    process and the scheduler sees EOF (or staleness).  Send failures
-    are swallowed — the main loop notices the broken stream itself.
+    process and the scheduler sees EOF (or staleness).  The send
+    socket's timeout is fixed at connection setup and never mutated, so
+    the two threads cannot race each other's deadlines; a send that
+    fails anyway may have written a partial frame, after which the
+    stream has no trustworthy boundary left — the connection is shut
+    down so the main loop reconnects on a clean one.
     """
 
     def __init__(self, sock, lock, worker_id):
@@ -715,10 +833,16 @@ class _WireHeartbeat:
         })
         try:
             with self._lock:
-                self._sock.settimeout(SEND_TIMEOUT_S)
                 self._sock.sendall(message)
         except OSError:
-            pass
+            # A timed-out sendall may have left a partial frame on the
+            # stream (silent desync the scheduler would later read as
+            # corruption from a healthy worker); tear the connection
+            # down so the main loop reconnects on a clean one.
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
     def _run(self):
         while not self._stop.wait(HEARTBEAT_INTERVAL_S):
@@ -834,10 +958,15 @@ class _ConnectionLost(Exception):
 
 
 def _locked_send(sock, lock, data):
-    """Send under the connection lock; broken stream raises."""
+    """Send under the connection lock; broken stream raises.
+
+    The lock serializes whole frames between the main loop and the
+    heartbeat thread; the socket's timeout was fixed at setup and is
+    never touched here (mutating it from two threads would race the
+    receive deadline on the other handle of the connection).
+    """
     try:
         with lock:
-            sock.settimeout(SEND_TIMEOUT_S)
             sock.sendall(data)
     except OSError:
         raise _ConnectionLost
@@ -881,27 +1010,60 @@ def _run_task(sock, lock, spec, campaign, worker_id, hb):
     hb.beat()  # publish fresh counters without waiting for the tick
 
 
-def _serve_connection(sock, worker_id, poll_s):
-    """One connected session; returns True on graceful stop."""
+def _serve_connection(sock, worker_id, poll_s, initial=b""):
+    """One authenticated session; returns True on graceful stop.
+
+    ``initial`` is whatever the handshake over-read past the welcome
+    frame.  Sends and receives run on independent duplicates of the
+    connection (``sock.dup()``), each with a timeout fixed once at
+    setup: the heartbeat thread and the main loop never mutate a shared
+    deadline, so a heartbeat cannot inherit the short receive tick (a
+    partial-frame desync) and a receive cannot inherit the long send
+    ceiling (a stalled stop/cancel).
+    """
     stream = MessageStream()
     lock = threading.Lock()
     campaign = None
     queue = deque()
     draining = False
+    send_sock = None
+
+    def absorb(messages):
+        nonlocal campaign, draining
+        for message in messages:
+            kind = message.get("kind") if isinstance(message, dict) else None
+            if kind == "payload":
+                campaign = _Campaign(message)
+            elif kind == "task":
+                queue.append(message)
+            elif kind == "cancel":
+                dropped = set(message.get("tasks") or ())
+                kept = [
+                    spec for spec in queue
+                    if spec.get("task") not in dropped
+                ]
+                queue.clear()
+                queue.extend(kept)
+            elif kind == "stop":
+                draining = True
+
     try:
-        _locked_send(sock, lock, encode_message({
+        send_sock = sock.dup()
+        send_sock.settimeout(SEND_TIMEOUT_S)
+        sock.settimeout(poll_s)
+        _locked_send(send_sock, lock, encode_message({
             "kind": "hello", "worker": worker_id, "pid": os.getpid(),
         }))
-        with _WireHeartbeat(sock, lock, worker_id) as hb:
+        absorb(stream.feed(initial))
+        with _WireHeartbeat(send_sock, lock, worker_id) as hb:
             while True:
                 if queue:
-                    _run_task(sock, lock, queue.popleft(), campaign,
+                    _run_task(send_sock, lock, queue.popleft(), campaign,
                               worker_id, hb)
                     continue
                 if draining:
                     return True
                 try:
-                    sock.settimeout(poll_s)
                     data = sock.recv(RECV_BYTES)
                 except socket.timeout:
                     continue
@@ -910,48 +1072,57 @@ def _serve_connection(sock, worker_id, poll_s):
                 if not data:
                     return False
                 try:
-                    messages = stream.feed(data)
+                    absorb(stream.feed(data))
                 except WireError:
                     return False
-                for message in messages:
-                    kind = message.get("kind")
-                    if kind == "payload":
-                        campaign = _Campaign(message)
-                    elif kind == "task":
-                        queue.append(message)
-                    elif kind == "cancel":
-                        dropped = set(message.get("tasks") or ())
-                        queue = deque(
-                            spec for spec in queue
-                            if spec.get("task") not in dropped
-                        )
-                    elif kind == "stop":
-                        draining = True
     except _ConnectionLost:
         return False
     finally:
-        try:
-            sock.close()
-        except OSError:
-            pass
+        for handle in (send_sock, sock):
+            if handle is None:
+                continue
+            try:
+                handle.close()
+            except OSError:
+                pass
 
 
-def tcp_worker_main(address, worker_id=None, poll_s=0.05):
+#: Consecutive handshake rejections before the worker hints at a secret
+#: mismatch on stderr (it keeps redialing either way — the scheduler may
+#: simply be restarting mid-handshake).
+_AUTH_WARN_AFTER = 5
+
+
+def tcp_worker_main(address, worker_id=None, poll_s=0.05, auth=None):
     """Run one socket worker until the scheduler says stop.
 
-    Dials ``address`` (``"host:port"``), introduces itself, and serves
-    the claim/execute/report loop.  A lost connection — the scheduler
-    restarted, the network hiccuped — is retried forever with jittered
-    exponential backoff (the scheduler requeued everything this worker
-    held, and discarding the local queue on reconnect keeps the two
-    views consistent); a ``stop`` message drains gracefully and exits.
+    Dials ``address`` (``"host:port"``), authenticates both ways with
+    the shared secret (``auth`` or ``$REPRO_TCP_AUTH`` — the campaign
+    payload is a pickle, so the worker proves itself to the scheduler
+    *and* verifies the scheduler before deserializing anything),
+    introduces itself, and serves the claim/execute/report loop.  A
+    lost connection — the scheduler restarted, the network hiccuped —
+    is retried forever with jittered exponential backoff (the scheduler
+    requeued everything this worker held, and discarding the local
+    queue on reconnect keeps the two views consistent); a ``stop``
+    message drains gracefully and exits.
     """
     host, port = parse_address(address)
+    secret = auth if auth is not None else os.environ.get(AUTH_ENV)
+    if not secret:
+        print(
+            f"tcp worker needs the scheduler's shared secret: pass --auth "
+            f"or set {AUTH_ENV} (the scheduler side prints nothing — read "
+            f"it from its --auth / {AUTH_ENV} / TcpTransport.auth)",
+            file=sys.stderr,
+        )
+        return 2
     worker_id = worker_id or f"w{os.getpid()}"
     prior = os.environ.get(WORKER_ENV_FLAG)
     os.environ[WORKER_ENV_FLAG] = "1"
     rng = random.Random(os.getpid() ^ time.time_ns())
     failures = 0
+    auth_failures = 0
     try:
         while True:
             try:
@@ -963,8 +1134,31 @@ def tcp_worker_main(address, worker_id=None, poll_s=0.05):
                 delay = min(BACKOFF_CAP_S, BACKOFF_BASE_S * 2 ** (failures - 1))
                 time.sleep(delay * (0.5 + rng.random() / 2))
                 continue
+            try:
+                leftover = client_handshake(
+                    sock, secret, timeout=CONNECT_TIMEOUT_S
+                )
+            except (WireError, OSError):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                auth_failures += 1
+                if auth_failures == _AUTH_WARN_AFTER:
+                    print(
+                        f"repro worker {worker_id}: the scheduler keeps "
+                        f"rejecting the connection handshake — do both "
+                        f"sides share the same secret (--auth / "
+                        f"{AUTH_ENV})?",
+                        file=sys.stderr,
+                    )
+                failures += 1
+                delay = min(BACKOFF_CAP_S, BACKOFF_BASE_S * 2 ** (failures - 1))
+                time.sleep(delay * (0.5 + rng.random() / 2))
+                continue
             failures = 0
-            if _serve_connection(sock, worker_id, poll_s):
+            auth_failures = 0
+            if _serve_connection(sock, worker_id, poll_s, initial=leftover):
                 return 0
             # Disconnected mid-campaign: brief jittered pause, then dial
             # again — the scheduler may just be restarting for a resume.

@@ -13,11 +13,25 @@ silently desynchronize the stream: any corruption surfaces as a
 refuses to continue (a corrupt length makes every later boundary
 guesswork — the only safe recovery is dropping the connection).
 
-Two layers:
+Three layers:
 
 * **frames** — :func:`encode_frame` / :class:`FrameDecoder` move opaque
   byte payloads with integrity.  ``KIND`` distinguishes a self-contained
-  message frame from the header/body frames of a chunked message.
+  message frame from the header/body frames of a chunked message and
+  from the raw handshake frames of the auth layer.
+* **authentication** — message payloads are pickles, and
+  ``pickle.loads`` on attacker-controlled bytes is arbitrary code
+  execution, so no payload may be deserialized before the peer is
+  authenticated.  Every connection therefore opens with a mutual
+  HMAC-SHA256 challenge/response over a shared secret
+  (:func:`encode_auth_challenge` … :func:`client_handshake`, modeled on
+  :mod:`multiprocessing.connection`'s authkey handshake): the listener
+  sends a nonce, the dialer answers ``HMAC(secret, nonce)`` plus its
+  own nonce, and the listener's welcome proves *it* holds the secret
+  too before the dialer unpickles a campaign payload.  Handshake frames
+  (:data:`KIND_AUTH`) carry raw bytes only — they are compared, never
+  unpickled — and :class:`MessageAssembler` refuses them outright, so
+  an unauthenticated peer can never reach the pickle layer.
 * **messages** — :func:`encode_message` / :class:`MessageAssembler`
   (or the combined :class:`MessageStream`) move pickled dicts.  Small
   messages ride in one frame; large ones (streamed campaign results)
@@ -33,7 +47,10 @@ mid-frame".
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import pickle
+import secrets
 import struct
 import zlib
 
@@ -41,15 +58,17 @@ import zlib
 MAGIC = b"RW"
 
 #: Protocol version; bumped on any incompatible frame/message change.
-VERSION = 1
+#: v2 made the auth handshake mandatory.
+VERSION = 2
 
-#: Frame kinds: one self-contained message, or a chunked message's
-#: header and body frames.
+#: Frame kinds: one self-contained message, a chunked message's header
+#: and body frames, or a raw (never pickled) auth-handshake frame.
 KIND_MSG = 1
 KIND_CHUNK_HEAD = 2
 KIND_CHUNK = 3
+KIND_AUTH = 4
 
-_KNOWN_KINDS = frozenset((KIND_MSG, KIND_CHUNK_HEAD, KIND_CHUNK))
+_KNOWN_KINDS = frozenset((KIND_MSG, KIND_CHUNK_HEAD, KIND_CHUNK, KIND_AUTH))
 
 #: Struct layout of the fixed header (magic, version, kind, payload len).
 _HEADER = struct.Struct(">2sBBI")
@@ -188,6 +207,129 @@ def encode_message(obj, chunk_bytes=DEFAULT_CHUNK_BYTES):
     return b"".join(parts)
 
 
+# -- authentication ------------------------------------------------------
+
+#: Size of each side's random challenge nonce.
+AUTH_NONCE_BYTES = 32
+
+#: HMAC-SHA256 digest length.
+_MAC_BYTES = 32
+
+# Four-byte payload prefixes naming each handshake step.  The MAC of
+# each step is keyed on its own prefix, so a response can never be
+# replayed as a welcome (and vice versa) — no reflection attacks.
+_AUTH_CHALLENGE = b"CHA2"
+_AUTH_RESPONSE = b"RSP2"
+_AUTH_WELCOME = b"WEL2"
+
+
+def _secret_bytes(secret):
+    if isinstance(secret, str):
+        return secret.encode("utf-8")
+    return bytes(secret)
+
+
+def _auth_mac(secret, step, nonce):
+    return hmac.new(_secret_bytes(secret), step + nonce, hashlib.sha256).digest()
+
+
+def encode_auth_challenge(nonce):
+    """Listener's opening frame: prove you know the secret for ``nonce``."""
+    if len(nonce) != AUTH_NONCE_BYTES:
+        raise WireError("auth nonce has the wrong size")
+    return encode_frame(KIND_AUTH, _AUTH_CHALLENGE + nonce)
+
+
+def encode_auth_response(secret, challenge_nonce, my_nonce):
+    """Dialer's answer: the challenge's MAC plus a counter-challenge."""
+    return encode_frame(
+        KIND_AUTH,
+        _AUTH_RESPONSE
+        + _auth_mac(secret, _AUTH_RESPONSE, challenge_nonce)
+        + my_nonce,
+    )
+
+
+def verify_auth_response(secret, nonce, payload):
+    """Check a response against our challenge; return the peer's nonce.
+
+    Raises :class:`WireError` on any mismatch — the caller must drop
+    the connection without ever having unpickled a byte from it.
+    """
+    expected_len = len(_AUTH_RESPONSE) + _MAC_BYTES + AUTH_NONCE_BYTES
+    if len(payload) != expected_len or not payload.startswith(_AUTH_RESPONSE):
+        raise WireError("malformed auth response")
+    mac = payload[len(_AUTH_RESPONSE):len(_AUTH_RESPONSE) + _MAC_BYTES]
+    if not hmac.compare_digest(mac, _auth_mac(secret, _AUTH_RESPONSE, nonce)):
+        raise WireError("auth response rejected (secret mismatch)")
+    return payload[len(_AUTH_RESPONSE) + _MAC_BYTES:]
+
+
+def encode_auth_welcome(secret, peer_nonce):
+    """Listener's final frame: prove we too hold the secret."""
+    return encode_frame(
+        KIND_AUTH, _AUTH_WELCOME + _auth_mac(secret, _AUTH_WELCOME, peer_nonce)
+    )
+
+
+def verify_auth_welcome(secret, nonce, payload):
+    """Check the listener's welcome against our counter-challenge."""
+    if (len(payload) != len(_AUTH_WELCOME) + _MAC_BYTES
+            or not payload.startswith(_AUTH_WELCOME)):
+        raise WireError("malformed auth welcome")
+    mac = payload[len(_AUTH_WELCOME):]
+    if not hmac.compare_digest(mac, _auth_mac(secret, _AUTH_WELCOME, nonce)):
+        raise WireError("auth welcome rejected (secret mismatch)")
+
+
+def client_handshake(sock, secret, timeout=None):
+    """Run the dialing side of the handshake on a blocking socket.
+
+    Waits for the listener's challenge, answers it, counter-challenges,
+    and verifies the welcome — only frame-level parsing happens here;
+    nothing received is unpickled until the listener has proven it
+    holds the secret.  Returns any bytes that arrived after the welcome
+    frame (feed them to the connection's :class:`MessageStream`).
+    Raises :class:`WireError` if the handshake fails or the peer closes
+    mid-handshake (the listener drops unauthenticated peers silently).
+    """
+    decoder = FrameDecoder()
+    pending = []
+
+    def recv_frame():
+        while not pending:
+            data = sock.recv(65536)
+            if not data:
+                raise WireError(
+                    "connection closed during the auth handshake "
+                    "(secret mismatch, or the peer is not a repro scheduler?)"
+                )
+            pending.extend(decoder.feed(data))
+        return pending.pop(0)
+
+    if timeout is not None:
+        sock.settimeout(timeout)
+    kind, payload = recv_frame()
+    if (kind != KIND_AUTH
+            or len(payload) != len(_AUTH_CHALLENGE) + AUTH_NONCE_BYTES
+            or not payload.startswith(_AUTH_CHALLENGE)):
+        raise WireError("peer did not open with an auth challenge")
+    my_nonce = secrets.token_bytes(AUTH_NONCE_BYTES)
+    sock.sendall(encode_auth_response(
+        secret, payload[len(_AUTH_CHALLENGE):], my_nonce
+    ))
+    kind, payload = recv_frame()
+    if kind != KIND_AUTH:
+        raise WireError("peer sent a non-auth frame before the welcome")
+    verify_auth_welcome(secret, my_nonce, payload)
+    # Frames decoded past the welcome re-encode losslessly; tack on the
+    # decoder's undecoded remainder so the caller loses nothing.
+    return (
+        b"".join(encode_frame(k, p) for k, p in pending)
+        + bytes(decoder._buf)
+    )
+
+
 class _Pending:
     """Singleton marking "no message completed yet" (see :data:`PENDING`)."""
 
@@ -241,6 +383,11 @@ class MessageAssembler:
                     f"header announced {self._size}"
                 )
             return self._load(body)
+        if kind == KIND_AUTH:
+            # Handshake frames are raw bytes handled before the message
+            # layer; one arriving here means the peer restarted the
+            # handshake mid-session (or is probing) — drop it.
+            raise WireError("auth frame outside the connection handshake")
         raise WireError(f"unknown frame kind {kind}")
 
     @staticmethod

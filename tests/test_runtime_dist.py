@@ -6,7 +6,9 @@ al.)."""
 import json
 import os
 import pickle
+import selectors
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -30,6 +32,14 @@ from repro.runtime import (
 from repro.runtime.cache import MISS
 from repro.runtime.transports import Task
 from repro.runtime.transports.fqueue import worker_main
+from repro.runtime.transports.tcp import AUTH_ENV, _Conn
+from repro.runtime.transports.wire import (
+    KIND_MSG,
+    WireError,
+    client_handshake,
+    encode_frame,
+    encode_message,
+)
 
 from tests.test_runtime import _draw_chunk, _square
 
@@ -834,13 +844,176 @@ class TestTcpFaults:
         assert connect["worker"]
 
 
+def _poll_until(transport, predicate, timeout_s=10.0):
+    """Drive the transport's poll loop until ``predicate()`` holds."""
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        transport.poll(0.02)
+        if predicate():
+            return True
+    return False
+
+
+class TestTcpAuth:
+    """The handshake gates the pickle layer: nothing an unauthenticated
+    peer sends is ever deserialized (the remote-code-execution guard)."""
+
+    def test_unauthenticated_bytes_are_never_unpickled(self, tmp_path):
+        """A crafted pickle sent before auth must not execute — the
+        connection dies at the frame layer, pickle.loads unreached."""
+        marker = tmp_path / "pwned"
+
+        class Evil:
+            def __reduce__(self):
+                return (os.mkdir, (str(marker),))
+
+        transport = TcpTransport(workers=0)
+        try:
+            host, port = transport.ensure_listening()
+            sock = socket.create_connection((host, port), timeout=5)
+            sock.sendall(encode_frame(KIND_MSG, pickle.dumps(Evil())))
+            assert _poll_until(transport, lambda: not transport._conns)
+            assert not marker.exists()
+            sock.close()
+        finally:
+            transport.shutdown()
+
+    def test_wrong_secret_is_dropped(self):
+        transport = TcpTransport(workers=0, auth="right-secret")
+        try:
+            host, port = transport.ensure_listening()
+            sock = socket.create_connection((host, port), timeout=5)
+            outcome = {}
+
+            def dial():
+                try:
+                    client_handshake(sock, "wrong-secret", timeout=5)
+                    outcome["ok"] = True
+                except (WireError, OSError) as exc:
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=dial)
+            thread.start()
+            deadline = time.time() + 10
+            while thread.is_alive() and time.time() < deadline:
+                transport.poll(0.02)
+            thread.join(timeout=5)
+            assert "error" in outcome
+            assert not transport._conns
+            sock.close()
+        finally:
+            transport.shutdown()
+
+    def test_right_secret_handshakes_then_helloes(self):
+        transport = TcpTransport(workers=0)
+        try:
+            host, port = transport.ensure_listening()
+            sock = socket.create_connection((host, port), timeout=5)
+            outcome = {}
+
+            def dial():
+                try:
+                    client_handshake(sock, transport.auth, timeout=5)
+                    sock.sendall(encode_message({
+                        "kind": "hello", "worker": "dialer",
+                        "pid": os.getpid(),
+                    }))
+                except (WireError, OSError) as exc:
+                    outcome["error"] = exc
+
+            thread = threading.Thread(target=dial)
+            thread.start()
+            assert _poll_until(transport, lambda: any(
+                conn.worker_id == "dialer" for conn in transport._conns
+            ))
+            thread.join(timeout=5)
+            assert "error" not in outcome
+            sock.close()
+        finally:
+            transport.shutdown()
+
+    def test_silent_connection_is_reaped_at_the_staleness_horizon(self):
+        """A peer that never even answers the challenge (port scanner,
+        half-opened client) is dropped, not leaked forever."""
+        transport = TcpTransport(workers=0, stale_s=0.2)
+        try:
+            host, port = transport.ensure_listening()
+            sock = socket.create_connection((host, port), timeout=5)
+            assert _poll_until(transport, lambda: transport._conns)
+            assert _poll_until(transport, lambda: not transport._conns)
+            sock.close()
+        finally:
+            transport.shutdown()
+
+
+class TestTcpMalformedPeers:
+    """Garbage from an *authenticated* peer drops that peer and requeues
+    its tasks — it must never abort the scheduler's poll loop."""
+
+    def _transport_with_peer(self):
+        transport = TcpTransport(workers=0)
+        transport.ensure_listening()
+        ours, theirs = socket.socketpair()
+        ours.settimeout(0.0)
+        conn = _Conn(ours, ("peer", 0))
+        conn.authed = True
+        conn.worker_id = "rogue"
+        transport._conns.append(conn)
+        transport._selector.register(ours, selectors.EVENT_READ, conn)
+        transport._token = "tok"
+        return transport, conn, theirs
+
+    def _submit(self, transport, conn, task_id="t1", indices=(0, 1)):
+        task = Task(task_id=task_id, indices=tuple(indices),
+                    items=tuple((i,) for i in indices),
+                    digests=(None,) * len(indices))
+        transport._inflight[task_id] = task
+        conn.assigned.add(task_id)
+        return task
+
+    @pytest.mark.parametrize("units", [
+        [{"ok": True}],                              # no index at all
+        [{"index": 99, "ok": True}],                 # index not in the task
+        [{"index": 0, "ok": True, "stored": True}],  # no shared cache here
+        "not-a-unit-list",                           # wrong field shape
+    ])
+    def test_malformed_result_drops_peer_and_requeues(self, units):
+        transport, conn, theirs = self._transport_with_peer()
+        try:
+            self._submit(transport, conn)
+            theirs.sendall(encode_message({
+                "kind": "result", "token": "tok", "task": "t1",
+                "worker": "rogue", "units": units,
+            }))
+            outcomes, _ = transport.poll(2.0)
+            assert conn not in transport._conns
+            assert {o.index for o in outcomes if o.kind == "requeue"} == {0, 1}
+            assert "t1" not in transport._inflight
+            assert "t1" not in transport._claims
+        finally:
+            theirs.close()
+            transport.shutdown()
+
+    def test_malformed_heartbeat_drops_peer_not_scheduler(self):
+        transport, conn, theirs = self._transport_with_peer()
+        try:
+            theirs.sendall(encode_message({
+                "kind": "heartbeat", "worker": "rogue", "t": "not-a-time",
+            }))
+            assert _poll_until(transport, lambda: conn not in transport._conns)
+        finally:
+            theirs.close()
+            transport.shutdown()
+
+
 class TestTcpExternalWorkers:
     """Independently launched ``repro worker --connect`` processes."""
 
-    def _external_worker(self, address, worker_id):
+    def _external_worker(self, address, worker_id, auth):
         env = dict(os.environ)
         src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env[AUTH_ENV] = auth
         return subprocess.Popen(
             [
                 sys.executable, "-m", "repro", "worker",
@@ -856,7 +1029,7 @@ class TestTcpExternalWorkers:
         transport = TcpTransport(workers=0)
         host, port = transport.ensure_listening()
         procs = [
-            self._external_worker(f"{host}:{port}", wid)
+            self._external_worker(f"{host}:{port}", wid, transport.auth)
             for wid in ("ext1", "ext2")
         ]
         try:

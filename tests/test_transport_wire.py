@@ -9,16 +9,21 @@ tests pin the individual failure modes (bad magic, version skew, CRC
 flips, truncation, chunk-protocol violations).
 """
 
+import os
 import pickle
+import socket
 import struct
+import threading
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.runtime.transports.wire import (
+    AUTH_NONCE_BYTES,
     DEFAULT_CHUNK_BYTES,
     FrameDecoder,
+    KIND_AUTH,
     KIND_CHUNK,
     KIND_CHUNK_HEAD,
     KIND_MSG,
@@ -29,8 +34,14 @@ from repro.runtime.transports.wire import (
     PENDING,
     VERSION,
     WireError,
+    client_handshake,
+    encode_auth_challenge,
+    encode_auth_response,
+    encode_auth_welcome,
     encode_frame,
     encode_message,
+    verify_auth_response,
+    verify_auth_welcome,
 )
 
 
@@ -217,6 +228,129 @@ class TestMessages:
     def test_garbage_pickle_raises_wire_error(self):
         with pytest.raises(WireError, match="unpickle"):
             MessageAssembler().feed(KIND_MSG, b"\x80\x05 not a pickle")
+
+
+# -- auth layer ----------------------------------------------------------
+
+
+class TestAuthHandshake:
+    """The HMAC handshake that gates the pickle layer on every stream."""
+
+    def test_response_round_trips_and_returns_peer_nonce(self):
+        nonce = os.urandom(AUTH_NONCE_BYTES)
+        mine = os.urandom(AUTH_NONCE_BYTES)
+        ((kind, payload),) = FrameDecoder().feed(
+            encode_auth_response("secret", nonce, mine)
+        )
+        assert kind == KIND_AUTH
+        assert verify_auth_response("secret", nonce, payload) == mine
+
+    def test_wrong_secret_is_rejected(self):
+        nonce = os.urandom(AUTH_NONCE_BYTES)
+        ((_, payload),) = FrameDecoder().feed(
+            encode_auth_response("wrong", nonce, os.urandom(AUTH_NONCE_BYTES))
+        )
+        with pytest.raises(WireError, match="secret mismatch"):
+            verify_auth_response("right", nonce, payload)
+
+    def test_response_is_bound_to_the_challenge_nonce(self):
+        """A captured response does not replay against a fresh challenge."""
+        ((_, payload),) = FrameDecoder().feed(encode_auth_response(
+            "s", os.urandom(AUTH_NONCE_BYTES), os.urandom(AUTH_NONCE_BYTES)
+        ))
+        with pytest.raises(WireError, match="secret mismatch"):
+            verify_auth_response("s", os.urandom(AUTH_NONCE_BYTES), payload)
+
+    def test_response_mac_cannot_be_reflected_as_welcome(self):
+        """Step MACs are domain-separated: echoing the dialer's own
+        response MAC back as a welcome must not verify."""
+        nonce = os.urandom(AUTH_NONCE_BYTES)
+        ((_, payload),) = FrameDecoder().feed(
+            encode_auth_response("s", nonce, nonce)
+        )
+        response_mac = payload[4:36]
+        with pytest.raises(WireError):
+            verify_auth_welcome("s", nonce, b"WEL2" + response_mac)
+
+    def test_welcome_round_trips(self):
+        nonce = os.urandom(AUTH_NONCE_BYTES)
+        ((_, payload),) = FrameDecoder().feed(
+            encode_auth_welcome("secret", nonce)
+        )
+        verify_auth_welcome("secret", nonce, payload)
+        with pytest.raises(WireError, match="secret mismatch"):
+            verify_auth_welcome("other", nonce, payload)
+
+    def test_malformed_auth_payloads_raise(self):
+        nonce = os.urandom(AUTH_NONCE_BYTES)
+        for payload in (b"", b"RSP2", b"RSP2" + b"\0" * 10, b"\0" * 68):
+            with pytest.raises(WireError, match="malformed"):
+                verify_auth_response("s", nonce, payload)
+        for payload in (b"", b"WEL2" + b"\0" * 5):
+            with pytest.raises(WireError, match="malformed"):
+                verify_auth_welcome("s", nonce, payload)
+
+    def test_auth_frame_refused_by_the_message_layer(self):
+        """Post-handshake, an auth frame can never reach pickle.loads."""
+        with pytest.raises(WireError, match="outside the connection"):
+            MessageAssembler().feed(KIND_AUTH, b"CHA2" + b"\0" * 32)
+
+    def test_full_handshake_over_a_socketpair(self):
+        """Both sides authenticate; bytes past the welcome are preserved."""
+        secret = "s3cret"
+        dialer, listener = socket.socketpair()
+        errors = []
+
+        def serve():
+            try:
+                nonce = os.urandom(AUTH_NONCE_BYTES)
+                listener.sendall(encode_auth_challenge(nonce))
+                decoder = FrameDecoder()
+                frames = []
+                while not frames:
+                    frames.extend(decoder.feed(listener.recv(4096)))
+                kind, payload = frames[0]
+                assert kind == KIND_AUTH
+                peer = verify_auth_response(secret, nonce, payload)
+                listener.sendall(encode_auth_welcome(secret, peer))
+                listener.sendall(encode_message({"kind": "payload"}))
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            leftover = client_handshake(dialer, secret, timeout=5)
+            thread.join(timeout=5)
+            assert not errors
+            stream = MessageStream()
+            messages = stream.feed(leftover)
+            dialer.settimeout(5)
+            while not messages:
+                messages = stream.feed(dialer.recv(4096))
+            assert messages == [{"kind": "payload"}]
+        finally:
+            dialer.close()
+            listener.close()
+
+    def test_handshake_refuses_a_non_challenge_opening(self):
+        dialer, listener = socket.socketpair()
+        try:
+            listener.sendall(encode_frame(KIND_MSG, b"not a challenge"))
+            with pytest.raises(WireError, match="challenge"):
+                client_handshake(dialer, "s", timeout=5)
+        finally:
+            dialer.close()
+            listener.close()
+
+    def test_eof_during_handshake_raises_not_hangs(self):
+        dialer, listener = socket.socketpair()
+        listener.close()
+        try:
+            with pytest.raises(WireError, match="closed during"):
+                client_handshake(dialer, "s", timeout=5)
+        finally:
+            dialer.close()
 
 
 # -- property: arbitrary payloads, arbitrary stream splits ---------------
