@@ -24,6 +24,12 @@ Three bench groups, each with its own trajectory record:
   budget; this group is *not* gated by ``--min-speedup`` (the fabric
   pipelines waiting, it does not vectorize math — see
   ``docs/distributed.md``).
+* **steer** (``BENCH_steer.json``) — runs the surrogate-steered and
+  uniform sequential campaigns to the same AVF confidence half-width
+  and records the trial-count ratio as the group's ``speedup``
+  (``docs/steering.md``).  ``--min-trials-saved`` gates the ratio in
+  CI; like the dist group it bypasses ``--min-speedup`` (the gain is
+  statistical — fewer trials — not vectorization).
 
 Each run appends one entry — machine info, wall-clock timings,
 speedups — to the group's record.  See ``docs/performance.md`` for how
@@ -86,6 +92,12 @@ SCALE_KEYS = ("n_runs", "n_trials", "n_units")
 DIST_WORKER_COUNTS = (1, 2, 4)
 DIST_UNIT_LATENCY_S = 0.02
 SCHED_OVERHEAD_UNITS = 512
+# Steered-campaign bench shape: both the steered and the uniform
+# sequential campaign run to this CI half-width at this fixed seed (the
+# run is deterministic, so the recorded ratio is too); the budget is
+# the safety ceiling neither run should hit.
+STEER_TARGET_CI = 0.02
+STEER_SEED = 2
 
 
 def _timed(fn, rounds):
@@ -468,6 +480,73 @@ def bench_sched_overhead(n_units, rounds):
     }
 
 
+def bench_steered_campaign(budget, rounds):
+    """Surrogate-steered vs uniform sequential campaign at one CI target.
+
+    Both campaigns run the same round-sealed sequential machinery
+    (``docs/steering.md``) to the same ±``STEER_TARGET_CI`` AVF
+    half-width on the matmul seed program; the recorded ``speedup`` is
+    the uniform/steered executed-trial ratio — the quantity steering
+    exists to improve — so ``check_regression`` and
+    ``--min-trials-saved`` gate it directly.  Contracts checked here:
+    both runs stop on the CI target (not budget exhaustion) and the
+    steered estimate lands inside the uniform run's Wilson reference
+    interval (unbiasedness under adaptive allocation).
+    """
+    from repro.arch import FaultInjector, SteeringConfig
+    from repro.arch import programs as P
+
+    program = P.matmul(5)
+    injector = FaultInjector(
+        program, max_cycles_factor=FI_HANG_BUDGET_FACTOR
+    )
+
+    def run(mode):
+        return injector.run_steered_campaign(
+            budget=budget, seed=STEER_SEED,
+            config=SteeringConfig(mode=mode, target_ci=STEER_TARGET_CI),
+        )
+
+    steered_s, steered = _timed(lambda: run("steered"), rounds)
+    uniform_s, uniform = _timed(lambda: run("uniform"), rounds)
+    for label, res in (("steered", steered), ("uniform", uniform)):
+        if res.steering["stop_reason"] != "target":
+            raise AssertionError(
+                f"{label} campaign exhausted its {budget}-trial budget "
+                f"before reaching the ±{STEER_TARGET_CI} target"
+            )
+    ref_lo, ref_hi = uniform.uniform_interval()
+    estimate = steered.steering["avf_estimate"]
+    if not ref_lo <= estimate <= ref_hi:
+        raise AssertionError(
+            f"steered AVF {estimate:.4f} outside the uniform reference "
+            f"interval ({ref_lo:.4f}, {ref_hi:.4f})"
+        )
+    steered_trials = steered.steering["trials_executed"]
+    uniform_trials = uniform.steering["trials_executed"]
+    return {
+        "steered_s": steered_s,
+        "uniform_s": uniform_s,
+        "speedup": uniform_trials / steered_trials,
+        "steered_trials": steered_trials,
+        "uniform_trials": uniform_trials,
+        "trials_saved": steered.steering["trials_saved"],
+        "n_trials": budget,
+        "target_ci": STEER_TARGET_CI,
+        "seed": STEER_SEED,
+        "steered_estimate": estimate,
+        "steered_halfwidth": steered.steering["ci_halfwidth"],
+        "uniform_estimate": uniform.steering["avf_estimate"],
+        "reference_lo": ref_lo,
+        "reference_hi": ref_hi,
+        "rounds_sealed": steered.steering["rounds"],
+        "refits": steered.steering["refits"],
+        "program": program.name,
+        "golden_cycles": injector.golden_cycles,
+        "hang_budget_factor": FI_HANG_BUDGET_FACTOR,
+    }
+
+
 SWEEP_BENCHES = {
     "fig5_fig6_sweep": bench_fig5_fig6_sweep,
     "wall_ablation": bench_wall_ablation,
@@ -482,6 +561,9 @@ FI_BENCHES = {
 DIST_BENCHES = {
     "dist_scaling": bench_dist_scaling,
     "sched_overhead": bench_sched_overhead,
+}
+STEER_BENCHES = {
+    "steered_campaign": bench_steered_campaign,
 }
 
 
@@ -587,6 +669,29 @@ def run_dist_benches(n_units, rounds):
                 f"{name}: {result['overhead_us_per_unit']:8.1f} us/unit   "
                 f"({result['n_units']} inline zero-latency units)"
             )
+    return entry
+
+
+def run_steer_benches(budget, rounds):
+    entry = _new_entry(
+        {"n_trials": budget, "rounds": rounds, "jobs": 1, "cache": False,
+         "target_ci": STEER_TARGET_CI, "seed": STEER_SEED}
+    )
+    for name, bench in STEER_BENCHES.items():
+        result = bench(budget, rounds)
+        entry["results"][name] = result
+        print(
+            f"{name}: steered {result['steered_trials']:5d} trials "
+            f"({result['steered_s']*1e3:8.1f} ms)   "
+            f"uniform {result['uniform_trials']:5d} trials "
+            f"({result['uniform_s']*1e3:8.1f} ms)   "
+            f"trials saved {result['speedup']:4.1f}x   "
+            f"AVF {result['steered_estimate']:.4f} "
+            f"±{result['steered_halfwidth']:.4f} "
+            f"(ref {result['reference_lo']:.4f}"
+            f"–{result['reference_hi']:.4f})   "
+            f"({result['program']}, target ±{result['target_ci']})"
+        )
     return entry
 
 
@@ -700,6 +805,18 @@ def main(argv=None):
     parser.add_argument("--dist-check", default=None, metavar="BASELINE",
                         help="compare the fqueue scaling factor against "
                              "BASELINE's newest entry")
+    parser.add_argument("--steer-budget", type=int, default=8192,
+                        help="trial budget ceiling for the steered-campaign "
+                             "bench (default 8192; neither run should hit it)")
+    parser.add_argument("--steer-output", default=None, metavar="FILE",
+                        help="append the steered-campaign entry to FILE")
+    parser.add_argument("--steer-check", default=None, metavar="BASELINE",
+                        help="compare the steered trials-saved ratio against "
+                             "BASELINE's newest entry")
+    parser.add_argument("--min-trials-saved", type=float, default=None,
+                        help="fail when the steered campaign saves fewer "
+                             "than this factor of trials vs the uniform "
+                             "baseline (CI passes 3)")
     parser.add_argument("--min-dist-speedup", type=float, default=None,
                         help="fail when the 1-to-max-worker fqueue or tcp "
                              "throughput gain is below this (CI passes 2)")
@@ -721,6 +838,7 @@ def main(argv=None):
     fi_entry = run_fi_benches(args.trials, args.rounds)
     obs_entry = run_obs_benches(args.trials, args.rounds)
     dist_entry = run_dist_benches(args.dist_units, args.rounds)
+    steer_entry = run_steer_benches(args.steer_budget, args.rounds)
 
     status = _gate_entry(sweep_entry, args, args.check, args.output,
                          "sec5-kernels")
@@ -775,6 +893,30 @@ def main(argv=None):
     if args.dist_output:
         path = append_entry(args.dist_output, dist_entry,
                             benchmark="dist-fabric")
+        print(f"recorded entry -> {path}")
+    # The steer group's "speedup" is a trial-count ratio, not a
+    # vectorization ratio, so like dist it has its own floor
+    # (--min-trials-saved) and bypasses --min-speedup.
+    steer = steer_entry["results"]["steered_campaign"]
+    if (args.min_trials_saved is not None
+            and steer["speedup"] < args.min_trials_saved):
+        print(
+            f"FAIL steered_campaign: trials-saved ratio "
+            f"{steer['speedup']:.1f}x < required "
+            f"{args.min_trials_saved:.1f}x",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.steer_check:
+        failures = check_regression(steer_entry, args.steer_check,
+                                    args.regression_factor)
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        if failures:
+            status = 1
+    if args.steer_output:
+        path = append_entry(args.steer_output, steer_entry,
+                            benchmark="steered-campaign")
         print(f"recorded entry -> {path}")
     return status
 

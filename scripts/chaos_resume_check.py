@@ -18,7 +18,10 @@ in any byte, if the interrupt did not leave a partial journal behind, or
 if the resume did not actually replay journaled units.  This is the
 executable form of the determinism contract in ``docs/campaigns.md``
 ("Fault tolerance & resume"); the ``chaos-resume`` CI job runs it
-serially and with ``--jobs 4`` on every push.
+serially and with ``--jobs 4`` on every push.  With ``--steer`` the
+same three legs run the surrogate-steered adaptive campaign
+(``docs/steering.md``) — the resumed run must additionally reproduce
+the reference's steering summary (rounds, trajectory, estimate).
 
 Run locally with::
 
@@ -37,7 +40,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.arch import FaultInjector  # noqa: E402
+from repro.arch import FaultInjector, SteeringConfig  # noqa: E402
 from repro.arch import programs as P  # noqa: E402
 from repro.runtime import ChaosSpec, ChaosWorker, FaultPolicy, ResultCache  # noqa: E402
 
@@ -85,16 +88,27 @@ def _injector():
     return FaultInjector(P.checksum(10))
 
 
-def _run(jobs, trials, cache, *, chaos_dir=None, resume=False, progress=None):
+def _run(jobs, trials, cache, *, chaos_dir=None, resume=False, progress=None,
+         steer=False):
     injector = _injector()
     wrapper = None
     if chaos_dir is not None:
         wrapper = lambda worker: ChaosWorker(worker, CHAOS, chaos_dir)  # noqa: E731
-    result = injector.run_campaign(
-        n_trials=trials, seed=0, jobs=jobs, cache=cache, chunk_size=16,
-        policy=POLICY, resume=resume, progress=progress,
-        worker_wrapper=wrapper,
-    )
+    if steer:
+        # The steered campaign journals adaptive rounds in the same
+        # manifest; round sealing replays on_result from cache hits, so
+        # the resumed run must regenerate the exact same rounds.
+        result = injector.run_steered_campaign(
+            budget=trials, seed=0, jobs=jobs, cache=cache,
+            config=SteeringConfig(), policy=POLICY, resume=resume,
+            progress=progress, worker_wrapper=wrapper,
+        )
+    else:
+        result = injector.run_campaign(
+            n_trials=trials, seed=0, jobs=jobs, cache=cache, chunk_size=16,
+            policy=POLICY, resume=resume, progress=progress,
+            worker_wrapper=wrapper,
+        )
     return result, injector.last_run_stats
 
 
@@ -115,15 +129,16 @@ def _record_run(record_dir, name, jobs, trials, fn):
     return out
 
 
-def check(jobs, trials, workdir, record_dir):
+def check(jobs, trials, workdir, record_dir, steer=False):
     workdir = Path(workdir)
-    print(f"[chaos-resume] jobs={jobs} trials={trials}")
+    mode = "steered" if steer else "uniform"
+    print(f"[chaos-resume] jobs={jobs} trials={trials} mode={mode}")
 
     # Leg 1: uninterrupted reference on a pristine cache, no chaos.
     ref_cache = ResultCache(workdir / "cache-reference")
     reference, _ = _record_run(
         record_dir, "reference", jobs, trials,
-        lambda: _run(jobs, trials, ref_cache),
+        lambda: _run(jobs, trials, ref_cache, steer=steer),
     )
     ref_digest = campaign_digest(reference)
     print(f"  reference digest: {ref_digest}")
@@ -136,7 +151,7 @@ def check(jobs, trials, workdir, record_dir):
     interrupted = False
     try:
         _run(jobs, trials, chaos_cache, chaos_dir=chaos_dir,
-             progress=_SigintAfter(3))
+             progress=_SigintAfter(3), steer=steer)
     except KeyboardInterrupt:
         interrupted = True
     if not interrupted:
@@ -152,7 +167,7 @@ def check(jobs, trials, workdir, record_dir):
     resumed, stats = _record_run(
         record_dir, "resumed", jobs, trials,
         lambda: _run(jobs, trials, chaos_cache, chaos_dir=chaos_dir,
-                     resume=True),
+                     resume=True, steer=steer),
     )
     res_digest = campaign_digest(resumed)
     print(f"  resumed digest:   {res_digest}")
@@ -167,7 +182,12 @@ def check(jobs, trials, workdir, record_dir):
         print("FAIL: resumed campaign is not bit-identical to the reference",
               file=sys.stderr)
         return 1
-    print(f"  OK: chaos + SIGINT + resume is bit-identical (jobs={jobs})")
+    if steer and resumed.steering != reference.steering:
+        print("FAIL: resumed steering summary (rounds/trajectory/estimate) "
+              "differs from the reference", file=sys.stderr)
+        return 1
+    print(f"  OK: chaos + SIGINT + resume is bit-identical "
+          f"(jobs={jobs}, mode={mode})")
     return 0
 
 
@@ -181,13 +201,19 @@ def main(argv=None):
                         help="scratch directory (default: a fresh tempdir)")
     parser.add_argument("--record", default=None, metavar="DIR",
                         help="write reference/resumed run records under DIR")
+    parser.add_argument("--steer", action="store_true",
+                        help="run the surrogate-steered campaign instead of "
+                             "the uniform one (--trials becomes the budget; "
+                             "docs/steering.md)")
     args = parser.parse_args(argv)
 
     if args.workdir is not None:
         Path(args.workdir).mkdir(parents=True, exist_ok=True)
-        return check(args.jobs, args.trials, args.workdir, args.record)
+        return check(args.jobs, args.trials, args.workdir, args.record,
+                     steer=args.steer)
     with tempfile.TemporaryDirectory(prefix="chaos-resume-") as workdir:
-        return check(args.jobs, args.trials, workdir, args.record)
+        return check(args.jobs, args.trials, workdir, args.record,
+                     steer=args.steer)
 
 
 if __name__ == "__main__":

@@ -33,6 +33,12 @@ from repro.arch.assembler import assemble, AssemblyError
 from repro.arch.cpu import CPU, ExecutionResult, CrashError
 from repro.arch import programs
 from repro.arch.fault_injection import FaultInjector, Outcome, CampaignResult
+from repro.arch.steering import (
+    SteeredCampaignResult,
+    SteeredUnitSource,
+    SteeringConfig,
+    run_steered_campaign,
+)
 from repro.arch.vulnerability import element_features, vulnerability_table, avf
 from repro.arch.ml_fi_acceleration import FIAccelerationStudy
 from repro.arch.scale_prediction import ScalePredictionStudy
@@ -61,6 +67,10 @@ __all__ = [
     "FaultInjector",
     "Outcome",
     "CampaignResult",
+    "SteeredCampaignResult",
+    "SteeredUnitSource",
+    "SteeringConfig",
+    "run_steered_campaign",
     "element_features",
     "vulnerability_table",
     "avf",

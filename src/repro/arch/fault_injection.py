@@ -594,6 +594,28 @@ class FaultInjector:
                               jobs, cache, progress, chunk_size, policy, resume,
                               worker_wrapper, transport, transport_options)
 
+    def run_steered_campaign(self, budget=4096, seed=0, elements=None,
+                             config=None, jobs=1, cache=None, progress=None,
+                             policy=None, resume=False, worker_wrapper=None,
+                             transport=None, transport_options=None):
+        """Adaptively steered campaign with sequential early stopping.
+
+        Trials are allocated by stratified importance sampling from an
+        online surrogate and the campaign stops once the AVF confidence
+        half-width reaches the steering config's target — see
+        :mod:`repro.arch.steering` and ``docs/steering.md``.  Accepts
+        the same runtime knobs as :meth:`run_campaign`; ``budget`` caps
+        the trials a run may spend.  Returns a
+        :class:`repro.arch.steering.SteeredCampaignResult`.
+        """
+        from repro.arch.steering import run_steered_campaign
+        return run_steered_campaign(
+            self, budget=budget, seed=seed, elements=elements, config=config,
+            jobs=jobs, cache=cache, progress=progress, policy=policy,
+            resume=resume, worker_wrapper=worker_wrapper,
+            transport=transport, transport_options=transport_options,
+        )
+
     def exhaustive_element_campaign(self, element, n_trials=200, seed=0, jobs=1,
                                     cache=None, progress=None, chunk_size=None,
                                     policy=None, resume=False, transport=None,

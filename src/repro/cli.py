@@ -173,20 +173,45 @@ def run_fi(args):
     from repro.arch import programs as P
 
     injector = FaultInjector(P.checksum(12), engine=_fi_engine(args))
-    campaign = injector.run_campaign(
-        n_trials=args.trials, seed=0, **_runtime_kwargs(args)
-    )
+    steering = None
+    if getattr(args, "steer", False):
+        from repro.arch import SteeringConfig
+
+        config = SteeringConfig(
+            target_ci=args.target_ci,
+            early_stop=not args.no_early_stop,
+        )
+        campaign = injector.run_steered_campaign(
+            budget=args.trials, seed=0, config=config, **_runtime_kwargs(args)
+        )
+        steering = campaign.steering
+    else:
+        campaign = injector.run_campaign(
+            n_trials=args.trials, seed=0, **_runtime_kwargs(args)
+        )
     counts = campaign.counts()
     rows = [
         (outcome.value, counts[outcome], f"{rate:.3f}")
         for outcome, rate in campaign.rates().items()
     ]
+    executed = len(campaign.records)
     _print_table(
-        f"Sec. III: {args.trials}-trial campaign on '{campaign.program}'",
+        f"Sec. III: {executed}-trial campaign on '{campaign.program}'",
         ("outcome", "trials", "rate"),
         rows,
     )
     _print_runtime_stats(injector.last_run_stats, unit="trials")
+    if steering is not None:
+        print(
+            f"steering: AVF {steering['avf_estimate']:.4f} "
+            f"± {steering['ci_halfwidth']:.4f} "
+            f"(target ±{steering['target_ci']}, "
+            f"{int(steering['confidence'] * 100)}% confidence), "
+            f"{steering['trials_executed']}/{steering['budget']} trials "
+            f"({steering['trials_saved']} saved), "
+            f"{steering['rounds']} rounds, {steering['refits']} refits, "
+            f"stopped on {steering['stop_reason']}"
+        )
     stats = injector.engine_stats()
     print(
         f"engine: {stats['engine']} (requested {stats['requested_engine']}), "
@@ -194,7 +219,10 @@ def run_fi(args):
         f"{stats['snapshot_interval']}, golden {stats['golden_cycles']} "
         f"cycles (budget {stats['max_cycles']})"
     )
-    return {"fi_engine": stats}
+    resolved = {"fi_engine": stats}
+    if steering is not None:
+        resolved["steering"] = steering
+    return resolved
 
 
 def _print_runtime_stats(stats, unit):
@@ -388,6 +416,15 @@ def _timeout_seconds(value):
     return timeout
 
 
+def _target_ci(value):
+    width = float(value)
+    if not 0.0 < width < 0.5:
+        raise argparse.ArgumentTypeError(
+            f"must be a half-width in (0, 0.5), got {width}"
+        )
+    return width
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -502,6 +539,26 @@ def build_parser():
         "--reference-engine", action="store_true",
         help="alias for --engine reference (wins if both are given); kept "
              "for compatibility with pre-batched-engine run configs",
+    )
+    steering = parser.add_argument_group(
+        "campaign steering (fi; see docs/steering.md)"
+    )
+    steering.add_argument(
+        "--steer", action="store_true",
+        help="adaptively allocate fi trials by surrogate-guided stratified "
+             "importance sampling and stop early at --target-ci; --trials "
+             "becomes the trial budget and unspent trials are reported as "
+             "trials_saved (estimates stay unbiased for the uniform AVF)",
+    )
+    steering.add_argument(
+        "--target-ci", type=_target_ci, default=0.02, metavar="HALFWIDTH",
+        help="AVF confidence-interval half-width at which a steered "
+             "campaign stops (default 0.02 at 95%% confidence)",
+    )
+    steering.add_argument(
+        "--no-early-stop", action="store_true",
+        help="spend the full --trials budget even after --target-ci is "
+             "reached (still steered; useful for calibration runs)",
     )
     return parser
 
@@ -761,6 +818,11 @@ def run_list(args):
         "--engine forked|reference\nto force the scalar replay or "
         "full-rerun paths (see docs/fi-engine.md)"
     )
+    print(
+        "fi --steer --target-ci HW adaptively allocates trials and stops "
+        "early at the target\nAVF half-width; --no-early-stop spends the "
+        "full budget (see docs/steering.md)"
+    )
     return 0
 
 
@@ -786,6 +848,9 @@ def _run_recorded(name, args):
         "queue_dir": args.queue_dir,
         "listen": args.listen,
         "workers": args.workers,
+        "steer": args.steer,
+        "target_ci": args.target_ci,
+        "no_early_stop": args.no_early_stop,
     }
     # Every CLI experiment roots its seed streams at 0 (reproducibility).
     with RunRecorder(args.record, name=name, config=config, seed=0) as recorder:

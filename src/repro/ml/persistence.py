@@ -1,18 +1,25 @@
-"""Saving and loading fitted MLP models (npz-based).
+"""Saving and loading fitted models (npz-based, pickle-free).
 
 Deployed reliability monitors (symptom detectors, WarningNets,
-characterization models) are trained at design time and shipped to the
-target; this module persists the numpy-MLP family without pickle.
+characterization models, campaign-steering surrogates) are trained at
+design time and shipped to the target; this module persists the
+numpy-MLP family and the CART tree ensembles without pickle.
 """
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 
+from repro.ml.ensemble import GradientBoostingClassifier, RandomForestClassifier
 from repro.ml.mlp import MLPClassifier, MLPRegressor
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, _Node
 
 _KIND_CLASSIFIER = "classifier"
 _KIND_REGRESSOR = "regressor"
+_KIND_FOREST = "random_forest_classifier"
+_KIND_GBDT = "gradient_boosting_classifier"
 
 
 def save_mlp(model, path):
@@ -55,4 +62,160 @@ def load_mlp(path):
             raise ValueError(f"unknown model kind {kind!r}")
     model.weights_ = weights
     model.biases_ = biases
+    return model
+
+
+def _flatten_tree(root):
+    """Preorder arrays for one CART tree: (feature, threshold, left, right, values).
+
+    ``feature`` is ``-1`` at leaves; ``left``/``right`` are node indices
+    (``-1`` at leaves); ``values`` keeps every node's value (internal
+    nodes carry one too), in the value's natural dtype so classifier
+    labels survive without pickle.
+    """
+    feature, threshold, left, right, values = [], [], [], [], []
+
+    def walk(node):
+        idx = len(feature)
+        feature.append(-1 if node.is_leaf else int(node.feature))
+        threshold.append(0.0 if node.is_leaf else float(node.threshold))
+        left.append(-1)
+        right.append(-1)
+        values.append(node.value)
+        if not node.is_leaf:
+            left[idx] = walk(node.left)
+            right[idx] = walk(node.right)
+        return idx
+
+    walk(root)
+    return (
+        np.asarray(feature, dtype=np.int64),
+        np.asarray(threshold, dtype=float),
+        np.asarray(left, dtype=np.int64),
+        np.asarray(right, dtype=np.int64),
+        np.asarray(values),
+    )
+
+
+def _rebuild_tree(feature, threshold, left, right, values):
+    """Inverse of :func:`_flatten_tree`; returns the root ``_Node``."""
+    nodes = [_Node(value=values[i]) for i in range(len(feature))]
+    for i in range(len(feature)):
+        if left[i] >= 0:
+            nodes[i].feature = int(feature[i])
+            nodes[i].threshold = float(threshold[i])
+            nodes[i].left = nodes[left[i]]
+            nodes[i].right = nodes[right[i]]
+    return nodes[0] if nodes else _Node()
+
+
+def _tree_payload(payload, prefix, tree):
+    f, t, lo, hi, v = _flatten_tree(tree._root)
+    payload[f"{prefix}f"] = f
+    payload[f"{prefix}t"] = t
+    payload[f"{prefix}l"] = lo
+    payload[f"{prefix}r"] = hi
+    payload[f"{prefix}v"] = v
+
+
+def _tree_from_payload(data, prefix, tree):
+    tree._root = _rebuild_tree(
+        data[f"{prefix}f"], data[f"{prefix}t"],
+        data[f"{prefix}l"], data[f"{prefix}r"], data[f"{prefix}v"],
+    )
+    return tree
+
+
+def save_ensemble(model, path):
+    """Serialize a fitted tree ensemble to an ``.npz`` file.
+
+    Supports :class:`~repro.ml.ensemble.RandomForestClassifier` and
+    :class:`~repro.ml.ensemble.GradientBoostingClassifier` — the model
+    families the campaign-steering surrogate uses.  Every tree is
+    flattened to plain arrays; nothing is pickled.
+    """
+    if isinstance(model, RandomForestClassifier):
+        if not model.trees_:
+            raise ValueError("model must be fitted before saving")
+        payload = {
+            "kind": np.array(_KIND_FOREST),
+            "classes": np.asarray(model.classes_),
+            "n_trees": np.array(len(model.trees_)),
+            "params": np.array(json.dumps({
+                "n_estimators": model.n_estimators,
+                "max_depth": model.max_depth,
+                "max_features": model.max_features,
+                "seed": model.seed,
+            })),
+        }
+        for i, tree in enumerate(model.trees_):
+            _tree_payload(payload, f"t{i}_", tree)
+            payload[f"t{i}_classes"] = np.asarray(tree.classes_)
+    elif isinstance(model, GradientBoostingClassifier):
+        if not model.trees_:
+            raise ValueError("model must be fitted before saving")
+        payload = {
+            "kind": np.array(_KIND_GBDT),
+            "classes": np.asarray(model.classes_),
+            "init": np.asarray(model.init_, dtype=float),
+            "n_rounds": np.array(len(model.trees_)),
+            "params": np.array(json.dumps({
+                "n_estimators": model.n_estimators,
+                "learning_rate": model.learning_rate,
+                "max_depth": model.max_depth,
+                "subsample": model.subsample,
+                "seed": model.seed,
+            })),
+        }
+        for r, round_trees in enumerate(model.trees_):
+            for j, tree in enumerate(round_trees):
+                _tree_payload(payload, f"t{r}_{j}_", tree)
+    else:
+        raise TypeError(f"unsupported model type {type(model).__name__}")
+    np.savez(path, **payload)
+
+
+def load_ensemble(path):
+    """Load an ensemble saved by :func:`save_ensemble`, ready to predict."""
+    with np.load(path, allow_pickle=False) as data:
+        kind = str(data["kind"])
+        params = json.loads(str(data["params"]))
+        if kind == _KIND_FOREST:
+            model = RandomForestClassifier(
+                n_estimators=params["n_estimators"],
+                max_depth=params["max_depth"],
+                max_features=params["max_features"],
+                seed=params["seed"],
+            )
+            model.classes_ = data["classes"]
+            model.trees_ = []
+            for i in range(int(data["n_trees"])):
+                tree = DecisionTreeClassifier(max_depth=params["max_depth"])
+                tree.classes_ = data[f"t{i}_classes"]
+                tree._class_index = {
+                    c: k for k, c in enumerate(tree.classes_)
+                }
+                model.trees_.append(_tree_from_payload(data, f"t{i}_", tree))
+        elif kind == _KIND_GBDT:
+            model = GradientBoostingClassifier(
+                n_estimators=params["n_estimators"],
+                learning_rate=params["learning_rate"],
+                max_depth=params["max_depth"],
+                subsample=params["subsample"],
+                seed=params["seed"],
+            )
+            model.classes_ = data["classes"]
+            model.init_ = data["init"]
+            model.trees_ = []
+            k = len(model.classes_)
+            for r in range(int(data["n_rounds"])):
+                model.trees_.append([
+                    _tree_from_payload(
+                        data, f"t{r}_{j}_",
+                        DecisionTreeRegressor(max_depth=params["max_depth"]),
+                    )
+                    for j in range(k)
+                ])
+        else:
+            raise ValueError(f"unknown model kind {kind!r}")
     return model

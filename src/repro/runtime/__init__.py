@@ -77,6 +77,12 @@ from repro.runtime.runner import (
 )
 from repro.runtime.scheduler import CampaignScheduler, ChunkSource, ListSource
 from repro.runtime.seeding import spawn_trial_seeds, trial_rng, trial_seed_sequence
+from repro.runtime.stats import (
+    hoeffding_halfwidth,
+    stratified_estimate,
+    wilson_halfwidth,
+    wilson_interval,
+)
 from repro.runtime.telemetry import ProgressEvent, ProgressLog, print_progress
 from repro.runtime.transports import (
     FileQueueTransport,
@@ -123,6 +129,10 @@ __all__ = [
     "spawn_trial_seeds",
     "trial_rng",
     "trial_seed_sequence",
+    "hoeffding_halfwidth",
+    "stratified_estimate",
+    "wilson_halfwidth",
+    "wilson_interval",
     "ProgressEvent",
     "ProgressLog",
     "print_progress",

@@ -226,6 +226,23 @@ class CampaignRunner:
         source = ListSource(items, list(item_keys))
         return self._execute(worker, source, key, unit_is_batch=False)
 
+    def run_units(self, worker, source, key=(), unit_is_batch=True):
+        """Run ``worker(unit)`` over a custom :class:`UnitSource`.
+
+        The source supplies the unit protocol (``__len__``, ``item``,
+        ``key``, ``weight``, ``total_weight``) and may additionally be
+        *adaptive*: an optional ``on_result(unit, outcome)`` hook fires
+        at commit time for every unit (cache hits included), an optional
+        ``available()`` bounds admission to the units the source can
+        generate right now, and an optional ``exhausted`` property ends
+        the campaign early.  Returns per-unit results in unit order;
+        units never admitted (early stop) are ``None``.
+        """
+        for name in ("item", "key", "weight", "total_weight"):
+            if not hasattr(source, name):
+                raise TypeError(f"unit source must define {name!r}")
+        return self._execute(worker, source, key, unit_is_batch=unit_is_batch)
+
     # -- internals -------------------------------------------------------
     def _build_transport(self, source):
         """Resolve the transport for one run; ``owns`` marks ours to stop."""

@@ -230,6 +230,12 @@ class CampaignScheduler:
         self._n = n
         self._results = [None] * n
         self._cursor = 0  # next unit index to admit
+        # Adaptive-source seams (all optional — static sources are
+        # untouched): ``on_result`` receives every committed unit,
+        # ``available`` bounds admission to the units the source can
+        # generate right now, ``exhausted`` ends the campaign early.
+        self._on_result = getattr(source, "on_result", None)
+        self._available = getattr(source, "available", None)
         self._ready = []  # (ready_at, seq, unit) min-heap
         self._seq = itertools.count()
         self._attempts = {}  # unit -> failed attempts so far
@@ -267,6 +273,12 @@ class CampaignScheduler:
             for r in result if self.unit_is_batch else (result,):
                 label = self.classify(r)
                 self.stats.histogram[label] = self.stats.histogram.get(label, 0) + 1
+        if self._on_result is not None:
+            # Commit-time feedback: fires exactly once per unit, for
+            # cache hits and fresh executions alike, so an adaptive
+            # source sees the same outcome stream on a resume as on the
+            # original run.
+            self._on_result(i, result)
 
     def _emit_progress(self):
         stats = self.stats
@@ -327,12 +339,22 @@ class CampaignScheduler:
     def _outstanding(self):
         return len(self._ready) + len(self._unit_task)
 
+    def _admit_limit(self):
+        """Units the source allows admitted so far (adaptive sources cap it)."""
+        if self._available is None:
+            return self._n
+        return min(self._n, int(self._available()))
+
     def _admit(self):
         """Generate units up to the window; satisfy cache hits in place."""
         stats = self.stats
         window = self._admission_window()
         found_cached = False
-        while self._cursor < self._n and self._outstanding() < window:
+        # The limit is re-read every iteration: committing a cache hit
+        # below feeds ``on_result``, which may unlock the next round of
+        # an adaptive source mid-scan (this is how resume replays an
+        # entire steered campaign from the cache in one pass).
+        while self._cursor < self._admit_limit() and self._outstanding() < window:
             i = self._cursor
             self._cursor += 1
             w = self.source.weight(i)
@@ -668,6 +690,15 @@ class CampaignScheduler:
                 if not self._ready and not self._unit_task:
                     if self._cursor >= self._n:
                         break
+                    if getattr(self.source, "exhausted", False):
+                        break  # adaptive source stopped early
+                    if self._cursor >= self._admit_limit():
+                        # Nothing in flight, nothing admissible, source
+                        # not done: a deterministic error beats a spin.
+                        raise RuntimeError(
+                            "unit source stalled: no units available, "
+                            "none outstanding, and not exhausted"
+                        )
                     continue  # window freed up: admit more
                 now = time.monotonic()
                 self._dispatch(now)

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` experiment CLI."""
 
+import re
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -162,6 +164,47 @@ class TestMain:
         err = capsys.readouterr().err
         assert "[64/64]" in err
         assert "trials/s" in err
+
+    def test_fi_steer_prints_summary_and_saves_trials(self, capsys, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fi", "--trials", "1024", "--steer", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"steering: AVF [0-9.]+ \u00b1 [0-9.]+", out)
+        assert match, out
+        assert "stopped on target" in out
+        assert re.search(r"\(\d+ saved\)", out)
+
+    def test_fi_steer_flags_validate(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fi", "--steer", "--target-ci", "0.7"])
+        args = build_parser().parse_args(
+            ["fi", "--steer", "--target-ci", "0.05", "--no-early-stop"]
+        )
+        assert args.steer and args.target_ci == 0.05 and args.no_early_stop
+
+    def test_list_advertises_steering(self, capsys):
+        assert main(["list"]) == 0
+        assert "--steer" in capsys.readouterr().out
+
+    def test_fi_steer_recorded_run_resolves_steering(self, capsys, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runs = tmp_path / "runs"
+        assert main(["fi", "--trials", "1024", "--steer", "--no-cache",
+                     "--record", str(runs)]) == 0
+        capsys.readouterr()
+        from repro.obs import load_run_record
+
+        record = load_run_record(runs)
+        config = record["meta"]["config"]
+        assert config["steer"] is True
+        assert config["target_ci"] == 0.02
+        steering = config["resolved"]["steering"]
+        assert steering["trials_executed"] + steering["trials_saved"] == 1024
+        counters = record["metrics"]["counters"]
+        assert (counters["arch.fi.steering.trials_saved"]
+                == steering["trials_saved"])
 
     def test_progress_on_fully_cached_rerun_prints_no_rate(self, capsys, tmp_path,
                                                            monkeypatch):
