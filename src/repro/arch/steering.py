@@ -42,6 +42,7 @@ campaigns across ``jobs``, ``chunk_size``, and transports — and a
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field, fields
 
@@ -221,6 +222,7 @@ class SteeredUnitSource:
             (e, b) for e in range(len(self.elements)) for b in range(bins)
         ]
         self._stratum_index = {s: k for k, s in enumerate(self._strata)}
+        self._element_index = {e: k for k, e in enumerate(self.elements)}
         n_el = len(self.elements)
         self._q = [
             (self._phase_bounds[b + 1] - self._phase_bounds[b])
@@ -336,8 +338,13 @@ class SteeredUnitSource:
             self._seal_round()
 
     def _locate(self, cycle, element):
-        e = self.elements.index(element)
-        b = min(cycle * self._bins // self.golden_cycles, self._bins - 1)
+        # Invert the *generation* partition: ``_phase_bounds`` is a floor
+        # partition, so when ``golden_cycles % bins != 0`` the naive
+        # ``cycle * bins // golden_cycles`` disagrees with it and tallies
+        # land in the wrong stratum.
+        e = self._element_index[element]
+        b = bisect.bisect_right(self._phase_bounds, cycle) - 1
+        b = min(max(b, 0), self._bins - 1)
         return self._stratum_index[(e, b)]
 
     # -- round sealing ---------------------------------------------------
@@ -657,7 +664,7 @@ def run_steered_campaign(injector, budget=4096, seed=0, elements=None,
         per_unit = runner.run_units(
             worker, source,
             key=("fi-steer", injector.fingerprint(), config.fingerprint(),
-                 elements),
+                 budget, elements),
         )
     injector.last_run_stats = runner.stats
     records = [

@@ -202,6 +202,51 @@ class TestSteeredUnitSource:
             with pytest.raises(ValueError):
                 SteeringConfig(**bad).validate()
 
+    def test_locate_inverts_generation_bounds_when_bins_uneven(self):
+        # Regression: golden_cycles=10, phase_bins=4 gives the floor
+        # partition [0, 2, 5, 7, 10].  The old ``cycle * bins //
+        # golden_cycles`` locate disagreed with it (cycles 2 and 7
+        # tallied into strata 0/2 instead of 1/3), biasing the
+        # post-stratified estimate and crashing the round-0 seal.
+        cfg = SteeringConfig(surrogate="none", round_trials=16,
+                             chunk_size=8, early_stop=False)
+        source = SteeredUnitSource(
+            seed=5, budget=40, elements=["a", "b"], golden_cycles=10,
+            config=cfg,
+        )
+        assert source._phase_bounds == [0, 2, 5, 7, 10]
+        for cycle in range(10):
+            for e, element in enumerate(source.elements):
+                s = source._locate(cycle, element)
+                se, b = source._strata[s]
+                assert se == e
+                lo, hi = source._phase_bounds[b], source._phase_bounds[b + 1]
+                assert lo <= cycle < hi
+
+    def test_seal_survives_uneven_bins(self):
+        # End-to-end shape of the crash in the regression above: commit
+        # a full bootstrap round and seal it.  With mis-tallied strata
+        # the stratified estimator raised "every stratum with positive
+        # weight needs >= 1 observation".
+        cfg = SteeringConfig(surrogate="none", round_trials=16,
+                             chunk_size=8, early_stop=False)
+        source = SteeredUnitSource(
+            seed=5, budget=40, elements=["a", "b"], golden_cycles=10,
+            config=cfg,
+        )
+        first_round_units = source.available()
+        for i in range(first_round_units):
+            records = [
+                SimpleNamespace(cycle=c, element=e, outcome=Outcome.MASKED)
+                for c, e, _ in source.item(i).coords
+            ]
+            source.on_result(i, records)
+        assert source.trajectory and source.trajectory[0]["trials"] == 16
+        assert sum(source._n_s) == 16
+        # Every stratum got its round-0 minimum of one trial, tallied
+        # into the stratum it was generated for.
+        assert all(n >= 1 for n in source._n_s)
+
     def test_on_result_seals_rounds_and_tallies(self):
         # early_stop off: an all-masked round would otherwise satisfy
         # the CI target immediately and never generate round 1.
@@ -286,6 +331,26 @@ class TestSteeredCampaign:
             assert other.steering == inline.steering
         assert stats.journaled_units > 0
         assert stats.executed_trials == 0  # resume replays, never re-runs
+
+    def test_cache_is_budget_scoped(self, injector, tmp_path):
+        # Regression: the run-level cache key omitted the budget, but
+        # round layout depends on it, so budget=300 and budget=450 both
+        # produced unit key ("steer", seed, 2, 0, 32) for chunks with
+        # *different* coordinates — a shared cache dir silently replayed
+        # records for the wrong coordinates.
+        cache = ResultCache(tmp_path / "cache")
+        config = SteeringConfig(surrogate="none", early_stop=False)
+
+        def run(budget, **kwargs):
+            return injector.run_steered_campaign(
+                budget=budget, seed=7, config=config, **kwargs
+            )
+
+        run(300, cache=cache)
+        shared = run(450, cache=cache)
+        fresh = run(450)
+        assert _digest(shared) == _digest(fresh)
+        assert shared.steering == fresh.steering
 
     def test_different_seeds_differ(self, injector, steered):
         other = injector.run_steered_campaign(budget=2048, seed=4)
